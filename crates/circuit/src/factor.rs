@@ -1,0 +1,201 @@
+//! The two faces of CVP in the Π-tractability framework.
+//!
+//! * [`upsilon0`] + [`upsilon0_scheme`] — Theorem 9's witness: the
+//!   factorization `Υ₀` with `π₁(x) = ε` leaves nothing to preprocess.
+//!   The best any scheme can then do is evaluate the whole P-complete
+//!   instance at query time; the scheme is *correct* but its answering
+//!   cost is linear in the circuit, so it fails Definition 1 — and E11
+//!   shows the failure experimentally.
+//! * [`gate_factorization`] + [`gate_table_scheme`] — the re-factorization
+//!   that makes CVP Π-tractable (Corollary 6's concrete instance): the
+//!   circuit and its inputs become the data part, the designated output
+//!   gate becomes the query. Preprocessing evaluates every gate once
+//!   (PTIME); each query is then one table probe (O(1) ⊆ NC).
+//! * [`all_data_factorization`] + [`solve_at_preprocess_scheme`] — the
+//!   `S'_CVP` shape from Proposition 10: everything is data, the query is
+//!   ε, preprocessing simply solves the instance.
+
+use crate::circuit::Circuit;
+use pitract_core::cost::CostClass;
+use pitract_core::factor::{
+    trivial_data_factorization, trivial_query_factorization, FnFactorization,
+};
+use pitract_core::problem::FnProblem;
+use pitract_core::scheme::Scheme;
+
+/// A CVP instance: a circuit (with designated output) plus its inputs.
+pub type CvpInstance = (Circuit, Vec<bool>);
+
+/// The CVP decision problem: does the designated output evaluate to true?
+pub fn cvp_problem() -> FnProblem<CvpInstance> {
+    FnProblem::new("CVP", |x: &CvpInstance| x.0.evaluate(&x.1))
+}
+
+/// `Υ₀`: everything is query, the data part is empty (Theorem 9).
+pub fn upsilon0() -> FnFactorization<CvpInstance, (), CvpInstance> {
+    trivial_data_factorization::<CvpInstance>()
+}
+
+/// The only honest scheme available under `Υ₀`: preprocess the empty data
+/// (a constant), evaluate the whole circuit per query. Correct — but its
+/// cost annotation is `Linear`, so [`Scheme::claims_pi_tractable`] is
+/// `false`: this value *is* the paper's separation, stated in code.
+pub fn upsilon0_scheme() -> Scheme<(), (), CvpInstance> {
+    Scheme::new(
+        "CVP@Υ₀ (evaluate per query)",
+        CostClass::Constant,
+        CostClass::Linear,
+        |_d: &()| (),
+        |_p: &(), q: &CvpInstance| q.0.evaluate(&q.1),
+    )
+}
+
+/// The re-factorization that rescues CVP: data = (circuit canonicalized to
+/// output 0, inputs), query = the designated gate. `ρ` re-targets the
+/// output, so the roundtrip law holds.
+pub fn gate_factorization() -> FnFactorization<CvpInstance, CvpInstance, usize> {
+    FnFactorization::new(
+        "Υ_gate",
+        |x: &CvpInstance| {
+            let canonical = x.0.with_output(0).expect("gate 0 exists");
+            (canonical, x.1.clone())
+        },
+        |x: &CvpInstance| x.0.output(),
+        |d: &CvpInstance, q: &usize| {
+            (
+                d.0.with_output(*q).expect("query names an existing gate"),
+                d.1.clone(),
+            )
+        },
+    )
+}
+
+/// The Π-tractability scheme for CVP under [`gate_factorization`]:
+/// preprocessing evaluates the full gate table (PTIME, one pass), each
+/// query probes one entry (O(1)).
+pub fn gate_table_scheme() -> Scheme<CvpInstance, Vec<bool>, usize> {
+    Scheme::new(
+        "CVP@Υ_gate (gate table)",
+        CostClass::Linear,
+        CostClass::Constant,
+        |d: &CvpInstance| d.0.gate_table(&d.1),
+        |table: &Vec<bool>, gate: &usize| table.get(*gate).copied().unwrap_or(false),
+    )
+}
+
+/// The `S'_CVP` factorization of Proposition 10: everything is data.
+pub fn all_data_factorization() -> FnFactorization<CvpInstance, CvpInstance, ()> {
+    trivial_query_factorization::<CvpInstance>()
+}
+
+/// Trivially Π-tractable scheme for the all-data factorization: PTIME
+/// preprocessing solves the instance outright; queries read one bit.
+pub fn solve_at_preprocess_scheme() -> Scheme<CvpInstance, bool, ()> {
+    Scheme::new(
+        "CVP@all-data (solve at preprocessing)",
+        CostClass::Linear,
+        CostClass::Constant,
+        |d: &CvpInstance| d.0.evaluate(&d.1),
+        |answer: &bool, _q: &()| *answer,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{layered, to_bits};
+    use pitract_core::cost::Meter;
+    use pitract_core::factor::Factorization;
+    use pitract_core::problem::{check_proposition_1, DecisionProblem};
+
+    fn instances() -> Vec<CvpInstance> {
+        (0..6u64)
+            .map(|seed| {
+                let c = layered(6, 8, 4, seed);
+                let inputs = to_bits(seed.wrapping_mul(37), 6);
+                (c, inputs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn factorizations_satisfy_proposition_1() {
+        let p = cvp_problem();
+        let xs = instances();
+        assert!(check_proposition_1(&p, &upsilon0(), &xs));
+        assert!(check_proposition_1(&p, &gate_factorization(), &xs));
+        assert!(check_proposition_1(&p, &all_data_factorization(), &xs));
+    }
+
+    #[test]
+    fn upsilon0_scheme_is_correct_but_not_tractable() {
+        let scheme = upsilon0_scheme();
+        assert!(!scheme.claims_pi_tractable(), "Theorem 9: Υ₀ cannot claim NC");
+        let p = cvp_problem();
+        for x in instances() {
+            let f = upsilon0();
+            f.pi1(&x);
+            let q = f.pi2(&x);
+            scheme.preprocess(&());
+            assert_eq!(scheme.answer(&(), &q), p.accepts(&x));
+        }
+    }
+
+    #[test]
+    fn gate_table_scheme_is_correct_and_tractable() {
+        let scheme = gate_table_scheme();
+        assert!(scheme.claims_pi_tractable());
+        let p = cvp_problem();
+        for x in instances() {
+            let f = gate_factorization();
+            let d = f.pi1(&x);
+            let q = f.pi2(&x);
+            let pre = scheme.preprocess(&d);
+            assert_eq!(scheme.answer(&pre, &q), p.accepts(&x), "{q}");
+        }
+    }
+
+    #[test]
+    fn gate_table_answers_every_gate_not_just_the_output() {
+        let x = instances().pop().unwrap();
+        let f = gate_factorization();
+        let d = f.pi1(&x);
+        let scheme = gate_table_scheme();
+        let pre = scheme.preprocess(&d);
+        let truth = x.0.gate_table(&x.1);
+        for (g, &expect) in truth.iter().enumerate() {
+            assert_eq!(scheme.answer(&pre, &g), expect, "gate {g}");
+        }
+        // Out-of-range gates answer false rather than panicking: queries
+        // are external input in this framing.
+        assert!(!scheme.answer(&pre, &usize::MAX));
+    }
+
+    #[test]
+    fn per_query_cost_gap_between_factorizations() {
+        // Υ₀: the per-query cost grows with the circuit.
+        let meter = Meter::new();
+        let small = layered(4, 4, 4, 1);
+        let big = layered(4, 128, 16, 1);
+        small.evaluate_metered(&[true; 4], &meter);
+        let small_cost = meter.take();
+        big.evaluate_metered(&[true; 4], &meter);
+        let big_cost = meter.take();
+        assert!(big_cost > small_cost * 20, "{small_cost} vs {big_cost}");
+        // Υ_gate: one probe regardless of size (cost model: O(1) lookup).
+        let scheme = gate_table_scheme();
+        let pre = scheme.preprocess(&(big.clone(), vec![true; 4]));
+        assert_eq!(pre.len(), big.size());
+    }
+
+    #[test]
+    fn solve_at_preprocess_matches_cvp() {
+        let scheme = solve_at_preprocess_scheme();
+        assert!(scheme.claims_pi_tractable());
+        let p = cvp_problem();
+        for x in instances() {
+            let pre = scheme.preprocess(&x);
+            assert_eq!(scheme.answer(&pre, &()), p.accepts(&x));
+        }
+    }
+}

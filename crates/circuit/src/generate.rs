@@ -1,0 +1,170 @@
+//! Circuit generators for the CVP experiments.
+
+use crate::circuit::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random layered circuit: `width` gates per layer, `layers` layers, each
+/// gate combining two uniform picks from the previous layer with a random
+/// binary operator. Depth grows linearly with `layers` — the deep/
+/// sequential workload of E11.
+pub fn layered(inputs: usize, layers: usize, width: usize, seed: u64) -> Circuit {
+    assert!(inputs >= 1 && layers >= 1 && width >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gates: Vec<Gate> = (0..inputs).map(Gate::Input).collect();
+    let mut prev_layer: Vec<usize> = (0..inputs).collect();
+    for _ in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let a = prev_layer[rng.gen_range(0..prev_layer.len())];
+            let b = prev_layer[rng.gen_range(0..prev_layer.len())];
+            let gate = match rng.gen_range(0..4) {
+                0 => Gate::And(a, b),
+                1 => Gate::Or(a, b),
+                2 => Gate::Xor(a, b),
+                _ => Gate::Not(a),
+            };
+            layer.push(gates.len());
+            gates.push(gate);
+        }
+        prev_layer = layer;
+    }
+    let output = *prev_layer.last().expect("nonempty layer");
+    Circuit::new(inputs, gates, output).expect("generator emits valid circuits")
+}
+
+/// A balanced AND-tree over `2^k` inputs: depth k, the shallow/NC-friendly
+/// contrast workload.
+pub fn and_tree(k: u32) -> Circuit {
+    let inputs = 1usize << k;
+    let mut gates: Vec<Gate> = (0..inputs).map(Gate::Input).collect();
+    let mut layer: Vec<usize> = (0..inputs).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let idx = gates.len();
+            gates.push(Gate::And(pair[0], pair[1]));
+            next.push(idx);
+        }
+        layer = next;
+    }
+    let output = layer[0];
+    Circuit::new(inputs, gates, output).expect("tree is valid")
+}
+
+/// Ripple-carry adder comparing `a + b == target` bit-for-bit over `bits`
+/// bits — an arithmetic-flavoured CVP family whose answer tests real
+/// propagation chains. Inputs: `a` bits then `b` bits (LSB first).
+pub fn adder_equals(bits: usize, target: u64) -> Circuit {
+    assert!((1..=63).contains(&bits));
+    let inputs = 2 * bits;
+    let mut gates: Vec<Gate> = (0..inputs).map(Gate::Input).collect();
+    let a = |i: usize| i;
+    let b = |i: usize| bits + i;
+
+    let push = |g: Gate, gates: &mut Vec<Gate>| -> usize {
+        gates.push(g);
+        gates.len() - 1
+    };
+
+    // Ripple-carry sum bits.
+    let mut sum_bits = Vec::with_capacity(bits + 1);
+    let mut carry: Option<usize> = None;
+    for i in 0..bits {
+        let axb = push(Gate::Xor(a(i), b(i)), &mut gates);
+        let (s, c_out) = match carry {
+            None => {
+                let c = push(Gate::And(a(i), b(i)), &mut gates);
+                (axb, c)
+            }
+            Some(c_in) => {
+                let s = push(Gate::Xor(axb, c_in), &mut gates);
+                let ab = push(Gate::And(a(i), b(i)), &mut gates);
+                let axb_c = push(Gate::And(axb, c_in), &mut gates);
+                let c = push(Gate::Or(ab, axb_c), &mut gates);
+                (s, c)
+            }
+        };
+        sum_bits.push(s);
+        carry = Some(c_out);
+    }
+    sum_bits.push(carry.expect("bits >= 1"));
+
+    // Compare with the target constant: AND over XNOR(sum_i, target_i).
+    let mut acc: Option<usize> = None;
+    for (i, &s) in sum_bits.iter().enumerate() {
+        let t = (target >> i) & 1 == 1;
+        let tconst = push(Gate::Const(t), &mut gates);
+        let x = push(Gate::Xor(s, tconst), &mut gates);
+        let eq = push(Gate::Not(x), &mut gates);
+        acc = Some(match acc {
+            None => eq,
+            Some(prev) => push(Gate::And(prev, eq), &mut gates),
+        });
+    }
+    let output = acc.expect("at least one sum bit");
+    Circuit::new(inputs, gates, output).expect("adder is valid")
+}
+
+/// Encode a `u64` as an LSB-first bit vector of the given width.
+pub fn to_bits(v: u64, bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_is_deterministic_and_deep() {
+        let c1 = layered(8, 50, 6, 7);
+        let c2 = layered(8, 50, 6, 7);
+        assert_eq!(c1, c2);
+        assert!(c1.depth() >= 40, "depth {} too shallow", c1.depth());
+        assert_eq!(c1.size(), 8 + 50 * 6);
+    }
+
+    #[test]
+    fn layered_evaluates_without_panic_on_all_input_patterns() {
+        let c = layered(4, 10, 4, 3);
+        for pattern in 0..16u32 {
+            let inputs: Vec<bool> = (0..4).map(|i| (pattern >> i) & 1 == 1).collect();
+            let _ = c.evaluate(&inputs);
+        }
+    }
+
+    #[test]
+    fn and_tree_is_conjunction() {
+        let c = and_tree(3);
+        assert_eq!(c.input_count(), 8);
+        assert_eq!(c.depth(), 3);
+        assert!(c.evaluate(&[true; 8]));
+        let mut one_false = [true; 8];
+        one_false[5] = false;
+        assert!(!c.evaluate(&one_false));
+    }
+
+    #[test]
+    fn adder_checks_sums_correctly() {
+        let bits = 8;
+        for (a, b) in [(0u64, 0u64), (1, 1), (200, 55), (255, 255), (127, 128)] {
+            let c = adder_equals(bits, a + b);
+            let mut inputs = to_bits(a, bits);
+            inputs.extend(to_bits(b, bits));
+            assert!(c.evaluate(&inputs), "{a}+{b} should equal {}", a + b);
+            let wrong = adder_equals(bits, a + b + 1);
+            assert!(!wrong.evaluate(&inputs), "{a}+{b} ≠ {}", a + b + 1);
+        }
+    }
+
+    #[test]
+    fn adder_depth_grows_with_bits() {
+        assert!(adder_equals(16, 1234).depth() > adder_equals(4, 5).depth());
+    }
+
+    #[test]
+    fn to_bits_roundtrip() {
+        assert_eq!(to_bits(5, 4), vec![true, false, true, false]);
+        assert_eq!(to_bits(0, 3), vec![false; 3]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Circuit simplification: constant folding, algebraic identities and
+//! dead-gate elimination.
+//!
+//! This is Section 4(5)'s *query-preserving compression* transplanted to
+//! CVP: replace the circuit by a smaller circuit that answers **exactly
+//! the same gate-value queries at the designated output for every input
+//! vector**. Combined with the gate-table scheme it shrinks both the
+//! preprocessing pass and the stored table — and, like the graph
+//! compression, it is verified semantically (exhaustive input enumeration
+//! for small input counts) rather than assumed.
+//!
+//! Rules applied (single forward pass, then reachability-based dead-code
+//! elimination):
+//!
+//! * constant folding: any gate whose operands are constants;
+//! * identities: `x∧1 = x`, `x∧0 = 0`, `x∨0 = x`, `x∨1 = 1`, `x⊕0 = x`,
+//!   `¬¬x = x`, `x⊕1 = ¬x`;
+//! * idempotence/annihilation on equal operands: `x∧x = x`, `x∨x = x`,
+//!   `x⊕x = 0`.
+
+use crate::circuit::{Circuit, CircuitError, Gate};
+
+/// What a source gate becomes in the simplified circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Folded {
+    /// A known constant.
+    Const(bool),
+    /// Behaves exactly like (already-folded) gate `g` of the source.
+    Alias(usize),
+}
+
+/// Simplify a circuit, preserving the designated output's value on every
+/// input vector. The result never has more gates than the input.
+pub fn simplify(c: &Circuit) -> Circuit {
+    let gates = c.gates();
+    let n = gates.len();
+    // folded[i]: what source gate i reduces to, in source-gate terms.
+    let mut folded: Vec<Folded> = Vec::with_capacity(n);
+
+    // Resolve an operand through alias chains (chains are short because
+    // aliases always point at already-resolved gates).
+    let resolve = |folded: &[Folded], mut g: usize| -> Folded {
+        loop {
+            match folded[g] {
+                Folded::Alias(h) if h != g => g = h,
+                other => return other,
+            }
+        }
+    };
+
+    for (i, gate) in gates.iter().enumerate() {
+        let f = match *gate {
+            Gate::Input(_) => Folded::Alias(i),
+            Gate::Const(b) => Folded::Const(b),
+            Gate::Not(a) => match resolve(&folded, a) {
+                Folded::Const(b) => Folded::Const(!b),
+                Folded::Alias(x) => {
+                    // ¬¬x = x.
+                    if let Gate::Not(inner) = gates[x] {
+                        resolve(&folded, inner)
+                    } else {
+                        Folded::Alias(i)
+                    }
+                }
+            },
+            Gate::And(a, b) => fold_binary(&folded, &resolve, a, b, i, BinOp::And),
+            Gate::Or(a, b) => fold_binary(&folded, &resolve, a, b, i, BinOp::Or),
+            Gate::Xor(a, b) => fold_binary(&folded, &resolve, a, b, i, BinOp::Xor),
+        };
+        folded.push(f);
+    }
+
+    // Rebuild: emit only gates that are (a) their own representative and
+    // (b) reachable from the folded output.
+    let out = resolve(&folded, c.output());
+    let mut keep = vec![false; n];
+    match out {
+        Folded::Const(_) => {}
+        Folded::Alias(root) => {
+            let mut stack = vec![root];
+            while let Some(g) = stack.pop() {
+                if keep[g] {
+                    continue;
+                }
+                keep[g] = true;
+                let ops: [Option<usize>; 2] = match gates[g] {
+                    Gate::Input(_) | Gate::Const(_) => [None, None],
+                    Gate::Not(a) => [Some(a), None],
+                    Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => [Some(a), Some(b)],
+                };
+                for op in ops.into_iter().flatten() {
+                    if let Folded::Alias(x) = resolve(&folded, op) {
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut new_id = vec![usize::MAX; n];
+    let mut new_gates: Vec<Gate> = Vec::new();
+    // Emitting in source order keeps operands before users.
+    for g in 0..n {
+        if !keep[g] {
+            continue;
+        }
+        let remap = |op: usize, new_gates: &mut Vec<Gate>, new_id: &[usize]| -> usize {
+            match resolve(&folded, op) {
+                Folded::Alias(x) => new_id[x],
+                Folded::Const(b) => {
+                    // Materialize the constant just before its user.
+                    new_gates.push(Gate::Const(b));
+                    new_gates.len() - 1
+                }
+            }
+        };
+        let emitted = match gates[g] {
+            Gate::Input(k) => Gate::Input(k),
+            Gate::Const(b) => Gate::Const(b),
+            Gate::Not(a) => {
+                let ra = remap(a, &mut new_gates, &new_id);
+                Gate::Not(ra)
+            }
+            Gate::And(a, b) => {
+                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                Gate::And(ra, rb)
+            }
+            Gate::Or(a, b) => {
+                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                Gate::Or(ra, rb)
+            }
+            Gate::Xor(a, b) => {
+                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                Gate::Xor(ra, rb)
+            }
+        };
+        new_gates.push(emitted);
+        new_id[g] = new_gates.len() - 1;
+    }
+
+    let output = match out {
+        Folded::Const(b) => {
+            new_gates.push(Gate::Const(b));
+            new_gates.len() - 1
+        }
+        Folded::Alias(root) => new_id[root],
+    };
+    match Circuit::new(c.input_count(), new_gates, output) {
+        Ok(simplified) => simplified,
+        Err(CircuitError::Empty) => unreachable!("output gate always emitted"),
+        Err(e) => unreachable!("simplifier emitted invalid circuit: {e:?}"),
+    }
+}
+
+enum BinOp {
+    And,
+    Or,
+    Xor,
+}
+
+fn fold_binary(
+    folded: &[Folded],
+    resolve: &impl Fn(&[Folded], usize) -> Folded,
+    a: usize,
+    b: usize,
+    this: usize,
+    op: BinOp,
+) -> Folded {
+    let (fa, fb) = (resolve(folded, a), resolve(folded, b));
+    match (fa, fb, op) {
+        // Both constants: fold fully.
+        (Folded::Const(x), Folded::Const(y), BinOp::And) => Folded::Const(x && y),
+        (Folded::Const(x), Folded::Const(y), BinOp::Or) => Folded::Const(x || y),
+        (Folded::Const(x), Folded::Const(y), BinOp::Xor) => Folded::Const(x ^ y),
+        // One constant: identities / annihilators.
+        (Folded::Const(true), Folded::Alias(x), BinOp::And)
+        | (Folded::Alias(x), Folded::Const(true), BinOp::And)
+        | (Folded::Const(false), Folded::Alias(x), BinOp::Or)
+        | (Folded::Alias(x), Folded::Const(false), BinOp::Or)
+        | (Folded::Const(false), Folded::Alias(x), BinOp::Xor)
+        | (Folded::Alias(x), Folded::Const(false), BinOp::Xor) => Folded::Alias(x),
+        (Folded::Const(false), _, BinOp::And) | (_, Folded::Const(false), BinOp::And) => {
+            Folded::Const(false)
+        }
+        (Folded::Const(true), _, BinOp::Or) | (_, Folded::Const(true), BinOp::Or) => {
+            Folded::Const(true)
+        }
+        // x ⊕ 1 = ¬x: keep the gate (it still computes correctly) — no
+        // alias is possible since the value differs from both operands.
+        (Folded::Const(true), Folded::Alias(_), BinOp::Xor)
+        | (Folded::Alias(_), Folded::Const(true), BinOp::Xor) => Folded::Alias(this),
+        // Equal operands.
+        (Folded::Alias(x), Folded::Alias(y), BinOp::And) if x == y => Folded::Alias(x),
+        (Folded::Alias(x), Folded::Alias(y), BinOp::Or) if x == y => Folded::Alias(x),
+        (Folded::Alias(x), Folded::Alias(y), BinOp::Xor) if x == y => Folded::Const(false),
+        // Irreducible.
+        _ => Folded::Alias(this),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{adder_equals, layered, to_bits};
+
+    /// Exhaustive semantic equivalence for circuits with ≤ 12 inputs.
+    fn assert_equivalent(original: &Circuit, simplified: &Circuit) {
+        assert_eq!(original.input_count(), simplified.input_count());
+        let k = original.input_count();
+        assert!(k <= 12, "exhaustive check capped at 12 inputs");
+        for pattern in 0..(1u32 << k) {
+            let inputs: Vec<bool> = (0..k).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(
+                original.evaluate(&inputs),
+                simplified.evaluate(&inputs),
+                "pattern {pattern:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_pure_constant_circuits_to_one_gate() {
+        let c = Circuit::new(
+            1,
+            vec![
+                Gate::Const(true),
+                Gate::Const(false),
+                Gate::And(0, 1),
+                Gate::Or(2, 0),
+                Gate::Not(3),
+            ],
+            4,
+        )
+        .unwrap();
+        let s = simplify(&c);
+        assert_eq!(s.size(), 1, "everything folds to a constant");
+        assert_equivalent(&c, &s);
+        assert!(!s.evaluate(&[false]));
+    }
+
+    #[test]
+    fn identities_collapse_to_inputs() {
+        // ((x ∧ 1) ∨ 0) ⊕ 0  ≡  x
+        let c = Circuit::new(
+            1,
+            vec![
+                Gate::Input(0),
+                Gate::Const(true),
+                Gate::And(0, 1),
+                Gate::Const(false),
+                Gate::Or(2, 3),
+                Gate::Xor(4, 3),
+            ],
+            5,
+        )
+        .unwrap();
+        let s = simplify(&c);
+        assert_equivalent(&c, &s);
+        assert_eq!(s.size(), 1, "collapses to the bare input, got {:?}", s.gates());
+    }
+
+    #[test]
+    fn double_negation_and_idempotence() {
+        // ¬¬x ∧ x ≡ x ; x ⊕ x ≡ 0.
+        let c = Circuit::new(
+            1,
+            vec![
+                Gate::Input(0),
+                Gate::Not(0),
+                Gate::Not(1),
+                Gate::And(2, 0),
+                Gate::Xor(3, 3),
+            ],
+            4,
+        )
+        .unwrap();
+        let s = simplify(&c);
+        assert_equivalent(&c, &s);
+        assert_eq!(s.size(), 1, "x⊕x folds to the constant false");
+    }
+
+    #[test]
+    fn dead_gates_are_eliminated() {
+        // A large unused arm next to a tiny live one.
+        let mut gates = vec![Gate::Input(0), Gate::Input(1)];
+        for i in 0..40 {
+            gates.push(Gate::Xor(i % 2, (i + 1) % 2));
+        }
+        gates.push(Gate::And(0, 1)); // the only live gate
+        let live = gates.len() - 1;
+        let c = Circuit::new(2, gates, live).unwrap();
+        let s = simplify(&c);
+        assert_equivalent(&c, &s);
+        assert_eq!(s.size(), 3, "inputs + the single AND survive");
+    }
+
+    #[test]
+    fn adder_with_constant_comparison_shrinks() {
+        let c = adder_equals(6, 17);
+        let s = simplify(&c);
+        assert_equivalent(&c, &s);
+        assert!(
+            s.size() < c.size(),
+            "constant target bits should fold: {} vs {}",
+            s.size(),
+            c.size()
+        );
+        // Spot semantic check on the real carry chain.
+        let mut inputs = to_bits(9, 6);
+        inputs.extend(to_bits(8, 6));
+        assert!(s.evaluate(&inputs));
+    }
+
+    #[test]
+    fn random_layered_circuits_stay_equivalent() {
+        for seed in 0..10u64 {
+            let c = layered(6, 12, 5, seed);
+            let s = simplify(&c);
+            assert_equivalent(&c, &s);
+            assert!(s.size() <= c.size());
+        }
+    }
+
+    #[test]
+    fn simplified_gate_table_preserves_output_queries() {
+        // The compression composes with the Π-tractability scheme: the
+        // simplified circuit's gate table answers the designated output
+        // identically for every input vector.
+        let c = layered(8, 10, 6, 3);
+        let s = simplify(&c);
+        for pattern in [0u32, 1, 17, 200, 255] {
+            let inputs: Vec<bool> = (0..8).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(
+                s.gate_table(&inputs)[s.output()],
+                c.gate_table(&inputs)[c.output()]
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_simplification() {
+        let c = layered(5, 8, 4, 9);
+        let once = simplify(&c);
+        let twice = simplify(&once);
+        assert_eq!(once.size(), twice.size(), "second pass finds nothing new");
+        assert_equivalent(&once, &twice);
+    }
+}

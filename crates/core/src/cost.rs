@@ -1,0 +1,321 @@
+//! Cost accounting: symbolic cost classes and runtime step meters.
+//!
+//! Definition 1 of the paper splits the cost of query answering into a PTIME
+//! preprocessing step and an NC answering step. Wall-clock benchmarks can
+//! *suggest* those bounds; to *check* them in unit tests we count abstract
+//! steps (comparisons, node visits, matrix-word operations) with a [`Meter`]
+//! and compare against the symbolic bound of a [`CostClass`].
+//!
+//! The meter is intentionally `Cell`-based and single-threaded: the paper's
+//! NC claims are about *work and depth*, not about speedups of a particular
+//! thread pool, and the `pitract-pram` crate layers the depth dimension on
+//! top of these counters.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Symbolic asymptotic cost classes used to annotate preprocessing and
+/// answering functions.
+///
+/// The classes are ordered from cheapest to most expensive; [`CostClass::leq`]
+/// implements that order. Only [`CostClass::Constant`], [`CostClass::Log`]
+/// and [`CostClass::PolyLog`] qualify as NC *query* costs in the sense of
+/// Definition 1 (sequential polylog certainly sits inside parallel polylog);
+/// everything up to [`CostClass::Poly`] qualifies as PTIME preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// O(1).
+    Constant,
+    /// O(log n).
+    Log,
+    /// O(logᵏ n) for the given k ≥ 1.
+    PolyLog(u32),
+    /// O(√n) — used for baselines that are sub-linear but not polylog.
+    SqrtN,
+    /// O(n).
+    Linear,
+    /// O(n log n).
+    NLogN,
+    /// O(n²).
+    Quadratic,
+    /// O(n³).
+    Cubic,
+    /// O(n^d) for the given degree d.
+    Poly(u32),
+    /// 2^O(n) — outside PTIME; used for brute-force baselines.
+    Exponential,
+}
+
+impl CostClass {
+    /// Numeric bound `f(n)` of this class at size `n` (with unit constants).
+    ///
+    /// `n` is clamped below at 2 so that `log` terms never vanish; the bound
+    /// is meant to be multiplied by a caller-chosen constant factor.
+    pub fn bound(self, n: u64) -> f64 {
+        let n = n.max(2) as f64;
+        let lg = n.log2();
+        match self {
+            CostClass::Constant => 1.0,
+            CostClass::Log => lg,
+            CostClass::PolyLog(k) => lg.powi(k.max(1) as i32),
+            CostClass::SqrtN => n.sqrt(),
+            CostClass::Linear => n,
+            CostClass::NLogN => n * lg,
+            CostClass::Quadratic => n * n,
+            CostClass::Cubic => n * n * n,
+            CostClass::Poly(d) => n.powi(d.max(1) as i32),
+            CostClass::Exponential => 2f64.powf(n.min(1024.0)),
+        }
+    }
+
+    /// Rank used for comparing classes (lower = asymptotically smaller).
+    fn rank(self) -> (u32, u32) {
+        match self {
+            CostClass::Constant => (0, 0),
+            CostClass::Log => (1, 1),
+            CostClass::PolyLog(k) => (1, k.max(1)),
+            CostClass::SqrtN => (2, 0),
+            CostClass::Linear => (3, 0),
+            CostClass::NLogN => (3, 1),
+            CostClass::Quadratic => (4, 2),
+            CostClass::Cubic => (4, 3),
+            CostClass::Poly(d) => (4, d.max(1)),
+            CostClass::Exponential => (5, 0),
+        }
+    }
+
+    /// Is `self` asymptotically at most `other`?
+    pub fn leq(self, other: CostClass) -> bool {
+        self.rank() <= other.rank()
+    }
+
+    /// Does this class qualify as an NC per-query cost (Definition 1)?
+    ///
+    /// A sequential polylog-time answering step is trivially within parallel
+    /// polylog time, so `Constant`, `Log` and `PolyLog(_)` qualify.
+    pub fn is_nc_query_cost(self) -> bool {
+        matches!(
+            self,
+            CostClass::Constant | CostClass::Log | CostClass::PolyLog(_)
+        )
+    }
+
+    /// Does this class qualify as PTIME preprocessing (Definition 1)?
+    pub fn is_ptime(self) -> bool {
+        !matches!(self, CostClass::Exponential)
+    }
+
+    /// The cost of running `self` then `other` (sequential composition):
+    /// the asymptotic max of the two.
+    pub fn seq(self, other: CostClass) -> CostClass {
+        if self.leq(other) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostClass::Constant => write!(f, "O(1)"),
+            CostClass::Log => write!(f, "O(log n)"),
+            CostClass::PolyLog(k) => write!(f, "O(log^{k} n)"),
+            CostClass::SqrtN => write!(f, "O(sqrt n)"),
+            CostClass::Linear => write!(f, "O(n)"),
+            CostClass::NLogN => write!(f, "O(n log n)"),
+            CostClass::Quadratic => write!(f, "O(n^2)"),
+            CostClass::Cubic => write!(f, "O(n^3)"),
+            CostClass::Poly(d) => write!(f, "O(n^{d})"),
+            CostClass::Exponential => write!(f, "O(2^n)"),
+        }
+    }
+}
+
+/// A step counter threaded through instrumented query paths.
+///
+/// Data structures in the sibling crates expose `*_metered` variants of their
+/// query operations that `tick` once per elementary step (one comparison, one
+/// pointer chase, one machine word of a bit-matrix row). Tests then assert
+/// the observed count against a [`CostClass`] bound via [`Meter::within`].
+#[derive(Debug, Default)]
+pub struct Meter {
+    steps: Cell<u64>,
+}
+
+impl Meter {
+    /// New meter at zero.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Record one elementary step.
+    #[inline]
+    pub fn tick(&self) {
+        self.steps.set(self.steps.get() + 1);
+    }
+
+    /// Record `n` elementary steps at once.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.steps.set(self.steps.get() + n);
+    }
+
+    /// Current step count.
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Reset to zero and return the previous count.
+    pub fn take(&self) -> u64 {
+        self.steps.replace(0)
+    }
+
+    /// Check that the recorded steps are within `c * class.bound(n) + c`.
+    ///
+    /// The additive `c` absorbs setup steps on tiny inputs.
+    pub fn within(&self, class: CostClass, n: u64, c: f64) -> bool {
+        (self.steps() as f64) <= c * class.bound(n) + c
+    }
+}
+
+/// Assert (panicking with a readable message) that `steps` observed on an
+/// input of size `n` stay within `c·bound + c` for the claimed class.
+///
+/// Used pervasively by tests of the case-study crates: e.g. after a B⁺-tree
+/// point lookup on n keys, `assert_cost!(meter, Log, n, 8.0)`.
+pub fn assert_steps_within(steps: u64, class: CostClass, n: u64, c: f64) {
+    let bound = c * class.bound(n) + c;
+    assert!(
+        (steps as f64) <= bound,
+        "cost bound violated: {steps} steps on n={n}, but {class} allows only {bound:.1} (c={c})"
+    );
+}
+
+/// Floor of log₂(n) for n ≥ 1 (0 for n = 0), as used in bound arithmetic.
+pub fn log2_floor(n: u64) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        63 - n.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_monotone_in_n() {
+        for class in [
+            CostClass::Constant,
+            CostClass::Log,
+            CostClass::PolyLog(2),
+            CostClass::SqrtN,
+            CostClass::Linear,
+            CostClass::NLogN,
+            CostClass::Quadratic,
+            CostClass::Cubic,
+            CostClass::Poly(4),
+        ] {
+            let mut prev = 0.0;
+            for n in [2u64, 4, 16, 256, 65536] {
+                let b = class.bound(n);
+                assert!(b >= prev, "{class} not monotone at n={n}");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn class_order_matches_growth() {
+        let chain = [
+            CostClass::Constant,
+            CostClass::Log,
+            CostClass::PolyLog(2),
+            CostClass::PolyLog(3),
+            CostClass::SqrtN,
+            CostClass::Linear,
+            CostClass::NLogN,
+            CostClass::Quadratic,
+            CostClass::Cubic,
+            CostClass::Poly(5),
+            CostClass::Exponential,
+        ];
+        for i in 0..chain.len() {
+            for j in 0..chain.len() {
+                assert_eq!(
+                    chain[i].leq(chain[j]),
+                    i <= j,
+                    "order wrong between {} and {}",
+                    chain[i],
+                    chain[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nc_and_ptime_filters_follow_definition_1() {
+        assert!(CostClass::Constant.is_nc_query_cost());
+        assert!(CostClass::Log.is_nc_query_cost());
+        assert!(CostClass::PolyLog(3).is_nc_query_cost());
+        assert!(!CostClass::Linear.is_nc_query_cost());
+        assert!(!CostClass::SqrtN.is_nc_query_cost());
+
+        assert!(CostClass::Cubic.is_ptime());
+        assert!(CostClass::NLogN.is_ptime());
+        assert!(!CostClass::Exponential.is_ptime());
+    }
+
+    #[test]
+    fn seq_takes_the_max() {
+        assert_eq!(CostClass::Log.seq(CostClass::Linear), CostClass::Linear);
+        assert_eq!(CostClass::Linear.seq(CostClass::Log), CostClass::Linear);
+        assert_eq!(
+            CostClass::Constant.seq(CostClass::Constant),
+            CostClass::Constant
+        );
+    }
+
+    #[test]
+    fn meter_counts_and_resets() {
+        let m = Meter::new();
+        m.tick();
+        m.tick();
+        m.add(3);
+        assert_eq!(m.steps(), 5);
+        assert_eq!(m.take(), 5);
+        assert_eq!(m.steps(), 0);
+    }
+
+    #[test]
+    fn meter_within_log_bound() {
+        let m = Meter::new();
+        // Simulate a binary search over 1024 elements: ~10 comparisons.
+        m.add(10);
+        assert!(m.within(CostClass::Log, 1024, 2.0));
+        assert!(!m.within(CostClass::Constant, 1024, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost bound violated")]
+    fn assert_steps_within_panics_on_violation() {
+        assert_steps_within(10_000, CostClass::Log, 1024, 2.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(CostClass::PolyLog(2).to_string(), "O(log^2 n)");
+        assert_eq!(CostClass::NLogN.to_string(), "O(n log n)");
+    }
+
+    #[test]
+    fn log2_floor_matches_f64() {
+        for n in 1u64..=4096 {
+            assert_eq!(log2_floor(n), (n as f64).log2().floor() as u32, "n={n}");
+        }
+        assert_eq!(log2_floor(0), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Σ*-style byte encodings of data and queries.
+//!
+//! The paper (Section 3, "Notations") assumes a finite alphabet Σ and treats
+//! every database `D` and query `Q` as a string in Σ*, so that `|D|` and
+//! `|Q|` are well defined and complexity bounds can be stated in them. This
+//! module provides that encoding layer:
+//!
+//! * [`Encode`] — a trait turning structured Rust values into byte strings,
+//!   giving every value a canonical size.
+//! * [`Encoded`] — an owned byte string with an unambiguous
+//!   [`Encoded::pair`]/[`Encoded::split_pair`] framing. This replaces the
+//!   paper's `@` padding symbol from the proof of Lemma 2 ("a special symbol
+//!   that is not used anywhere else"): instead of reserving a symbol we
+//!   length-prefix the first component, which is equivalent and total.
+//!
+//! Encodings here are *one-way* (encode only): the framework never needs to
+//! decode an arbitrary value, only to measure sizes and to split pairs that
+//! it framed itself.
+
+use std::fmt;
+
+/// An owned Σ*-string: the canonical byte encoding of some value.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Encoded(Vec<u8>);
+
+impl Encoded {
+    /// The empty string ε (used by trivial factorizations such as Υ₀ in
+    /// Theorem 9, where the data part of every instance is ε).
+    pub fn empty() -> Self {
+        Encoded(Vec::new())
+    }
+
+    /// Wrap raw bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Encoded(bytes)
+    }
+
+    /// String length |x| in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this ε?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Unambiguous pairing `⟨a, b⟩`, replacing the `@`-separator of Lemma 2's
+    /// proof: the first component is length-prefixed (8-byte little-endian),
+    /// so no reserved symbol is needed and any byte may appear in `a` or `b`.
+    pub fn pair(a: &Encoded, b: &Encoded) -> Encoded {
+        let mut out = Vec::with_capacity(8 + a.len() + b.len());
+        out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+        out.extend_from_slice(a.as_bytes());
+        out.extend_from_slice(b.as_bytes());
+        Encoded(out)
+    }
+
+    /// Inverse of [`Encoded::pair`]. Returns `None` if the framing is
+    /// malformed (too short, or the declared first-component length exceeds
+    /// the available bytes).
+    pub fn split_pair(&self) -> Option<(Encoded, Encoded)> {
+        if self.0.len() < 8 {
+            return None;
+        }
+        let mut len_bytes = [0u8; 8];
+        len_bytes.copy_from_slice(&self.0[..8]);
+        let a_len = u64::from_le_bytes(len_bytes) as usize;
+        let rest = &self.0[8..];
+        if a_len > rest.len() {
+            return None;
+        }
+        Some((
+            Encoded(rest[..a_len].to_vec()),
+            Encoded(rest[a_len..].to_vec()),
+        ))
+    }
+}
+
+impl fmt::Debug for Encoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Encoded({} bytes)", self.0.len())
+    }
+}
+
+/// Values that have a canonical Σ*-encoding.
+///
+/// Implementations must be deterministic: equal values encode to equal
+/// strings. (The converse — injectivity — holds for all implementations in
+/// this workspace because every variable-length component is length-prefixed,
+/// and tests in the sibling crates spot-check it.)
+pub trait Encode {
+    /// Append this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// The full encoding as an owned string.
+    fn encoded(&self) -> Encoded {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Encoded(out)
+    }
+
+    /// `|x|`: length of the encoding in bytes.
+    fn encoded_len(&self) -> usize {
+        // Default: encode and measure. Implementations with a cheap closed
+        // form (fixed-width scalars, counted containers) override this.
+        self.encoded().len()
+    }
+}
+
+macro_rules! impl_encode_scalar {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_encode_scalar!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Encode for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Encode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+impl Encode for str {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl Encode for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_str().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_str().encoded_len()
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_into(out);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_slice().encoded_len()
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (*self).encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        (*self).encoded_len()
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // Pair framing mirrors Encoded::pair so sizes are consistent.
+        let a = self.0.encoded();
+        (a.len() as u64).encode_into(out);
+        out.extend_from_slice(a.as_bytes());
+        self.1.encode_into(out);
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        ((&self.0, &self.1), &self.2).encode_into(out);
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+}
+
+impl Encode for Encoded {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_lengths_are_fixed_width() {
+        assert_eq!(42u32.encoded_len(), 4);
+        assert_eq!(42u64.encoded_len(), 8);
+        assert_eq!((-1i64).encoded_len(), 8);
+        assert_eq!(true.encoded_len(), 1);
+        assert_eq!(().encoded_len(), 0);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        let s = "hello Σ*".to_string();
+        assert_eq!(s.encoded_len(), s.encoded().len());
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.encoded_len(), v.encoded().len());
+        let p = (7u64, "abc".to_string());
+        assert_eq!(p.encoded_len(), p.encoded().len());
+    }
+
+    #[test]
+    fn pair_roundtrips() {
+        let a = Encoded::from_bytes(vec![1, 2, 3]);
+        let b = Encoded::from_bytes(vec![9, 9]);
+        let p = Encoded::pair(&a, &b);
+        let (a2, b2) = p.split_pair().expect("well-formed pair");
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn pair_with_empty_components() {
+        let e = Encoded::empty();
+        let b = Encoded::from_bytes(vec![5]);
+        assert_eq!(Encoded::pair(&e, &b).split_pair().unwrap(), (e.clone(), b));
+        let a = Encoded::from_bytes(vec![5]);
+        assert_eq!(
+            Encoded::pair(&a, &e).split_pair().unwrap(),
+            (a, Encoded::empty())
+        );
+    }
+
+    #[test]
+    fn pair_contains_separator_lookalikes_safely() {
+        // Bytes of `a` may look like a length prefix; framing must still work.
+        let a = Encoded::from_bytes(vec![0xFF; 16]);
+        let b = Encoded::from_bytes(vec![0xFF; 16]);
+        let (a2, b2) = Encoded::pair(&a, &b).split_pair().unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn malformed_pairs_are_rejected() {
+        assert!(Encoded::from_bytes(vec![1, 2, 3]).split_pair().is_none());
+        // Declared length longer than the payload.
+        let mut bad = (1000u64).to_le_bytes().to_vec();
+        bad.push(0);
+        assert!(Encoded::from_bytes(bad).split_pair().is_none());
+    }
+
+    #[test]
+    fn equal_values_encode_equally() {
+        let x = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let y = x.clone();
+        assert_eq!(x.encoded(), y.encoded());
+    }
+
+    #[test]
+    fn distinct_strings_encode_distinctly() {
+        // Length prefixes prevent "ab","c" colliding with "a","bc".
+        let p1 = ("ab".to_string(), "c".to_string()).encoded();
+        let p2 = ("a".to_string(), "bc".to_string()).encoded();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn empty_is_epsilon() {
+        assert!(Encoded::empty().is_empty());
+        assert_eq!(Encoded::empty().len(), 0);
+    }
+}

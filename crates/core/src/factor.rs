@@ -1,0 +1,281 @@
+//! Factorizations `Υ = (π₁, π₂, ρ)` of problem instances into data and query
+//! parts (paper, Section 3).
+//!
+//! A factorization decides *what gets preprocessed*: `π₁` extracts the data
+//! part, `π₂` the query part, and `ρ` restores the instance, with the
+//! roundtrip law `ρ(π₁(x), π₂(x)) = x` that underlies Proposition 1. The
+//! paper's central insight is that Π-tractability of a *problem* is a
+//! property of a problem **plus a factorization** — the same problem (CVP,
+//! Theorem 9) can be intractable under one factorization (`Υ₀`, nothing to
+//! preprocess) and tractable under another (whole input as data).
+//!
+//! Constructors provided here:
+//!
+//! * [`FnFactorization::new`] — from three closures;
+//! * [`identity_pair_factorization`] — for problems whose instances already
+//!   are pairs `(D, Q)` (the canonical `Υ_LQ` of Section 3);
+//! * [`trivial_data_factorization`] — `π₁(x) = ε`: everything is query, the
+//!   shape of Theorem 9's witness `Υ₀`;
+//! * [`trivial_query_factorization`] — `π₂(x) = ε`: everything is data, the
+//!   shape of `S'_CVP` in Proposition 10;
+//! * [`padded_factorization`] — `σ₁(x) = σ₂(x) = (π₁(x), π₂(x))`: the
+//!   `@`-padding construction from the proof of Lemma 2, in typed form.
+
+use std::rc::Rc;
+
+/// A factorization of instances of type `X` into data `D` and query `Q`.
+pub trait Factorization {
+    /// Problem instance type (the paper's `x`).
+    type Instance;
+    /// Data part type (preprocessed offline).
+    type Data;
+    /// Query part type (answered online).
+    type Query;
+
+    /// `π₁`: extract the data part.
+    fn pi1(&self, x: &Self::Instance) -> Self::Data;
+
+    /// `π₂`: extract the query part.
+    fn pi2(&self, x: &Self::Instance) -> Self::Query;
+
+    /// `ρ`: restore an instance from its parts.
+    fn rho(&self, d: &Self::Data, q: &Self::Query) -> Self::Instance;
+
+    /// Verify the roundtrip law `ρ(π₁(x), π₂(x)) = x` on a concrete
+    /// instance — the precondition that makes Proposition 1 go through.
+    fn check_roundtrip(&self, x: &Self::Instance) -> bool
+    where
+        Self::Instance: PartialEq,
+    {
+        self.rho(&self.pi1(x), &self.pi2(x)) == *x
+    }
+}
+
+/// A [`Factorization`] built from closures. Cloneable (the closures are
+/// reference-counted) so a single factorization can be shared between a
+/// reduction and a scheme, as the paper's proofs do.
+#[allow(clippy::type_complexity)] // Rc<dyn Fn> fields read better inline
+pub struct FnFactorization<X, D, Q> {
+    name: String,
+    pi1: Rc<dyn Fn(&X) -> D>,
+    pi2: Rc<dyn Fn(&X) -> Q>,
+    rho: Rc<dyn Fn(&D, &Q) -> X>,
+}
+
+impl<X, D, Q> Clone for FnFactorization<X, D, Q> {
+    fn clone(&self) -> Self {
+        FnFactorization {
+            name: self.name.clone(),
+            pi1: Rc::clone(&self.pi1),
+            pi2: Rc::clone(&self.pi2),
+            rho: Rc::clone(&self.rho),
+        }
+    }
+}
+
+impl<X, D, Q> FnFactorization<X, D, Q> {
+    /// Build a factorization from `π₁`, `π₂` and `ρ`.
+    pub fn new(
+        name: impl Into<String>,
+        pi1: impl Fn(&X) -> D + 'static,
+        pi2: impl Fn(&X) -> Q + 'static,
+        rho: impl Fn(&D, &Q) -> X + 'static,
+    ) -> Self {
+        FnFactorization {
+            name: name.into(),
+            pi1: Rc::new(pi1),
+            pi2: Rc::new(pi2),
+            rho: Rc::new(rho),
+        }
+    }
+
+    /// Human-readable name (e.g. `"Υ_BDS"`, `"Υ₀"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<X, D, Q> Factorization for FnFactorization<X, D, Q> {
+    type Instance = X;
+    type Data = D;
+    type Query = Q;
+
+    fn pi1(&self, x: &X) -> D {
+        (self.pi1)(x)
+    }
+    fn pi2(&self, x: &X) -> Q {
+        (self.pi2)(x)
+    }
+    fn rho(&self, d: &D, q: &Q) -> X {
+        (self.rho)(d, q)
+    }
+}
+
+/// The canonical factorization for problems whose instances are already
+/// pairs: `π₁(d, q) = d`, `π₂(d, q) = q`, `ρ = (·,·)`.
+///
+/// This is the `Υ_LQ` the paper reads off from a query class's decision
+/// problem `LQ = {D#Q}` (Section 3, "Making query classes Π-tractable").
+pub fn identity_pair_factorization<D, Q>() -> FnFactorization<(D, Q), D, Q>
+where
+    D: Clone + 'static,
+    Q: Clone + 'static,
+{
+    FnFactorization::new(
+        "Υ_id",
+        |x: &(D, Q)| x.0.clone(),
+        |x: &(D, Q)| x.1.clone(),
+        |d: &D, q: &Q| (d.clone(), q.clone()),
+    )
+}
+
+/// The "preprocess nothing" factorization: `π₁(x) = ()`, `π₂(x) = x`.
+///
+/// This is the shape of `Υ₀` in Theorem 9 (and of `Υ'` in Figure 1): the
+/// data part carries no information, so a preprocessing function can only
+/// produce a constant, and the answering step faces the whole instance
+/// online. For P-complete query parts this cannot be Π-tractable unless
+/// P = NC — the separation the paper proves and experiment E11 measures.
+pub fn trivial_data_factorization<X>() -> FnFactorization<X, (), X>
+where
+    X: Clone + 'static,
+{
+    FnFactorization::new(
+        "Υ₀ (all query)",
+        |_x: &X| (),
+        |x: &X| x.clone(),
+        |_d: &(), q: &X| q.clone(),
+    )
+}
+
+/// The "everything is data" factorization: `π₁(x) = x`, `π₂(x) = ()`.
+///
+/// The shape of `S'_CVP` in the proof of Proposition 10: trivially
+/// Π-tractable because the PTIME preprocessing step may simply *solve* the
+/// instance and record the one-bit answer.
+pub fn trivial_query_factorization<X>() -> FnFactorization<X, X, ()>
+where
+    X: Clone + 'static,
+{
+    FnFactorization::new(
+        "Υ_all-data",
+        |x: &X| x.clone(),
+        |_x: &X| (),
+        |d: &X, _q: &()| d.clone(),
+    )
+}
+
+/// The padding construction from the proof of Lemma 2: from `Υ = (π₁,π₂,ρ)`
+/// build `Υ' = (σ₁, σ₂, ρ')` with `σ₁(x) = σ₂(x) = (π₁(x), π₂(x))` and
+/// `ρ'((d,q), _) = ρ(d, q)`.
+///
+/// In the paper both components are the string `π₁(x) @ π₂(x)`; in typed form
+/// the pair plays the role of the `@`-joined string (see
+/// [`crate::encode::Encoded::pair`] for the byte-level equivalent). The point
+/// of the construction is that after padding, *both* the data and the query
+/// part individually determine the whole instance, which is what lets two
+/// NC-factor reductions compose.
+#[allow(clippy::type_complexity)]
+pub fn padded_factorization<X, D, Q>(
+    inner: FnFactorization<X, D, Q>,
+) -> FnFactorization<X, (D, Q), (D, Q)>
+where
+    X: 'static,
+    D: Clone + 'static,
+    Q: Clone + 'static,
+{
+    let name = format!("padded({})", inner.name());
+    let f1 = inner.clone();
+    let f2 = inner.clone();
+    let f3 = inner;
+    FnFactorization::new(
+        name,
+        move |x: &X| (f1.pi1(x), f1.pi2(x)),
+        move |x: &X| (f2.pi1(x), f2.pi2(x)),
+        move |d: &(D, Q), _q: &(D, Q)| f3.rho(&d.0, &d.1),
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // tests spell out reduction types for clarity
+mod tests {
+    use super::*;
+
+    /// The list-membership problem L₁ of Section 4(2): instance
+    /// `(list, element)`.
+    fn list_search_factorization() -> FnFactorization<(Vec<u64>, u64), Vec<u64>, u64> {
+        identity_pair_factorization()
+    }
+
+    #[test]
+    fn identity_factorization_roundtrips() {
+        let f = list_search_factorization();
+        let x = (vec![3, 1, 2], 9u64);
+        assert!(f.check_roundtrip(&x));
+        assert_eq!(f.pi1(&x), vec![3, 1, 2]);
+        assert_eq!(f.pi2(&x), 9);
+    }
+
+    #[test]
+    fn trivial_data_factorization_puts_everything_in_query() {
+        let f = trivial_data_factorization::<Vec<u8>>();
+        let x = vec![1u8, 2, 3];
+        assert!(f.check_roundtrip(&x));
+        assert_eq!(f.pi2(&x), x);
+        // The data part is the unit value — nothing to preprocess.
+        f.pi1(&x);
+    }
+
+    #[test]
+    fn trivial_query_factorization_puts_everything_in_data() {
+        let f = trivial_query_factorization::<String>();
+        let x = "instance".to_string();
+        assert!(f.check_roundtrip(&x));
+        assert_eq!(f.pi1(&x), x);
+    }
+
+    #[test]
+    fn padded_factorization_duplicates_both_parts() {
+        let f = padded_factorization(list_search_factorization());
+        let x = (vec![5, 6], 6u64);
+        assert!(f.check_roundtrip(&x));
+        // Both σ₁(x) and σ₂(x) are the full (data, query) pair.
+        assert_eq!(f.pi1(&x), f.pi2(&x));
+        assert_eq!(f.pi1(&x), (vec![5, 6], 6u64));
+    }
+
+    #[test]
+    fn padded_rho_ignores_query_component() {
+        // ρ'((d,q), anything) must reconstruct from the data component alone;
+        // the proof of Lemma 2 relies on exactly this.
+        let f = padded_factorization(list_search_factorization());
+        let d = (vec![1u64], 1u64);
+        let junk = (vec![9u64, 9, 9], 0u64);
+        assert_eq!(f.rho(&d, &junk), (vec![1], 1));
+    }
+
+    #[test]
+    fn custom_factorization_splits_triple_instances() {
+        // The Ls problem of Example 4: instance (relation D, attribute A,
+        // constant c) factored into data D and query (A, c).
+        let f: FnFactorization<(Vec<(u32, u32)>, u8, u32), Vec<(u32, u32)>, (u8, u32)> =
+            FnFactorization::new(
+                "Υ_Ls",
+                |x: &(Vec<(u32, u32)>, u8, u32)| x.0.clone(),
+                |x: &(Vec<(u32, u32)>, u8, u32)| (x.1, x.2),
+                |d: &Vec<(u32, u32)>, q: &(u8, u32)| (d.clone(), q.0, q.1),
+            );
+        let x = (vec![(1, 10), (2, 20)], 1u8, 20u32);
+        assert!(f.check_roundtrip(&x));
+        assert_eq!(f.pi2(&x), (1, 20));
+    }
+
+    #[test]
+    fn factorizations_are_cloneable_and_share_behaviour() {
+        let f = list_search_factorization();
+        let g = f.clone();
+        let x = (vec![1, 2, 3], 2u64);
+        assert_eq!(f.pi1(&x), g.pi1(&x));
+        assert_eq!(f.name(), g.name());
+    }
+}

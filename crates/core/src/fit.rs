@@ -1,0 +1,317 @@
+//! Empirical growth-curve classification.
+//!
+//! The benchmark harness reproduces the paper's complexity *claims* (O(1),
+//! O(log n), O(n) …) from measured data. This module fits each measured
+//! series `(n, t)` against a family of candidate models `t ≈ a·f(n) + b`
+//! by least squares and ranks the models by normalized RMSE, so experiment
+//! tables can print verdicts like "scan: best fit O(n); B⁺-tree probe:
+//! best fit O(log n)" — the measurable shape of Example 1.
+//!
+//! The fit is deliberately simple (one feature, closed-form regression):
+//! the goal is classification among well-separated growth families, not
+//! precise parameter estimation. Step-counted series (from
+//! [`crate::cost::Meter`]) are noise-free and classify crisply; wall-clock
+//! series are noisier, and the ranking plus [`FitReport::decisive`] expose
+//! how confident the classification is.
+
+use std::fmt;
+
+/// Candidate growth models for a measured series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitModel {
+    /// t ≈ b (flat).
+    Constant,
+    /// t ≈ a·log₂ n + b.
+    LogN,
+    /// t ≈ a·log₂² n + b.
+    Log2N,
+    /// t ≈ a·√n + b.
+    SqrtN,
+    /// t ≈ a·n + b.
+    Linear,
+    /// t ≈ a·n·log₂ n + b.
+    NLogN,
+    /// t ≈ a·n² + b.
+    Quadratic,
+}
+
+impl FitModel {
+    /// All candidate models, in growth order.
+    pub const ALL: [FitModel; 7] = [
+        FitModel::Constant,
+        FitModel::LogN,
+        FitModel::Log2N,
+        FitModel::SqrtN,
+        FitModel::Linear,
+        FitModel::NLogN,
+        FitModel::Quadratic,
+    ];
+
+    /// Feature transform `f(n)` of this model.
+    pub fn feature(self, n: f64) -> f64 {
+        let n = n.max(2.0);
+        let lg = n.log2();
+        match self {
+            FitModel::Constant => 1.0,
+            FitModel::LogN => lg,
+            FitModel::Log2N => lg * lg,
+            FitModel::SqrtN => n.sqrt(),
+            FitModel::Linear => n,
+            FitModel::NLogN => n * lg,
+            FitModel::Quadratic => n * n,
+        }
+    }
+
+    /// Does this model fall within NC per-query cost (polylog)?
+    pub fn is_polylog(self) -> bool {
+        matches!(self, FitModel::Constant | FitModel::LogN | FitModel::Log2N)
+    }
+}
+
+impl fmt::Display for FitModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitModel::Constant => write!(f, "O(1)"),
+            FitModel::LogN => write!(f, "O(log n)"),
+            FitModel::Log2N => write!(f, "O(log^2 n)"),
+            FitModel::SqrtN => write!(f, "O(sqrt n)"),
+            FitModel::Linear => write!(f, "O(n)"),
+            FitModel::NLogN => write!(f, "O(n log n)"),
+            FitModel::Quadratic => write!(f, "O(n^2)"),
+        }
+    }
+}
+
+/// One measured point: input size `n`, observed cost `t` (steps, ns, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Input size.
+    pub n: f64,
+    /// Observed cost at that size.
+    pub t: f64,
+}
+
+impl Sample {
+    /// Convenience constructor from integer measurements.
+    pub fn new(n: u64, t: u64) -> Self {
+        Sample {
+            n: n as f64,
+            t: t as f64,
+        }
+    }
+}
+
+/// A fitted model with its goodness of fit.
+#[derive(Debug, Clone, Copy)]
+pub struct Fit {
+    /// Which model was fitted.
+    pub model: FitModel,
+    /// Slope `a` in `t ≈ a·f(n) + b` (0 for the constant model).
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+    /// Root-mean-square error normalized by the mean observed cost; lower
+    /// is better, 0 is perfect.
+    pub nrmse: f64,
+}
+
+/// Full report of all candidate fits, best first.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Fits sorted by ascending normalized RMSE.
+    pub ranked: Vec<Fit>,
+}
+
+impl FitReport {
+    /// The best-fitting model.
+    pub fn best(&self) -> &Fit {
+        &self.ranked[0]
+    }
+
+    /// Is the winner decisive — at least `factor`× smaller error than the
+    /// runner-up? Benchmarks print a warning when a verdict is not.
+    pub fn decisive(&self, factor: f64) -> bool {
+        if self.ranked.len() < 2 {
+            return true;
+        }
+        let (a, b) = (self.ranked[0].nrmse, self.ranked[1].nrmse);
+        a == 0.0 || b >= a * factor
+    }
+}
+
+fn fit_one(model: FitModel, samples: &[Sample]) -> Fit {
+    let m = samples.len() as f64;
+    let mean_t = samples.iter().map(|s| s.t).sum::<f64>() / m;
+
+    let (slope, intercept) = if model == FitModel::Constant {
+        (0.0, mean_t)
+    } else {
+        let xs: Vec<f64> = samples.iter().map(|s| model.feature(s.n)).collect();
+        let mean_x = xs.iter().sum::<f64>() / m;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (x, s) in xs.iter().zip(samples) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (s.t - mean_t);
+        }
+        if sxx == 0.0 {
+            (0.0, mean_t)
+        } else {
+            let a = sxy / sxx;
+            // A growth model with a negative slope is not that growth model;
+            // clamp to the flat fit so it scores like Constant, not better.
+            if a < 0.0 {
+                (0.0, mean_t)
+            } else {
+                (a, mean_t - a * mean_x)
+            }
+        }
+    };
+
+    let mut sse = 0.0;
+    for s in samples {
+        let pred = slope * model.feature(s.n) + intercept;
+        sse += (s.t - pred) * (s.t - pred);
+    }
+    let rmse = (sse / m).sqrt();
+    let denom = mean_t.abs().max(1e-12);
+    Fit {
+        model,
+        slope,
+        intercept,
+        nrmse: rmse / denom,
+    }
+}
+
+/// Fit all candidate models to a series and rank them (best first).
+///
+/// Panics if fewer than 3 samples are supplied — growth classification on
+/// fewer points is meaningless.
+pub fn best_fit(samples: &[Sample]) -> FitReport {
+    assert!(
+        samples.len() >= 3,
+        "need at least 3 samples to classify growth, got {}",
+        samples.len()
+    );
+    let mut ranked: Vec<Fit> = FitModel::ALL
+        .iter()
+        .map(|&model| fit_one(model, samples))
+        .collect();
+    ranked.sort_by(|a, b| a.nrmse.total_cmp(&b.nrmse));
+    FitReport { ranked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> Vec<Sample> {
+        [64u64, 256, 1024, 4096, 16384, 65536, 262144]
+            .iter()
+            .map(|&n| Sample {
+                n: n as f64,
+                t: f(n as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classifies_constant() {
+        let report = best_fit(&series(|_| 7.0));
+        assert_eq!(report.best().model, FitModel::Constant);
+        assert!(report.best().nrmse < 1e-9);
+    }
+
+    #[test]
+    fn classifies_logarithmic() {
+        let report = best_fit(&series(|n| 3.0 * n.log2() + 2.0));
+        assert_eq!(report.best().model, FitModel::LogN);
+        assert!(report.decisive(2.0), "log fit should be decisive");
+    }
+
+    #[test]
+    fn classifies_log_squared() {
+        let report = best_fit(&series(|n| 0.5 * n.log2().powi(2)));
+        assert_eq!(report.best().model, FitModel::Log2N);
+    }
+
+    #[test]
+    fn classifies_linear() {
+        let report = best_fit(&series(|n| 2.0 * n + 100.0));
+        assert_eq!(report.best().model, FitModel::Linear);
+    }
+
+    #[test]
+    fn classifies_nlogn() {
+        let report = best_fit(&series(|n| 1.5 * n * n.log2()));
+        assert_eq!(report.best().model, FitModel::NLogN);
+    }
+
+    #[test]
+    fn classifies_quadratic() {
+        let report = best_fit(&series(|n| 0.001 * n * n));
+        assert_eq!(report.best().model, FitModel::Quadratic);
+    }
+
+    #[test]
+    fn classifies_sqrt() {
+        let report = best_fit(&series(|n| 4.0 * n.sqrt() + 1.0));
+        assert_eq!(report.best().model, FitModel::SqrtN);
+    }
+
+    #[test]
+    fn noisy_log_still_wins_over_linear() {
+        // ±10% multiplicative "noise" with a fixed pattern.
+        let noise = [1.1, 0.9, 1.05, 0.95, 1.08, 0.92, 1.0];
+        let samples: Vec<Sample> = [64u64, 256, 1024, 4096, 16384, 65536, 262144]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&n, &eps)| Sample {
+                n: n as f64,
+                t: 5.0 * (n as f64).log2() * eps,
+            })
+            .collect();
+        let report = best_fit(&samples);
+        assert!(
+            report.best().model.is_polylog(),
+            "noisy log series misclassified as {}",
+            report.best().model
+        );
+        // Linear must rank strictly worse than the winner.
+        let lin_pos = report
+            .ranked
+            .iter()
+            .position(|f| f.model == FitModel::Linear)
+            .unwrap();
+        assert!(lin_pos > 0);
+    }
+
+    #[test]
+    fn decreasing_series_does_not_fit_growth_models() {
+        // A decreasing series must not be "explained" by a growth model with
+        // negative slope; Constant should win.
+        let report = best_fit(&series(|n| 1000.0 - n.log2()));
+        assert_eq!(report.best().model, FitModel::Constant);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn too_few_samples_panics() {
+        best_fit(&[Sample::new(10, 1), Sample::new(20, 2)]);
+    }
+
+    #[test]
+    fn is_polylog_matches_nc_side() {
+        assert!(FitModel::Constant.is_polylog());
+        assert!(FitModel::LogN.is_polylog());
+        assert!(FitModel::Log2N.is_polylog());
+        assert!(!FitModel::SqrtN.is_polylog());
+        assert!(!FitModel::Linear.is_polylog());
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(FitModel::NLogN.to_string(), "O(n log n)");
+        assert_eq!(FitModel::Log2N.to_string(), "O(log^2 n)");
+    }
+}

@@ -1,0 +1,123 @@
+//! Languages of pairs: the semantics of Boolean query classes.
+//!
+//! Section 3 of the paper represents a class `Q` of Boolean queries as a
+//! language of pairs `S ⊆ Σ* × Σ*`: `⟨D, Q⟩ ∈ S` iff query `Q` evaluates to
+//! true on database `D`. This module gives that notion a typed face: a
+//! [`PairLanguage`] is a *specification* — a (possibly slow) ground-truth
+//! membership test — against which Π-tractability schemes and reductions are
+//! verified.
+
+/// A language of pairs `S`: the ground-truth semantics of a Boolean query
+/// class over typed data and query values.
+///
+/// `contains` is allowed to be slow (it is the *spec*, not the engine); the
+/// fast path lives in [`crate::scheme::Scheme`]. Keeping the two separate is
+/// what lets tests state Definition 1 literally: for every `D`, `Q`,
+/// `scheme.answer(Π(D), Q) == lang.contains(D, Q)`.
+pub trait PairLanguage {
+    /// The data part (the paper's `D`).
+    type Data;
+    /// The query part (the paper's `Q`).
+    type Query;
+
+    /// Ground truth: is `⟨d, q⟩ ∈ S`?
+    fn contains(&self, d: &Self::Data, q: &Self::Query) -> bool;
+
+    /// Human-readable name used in diagnostics and experiment tables.
+    fn name(&self) -> &str {
+        "unnamed language of pairs"
+    }
+}
+
+/// A [`PairLanguage`] built from a closure — the workhorse constructor used
+/// by case-study crates and by reduction combinators.
+#[allow(clippy::type_complexity)] // Rc<dyn Fn> fields read better inline
+pub struct FnPairLanguage<D, Q> {
+    name: String,
+    contains: Box<dyn Fn(&D, &Q) -> bool>,
+}
+
+impl<D, Q> FnPairLanguage<D, Q> {
+    /// Build a language from a name and a membership closure.
+    pub fn new(name: impl Into<String>, contains: impl Fn(&D, &Q) -> bool + 'static) -> Self {
+        FnPairLanguage {
+            name: name.into(),
+            contains: Box::new(contains),
+        }
+    }
+}
+
+impl<D, Q> PairLanguage for FnPairLanguage<D, Q> {
+    type Data = D;
+    type Query = Q;
+
+    fn contains(&self, d: &D, q: &Q) -> bool {
+        (self.contains)(d, q)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Check two languages for agreement on a finite set of probe instances.
+///
+/// Used when a reduction or compression step claims to *preserve* a language:
+/// `agree_on(&orig, &compressed_view, &instances)`.
+pub fn agree_on<L1, L2>(
+    l1: &L1,
+    l2: &L2,
+    instances: &[(L1::Data, L1::Query)],
+) -> Result<(), usize>
+where
+    L1: PairLanguage,
+    L2: PairLanguage<Data = L1::Data, Query = L1::Query>,
+{
+    for (i, (d, q)) in instances.iter().enumerate() {
+        if l1.contains(d, q) != l2.contains(d, q) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member_lang() -> FnPairLanguage<Vec<u64>, u64> {
+        FnPairLanguage::new("membership", |d: &Vec<u64>, q: &u64| d.contains(q))
+    }
+
+    #[test]
+    fn fn_language_evaluates_closure() {
+        let lang = member_lang();
+        assert!(lang.contains(&vec![1, 2, 3], &2));
+        assert!(!lang.contains(&vec![1, 2, 3], &7));
+        assert_eq!(lang.name(), "membership");
+    }
+
+    #[test]
+    fn agree_on_detects_divergence() {
+        let l1 = member_lang();
+        let l2 = FnPairLanguage::new("broken", |d: &Vec<u64>, q: &u64| {
+            d.contains(q) || *q == 99
+        });
+        let instances = vec![(vec![1, 2], 1u64), (vec![1, 2], 5), (vec![], 99)];
+        assert_eq!(agree_on(&l1, &l2, &instances), Err(2));
+        assert_eq!(agree_on(&l1, &l1, &instances), Ok(()));
+    }
+
+    #[test]
+    fn default_name_is_present() {
+        struct Anon;
+        impl PairLanguage for Anon {
+            type Data = ();
+            type Query = ();
+            fn contains(&self, _: &(), _: &()) -> bool {
+                true
+            }
+        }
+        assert!(!Anon.name().is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Decision problems and their correspondence with languages of pairs.
+//!
+//! Section 3 of the paper moves freely between three views of the same
+//! object: a decision problem `L ⊆ Σ*`, a factorization `Υ` of its
+//! instances, and the induced language of pairs
+//! `S(L,Υ) = {⟨π₁(x), π₂(x)⟩ | x ∈ L}`. This module implements the glue:
+//!
+//! * [`DecisionProblem`] / [`FnProblem`] — the ground-truth membership test
+//!   for `L`;
+//! * [`induced_pair_language`] — builds `S(L,Υ)` from `L` and `Υ` (via
+//!   Proposition 1: membership of `⟨d,q⟩` is decided by `ρ`-reconstruction);
+//! * [`decision_problem_of`] — the converse direction `L_Q = {D#Q | ⟨D,Q⟩ ∈
+//!   S_Q}` that turns a query class back into a decision problem.
+
+use crate::factor::{Factorization, FnFactorization};
+use crate::lang::{FnPairLanguage, PairLanguage};
+use std::rc::Rc;
+
+/// A decision problem `L`: the ground-truth membership test for instances.
+pub trait DecisionProblem {
+    /// Instance type (the paper's `x ∈ Σ*`).
+    type Instance;
+
+    /// Is `x ∈ L`? May be slow — this is the specification.
+    fn accepts(&self, x: &Self::Instance) -> bool;
+
+    /// Human-readable name (e.g. `"BDS"`, `"CVP"`).
+    fn name(&self) -> &str {
+        "unnamed decision problem"
+    }
+}
+
+/// A [`DecisionProblem`] built from a closure.
+pub struct FnProblem<X> {
+    name: String,
+    accepts: Rc<dyn Fn(&X) -> bool>,
+}
+
+impl<X> Clone for FnProblem<X> {
+    fn clone(&self) -> Self {
+        FnProblem {
+            name: self.name.clone(),
+            accepts: Rc::clone(&self.accepts),
+        }
+    }
+}
+
+impl<X> FnProblem<X> {
+    /// Build a problem from a name and a membership closure.
+    pub fn new(name: impl Into<String>, accepts: impl Fn(&X) -> bool + 'static) -> Self {
+        FnProblem {
+            name: name.into(),
+            accepts: Rc::new(accepts),
+        }
+    }
+}
+
+impl<X> DecisionProblem for FnProblem<X> {
+    type Instance = X;
+
+    fn accepts(&self, x: &X) -> bool {
+        (self.accepts)(x)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The induced language of pairs `S(L,Υ)` for a problem `L` and one of its
+/// factorizations `Υ`.
+///
+/// Membership of `⟨d, q⟩` is decided by reconstructing `x = ρ(d, q)` and
+/// asking `L`. On pairs in the image of `(π₁, π₂)` this agrees with the
+/// paper's definition by Proposition 1 (`ρ(π₁(x), π₂(x)) = x`); on pairs
+/// outside the image it is the natural total extension, which is also what
+/// the paper's reductions quantify over ("for all D and Q in Σ*").
+pub fn induced_pair_language<L, F>(problem: L, factorization: F) -> FnPairLanguage<F::Data, F::Query>
+where
+    L: DecisionProblem + 'static,
+    F: Factorization<Instance = L::Instance> + 'static,
+{
+    let name = format!("S({})", problem.name());
+    FnPairLanguage::new(name, move |d: &F::Data, q: &F::Query| {
+        problem.accepts(&factorization.rho(d, q))
+    })
+}
+
+/// The decision problem `L_Q` of a query class `Q` (Section 3): instances
+/// are `(D, Q)` pairs (the typed form of `D#Q`) and `L_Q` accepts iff
+/// `Q(D)` is true.
+pub fn decision_problem_of<S>(lang: S) -> FnProblem<(S::Data, S::Query)>
+where
+    S: PairLanguage + 'static,
+{
+    let name = format!("L({})", lang.name());
+    FnProblem::new(name, move |x: &(S::Data, S::Query)| {
+        lang.contains(&x.0, &x.1)
+    })
+}
+
+/// Verify on probe instances that `S(L,Υ)` and `L` agree through the
+/// factorization — the executable statement of Proposition 1.
+pub fn check_proposition_1<L, F>(problem: &L, factorization: &F, instances: &[L::Instance]) -> bool
+where
+    L: DecisionProblem,
+    F: Factorization<Instance = L::Instance>,
+    L::Instance: PartialEq,
+{
+    instances.iter().all(|x| {
+        factorization.check_roundtrip(x)
+            && problem.accepts(x)
+                == problem.accepts(
+                    &factorization.rho(&factorization.pi1(x), &factorization.pi2(x)),
+                )
+    })
+}
+
+/// A named factorization bundled with its problem — convenience carrier used
+/// by the reductions crate to keep `(L, Υ)` pairs together, mirroring the
+/// paper's notation `S(L,Υ)`.
+pub struct FactoredProblem<X, D, Q> {
+    /// The underlying decision problem `L`.
+    pub problem: FnProblem<X>,
+    /// The factorization `Υ` of its instances.
+    pub factorization: FnFactorization<X, D, Q>,
+}
+
+impl<X, D, Q> Clone for FactoredProblem<X, D, Q> {
+    fn clone(&self) -> Self {
+        FactoredProblem {
+            problem: self.problem.clone(),
+            factorization: self.factorization.clone(),
+        }
+    }
+}
+
+impl<X, D, Q> FactoredProblem<X, D, Q>
+where
+    X: 'static,
+    D: 'static,
+    Q: 'static,
+{
+    /// Bundle a problem with a factorization.
+    pub fn new(problem: FnProblem<X>, factorization: FnFactorization<X, D, Q>) -> Self {
+        FactoredProblem {
+            problem,
+            factorization,
+        }
+    }
+
+    /// The induced language of pairs `S(L,Υ)`.
+    pub fn pair_language(&self) -> FnPairLanguage<D, Q> {
+        induced_pair_language(self.problem.clone(), self.factorization.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{identity_pair_factorization, trivial_data_factorization};
+
+    /// L₁ from Section 4(2): does element e appear in list M?
+    fn list_search() -> FnProblem<(Vec<u64>, u64)> {
+        FnProblem::new("L1-list-search", |x: &(Vec<u64>, u64)| x.0.contains(&x.1))
+    }
+
+    #[test]
+    fn fn_problem_accepts_by_closure() {
+        let p = list_search();
+        assert!(p.accepts(&(vec![4, 5], 5)));
+        assert!(!p.accepts(&(vec![4, 5], 6)));
+        assert_eq!(p.name(), "L1-list-search");
+    }
+
+    #[test]
+    fn induced_language_agrees_with_problem() {
+        let p = list_search();
+        let f = identity_pair_factorization::<Vec<u64>, u64>();
+        let s = induced_pair_language(p.clone(), f);
+        assert!(s.contains(&vec![1, 2, 3], &2));
+        assert!(!s.contains(&vec![1, 2, 3], &9));
+        assert!(s.name().contains("L1-list-search"));
+    }
+
+    #[test]
+    fn proposition_1_holds_for_identity_factorization() {
+        let p = list_search();
+        let f = identity_pair_factorization::<Vec<u64>, u64>();
+        let instances = vec![
+            (vec![1, 2, 3], 1u64),
+            (vec![], 0),
+            (vec![7, 7, 7], 7),
+            (vec![10], 11),
+        ];
+        assert!(check_proposition_1(&p, &f, &instances));
+    }
+
+    #[test]
+    fn proposition_1_holds_for_trivial_factorization() {
+        let p = list_search();
+        let f = trivial_data_factorization::<(Vec<u64>, u64)>();
+        let instances = vec![(vec![1, 2, 3], 1u64), (vec![5], 6)];
+        assert!(check_proposition_1(&p, &f, &instances));
+    }
+
+    #[test]
+    fn decision_problem_of_roundtrips_through_language() {
+        let lang = FnPairLanguage::new("point-selection", |d: &Vec<i64>, q: &i64| d.contains(q));
+        let lq = decision_problem_of(lang);
+        assert!(lq.accepts(&(vec![-1, 0, 1], 0)));
+        assert!(!lq.accepts(&(vec![-1, 0, 1], 2)));
+        assert!(lq.name().contains("point-selection"));
+    }
+
+    #[test]
+    fn factored_problem_bundles_and_induces() {
+        let fp = FactoredProblem::new(
+            list_search(),
+            identity_pair_factorization::<Vec<u64>, u64>(),
+        );
+        let s = fp.pair_language();
+        assert!(s.contains(&vec![2, 4], &4));
+        let fp2 = fp.clone();
+        assert!(fp2.pair_language().contains(&vec![2, 4], &2));
+    }
+}

@@ -1,0 +1,606 @@
+//! The paper's two reduction notions, with their constructive lemmas.
+//!
+//! * [`FReduction`] — `≤NC_F` (Definition 7): a pair of NC functions
+//!   `α` (on data) and `β` (on queries) with
+//!   `⟨D,Q⟩ ∈ S₁ ⟺ ⟨α(D), β(Q)⟩ ∈ S₂`. F-reductions preserve the
+//!   factorization, compose directly (Lemma 8, first half), and transfer
+//!   Π-tractability backwards (Lemma 8, second half — compatibility with
+//!   ΠT⁰Q).
+//!
+//! * [`FactorReduction`] — `≤NC_fa` (Definition 4): an F-reduction **between
+//!   chosen factorizations** of two decision problems. These are the
+//!   liberal reductions under which BDS is ΠTP-complete (Theorem 5) and all
+//!   of P can be *made* Π-tractable (Corollary 6). Their transitivity is
+//!   *not* plain composition: the proof of Lemma 2 pads the source
+//!   factorization so that both parts carry the whole instance;
+//!   [`FactorReduction::compose`] implements exactly that construction, and
+//!   [`make_tractable`] implements the proof of Lemma 3 (re-reducing to the
+//!   scheme's factorization, then transferring).
+//!
+//! Everything here is checked, not just asserted: `verify*` methods compare
+//! both sides of the iff on probe instances, and the `pitract-reductions`
+//! crate instantiates these combinators with real query classes.
+
+use crate::cost::CostClass;
+use crate::factor::{padded_factorization, Factorization, FnFactorization};
+use crate::lang::PairLanguage;
+use crate::problem::DecisionProblem;
+use crate::scheme::Scheme;
+use std::rc::Rc;
+
+/// An F-reduction `S₁ ≤NC_F S₂` (Definition 7): NC maps `α` on data parts
+/// and `β` on query parts, applied independently.
+pub struct FReduction<D1, Q1, D2, Q2> {
+    name: String,
+    alpha: Rc<dyn Fn(&D1) -> D2>,
+    beta: Rc<dyn Fn(&Q1) -> Q2>,
+}
+
+impl<D1, Q1, D2, Q2> Clone for FReduction<D1, Q1, D2, Q2> {
+    fn clone(&self) -> Self {
+        FReduction {
+            name: self.name.clone(),
+            alpha: Rc::clone(&self.alpha),
+            beta: Rc::clone(&self.beta),
+        }
+    }
+}
+
+impl<D1, Q1, D2, Q2> FReduction<D1, Q1, D2, Q2>
+where
+    D1: 'static,
+    Q1: 'static,
+    D2: 'static,
+    Q2: 'static,
+{
+    /// Build an F-reduction from `α` and `β`.
+    pub fn new(
+        name: impl Into<String>,
+        alpha: impl Fn(&D1) -> D2 + 'static,
+        beta: impl Fn(&Q1) -> Q2 + 'static,
+    ) -> Self {
+        FReduction {
+            name: name.into(),
+            alpha: Rc::new(alpha),
+            beta: Rc::new(beta),
+        }
+    }
+
+    /// Reduction name for diagnostics.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Apply `α` to a data part.
+    pub fn alpha(&self, d: &D1) -> D2 {
+        (self.alpha)(d)
+    }
+
+    /// Apply `β` to a query part.
+    pub fn beta(&self, q: &Q1) -> Q2 {
+        (self.beta)(q)
+    }
+
+    /// Transitivity of `≤NC_F` (Lemma 8, first bullet): F-reductions compose
+    /// componentwise, no padding required — `α = α₂∘α₁`, `β = β₂∘β₁`.
+    pub fn then<D3, Q3>(self, next: FReduction<D2, Q2, D3, Q3>) -> FReduction<D1, Q1, D3, Q3>
+    where
+        D3: 'static,
+        Q3: 'static,
+    {
+        let name = format!("{} ; {}", self.name, next.name);
+        let (a1, b1) = (self.alpha, self.beta);
+        let (a2, b2) = (next.alpha, next.beta);
+        FReduction {
+            name,
+            alpha: Rc::new(move |d: &D1| a2(&a1(d))),
+            beta: Rc::new(move |q: &Q1| b2(&b1(q))),
+        }
+    }
+
+    /// Compatibility of `≤NC_F` with ΠT⁰Q (Lemma 8, second bullet), in its
+    /// constructive reading: given a Π-tractability scheme for the *target*
+    /// class, produce one for the *source* class by pre-composing `Π` with
+    /// `α` and the answering step with `β`.
+    ///
+    /// Cost bookkeeping mirrors the proof of Lemma 3: the new preprocessing
+    /// `Π' = Π ∘ α` stays PTIME because `α` is NC ⊆ P; the new answering
+    /// step pays `β` (NC) plus the old answering step (NC), hence stays NC.
+    pub fn transfer<P>(
+        &self,
+        target_scheme: &Scheme<D2, P, Q2>,
+        alpha_cost: CostClass,
+        beta_cost: CostClass,
+    ) -> Scheme<D1, P, Q1>
+    where
+        P: 'static,
+    {
+        let name = format!("{} via {}", target_scheme.name(), self.name);
+        let alpha = Rc::clone(&self.alpha);
+        let beta = Rc::clone(&self.beta);
+        let pre = target_scheme.clone();
+        let ans = target_scheme.clone();
+        Scheme::new(
+            name,
+            target_scheme.preprocess_cost().seq(alpha_cost),
+            target_scheme.answer_cost().seq(beta_cost),
+            move |d: &D1| pre.preprocess(&alpha(d)),
+            move |p: &P, q: &Q1| ans.answer(p, &beta(q)),
+        )
+    }
+
+    /// Check the defining iff on probe pairs: `⟨d,q⟩ ∈ S₁ ⟺ ⟨α(d), β(q)⟩ ∈
+    /// S₂`. Returns the index of the first violated probe.
+    pub fn verify<S1, S2>(&self, s1: &S1, s2: &S2, probes: &[(D1, Q1)]) -> Result<(), usize>
+    where
+        S1: PairLanguage<Data = D1, Query = Q1>,
+        S2: PairLanguage<Data = D2, Query = Q2>,
+    {
+        for (i, (d, q)) in probes.iter().enumerate() {
+            if s1.contains(d, q) != s2.contains(&self.alpha(d), &self.beta(q)) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An NC-factor reduction `L₁ ≤NC_fa L₂` (Definition 4): factorizations
+/// `Υ₁` of `L₁` and `Υ₂` of `L₂`, plus an F-reduction between the induced
+/// pair languages `S(L₁,Υ₁)` and `S(L₂,Υ₂)`.
+pub struct FactorReduction<X1, D1, Q1, X2, D2, Q2> {
+    /// `Υ₁`: how the *source* problem's instances split into data/query.
+    pub f1: FnFactorization<X1, D1, Q1>,
+    /// `Υ₂`: how the *target* problem's instances split into data/query.
+    pub f2: FnFactorization<X2, D2, Q2>,
+    /// The `(α, β)` maps between the factored parts.
+    pub map: FReduction<D1, Q1, D2, Q2>,
+}
+
+impl<X1, D1, Q1, X2, D2, Q2> Clone for FactorReduction<X1, D1, Q1, X2, D2, Q2> {
+    fn clone(&self) -> Self {
+        FactorReduction {
+            f1: self.f1.clone(),
+            f2: self.f2.clone(),
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<X1, D1, Q1, X2, D2, Q2> FactorReduction<X1, D1, Q1, X2, D2, Q2>
+where
+    X1: 'static,
+    D1: 'static,
+    Q1: 'static,
+    X2: 'static,
+    D2: 'static,
+    Q2: 'static,
+{
+    /// Bundle two factorizations and the `(α, β)` maps into a `≤NC_fa`
+    /// reduction.
+    pub fn new(
+        f1: FnFactorization<X1, D1, Q1>,
+        f2: FnFactorization<X2, D2, Q2>,
+        map: FReduction<D1, Q1, D2, Q2>,
+    ) -> Self {
+        FactorReduction { f1, f2, map }
+    }
+
+    /// Map a source instance to the target instance it reduces to:
+    /// `x ↦ ρ₂(α(π₁(x)), β(π₂(x)))`.
+    pub fn map_instance(&self, x: &X1) -> X2 {
+        let d2 = self.map.alpha(&self.f1.pi1(x));
+        let q2 = self.map.beta(&self.f1.pi2(x));
+        self.f2.rho(&d2, &q2)
+    }
+
+    /// Check Definition 4 on probe instances: `x ∈ L₁ ⟺ mapped x ∈ L₂`.
+    /// (Through the induced pair languages this is exactly
+    /// `⟨D,Q⟩ ∈ S(L₁,Υ₁) ⟺ ⟨α(D), β(Q)⟩ ∈ S(L₂,Υ₂)`.)
+    pub fn verify<L1, L2>(&self, l1: &L1, l2: &L2, probes: &[X1]) -> Result<(), usize>
+    where
+        L1: DecisionProblem<Instance = X1>,
+        L2: DecisionProblem<Instance = X2>,
+    {
+        for (i, x) in probes.iter().enumerate() {
+            if l1.accepts(x) != l2.accepts(&self.map_instance(x)) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Transitivity of `≤NC_fa` — the constructive proof of **Lemma 2**.
+    ///
+    /// Plain composition fails because the second reduction's `α₂`/`β₂` may
+    /// need *both* parts produced by the first (its factorization `Υ₂'` of
+    /// the middle problem can slice instances differently than `Υ₂`). The
+    /// proof pads the source factorization so each part carries the whole
+    /// `(data, query)` pair — the typed analogue of the `π₁(x)@π₂(x)`
+    /// string — and then routes through the middle problem's `ρ₂`:
+    ///
+    /// ```text
+    /// α(d₁,q₁) = α₂( σ₁( ρ₂( α₁(d₁), β₁(q₁) ) ) )
+    /// β(d₁,q₁) = β₂( σ₂( ρ₂( α₁(d₁), β₁(q₁) ) ) )
+    /// ```
+    ///
+    /// where `(σ₁, σ₂)` is the second reduction's source factorization of
+    /// the middle problem.
+    #[allow(clippy::type_complexity)]
+    pub fn compose<E2, P2, X3, D3, Q3>(
+        self,
+        next: FactorReduction<X2, E2, P2, X3, D3, Q3>,
+    ) -> FactorReduction<X1, (D1, Q1), (D1, Q1), X3, D3, Q3>
+    where
+        E2: 'static,
+        P2: 'static,
+        X3: 'static,
+        D3: 'static,
+        Q3: 'static,
+        D1: Clone,
+        Q1: Clone,
+    {
+        let padded_f1 = padded_factorization(self.f1.clone());
+        let name = format!("{} ∘ {}", next.map.name(), self.map.name());
+
+        // Shared pipeline: reconstruct the middle instance from the mapped
+        // parts, then re-factor it the way the second reduction expects.
+        let mid = {
+            let map1 = self.map.clone();
+            let rho2 = self.f2.clone();
+            move |dq: &(D1, Q1)| -> X2 { rho2.rho(&map1.alpha(&dq.0), &map1.beta(&dq.1)) }
+        };
+        let mid_a = mid.clone();
+        let mid_b = mid;
+        let sigma_a = next.f1.clone();
+        let sigma_b = next.f1.clone();
+        let map2_a = next.map.clone();
+        let map2_b = next.map.clone();
+
+        let alpha = move |dq: &(D1, Q1)| -> D3 { map2_a.alpha(&sigma_a.pi1(&mid_a(dq))) };
+        let beta = move |dq: &(D1, Q1)| -> Q3 { map2_b.beta(&sigma_b.pi2(&mid_b(dq))) };
+
+        FactorReduction {
+            f1: padded_f1,
+            f2: next.f2,
+            map: FReduction::new(name, alpha, beta),
+        }
+    }
+
+    /// Transfer a Π-tractability scheme backwards along this reduction
+    /// (the heart of **Lemma 3**), when the scheme is stated for the *same*
+    /// factorization `Υ₂` this reduction targets. For a scheme on a
+    /// different factorization, first [`FactorReduction::compose`] with
+    /// [`refactorization_reduction`] — or call [`make_tractable`], which
+    /// does both steps.
+    pub fn transfer<P>(
+        &self,
+        target_scheme: &Scheme<D2, P, Q2>,
+        alpha_cost: CostClass,
+        beta_cost: CostClass,
+    ) -> Scheme<D1, P, Q1>
+    where
+        P: 'static,
+    {
+        self.map.transfer(target_scheme, alpha_cost, beta_cost)
+    }
+}
+
+/// The identity `≤NC_fa` reduction of a problem onto itself under a fixed
+/// factorization (`α = id`, `β = id`). Useful as a unit for composition
+/// tests and as the degenerate factorization in Theorem 5's proof.
+pub fn identity_factor_reduction<X, D, Q>(
+    f: FnFactorization<X, D, Q>,
+) -> FactorReduction<X, D, Q, X, D, Q>
+where
+    X: 'static,
+    D: Clone + 'static,
+    Q: Clone + 'static,
+{
+    FactorReduction {
+        f1: f.clone(),
+        f2: f,
+        map: FReduction::new("id", |d: &D| d.clone(), |q: &Q| q.clone()),
+    }
+}
+
+/// The re-factorization reduction used inside the proof of **Lemma 3**:
+/// `L ≤NC_fa L` where the source uses the *padded* form of `f_from` and the
+/// target uses `f_to`. Because each padded part carries the whole
+/// `(data, query)` pair, `α` and `β` can each rebuild the instance and
+/// re-slice it with `f_to` — which is impossible for unpadded parts in
+/// general (that impossibility is the whole point of Theorem 9).
+#[allow(clippy::type_complexity)]
+pub fn refactorization_reduction<X, D, Q, E, P>(
+    f_from: FnFactorization<X, D, Q>,
+    f_to: FnFactorization<X, E, P>,
+) -> FactorReduction<X, (D, Q), (D, Q), X, E, P>
+where
+    X: 'static,
+    D: Clone + 'static,
+    Q: Clone + 'static,
+    E: 'static,
+    P: 'static,
+{
+    let padded = padded_factorization(f_from.clone());
+    let name = format!("refactor({} → {})", f_from.name(), f_to.name());
+    let rho_a = f_from.clone();
+    let rho_b = f_from;
+    let to_a = f_to.clone();
+    let to_b = f_to.clone();
+    FactorReduction {
+        f1: padded,
+        f2: f_to,
+        map: FReduction::new(
+            name,
+            move |dq: &(D, Q)| to_a.pi1(&rho_a.rho(&dq.0, &dq.1)),
+            move |dq: &(D, Q)| to_b.pi2(&rho_b.rho(&dq.0, &dq.1)),
+        ),
+    }
+}
+
+/// The result of [`make_tractable`]: a new (padded) factorization of the
+/// source problem together with a working scheme for it — exactly what
+/// Definition 2 requires to conclude "L₁ can be made Π-tractable".
+pub struct Tractabilization<X1, D1, Q1, P> {
+    /// The factorization `Υ₁'` of the source problem produced by the proof.
+    pub factorization: FnFactorization<X1, (D1, Q1), (D1, Q1)>,
+    /// A Π-tractability scheme for `S(L₁, Υ₁')`.
+    pub scheme: Scheme<(D1, Q1), P, (D1, Q1)>,
+}
+
+/// The full constructive content of **Lemma 3** / Definition 2: given
+/// `L₁ ≤NC_fa L₂` (targeting factorization `Υ₂`) and a Π-tractability scheme
+/// for `L₂` stated under a possibly *different* factorization `Υ₂'`,
+/// produce a factorization of `L₁` and a scheme witnessing that `L₁` can be
+/// made Π-tractable.
+///
+/// Construction (mirroring the paper): compose the given reduction with the
+/// [`refactorization_reduction`] `(L₂,Υ₂) → (L₂,Υ₂')`, then transfer the
+/// scheme along the composite.
+#[allow(clippy::type_complexity)]
+pub fn make_tractable<X1, D1, Q1, X2, D2, Q2, E2, P2, Pre>(
+    reduction: FactorReduction<X1, D1, Q1, X2, D2, Q2>,
+    scheme_factorization: FnFactorization<X2, E2, P2>,
+    scheme: &Scheme<E2, Pre, P2>,
+    alpha_cost: CostClass,
+    beta_cost: CostClass,
+) -> Tractabilization<X1, D1, Q1, Pre>
+where
+    X1: 'static,
+    D1: Clone + 'static,
+    Q1: Clone + 'static,
+    X2: 'static,
+    D2: Clone + 'static,
+    Q2: Clone + 'static,
+    E2: 'static,
+    P2: 'static,
+    Pre: 'static,
+{
+    let refactor = refactorization_reduction(reduction.f2.clone(), scheme_factorization);
+    let composite = reduction.compose(refactor);
+    let factorization = composite.f1.clone();
+    let scheme = composite.transfer(scheme, alpha_cost, beta_cost);
+    Tractabilization {
+        factorization,
+        scheme,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // tests spell out reduction types for clarity
+mod tests {
+    use super::*;
+    use crate::factor::identity_pair_factorization;
+    use crate::lang::FnPairLanguage;
+    use crate::problem::FnProblem;
+
+    // --- A miniature universe of three problems, used to exercise every
+    // --- combinator:
+    //
+    // L_a: "does value v appear in list M?"            instance (Vec<u64>, u64)
+    // L_b: "does value v+1 appear in shifted list?"    instance (Vec<u64>, u64)
+    // L_c: "is bit q set in a sorted set?"             instance (Vec<u64>, u64)
+    //
+    // with F-/factor-reductions shifting values by +1 and +10.
+
+    fn lang_contains() -> FnPairLanguage<Vec<u64>, u64> {
+        FnPairLanguage::new("contains", |d: &Vec<u64>, q: &u64| d.contains(q))
+    }
+
+    fn prob_contains(name: &str) -> FnProblem<(Vec<u64>, u64)> {
+        FnProblem::new(name, |x: &(Vec<u64>, u64)| x.0.contains(&x.1))
+    }
+
+    fn shift_reduction(delta: u64) -> FReduction<Vec<u64>, u64, Vec<u64>, u64> {
+        FReduction::new(
+            format!("shift+{delta}"),
+            move |d: &Vec<u64>| d.iter().map(|v| v + delta).collect(),
+            move |q: &u64| q + delta,
+        )
+    }
+
+    fn probes() -> Vec<(Vec<u64>, u64)> {
+        vec![
+            (vec![1, 2, 3], 2),
+            (vec![1, 2, 3], 9),
+            (vec![], 0),
+            (vec![100], 100),
+            (vec![7, 7], 6),
+        ]
+    }
+
+    #[test]
+    fn f_reduction_preserves_membership() {
+        let r = shift_reduction(1);
+        // S₂ is "shifted contains": d contains q (both already shifted), so
+        // the same language works as target.
+        assert_eq!(r.verify(&lang_contains(), &lang_contains(), &probes()), Ok(()));
+    }
+
+    #[test]
+    fn f_reduction_verify_catches_wrong_beta() {
+        let broken = FReduction::new(
+            "broken",
+            |d: &Vec<u64>| d.iter().map(|v| v + 1).collect::<Vec<_>>(),
+            |q: &u64| *q, // forgot to shift the query
+        );
+        assert!(broken
+            .verify(&lang_contains(), &lang_contains(), &probes())
+            .is_err());
+    }
+
+    #[test]
+    fn f_reductions_compose_componentwise() {
+        let r = shift_reduction(1).then(shift_reduction(10));
+        assert_eq!(r.alpha(&vec![5]), vec![16]);
+        assert_eq!(r.beta(&5), 16);
+        assert_eq!(r.verify(&lang_contains(), &lang_contains(), &probes()), Ok(()));
+    }
+
+    #[test]
+    fn f_reduction_transfer_builds_working_scheme() {
+        // Target scheme: sort + binary search for "contains".
+        let target = Scheme::new(
+            "sort+bsearch",
+            CostClass::NLogN,
+            CostClass::Log,
+            |d: &Vec<u64>| {
+                let mut s = d.clone();
+                s.sort_unstable();
+                s
+            },
+            |p: &Vec<u64>, q: &u64| p.binary_search(q).is_ok(),
+        );
+        let r = shift_reduction(3);
+        let source_scheme = r.transfer(&target, CostClass::Linear, CostClass::Constant);
+        assert!(source_scheme.claims_pi_tractable());
+        let lang = lang_contains();
+        let instances: Vec<(Vec<u64>, Vec<u64>)> = vec![
+            (vec![4, 8, 15], vec![8, 16, 15]),
+            (vec![], vec![3]),
+        ];
+        assert_eq!(source_scheme.verify_against(&lang, &instances), Ok(()));
+    }
+
+    fn factor_shift(delta: u64) -> FactorReduction<(Vec<u64>, u64), Vec<u64>, u64, (Vec<u64>, u64), Vec<u64>, u64>
+    {
+        FactorReduction::new(
+            identity_pair_factorization(),
+            identity_pair_factorization(),
+            shift_reduction(delta),
+        )
+    }
+
+    #[test]
+    fn factor_reduction_maps_instances_correctly() {
+        let r = factor_shift(2);
+        assert_eq!(r.map_instance(&(vec![1, 2], 2)), (vec![3, 4], 4));
+        assert_eq!(
+            r.verify(&prob_contains("La"), &prob_contains("Lb"), &probes()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn lemma_2_composition_is_answer_preserving() {
+        let r12 = factor_shift(1);
+        let r23 = factor_shift(10);
+        let r13 = r12.compose(r23);
+        // The composed reduction's source instances are still (Vec,u64);
+        // its factored parts are padded pairs.
+        let la = prob_contains("La");
+        let lc = prob_contains("Lc");
+        for (i, x) in probes().iter().enumerate() {
+            let mapped = r13.map_instance(x);
+            assert_eq!(la.accepts(x), lc.accepts(&mapped), "probe {i}");
+            // Net effect is a +11 shift.
+            assert_eq!(mapped.1, x.1 + 11);
+        }
+        assert_eq!(r13.verify(&la, &lc, &probes()), Ok(()));
+    }
+
+    #[test]
+    fn composed_factorization_is_padded() {
+        let r13 = factor_shift(1).compose(factor_shift(10));
+        let x = (vec![5u64], 5u64);
+        let d = r13.f1.pi1(&x);
+        let q = r13.f1.pi2(&x);
+        assert_eq!(d, q, "padded parts both carry the whole pair");
+        assert!(r13.f1.check_roundtrip(&x));
+    }
+
+    #[test]
+    fn identity_factor_reduction_is_a_unit() {
+        let id = identity_factor_reduction(identity_pair_factorization::<Vec<u64>, u64>());
+        let la = prob_contains("La");
+        assert_eq!(id.verify(&la, &la, &probes()), Ok(()));
+        let r = factor_shift(4).compose(id);
+        let la = prob_contains("La");
+        let lb = prob_contains("Lb");
+        assert_eq!(r.verify(&la, &lb, &probes()), Ok(()));
+    }
+
+    #[test]
+    fn refactorization_reduction_reslices_instances() {
+        // From the identity factorization to an "everything is data"
+        // factorization of the same problem.
+        let from = identity_pair_factorization::<Vec<u64>, u64>();
+        let to: FnFactorization<(Vec<u64>, u64), (Vec<u64>, u64), ()> =
+            crate::factor::trivial_query_factorization();
+        let r = refactorization_reduction(from, to);
+        let la = prob_contains("La");
+        assert_eq!(r.verify(&la, &la, &probes()), Ok(()));
+    }
+
+    #[test]
+    fn make_tractable_yields_working_scheme_across_factorizations() {
+        // L₁ reduces to L₂ (shift +1) under identity factorizations, but the
+        // scheme we have for L₂ is stated under the *all-data* factorization:
+        // preprocess the full instance by solving it.
+        let reduction = factor_shift(1);
+        let scheme_factorization: FnFactorization<(Vec<u64>, u64), (Vec<u64>, u64), ()> =
+            crate::factor::trivial_query_factorization();
+        let solve_scheme: Scheme<(Vec<u64>, u64), bool, ()> = Scheme::new(
+            "solve-at-preprocessing",
+            CostClass::Linear,
+            CostClass::Constant,
+            |x: &(Vec<u64>, u64)| x.0.contains(&x.1),
+            |answer: &bool, _q: &()| *answer,
+        );
+        let result = make_tractable(
+            reduction,
+            scheme_factorization,
+            &solve_scheme,
+            CostClass::Linear,
+            CostClass::Linear,
+        );
+
+        // The produced scheme decides L₁ through its padded factorization.
+        let la = prob_contains("La");
+        for x in probes() {
+            let d = result.factorization.pi1(&x);
+            let q = result.factorization.pi2(&x);
+            let p = result.scheme.preprocess(&d);
+            assert_eq!(result.scheme.answer(&p, &q), la.accepts(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn transfer_costs_compose_via_seq() {
+        let target = Scheme::new(
+            "t",
+            CostClass::NLogN,
+            CostClass::Log,
+            |d: &Vec<u64>| d.clone(),
+            |p: &Vec<u64>, q: &u64| p.contains(q),
+        );
+        let r = shift_reduction(0);
+        let s = r.transfer(&target, CostClass::Linear, CostClass::Constant);
+        assert_eq!(s.preprocess_cost(), CostClass::NLogN);
+        assert_eq!(s.answer_cost(), CostClass::Log);
+        let s2 = r.transfer(&target, CostClass::Quadratic, CostClass::Log);
+        assert_eq!(s2.preprocess_cost(), CostClass::Quadratic);
+        assert_eq!(s2.answer_cost(), CostClass::Log);
+    }
+}

@@ -1,0 +1,249 @@
+//! Π-tractability witnesses (Definition 1).
+//!
+//! A [`Scheme`] bundles the two halves of Definition 1 for a query class
+//! represented by a language of pairs `S`:
+//!
+//! 1. a **preprocessing function** `Π : D → P` that must run in PTIME, and
+//! 2. an **answering function** `(P, Q) → bool` that must run in NC —
+//!    here: sequential polylog steps, optionally validated for parallel
+//!    depth via the `pitract-pram` crate.
+//!
+//! A scheme *claims* those bounds via [`crate::cost::CostClass`] annotations;
+//! tests in the case-study crates *check* them with meters, and
+//! [`Scheme::verify_against`] checks semantic correctness against the ground
+//! truth `S'` (the paper's "`⟨D,Q⟩ ∈ S` iff `⟨Π(D), Q⟩ ∈ S'`").
+
+use crate::cost::CostClass;
+use crate::lang::PairLanguage;
+use std::rc::Rc;
+
+/// A Π-tractability witness for a query class with data `D`, preprocessed
+/// form `P` and queries `Q`.
+#[allow(clippy::type_complexity)] // Rc<dyn Fn> fields read better inline
+pub struct Scheme<D, P, Q> {
+    name: String,
+    preprocess: Rc<dyn Fn(&D) -> P>,
+    answer: Rc<dyn Fn(&P, &Q) -> bool>,
+    preprocess_cost: CostClass,
+    answer_cost: CostClass,
+}
+
+impl<D, P, Q> Clone for Scheme<D, P, Q> {
+    fn clone(&self) -> Self {
+        Scheme {
+            name: self.name.clone(),
+            preprocess: Rc::clone(&self.preprocess),
+            answer: Rc::clone(&self.answer),
+            preprocess_cost: self.preprocess_cost,
+            answer_cost: self.answer_cost,
+        }
+    }
+}
+
+impl<D, P, Q> Scheme<D, P, Q> {
+    /// Build a scheme from its two halves and their claimed cost classes.
+    pub fn new(
+        name: impl Into<String>,
+        preprocess_cost: CostClass,
+        answer_cost: CostClass,
+        preprocess: impl Fn(&D) -> P + 'static,
+        answer: impl Fn(&P, &Q) -> bool + 'static,
+    ) -> Self {
+        Scheme {
+            name: name.into(),
+            preprocess: Rc::new(preprocess),
+            answer: Rc::new(answer),
+            preprocess_cost,
+            answer_cost,
+        }
+    }
+
+    /// Scheme name for diagnostics and experiment tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Run the offline preprocessing step `Π(D)`.
+    pub fn preprocess(&self, d: &D) -> P {
+        (self.preprocess)(d)
+    }
+
+    /// Answer one query against a preprocessed structure.
+    pub fn answer(&self, p: &P, q: &Q) -> bool {
+        (self.answer)(p, q)
+    }
+
+    /// Claimed preprocessing cost class.
+    pub fn preprocess_cost(&self) -> CostClass {
+        self.preprocess_cost
+    }
+
+    /// Claimed per-query answering cost class.
+    pub fn answer_cost(&self) -> CostClass {
+        self.answer_cost
+    }
+
+    /// Do the *claimed* costs satisfy Definition 1 (PTIME preprocessing, NC
+    /// answering)? Schemes that model deliberately bad factorizations (e.g.
+    /// CVP under Υ₀, experiment E11) return `false` here.
+    pub fn claims_pi_tractable(&self) -> bool {
+        self.preprocess_cost.is_ptime() && self.answer_cost.is_nc_query_cost()
+    }
+
+    /// Preprocess once, then answer a batch of queries — the paper's usage
+    /// pattern ("the one-time cost can often be ignored" because it is
+    /// amortized over a multitude of queries).
+    pub fn answer_all(&self, d: &D, queries: &[Q]) -> Vec<bool> {
+        let p = self.preprocess(d);
+        queries.iter().map(|q| self.answer(&p, q)).collect()
+    }
+
+    /// Verify against a ground-truth language on probe instances: for every
+    /// `(d, q)` the scheme's `answer(Π(d), q)` must equal `lang.contains(d,
+    /// q)`. Preprocessing is shared per distinct data value index, matching
+    /// how deployments reuse `Π(D)` across queries.
+    ///
+    /// Returns `Err(i)` with the index of the first disagreeing instance.
+    pub fn verify_against<L>(&self, lang: &L, instances: &[(D, Vec<Q>)]) -> Result<(), usize>
+    where
+        L: PairLanguage<Data = D, Query = Q>,
+    {
+        let mut idx = 0usize;
+        for (d, queries) in instances {
+            let p = self.preprocess(d);
+            for q in queries {
+                if self.answer(&p, q) != lang.contains(d, q) {
+                    return Err(idx);
+                }
+                idx += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rename the scheme (useful when a reduction transfers it to a new
+    /// class).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// The trivial scheme that shows **NC ⊆ ΠT⁰Q** (Figure 2, containment 1):
+/// for a query class already answerable in NC, take `Π` to be the identity
+/// (a linear copy, comfortably PTIME) and answer queries directly.
+pub fn trivial_nc_scheme<L>(lang: L, answer_cost: CostClass) -> Scheme<L::Data, L::Data, L::Query>
+where
+    L: PairLanguage + 'static,
+    L::Data: Clone,
+{
+    let name = format!("trivial-NC({})", lang.name());
+    Scheme::new(
+        name,
+        CostClass::Linear,
+        answer_cost,
+        |d: &L::Data| d.clone(),
+        move |p: &L::Data, q: &L::Query| lang.contains(p, q),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::FnPairLanguage;
+
+    /// Ground truth for list membership (Section 4(2)).
+    fn member_lang() -> FnPairLanguage<Vec<u64>, u64> {
+        FnPairLanguage::new("membership", |d: &Vec<u64>, q: &u64| d.contains(q))
+    }
+
+    /// The paper's scheme for L₁: sort as preprocessing (O(n log n)),
+    /// binary-search as answering (O(log n)).
+    fn sort_scheme() -> Scheme<Vec<u64>, Vec<u64>, u64> {
+        Scheme::new(
+            "sort+binary-search",
+            CostClass::NLogN,
+            CostClass::Log,
+            |d: &Vec<u64>| {
+                let mut s = d.clone();
+                s.sort_unstable();
+                s
+            },
+            |p: &Vec<u64>, q: &u64| p.binary_search(q).is_ok(),
+        )
+    }
+
+    #[test]
+    fn scheme_answers_match_ground_truth() {
+        let scheme = sort_scheme();
+        let lang = member_lang();
+        let instances = vec![
+            (vec![5, 3, 1], vec![1u64, 2, 3, 4, 5]),
+            (vec![], vec![0]),
+            (vec![42; 10], vec![42, 41]),
+        ];
+        assert_eq!(scheme.verify_against(&lang, &instances), Ok(()));
+    }
+
+    #[test]
+    fn verify_against_pinpoints_divergence() {
+        // An intentionally broken scheme: forgets to sort, binary search lies.
+        let broken = Scheme::new(
+            "broken",
+            CostClass::Constant,
+            CostClass::Log,
+            |d: &Vec<u64>| d.clone(),
+            |p: &Vec<u64>, q: &u64| p.binary_search(q).is_ok(),
+        );
+        let lang = member_lang();
+        // Unsorted data where binary search misses a present element:
+        // [3,1,2] — searching 1: mid=1 -> 1? Actually pick clearly failing.
+        let instances = vec![(vec![9, 1, 8, 2, 7, 3], vec![1u64, 9, 3])];
+        assert!(broken.verify_against(&lang, &instances).is_err());
+    }
+
+    #[test]
+    fn claims_pi_tractable_follows_definition_1() {
+        assert!(sort_scheme().claims_pi_tractable());
+        let bad = Scheme::new(
+            "linear-answering",
+            CostClass::Linear,
+            CostClass::Linear,
+            |d: &Vec<u64>| d.clone(),
+            |p: &Vec<u64>, q: &u64| p.contains(q),
+        );
+        assert!(!bad.claims_pi_tractable());
+    }
+
+    #[test]
+    fn answer_all_amortizes_one_preprocessing_pass() {
+        let scheme = sort_scheme();
+        let answers = scheme.answer_all(&vec![4, 2, 6], &[2, 3, 6]);
+        assert_eq!(answers, vec![true, false, true]);
+    }
+
+    #[test]
+    fn trivial_nc_scheme_is_correct_and_claims_tractability() {
+        let scheme = trivial_nc_scheme(member_lang(), CostClass::Log);
+        assert!(scheme.claims_pi_tractable());
+        let lang = member_lang();
+        let instances = vec![(vec![1, 2, 3], vec![2u64, 9])];
+        assert_eq!(scheme.verify_against(&lang, &instances), Ok(()));
+        assert!(scheme.name().contains("membership"));
+    }
+
+    #[test]
+    fn renamed_preserves_behaviour() {
+        let scheme = sort_scheme().renamed("alias");
+        assert_eq!(scheme.name(), "alias");
+        assert!(scheme.answer(&vec![1, 2, 3], &2));
+    }
+
+    #[test]
+    fn clone_shares_closures() {
+        let scheme = sort_scheme();
+        let clone = scheme.clone();
+        let p = scheme.preprocess(&vec![3, 1]);
+        assert_eq!(scheme.answer(&p, &3), clone.answer(&p, &3));
+    }
+}

@@ -1,0 +1,249 @@
+//! Π-tractable **functions** — the paper's open issue (3), implemented.
+//!
+//! Section 8: "We have so far only considered Boolean queries … Π-
+//! tractability for general queries, as well as for search problems and
+//! function problems, deserves a full treatment." Several of the paper's
+//! own case studies *are* search problems (RMQ returns a position, LCA
+//! returns a node); Section 3 handles them by Booleanization ("given a
+//! tuple t, whether t ∈ Q′(D)").
+//!
+//! This module provides the non-Boolean counterpart of
+//! [`crate::scheme::Scheme`] and the formal bridge between the two:
+//!
+//! * [`SearchScheme`] — preprocessing plus an answering function returning
+//!   an arbitrary value, with the same PTIME/NC cost annotations;
+//! * [`SearchScheme::to_decision`] — the paper's Booleanization: the
+//!   decision scheme asks "is the answer exactly `a`?", so Π-tractability
+//!   of the search form implies Π-tractability of the Boolean form with
+//!   identical costs;
+//! * [`SearchScheme::verify_against`] — validation against a reference
+//!   (slow) function, the search analogue of a language of pairs.
+
+use crate::cost::CostClass;
+use crate::scheme::Scheme;
+use std::rc::Rc;
+
+/// A Π-tractability witness for a *function* problem: answers have type
+/// `A` instead of `bool`.
+#[allow(clippy::type_complexity)] // Rc<dyn Fn> fields read better inline
+pub struct SearchScheme<D, P, Q, A> {
+    name: String,
+    preprocess: Rc<dyn Fn(&D) -> P>,
+    answer: Rc<dyn Fn(&P, &Q) -> A>,
+    preprocess_cost: CostClass,
+    answer_cost: CostClass,
+}
+
+impl<D, P, Q, A> Clone for SearchScheme<D, P, Q, A> {
+    fn clone(&self) -> Self {
+        SearchScheme {
+            name: self.name.clone(),
+            preprocess: Rc::clone(&self.preprocess),
+            answer: Rc::clone(&self.answer),
+            preprocess_cost: self.preprocess_cost,
+            answer_cost: self.answer_cost,
+        }
+    }
+}
+
+impl<D, P, Q, A> SearchScheme<D, P, Q, A>
+where
+    D: 'static,
+    P: 'static,
+    Q: 'static,
+    A: 'static,
+{
+    /// Build a search scheme from its halves and claimed cost classes.
+    pub fn new(
+        name: impl Into<String>,
+        preprocess_cost: CostClass,
+        answer_cost: CostClass,
+        preprocess: impl Fn(&D) -> P + 'static,
+        answer: impl Fn(&P, &Q) -> A + 'static,
+    ) -> Self {
+        SearchScheme {
+            name: name.into(),
+            preprocess: Rc::new(preprocess),
+            answer: Rc::new(answer),
+            preprocess_cost,
+            answer_cost,
+        }
+    }
+
+    /// Scheme name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Run the preprocessing step.
+    pub fn preprocess(&self, d: &D) -> P {
+        (self.preprocess)(d)
+    }
+
+    /// Answer one query.
+    pub fn answer(&self, p: &P, q: &Q) -> A {
+        (self.answer)(p, q)
+    }
+
+    /// Claimed preprocessing cost.
+    pub fn preprocess_cost(&self) -> CostClass {
+        self.preprocess_cost
+    }
+
+    /// Claimed per-query cost.
+    pub fn answer_cost(&self) -> CostClass {
+        self.answer_cost
+    }
+
+    /// Definition 1 lifted to functions: PTIME preprocessing + NC answers.
+    pub fn claims_pi_tractable(&self) -> bool {
+        self.preprocess_cost.is_ptime() && self.answer_cost.is_nc_query_cost()
+    }
+
+    /// Verify against a reference function on probe instances; returns the
+    /// index of the first disagreement.
+    pub fn verify_against(
+        &self,
+        reference: impl Fn(&D, &Q) -> A,
+        instances: &[(D, Vec<Q>)],
+    ) -> Result<(), usize>
+    where
+        A: PartialEq,
+    {
+        let mut idx = 0usize;
+        for (d, queries) in instances {
+            let p = self.preprocess(d);
+            for q in queries {
+                if self.answer(&p, q) != reference(d, q) {
+                    return Err(idx);
+                }
+                idx += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's Booleanization (Section 3): turn the search scheme into
+    /// a decision scheme for "does query `q` have answer `a`?". Costs are
+    /// unchanged — one extra equality test is O(1) — so Π-tractability of
+    /// the function form transfers verbatim to the Boolean form.
+    pub fn to_decision(&self) -> Scheme<D, P, (Q, A)>
+    where
+        A: PartialEq,
+    {
+        let name = format!("decision({})", self.name);
+        let pre = self.clone();
+        let ans = self.clone();
+        Scheme::new(
+            name,
+            self.preprocess_cost,
+            self.answer_cost,
+            move |d: &D| pre.preprocess(d),
+            move |p: &P, (q, a): &(Q, A)| ans.answer(p, q) == *a,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The RMQ search problem from Section 4(3): return the leftmost
+    /// argmin position (here via a precomputed all-pairs answer table, the
+    /// bluntest PTIME preprocessing).
+    fn rmq_search_scheme() -> SearchScheme<Vec<i64>, Vec<Vec<usize>>, (usize, usize), usize> {
+        SearchScheme::new(
+            "rmq-all-pairs",
+            CostClass::Quadratic,
+            CostClass::Constant,
+            |d: &Vec<i64>| {
+                let n = d.len();
+                let mut table = vec![vec![0usize; n]; n];
+                #[allow(clippy::needless_range_loop)] // i indexes data and table together
+                for i in 0..n {
+                    let mut best = i;
+                    for (j, row_j) in (i..n).zip(i..n) {
+                        if d[j] < d[best] {
+                            best = j;
+                        }
+                        table[i][row_j] = best;
+                    }
+                }
+                table
+            },
+            |table: &Vec<Vec<usize>>, &(i, j): &(usize, usize)| table[i][j],
+        )
+    }
+
+    #[allow(clippy::ptr_arg)] // signature must match SearchScheme's Fn(&D, &Q)
+    fn reference_rmq(d: &Vec<i64>, &(i, j): &(usize, usize)) -> usize {
+        let mut best = i;
+        for k in i + 1..=j {
+            if d[k] < d[best] {
+                best = k;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn search_scheme_matches_reference() {
+        let scheme = rmq_search_scheme();
+        assert!(scheme.claims_pi_tractable());
+        let instances = vec![
+            (vec![4i64, 2, 7, 2, 9], vec![(0, 4), (2, 4), (1, 1), (0, 1)]),
+            (vec![1], vec![(0, 0)]),
+        ];
+        assert_eq!(scheme.verify_against(reference_rmq, &instances), Ok(()));
+    }
+
+    #[test]
+    fn verify_against_detects_wrong_answers() {
+        let broken: SearchScheme<Vec<i64>, (), (usize, usize), usize> = SearchScheme::new(
+            "always-left",
+            CostClass::Constant,
+            CostClass::Constant,
+            |_d| (),
+            |_p, &(i, _j)| i,
+        );
+        let instances = vec![(vec![9i64, 1], vec![(0usize, 1usize)])];
+        assert_eq!(broken.verify_against(reference_rmq, &instances), Err(0));
+    }
+
+    #[test]
+    fn booleanization_preserves_costs_and_answers() {
+        let search = rmq_search_scheme();
+        let decision = search.to_decision();
+        assert_eq!(decision.preprocess_cost(), search.preprocess_cost());
+        assert_eq!(decision.answer_cost(), search.answer_cost());
+
+        let data = vec![5i64, 3, 8, 1, 6];
+        let p = decision.preprocess(&data);
+        // True exactly when the proposed answer is the real argmin.
+        assert!(decision.answer(&p, &((0, 4), 3)));
+        assert!(!decision.answer(&p, &((0, 4), 1)));
+        assert!(decision.answer(&p, &((0, 1), 1)));
+    }
+
+    #[test]
+    fn non_tractable_claims_propagate() {
+        let slow: SearchScheme<Vec<i64>, Vec<i64>, usize, i64> = SearchScheme::new(
+            "scan-max",
+            CostClass::Linear,
+            CostClass::Linear,
+            |d: &Vec<i64>| d.clone(),
+            |p: &Vec<i64>, &k: &usize| p.iter().copied().take(k.max(1)).max().unwrap_or(0),
+        );
+        assert!(!slow.claims_pi_tractable());
+        assert!(!slow.to_decision().claims_pi_tractable());
+    }
+
+    #[test]
+    fn clone_shares_behaviour() {
+        let scheme = rmq_search_scheme();
+        let c = scheme.clone();
+        let p = scheme.preprocess(&vec![3, 1, 2]);
+        assert_eq!(scheme.answer(&p, &(0, 2)), c.answer(&p, &(0, 2)));
+        assert_eq!(scheme.name(), c.name());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the framework crate: encoding laws, growth
+//! classification, and the algebra of reductions/factorizations.
+
+use pitract_core::cost::CostClass;
+use pitract_core::encode::{Encode, Encoded};
+use pitract_core::factor::{identity_pair_factorization, padded_factorization, Factorization};
+use pitract_core::fit::{best_fit, FitModel, Sample};
+use pitract_core::lang::FnPairLanguage;
+use pitract_core::problem::FnProblem;
+use pitract_core::reduce::{FReduction, FactorReduction};
+use pitract_core::scheme::Scheme;
+use proptest::prelude::*;
+
+proptest! {
+    /// Tuple encodings are injective on distinct string pairs: the length
+    /// prefix prevents boundary ambiguity.
+    #[test]
+    fn pair_encoding_is_injective(a1 in ".{0,12}", b1 in ".{0,12}", a2 in ".{0,12}", b2 in ".{0,12}") {
+        let e1 = (a1.clone(), b1.clone()).encoded();
+        let e2 = (a2.clone(), b2.clone()).encoded();
+        if (a1, b1) != (a2, b2) {
+            prop_assert_ne!(e1, e2);
+        } else {
+            prop_assert_eq!(e1, e2);
+        }
+    }
+
+    /// Encoded::pair always splits back to its components.
+    #[test]
+    fn encoded_pair_total_roundtrip(a in prop::collection::vec(any::<u8>(), 0..40),
+                                    b in prop::collection::vec(any::<u8>(), 0..40)) {
+        let p = Encoded::pair(&Encoded::from_bytes(a.clone()), &Encoded::from_bytes(b.clone()));
+        let (ra, rb) = p.split_pair().expect("framed by us");
+        prop_assert_eq!(ra.as_bytes(), &a[..]);
+        prop_assert_eq!(rb.as_bytes(), &b[..]);
+        prop_assert_eq!(p.len(), 8 + a.len() + b.len());
+    }
+
+    /// Growth classification recovers the generating model for clean
+    /// series at random positive scales.
+    #[test]
+    fn fit_recovers_generator(scale in 0.5f64..50.0, intercept in 0.0f64..100.0, model_idx in 0usize..7) {
+        let model = FitModel::ALL[model_idx];
+        let samples: Vec<Sample> = [256u64, 1024, 4096, 16384, 65536, 262144]
+            .iter()
+            .map(|&n| Sample { n: n as f64, t: scale * model.feature(n as f64) + intercept })
+            .collect();
+        let got = best_fit(&samples).best().model;
+        // Constant with a large intercept can shadow slow-growing models:
+        // accept the generator or an equal-error alternative by comparing
+        // residuals directly.
+        if got != model {
+            let report = best_fit(&samples);
+            let gen_fit = report.ranked.iter().find(|f| f.model == model).unwrap();
+            prop_assert!(gen_fit.nrmse <= report.best().nrmse + 1e-6,
+                "generator {} lost to {} decisively", model, got);
+        }
+    }
+
+    /// F-reductions with independently chosen shifts compose like their
+    /// sum (Lemma 8 transitivity, randomized).
+    #[test]
+    fn f_reduction_composition_is_additive(d1 in 0u64..1000, d2 in 0u64..1000,
+                                           xs in prop::collection::vec(0u64..500, 0..20),
+                                           q in 0u64..500) {
+        let r1 = FReduction::new("s1", move |d: &Vec<u64>| d.iter().map(|v| v + d1).collect::<Vec<_>>(), move |q: &u64| q + d1);
+        let r2 = FReduction::new("s2", move |d: &Vec<u64>| d.iter().map(|v| v + d2).collect::<Vec<_>>(), move |q: &u64| q + d2);
+        let r = r1.then(r2);
+        prop_assert_eq!(r.beta(&q), q + d1 + d2);
+        let lang = FnPairLanguage::new("contains", |d: &Vec<u64>, q: &u64| d.contains(q));
+        let lang2 = FnPairLanguage::new("contains", |d: &Vec<u64>, q: &u64| d.contains(q));
+        prop_assert_eq!(r.verify(&lang, &lang2, &[(xs, q)]), Ok(()));
+    }
+
+    /// Lemma 2 composition of factor reductions stays answer-preserving
+    /// for random shift amounts and probe sets.
+    #[test]
+    fn factor_reduction_composition_preserves(d1 in 0u64..100, d2 in 0u64..100,
+                                              probes in prop::collection::vec(
+                                                  (prop::collection::vec(0u64..200, 0..10), 0u64..200), 1..10)) {
+        let make = |delta: u64| FactorReduction::new(
+            identity_pair_factorization::<Vec<u64>, u64>(),
+            identity_pair_factorization::<Vec<u64>, u64>(),
+            FReduction::new("shift", move |d: &Vec<u64>| d.iter().map(|v| v + delta).collect::<Vec<_>>(), move |q: &u64| q + delta),
+        );
+        let composed = make(d1).compose(make(d2));
+        let src = FnProblem::new("src", |x: &(Vec<u64>, u64)| x.0.contains(&x.1));
+        let dst = FnProblem::new("dst", |x: &(Vec<u64>, u64)| x.0.contains(&x.1));
+        prop_assert_eq!(composed.verify(&src, &dst, &probes), Ok(()));
+    }
+
+    /// Padding preserves the roundtrip law for arbitrary inner instances.
+    #[test]
+    fn padded_factorization_roundtrip(d in prop::collection::vec(any::<u32>(), 0..16), q in any::<u32>()) {
+        let padded = padded_factorization(identity_pair_factorization::<Vec<u32>, u32>());
+        let x = (d, q);
+        prop_assert!(padded.check_roundtrip(&x));
+        prop_assert_eq!(padded.pi1(&x), padded.pi2(&x));
+    }
+
+    /// Scheme transfer never changes answers, for random target data.
+    #[test]
+    fn transfer_preserves_answers(delta in 0u64..50,
+                                  data in prop::collection::vec(0u64..100, 0..30),
+                                  queries in prop::collection::vec(0u64..120, 1..20)) {
+        let target = Scheme::new(
+            "sorted",
+            CostClass::NLogN,
+            CostClass::Log,
+            |d: &Vec<u64>| { let mut s = d.clone(); s.sort_unstable(); s },
+            |p: &Vec<u64>, q: &u64| p.binary_search(q).is_ok(),
+        );
+        let red = FReduction::new(
+            "shift",
+            move |d: &Vec<u64>| d.iter().map(|v| v + delta).collect::<Vec<_>>(),
+            move |q: &u64| q + delta,
+        );
+        let source = red.transfer(&target, CostClass::Linear, CostClass::Constant);
+        let p = source.preprocess(&data);
+        for q in queries {
+            prop_assert_eq!(source.answer(&p, &q), data.contains(&q));
+        }
+    }
+
+    /// CostClass order is a total preorder consistent with bound values at
+    /// large n.
+    #[test]
+    fn cost_class_order_is_sound(i in 0usize..9, j in 0usize..9) {
+        let classes = [
+            CostClass::Constant, CostClass::Log, CostClass::PolyLog(2),
+            CostClass::SqrtN, CostClass::Linear, CostClass::NLogN,
+            CostClass::Quadratic, CostClass::Cubic, CostClass::Poly(4),
+        ];
+        let (a, b) = (classes[i], classes[j]);
+        if a.leq(b) && b.leq(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.leq(b) && a != b {
+            // Asymptotic dominance visible at a big n.
+            let n = 1u64 << 40;
+            prop_assert!(a.bound(n) <= b.bound(n) * 1.0001,
+                "{} claims <= {} but bounds disagree", a, b);
+        }
+    }
+}

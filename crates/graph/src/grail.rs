@@ -1,0 +1,276 @@
+//! GRAIL-style interval reachability labels for DAGs: the middle point of
+//! the preprocessing trade-off between "no index" (per-query BFS) and the
+//! quadratic-space closure matrix of Example 3.
+//!
+//! Preprocessing performs `k` randomized DFS post-order sweeps. Each sweep
+//! assigns `L_i(v) = [low_i(v), post_i(v)]`, where `post_i` is the DFS
+//! post-order rank and `low_i(v)` is the minimum `low` over all out-edges
+//! (computed in reverse topological order). The invariant — for any DAG —
+//! is containment along reachability: `u ⇝ v ⟹ L_i(v) ⊆ L_i(u)` for every
+//! sweep. Queries therefore use the labels as a **sound negative filter**
+//! (any violated containment proves unreachability in O(k)) and fall back
+//! to a label-pruned DFS otherwise.
+//!
+//! Space: O(k·n) — linear, unlike the closure's O(n²) bits — at the cost
+//! of non-constant positive queries. E6's narrative gains a third column:
+//! scan-per-query, linear-space index, quadratic-space index.
+
+use crate::repr::Graph;
+use pitract_core::cost::Meter;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Errors from [`GrailIndex::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrailError {
+    /// The input graph has a directed cycle; labels require a DAG.
+    Cyclic,
+}
+
+/// Interval labels from one randomized sweep.
+#[derive(Debug, Clone)]
+struct Sweep {
+    post: Vec<u32>,
+    low: Vec<u32>,
+}
+
+/// A k-sweep GRAIL reachability index over a DAG.
+#[derive(Debug, Clone)]
+pub struct GrailIndex {
+    adj: Vec<Vec<usize>>,
+    sweeps: Vec<Sweep>,
+}
+
+impl GrailIndex {
+    /// Build with `k` randomized sweeps (k ≥ 1). O(k·(n + m)) after a
+    /// topological sort; rejects cyclic inputs.
+    pub fn build(g: &Graph, k: usize, seed: u64) -> Result<Self, GrailError> {
+        assert!(g.is_directed(), "GRAIL labels are defined on DAGs");
+        assert!(k >= 1, "at least one sweep required");
+        let n = g.node_count();
+        let adj: Vec<Vec<usize>> = (0..n).map(|v| g.neighbors(v).to_vec()).collect();
+
+        // Topological order (Kahn) — also the cycle check.
+        let mut indeg = vec![0usize; n];
+        for ns in &adj {
+            for &v in ns {
+                indeg[v] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            topo.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(GrailError::Cyclic);
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sweeps = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Randomized DFS post-order with restarts in random root order.
+            let mut roots: Vec<usize> = (0..n).collect();
+            roots.shuffle(&mut rng);
+            let mut shuffled_adj: Vec<Vec<usize>> = adj.clone();
+            for ns in &mut shuffled_adj {
+                ns.shuffle(&mut rng);
+            }
+            let mut post = vec![u32::MAX; n];
+            let mut clock = 0u32;
+            let mut visited = vec![false; n];
+            for &root in &roots {
+                if visited[root] {
+                    continue;
+                }
+                // Iterative DFS assigning post-order numbers.
+                let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+                visited[root] = true;
+                while let Some(&(u, ci)) = stack.last() {
+                    if ci < shuffled_adj[u].len() {
+                        stack.last_mut().expect("nonempty").1 += 1;
+                        let c = shuffled_adj[u][ci];
+                        if !visited[c] {
+                            visited[c] = true;
+                            stack.push((c, 0));
+                        }
+                    } else {
+                        post[u] = clock;
+                        clock += 1;
+                        stack.pop();
+                    }
+                }
+            }
+            // low over ALL out-edges, in reverse topological order.
+            let mut low = post.clone();
+            for &u in topo.iter().rev() {
+                for &v in &adj[u] {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+            sweeps.push(Sweep { post, low });
+        }
+        Ok(GrailIndex { adj, sweeps })
+    }
+
+    /// Number of sweeps k.
+    pub fn sweep_count(&self) -> usize {
+        self.sweeps.len()
+    }
+
+    /// The containment filter: `false` means **provably unreachable**;
+    /// `true` means "possibly reachable, verify".
+    fn filter(&self, u: usize, v: usize) -> bool {
+        self.sweeps
+            .iter()
+            .all(|s| s.low[u] <= s.low[v] && s.post[v] <= s.post[u])
+    }
+
+    /// Is `v` reachable from `u` (reflexively)? Sound and complete: the
+    /// filter prunes, a guided DFS confirms.
+    pub fn reachable(&self, u: usize, v: usize) -> bool {
+        self.reachable_metered(u, v, &Meter::new())
+    }
+
+    /// Metered query: ticks per filter evaluation and per DFS node visit,
+    /// so E6 can report how much the labels prune.
+    pub fn reachable_metered(&self, u: usize, v: usize, meter: &Meter) -> bool {
+        if u == v {
+            return true;
+        }
+        meter.add(self.sweeps.len() as u64);
+        if !self.filter(u, v) {
+            return false;
+        }
+        // Label-pruned DFS.
+        let n = self.adj.len();
+        let mut visited = vec![false; n];
+        let mut stack = vec![u];
+        visited[u] = true;
+        while let Some(x) = stack.pop() {
+            meter.tick();
+            for &y in &self.adj[x] {
+                if y == v {
+                    return true;
+                }
+                if !visited[y] {
+                    meter.add(self.sweeps.len() as u64);
+                    if self.filter(y, v) {
+                        visited[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::traverse::reachable_bfs;
+
+    #[test]
+    fn matches_bfs_on_random_dags() {
+        for seed in 0..6u64 {
+            let g = generate::random_dag(60, 150, seed);
+            let idx = GrailIndex::build(&g, 3, seed).expect("generator emits DAGs");
+            for u in 0..60 {
+                for v in 0..60 {
+                    assert_eq!(
+                        idx.reachable(u, v),
+                        reachable_bfs(&g, u, v),
+                        "seed {seed} pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_layered_dags() {
+        let g = generate::layered_dag(8, 10, 2, 5);
+        let idx = GrailIndex::build(&g, 2, 9).unwrap();
+        for u in (0..80).step_by(3) {
+            for v in (0..80).step_by(7) {
+                assert_eq!(idx.reachable(u, v), reachable_bfs(&g, u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_is_sound_never_prunes_reachable_pairs() {
+        // If u ⇝ v the containment must hold in every sweep.
+        let g = generate::random_dag(50, 120, 31);
+        let idx = GrailIndex::build(&g, 4, 77).unwrap();
+        for u in 0..50 {
+            for v in 0..50 {
+                if u != v && reachable_bfs(&g, u, v) {
+                    assert!(idx.filter(u, v), "filter pruned reachable ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_prunes_most_negatives_on_deep_chains() {
+        // Two disjoint long chains: cross-chain queries should die in the
+        // filter without any DFS (steps ≈ k, not ≈ n).
+        let n = 2000;
+        let mut edges: Vec<(usize, usize)> = (1..n / 2).map(|i| (i - 1, i)).collect();
+        edges.extend((n / 2 + 1..n).map(|i| (i - 1, i)));
+        let g = Graph::directed_from_edges(n, &edges);
+        let idx = GrailIndex::build(&g, 2, 3).unwrap();
+        let meter = Meter::new();
+        assert!(!idx.reachable_metered(0, n - 1, &meter));
+        assert!(
+            meter.steps() <= 8,
+            "cross-chain negative cost {} — filter not pruning",
+            meter.steps()
+        );
+    }
+
+    #[test]
+    fn cyclic_graphs_are_rejected() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(GrailIndex::build(&g, 2, 1).unwrap_err(), GrailError::Cyclic);
+    }
+
+    #[test]
+    fn reflexive_and_empty_cases() {
+        let g = Graph::directed_from_edges(4, &[]);
+        let idx = GrailIndex::build(&g, 1, 1).unwrap();
+        for v in 0..4 {
+            assert!(idx.reachable(v, v));
+        }
+        assert!(!idx.reachable(0, 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generate::random_dag(40, 80, 11);
+        let a = GrailIndex::build(&g, 2, 42).unwrap();
+        let b = GrailIndex::build(&g, 2, 42).unwrap();
+        for u in 0..40 {
+            for v in 0..40 {
+                assert_eq!(a.reachable(u, v), b.reachable(u, v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DAGs")]
+    fn undirected_rejected() {
+        let g = Graph::undirected_from_edges(2, &[(0, 1)]);
+        let _ = GrailIndex::build(&g, 1, 1);
+    }
+}

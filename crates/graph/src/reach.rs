@@ -1,0 +1,266 @@
+//! Reachability indexes — Example 3 of the paper.
+//!
+//! The class Q₂ of reachability queries (the NL-complete GAP problem) is
+//! Π-tractable two ways:
+//!
+//! * it is already in NC (transitive closure by matrix squaring — see
+//!   `pitract_pram::matrix`), so even the trivial preprocessing works; and
+//! * "better still", one can **precompute the all-pairs reachability
+//!   matrix** in PTIME and answer every query in O(1) — that is
+//!   [`ReachIndex`].
+//!
+//! The module also provides [`TreeIntervals`], the classic O(n)
+//! preprocessing / O(1) ancestor test for the special case of trees, used
+//! by the examples and by E6 as a cheaper index when the data is
+//! tree-shaped.
+
+use crate::repr::Graph;
+use pitract_core::cost::Meter;
+use pitract_pram::machine::Cost;
+use pitract_pram::matrix::BitMatrix;
+
+/// All-pairs reachability index: the "matrix" of Example 3.
+#[derive(Debug, Clone)]
+pub struct ReachIndex {
+    closure: BitMatrix,
+}
+
+impl ReachIndex {
+    /// PTIME preprocessing by a DFS from every node: O(n·(n+m)).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut closure = BitMatrix::zero(n);
+        let mut stack = Vec::new();
+        let mut seen = vec![false; n];
+        for s in 0..n {
+            seen.iter_mut().for_each(|b| *b = false);
+            stack.push(s);
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                closure.set(s, u, true);
+                for &v in g.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        ReachIndex { closure }
+    }
+
+    /// NC preprocessing by repeated Boolean matrix squaring; returns the
+    /// index together with the PRAM [`Cost`] (depth Θ(log² n)) — the E14
+    /// witness that even the *preprocessing* of Example 3 parallelizes.
+    pub fn build_parallel_model(g: &Graph) -> (Self, Cost) {
+        let edges = g.edges();
+        let adj = BitMatrix::from_edges(g.node_count(), &edges);
+        let (closure, cost) = adj.transitive_closure();
+        (ReachIndex { closure }, cost)
+    }
+
+    /// Is `t` reachable from `s` (reflexively)? O(1): one bit probe.
+    pub fn reachable(&self, s: usize, t: usize) -> bool {
+        self.closure.reachable(s, t)
+    }
+
+    /// Metered O(1) probe for E6.
+    pub fn reachable_metered(&self, s: usize, t: usize, meter: &Meter) -> bool {
+        meter.tick();
+        self.reachable(s, t)
+    }
+
+    /// Number of reachable pairs (including reflexive ones) — a workload
+    /// statistic reported by E6/E8.
+    pub fn reachable_pairs(&self) -> u64 {
+        self.closure.count_ones()
+    }
+
+    /// Dimension of the indexed graph.
+    pub fn len(&self) -> usize {
+        self.closure.dim()
+    }
+
+    /// Is the indexed graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Interval (pre/post order) labeling of a rooted tree: `u` is an ancestor
+/// of `v` iff `in[u] ≤ in[v] < out[u]`. O(n) preprocessing, O(1) queries —
+/// the tree-shaped special case of reachability indexing.
+#[derive(Debug, Clone)]
+pub struct TreeIntervals {
+    tin: Vec<usize>,
+    tout: Vec<usize>,
+}
+
+impl TreeIntervals {
+    /// Build from a directed graph that must be a forest of out-trees
+    /// (each node at most one parent, no cycles). Panics on malformed
+    /// input — tree-shape is this structure's contract.
+    pub fn build(g: &Graph, roots: &[usize]) -> Self {
+        let n = g.node_count();
+        let mut tin = vec![usize::MAX; n];
+        let mut tout = vec![usize::MAX; n];
+        let mut clock = 0usize;
+        // Iterative pre/post-order.
+        for &root in roots {
+            assert!(tin[root] == usize::MAX, "root {root} already visited");
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            tin[root] = clock;
+            clock += 1;
+            while let Some(&(u, ci)) = stack.last() {
+                let ns = g.neighbors(u);
+                if ci < ns.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let c = ns[ci];
+                    assert!(tin[c] == usize::MAX, "node {c} has two parents or a cycle");
+                    tin[c] = clock;
+                    clock += 1;
+                    stack.push((c, 0));
+                } else {
+                    tout[u] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
+        assert!(
+            tin.iter().all(|&t| t != usize::MAX),
+            "some nodes unreachable from the given roots"
+        );
+        TreeIntervals { tin, tout }
+    }
+
+    /// Is `u` an ancestor of `v` (reflexively)? O(1).
+    pub fn is_ancestor(&self, u: usize, v: usize) -> bool {
+        self.tin[u] <= self.tin[v] && self.tin[v] < self.tout[u]
+    }
+
+    /// Metered O(1) probe.
+    pub fn is_ancestor_metered(&self, u: usize, v: usize, meter: &Meter) -> bool {
+        meter.add(2);
+        self.is_ancestor(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::reachable_bfs;
+
+    fn random_digraph(n: usize, m: usize, seed: u64) -> Graph {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let edges: Vec<(usize, usize)> = (0..m)
+            .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+            .collect();
+        Graph::directed_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn index_matches_bfs_on_random_graphs() {
+        for n in [1usize, 2, 10, 40] {
+            let g = random_digraph(n, n * 2, n as u64 + 3);
+            let idx = ReachIndex::build(&g);
+            for s in 0..n {
+                for t in 0..n {
+                    assert_eq!(idx.reachable(s, t), reachable_bfs(&g, s, t), "({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_model_build_agrees_with_sequential() {
+        let g = random_digraph(40, 90, 1234);
+        let idx_seq = ReachIndex::build(&g);
+        let (idx_par, cost) = ReachIndex::build_parallel_model(&g);
+        for s in 0..40 {
+            for t in 0..40 {
+                assert_eq!(idx_seq.reachable(s, t), idx_par.reachable(s, t), "({s},{t})");
+            }
+        }
+        // Depth must be polylog: the NC claim.
+        assert!(
+            cost.depth_within(pitract_core::cost::CostClass::PolyLog(2), 40, 3.0),
+            "closure depth {} not polylog",
+            cost.depth
+        );
+    }
+
+    #[test]
+    fn probes_are_constant_cost() {
+        let g = random_digraph(100, 300, 9);
+        let idx = ReachIndex::build(&g);
+        let meter = Meter::new();
+        idx.reachable_metered(0, 99, &meter);
+        assert_eq!(meter.steps(), 1);
+    }
+
+    #[test]
+    fn reachability_is_reflexive() {
+        let g = Graph::directed_from_edges(3, &[]);
+        let idx = ReachIndex::build(&g);
+        for v in 0..3 {
+            assert!(idx.reachable(v, v));
+        }
+        assert!(!idx.reachable(0, 1));
+    }
+
+    #[test]
+    fn reachable_pairs_counts_closure_bits() {
+        // Path 0→1→2: pairs (0,0),(1,1),(2,2),(0,1),(0,2),(1,2) = 6.
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(ReachIndex::build(&g).reachable_pairs(), 6);
+    }
+
+    #[test]
+    fn tree_intervals_match_reachability() {
+        //       0        5
+        //      / \       |
+        //     1   2      6
+        //        / \
+        //       3   4
+        let g = Graph::directed_from_edges(7, &[(0, 1), (0, 2), (2, 3), (2, 4), (5, 6)]);
+        let ti = TreeIntervals::build(&g, &[0, 5]);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(ti.is_ancestor(u, v), reachable_bfs(&g, u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_interval_probe_is_constant() {
+        let n = 10_000;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let g = Graph::directed_from_edges(n, &edges);
+        let ti = TreeIntervals::build(&g, &[0]);
+        let meter = Meter::new();
+        assert!(ti.is_ancestor_metered(0, n - 1, &meter));
+        assert_eq!(meter.steps(), 2);
+        assert!(!ti.is_ancestor(n - 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "two parents")]
+    fn tree_intervals_reject_dags() {
+        let g = Graph::directed_from_edges(3, &[(0, 2), (1, 2)]);
+        TreeIntervals::build(&g, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable from the given roots")]
+    fn tree_intervals_reject_missing_roots() {
+        let g = Graph::directed_from_edges(3, &[(0, 1)]);
+        TreeIntervals::build(&g, &[0]);
+    }
+}

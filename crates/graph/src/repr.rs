@@ -1,0 +1,205 @@
+//! Adjacency-list graph representation shared by every graph algorithm in
+//! the workspace.
+//!
+//! One type covers both directed and undirected graphs (undirected edges
+//! are stored in both adjacency lists); algorithms that require one kind
+//! assert it. Nodes are `0..n` — the paper's "numbering on the nodes"
+//! (Example 2) is simply the node id, which makes BDS deterministic.
+
+use pitract_core::encode::Encode;
+
+/// A graph over nodes `0..n` with adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    directed: bool,
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Empty graph with `n` isolated nodes.
+    pub fn new(n: usize, directed: bool) -> Self {
+        Graph {
+            directed,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Build a directed graph from an edge list. Panics on out-of-range
+    /// endpoints (caller input bug).
+    pub fn directed_from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n, true);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Build an undirected graph from an edge list.
+    pub fn undirected_from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n, false);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Add one edge. For undirected graphs both directions are stored.
+    /// Self-loops are allowed (stored once).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        let n = self.adj.len();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        self.adj[u].push(v);
+        if !self.directed && u != v {
+            self.adj[v].push(u);
+        }
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (undirected edges counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Is this a directed graph?
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-neighbors of `u` (all neighbors for undirected graphs), in
+    /// insertion order.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Neighbors of `u` in ascending node-number order — the order BDS uses
+    /// ("induced by the vertex numbering").
+    pub fn neighbors_sorted(&self, u: usize) -> Vec<usize> {
+        let mut ns = self.adj[u].to_vec();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterate all edges as `(u, v)` pairs. Undirected edges are yielded
+    /// once, with `u ≤ v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                if self.directed || u <= v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reverse all edges (directed graphs only).
+    pub fn reversed(&self) -> Graph {
+        assert!(self.directed, "reversing an undirected graph is a no-op bug");
+        let mut g = Graph::new(self.node_count(), true);
+        for (u, ns) in self.adj.iter().enumerate() {
+            for &v in ns {
+                g.add_edge(v, u);
+            }
+        }
+        g
+    }
+
+    /// Total size |G| = nodes + edges, the measure used in compression
+    /// ratios (E8).
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+}
+
+impl Encode for Graph {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.directed.encode_into(out);
+        (self.node_count() as u64).encode_into(out);
+        let edges = self.edges();
+        (edges.len() as u64).encode_into(out);
+        for (u, v) in edges {
+            (u as u64).encode_into(out);
+            (v as u64).encode_into(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::encode::Encode;
+
+    #[test]
+    fn directed_adjacency() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[usize]);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn undirected_stores_both_directions() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn self_loops_stored_once() {
+        let mut g = Graph::new(2, false);
+        g.add_edge(0, 0);
+        assert_eq!(g.neighbors(0), &[0]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted_orders_by_number() {
+        let g = Graph::directed_from_edges(5, &[(0, 4), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors_sorted(0), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn reversed_flips_directed_edges() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert_eq!(r.neighbors(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn size_counts_nodes_plus_edges() {
+        let g = Graph::undirected_from_edges(10, &[(0, 1), (2, 3)]);
+        assert_eq!(g.size(), 12);
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_size_bearing() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (2, 3)]);
+        let e1 = g.encoded();
+        let e2 = g.clone().encoded();
+        assert_eq!(e1, e2);
+        assert!(!e1.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::new(2, true).add_edge(0, 2);
+    }
+}

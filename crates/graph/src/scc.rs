@@ -1,0 +1,250 @@
+//! Strongly connected components (iterative Tarjan) and condensation —
+//! the first stage of query-preserving reachability compression (E8).
+//!
+//! Collapsing each SCC to a single node preserves every inter-node
+//! reachability fact: `u ⇝ v` in `G` iff `scc(u) ⇝ scc(v)` in the
+//! condensation (with the intra-component case answered by membership).
+//! That makes condensation the canonical example of the paper's Section
+//! 4(5): a PTIME compression that preserves the answers to a query class —
+//! not the data itself.
+
+use crate::repr::Graph;
+
+/// The SCC decomposition of a directed graph.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `comp[v]` = component id of node `v`; ids are in **reverse
+    /// topological order of the condensation** (Tarjan's output order:
+    /// a component's id is smaller than its successors' ids... precisely:
+    /// if C₁ ⇝ C₂ and C₁ ≠ C₂ then id(C₁) > id(C₂)).
+    pub comp: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccDecomposition {
+    /// Nodes grouped by component id.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.comp.iter().enumerate() {
+            groups[c].push(v);
+        }
+        groups
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.comp {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+}
+
+/// Iterative Tarjan SCC. Directed graphs only.
+pub fn tarjan_scc(g: &Graph) -> SccDecomposition {
+    assert!(g.is_directed(), "SCCs are defined on directed graphs");
+    let n = g.node_count();
+    const UNSET: usize = usize::MAX;
+
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![UNSET; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS frames: (node, next neighbor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&(v, ni)) = frames.last() {
+            if ni == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neighbors = g.neighbors(v);
+            if ni < neighbors.len() {
+                frames.last_mut().expect("nonempty").1 += 1;
+                let w = neighbors[ni];
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // v roots a component: pop the stack down to v.
+                    loop {
+                        let w = stack.pop().expect("component member on stack");
+                        on_stack[w] = false;
+                        comp[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition { comp, count }
+}
+
+/// Condensation: one node per SCC, deduplicated edges between distinct
+/// components. Returns the condensed graph plus the decomposition used.
+pub fn condensation(g: &Graph) -> (Graph, SccDecomposition) {
+    let scc = tarjan_scc(g);
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        let (cu, cv) = (scc.comp[u], scc.comp[v]);
+        if cu != cv {
+            edges.push((cu, cv));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    (Graph::directed_from_edges(scc.count, &edges), scc)
+}
+
+/// Does the component carry an internal cycle (size > 1, or a self-loop)?
+/// Needed to answer `u ⇝ u`-style queries on the compressed form.
+pub fn has_internal_cycle(g: &Graph, scc: &SccDecomposition, component: usize) -> bool {
+    let mut size = 0;
+    for (v, &c) in scc.comp.iter().enumerate() {
+        if c == component {
+            size += 1;
+            if size > 1 {
+                return true;
+            }
+            if g.neighbors(v).contains(&v) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::reachable_bfs;
+
+    fn two_cycles_and_tail() -> Graph {
+        // Cycle {0,1,2} -> cycle {3,4} -> tail 5.
+        Graph::directed_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn components_are_grouped_correctly() {
+        let scc = tarjan_scc(&two_cycles_and_tail());
+        assert_eq!(scc.count, 3);
+        assert_eq!(scc.comp[0], scc.comp[1]);
+        assert_eq!(scc.comp[1], scc.comp[2]);
+        assert_eq!(scc.comp[3], scc.comp[4]);
+        assert_ne!(scc.comp[0], scc.comp[3]);
+        assert_ne!(scc.comp[3], scc.comp[5]);
+    }
+
+    #[test]
+    fn tarjan_ids_are_reverse_topological() {
+        let g = two_cycles_and_tail();
+        let scc = tarjan_scc(&g);
+        // Successor components must have *smaller* ids.
+        for (u, v) in g.edges() {
+            let (cu, cv) = (scc.comp[u], scc.comp[v]);
+            if cu != cv {
+                assert!(cu > cv, "edge ({u},{v}): id({cu}) must exceed id({cv})");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count, 4);
+        let sizes = scc.sizes();
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn full_cycle_is_one_component() {
+        let n = 50;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let scc = tarjan_scc(&Graph::directed_from_edges(n, &edges));
+        assert_eq!(scc.count, 1);
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_reachability() {
+        let g = two_cycles_and_tail();
+        let (cond, scc) = condensation(&g);
+        assert_eq!(cond.node_count(), 3);
+        // Acyclicity: every edge goes from higher to lower id (reverse topo).
+        for (u, v) in cond.edges() {
+            assert!(u > v, "condensation edge ({u},{v}) violates topo ids");
+        }
+        // Reachability preservation across all node pairs.
+        for u in 0..g.node_count() {
+            for v in 0..g.node_count() {
+                let original = reachable_bfs(&g, u, v);
+                let compressed = if scc.comp[u] == scc.comp[v] {
+                    u == v || has_internal_cycle(&g, &scc, scc.comp[u])
+                } else {
+                    reachable_bfs(&cond, scc.comp[u], scc.comp[v])
+                };
+                assert_eq!(original, compressed, "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_deduplicates_edges() {
+        // Two parallel inter-component edges collapse to one.
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)]);
+        let (cond, _) = condensation(&g);
+        assert_eq!(cond.node_count(), 3);
+        assert_eq!(cond.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loop_component_has_internal_cycle() {
+        let g = Graph::directed_from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert!(has_internal_cycle(&g, &scc, scc.comp[0]));
+        assert!(!has_internal_cycle(&g, &scc, scc.comp[1]));
+    }
+
+    #[test]
+    fn deep_recursion_does_not_overflow() {
+        // 100k-node path: the iterative implementation must survive.
+        let n = 100_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let scc = tarjan_scc(&Graph::directed_from_edges(n, &edges));
+        assert_eq!(scc.count, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "directed")]
+    fn undirected_graph_rejected() {
+        tarjan_scc(&Graph::undirected_from_edges(2, &[(0, 1)]));
+    }
+}

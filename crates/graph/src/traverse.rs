@@ -1,0 +1,179 @@
+//! Breadth-first / depth-first traversals and connected components.
+//!
+//! These are the per-query PTIME baselines of the experiments: E6 answers
+//! each reachability query with a fresh (metered) BFS, which is exactly the
+//! cost profile the paper argues is infeasible on big data without
+//! preprocessing.
+
+use crate::repr::Graph;
+use pitract_core::cost::Meter;
+use std::collections::VecDeque;
+
+/// BFS from `source`: distances (`None` = unreachable) and visit order.
+pub fn bfs(g: &Graph, source: usize) -> (Vec<Option<u64>>, Vec<usize>) {
+    let n = g.node_count();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(dist[u].expect("dequeued node has distance") + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, order)
+}
+
+/// Metered s→t reachability by BFS: one tick per scanned edge plus one per
+/// dequeued node. This is the no-preprocessing baseline of E6.
+pub fn reachable_bfs_metered(g: &Graph, s: usize, t: usize, meter: &Meter) -> bool {
+    if s == t {
+        return true;
+    }
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[s] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        meter.tick();
+        for &v in g.neighbors(u) {
+            meter.tick();
+            if v == t {
+                return true;
+            }
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
+/// Unmetered s→t BFS reachability (the specification used as ground truth).
+pub fn reachable_bfs(g: &Graph, s: usize, t: usize) -> bool {
+    reachable_bfs_metered(g, s, t, &Meter::new())
+}
+
+/// Iterative DFS preorder from `source` (neighbors in adjacency order).
+pub fn dfs_preorder(g: &Graph, source: usize) -> Vec<usize> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if seen[u] {
+            continue;
+        }
+        seen[u] = true;
+        order.push(u);
+        // Push in reverse so the first-listed neighbor is visited first.
+        for &v in g.neighbors(u).iter().rev() {
+            if !seen[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components of an undirected graph: `comp[v]` = component id
+/// (0-based, in order of discovery from node 0 upward).
+pub fn components(g: &Graph) -> Vec<usize> {
+    assert!(!g.is_directed(), "components() expects an undirected graph");
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        comp[start] = next;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        Graph::directed_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_diamond() {
+        let (dist, order) = bfs(&diamond(), 0);
+        assert_eq!(dist, vec![Some(0), Some(1), Some(1), Some(2)]);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn bfs_unreachable_nodes_have_no_distance() {
+        let g = Graph::directed_from_edges(3, &[(0, 1)]);
+        let (dist, _) = bfs(&g, 0);
+        assert_eq!(dist[2], None);
+    }
+
+    #[test]
+    fn reachability_matches_intuition() {
+        let g = diamond();
+        assert!(reachable_bfs(&g, 0, 3));
+        assert!(!reachable_bfs(&g, 3, 0));
+        assert!(reachable_bfs(&g, 1, 1), "trivially reachable from itself");
+        assert!(!reachable_bfs(&g, 1, 2));
+    }
+
+    #[test]
+    fn bfs_meter_counts_grow_with_graph() {
+        let n = 1000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::directed_from_edges(n, &edges);
+        let meter = Meter::new();
+        reachable_bfs_metered(&g, 0, n - 1, &meter);
+        assert!(
+            meter.steps() >= (n as u64) - 2,
+            "full path walk expected, got {} steps",
+            meter.steps()
+        );
+    }
+
+    #[test]
+    fn dfs_preorder_respects_adjacency_order() {
+        let g = Graph::directed_from_edges(4, &[(0, 2), (0, 1), (2, 3)]);
+        assert_eq!(dfs_preorder(&g, 0), vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn components_of_forest() {
+        let g = Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let comp = components(&g);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[3], comp[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn components_rejects_directed_graphs() {
+        components(&Graph::directed_from_edges(2, &[(0, 1)]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the graph crate: SCC laws, BDS determinism,
+//! reachability index agreement, generator invariants.
+
+use pitract_graph::bds::{bds_order, BdsIndex};
+use pitract_graph::generate;
+use pitract_graph::reach::ReachIndex;
+use pitract_graph::scc::{condensation, tarjan_scc};
+use pitract_graph::traverse::{components, reachable_bfs};
+use pitract_graph::Graph;
+use proptest::prelude::*;
+
+proptest! {
+    /// Two nodes share a Tarjan component iff they reach each other.
+    #[test]
+    fn scc_is_mutual_reachability(
+        n in 1usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..60)
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::directed_from_edges(n, &edges);
+        let scc = tarjan_scc(&g);
+        for u in 0..n {
+            for v in 0..n {
+                let mutual = reachable_bfs(&g, u, v) && reachable_bfs(&g, v, u);
+                prop_assert_eq!(scc.comp[u] == scc.comp[v], mutual, "({},{})", u, v);
+            }
+        }
+    }
+
+    /// The condensation is a DAG whose edges go from higher to lower
+    /// component ids (Tarjan's reverse-topological numbering).
+    #[test]
+    fn condensation_is_topologically_numbered(
+        n in 1usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..60)
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::directed_from_edges(n, &edges);
+        let (cond, _) = condensation(&g);
+        for (u, v) in cond.edges() {
+            prop_assert!(u > v, "condensation edge ({},{})", u, v);
+        }
+    }
+
+    /// BDS is deterministic and consistent with undirected components:
+    /// within one component, all nodes are visited contiguously.
+    #[test]
+    fn bds_visits_components_contiguously(
+        n in 1usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 0..50)
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let g = Graph::undirected_from_edges(n, &edges);
+        let order = bds_order(&g);
+        prop_assert_eq!(&order, &bds_order(&g), "determinism");
+        let comp = components(&g);
+        // Component blocks: once we leave a component we never return.
+        let mut seen_done = std::collections::HashSet::new();
+        let mut current = usize::MAX;
+        for &v in &order {
+            if comp[v] != current {
+                prop_assert!(
+                    seen_done.insert(comp[v]),
+                    "component {} revisited in BDS order {:?}", comp[v], order
+                );
+                current = comp[v];
+            }
+        }
+        // Index agrees with order.
+        let idx = BdsIndex::build(&g);
+        for (pos, &v) in order.iter().enumerate() {
+            prop_assert_eq!(idx.position(v), pos);
+        }
+    }
+
+    /// Reachability index agrees with BFS on generated workloads too
+    /// (generators mustn't produce graphs that break the index).
+    #[test]
+    fn generators_feed_consistent_indexes(seed in any::<u64>(), kind in 0u8..4) {
+        let g = match kind {
+            0 => generate::gnp_directed(40, 0.06, seed),
+            1 => generate::random_dag(40, 60, seed),
+            2 => generate::preferential_attachment(40, 2, seed),
+            _ => generate::layered_dag(5, 8, 2, seed),
+        };
+        let idx = ReachIndex::build(&g);
+        for u in (0..40).step_by(5) {
+            for v in (0..40).step_by(7) {
+                prop_assert_eq!(idx.reachable(u, v), reachable_bfs(&g, u, v));
+            }
+        }
+    }
+
+    /// Tree generator really produces trees: n−1 edges, connected, no
+    /// node reaches its ancestors.
+    #[test]
+    fn random_tree_is_a_tree(n in 1usize..60, seed in any::<u64>()) {
+        let g = generate::random_tree(n, seed);
+        prop_assert_eq!(g.edge_count(), n - 1);
+        for v in 0..n {
+            prop_assert!(reachable_bfs(&g, 0, v), "node {} unreachable", v);
+            if v != 0 {
+                prop_assert!(!reachable_bfs(&g, v, 0), "cycle through {}", v);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! |CHANGED|-based accounting for incremental algorithms.
+//!
+//! Ramalingam & Reps: charge an incremental algorithm against
+//! `|CHANGED| = |ΔD| + |ΔO|`, the part of the cost *inherent* to the
+//! update. Every maintenance structure in this crate emits one
+//! [`UpdateRecord`] per applied change; [`BoundednessReport`] aggregates a
+//! run and answers "was the measured work a function of |CHANGED| (times a
+//! constant), or did it secretly scale with |D|?" — the E10 verdict.
+
+/// Cost record for one applied update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Size of the input change |ΔD| (e.g. 1 for a single edge insert).
+    pub delta_input: u64,
+    /// Size of the output change |ΔO| (e.g. newly reachable nodes).
+    pub delta_output: u64,
+    /// Work actually performed by the incremental algorithm.
+    pub work: u64,
+}
+
+impl UpdateRecord {
+    /// `|CHANGED| = |ΔD| + |ΔO|`.
+    pub fn changed(&self) -> u64 {
+        self.delta_input + self.delta_output
+    }
+}
+
+/// Aggregate over a run of updates.
+#[derive(Debug, Default, Clone)]
+pub struct BoundednessReport {
+    records: Vec<UpdateRecord>,
+}
+
+impl BoundednessReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one update's record.
+    pub fn push(&mut self, r: UpdateRecord) {
+        self.records.push(r);
+    }
+
+    /// Number of recorded updates.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the report empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The recorded updates.
+    pub fn records(&self) -> &[UpdateRecord] {
+        &self.records
+    }
+
+    /// Total work across the run.
+    pub fn total_work(&self) -> u64 {
+        self.records.iter().map(|r| r.work).sum()
+    }
+
+    /// Total |CHANGED| across the run.
+    pub fn total_changed(&self) -> u64 {
+        self.records.iter().map(|r| r.changed()).sum()
+    }
+
+    /// **Amortized boundedness**: total work ≤ `c · (total |CHANGED| + 1)`.
+    /// Amortization is the honest notion for insertion-only maintenance
+    /// (one update may pay for work that later updates then skip).
+    pub fn is_amortized_bounded(&self, c: f64) -> bool {
+        (self.total_work() as f64) <= c * (self.total_changed() as f64 + 1.0)
+    }
+
+    /// **Per-update boundedness**: every record individually satisfies
+    /// `work ≤ c · (|CHANGED| + 1)`. Stricter; fails for algorithms that
+    /// are only amortized-bounded.
+    pub fn is_per_update_bounded(&self, c: f64) -> bool {
+        self.records
+            .iter()
+            .all(|r| (r.work as f64) <= c * (r.changed() as f64 + 1.0))
+    }
+
+    /// The worst per-update ratio `work / (|CHANGED| + 1)` — reported by
+    /// the E10 table.
+    pub fn worst_ratio(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.work as f64 / (r.changed() as f64 + 1.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(di: u64, do_: u64, w: u64) -> UpdateRecord {
+        UpdateRecord {
+            delta_input: di,
+            delta_output: do_,
+            work: w,
+        }
+    }
+
+    #[test]
+    fn changed_sums_both_deltas() {
+        assert_eq!(rec(1, 4, 10).changed(), 5);
+        assert_eq!(rec(0, 0, 0).changed(), 0);
+    }
+
+    #[test]
+    fn bounded_run_passes_both_checks() {
+        let mut report = BoundednessReport::new();
+        for i in 0..100 {
+            report.push(rec(1, i % 5, 2 * (1 + i % 5)));
+        }
+        assert!(report.is_per_update_bounded(2.0));
+        assert!(report.is_amortized_bounded(2.0));
+    }
+
+    #[test]
+    fn unbounded_run_fails() {
+        let mut report = BoundednessReport::new();
+        // Work grows with a hidden |D| = 1000 even when nothing changes.
+        for _ in 0..50 {
+            report.push(rec(1, 0, 1000));
+        }
+        assert!(!report.is_per_update_bounded(10.0));
+        assert!(!report.is_amortized_bounded(10.0));
+    }
+
+    #[test]
+    fn amortized_but_not_per_update() {
+        let mut report = BoundednessReport::new();
+        // One expensive update whose output change is charged to others:
+        // 9 updates with |ΔO|=10, work 1; one with |ΔO|=0, work 90.
+        for _ in 0..9 {
+            report.push(rec(1, 10, 1));
+        }
+        report.push(rec(1, 0, 90));
+        assert!(!report.is_per_update_bounded(2.0));
+        assert!(report.is_amortized_bounded(2.0));
+    }
+
+    #[test]
+    fn worst_ratio_identifies_the_spike() {
+        let mut report = BoundednessReport::new();
+        report.push(rec(1, 1, 2)); // ratio 2/3
+        report.push(rec(1, 0, 50)); // ratio 25
+        assert!((report.worst_ratio() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_trivially_bounded() {
+        let report = BoundednessReport::new();
+        assert!(report.is_per_update_bounded(1.0));
+        assert!(report.is_amortized_bounded(1.0));
+        assert_eq!(report.worst_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! A separate-chaining hash index: the O(1)-expected point-lookup
+//! preprocessing alternative.
+//!
+//! Example 1 of the paper uses a B⁺-tree; real systems often hash instead.
+//! The E1 experiment compares scan vs B⁺-tree vs hash, so the hash index is
+//! implemented here from scratch (multiplicative Fibonacci hashing, powers
+//! of two buckets, load-factor-driven resize) rather than wrapping
+//! `std::collections` — the point of the workspace is to own every substrate
+//! the experiments touch, including this one.
+
+use pitract_core::cost::Meter;
+use std::hash::{Hash, Hasher};
+
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A minimal 64-bit mixing hasher (FxHash-style multiply-xor), sufficient
+/// for the integer- and string-keyed workloads of the experiments.
+#[derive(Default)]
+struct MixHasher {
+    state: u64,
+}
+
+impl Hasher for MixHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ u64::from(b)).wrapping_mul(FIB);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(FIB);
+    }
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut h = MixHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A separate-chaining hash index from keys to value lists (a secondary
+/// index: one key may map to many row ids).
+#[derive(Debug, Clone)]
+pub struct HashIndex<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> HashIndex<K, V> {
+    /// Create with capacity for roughly `expected` entries.
+    pub fn with_capacity(expected: usize) -> Self {
+        let nbuckets = expected.next_power_of_two().max(8);
+        HashIndex {
+            buckets: vec![Vec::new(); nbuckets],
+            len: 0,
+        }
+    }
+
+    /// Build from `(key, value)` pairs — the PTIME preprocessing pass.
+    pub fn build(entries: impl IntoIterator<Item = (K, V)>) -> Self {
+        let mut idx = HashIndex::with_capacity(16);
+        for (k, v) in entries {
+            idx.insert(k, v);
+        }
+        idx
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, key: &K) -> usize {
+        (hash_of(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Insert one entry (duplicates allowed: a key can hold many values).
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.len + 1 > self.buckets.len() * 2 {
+            self.grow();
+        }
+        let b = self.bucket_of(&key);
+        self.buckets[b].push((key, value));
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let mut bigger: Vec<Vec<(K, V)>> = vec![Vec::new(); self.buckets.len() * 2];
+        let mask = bigger.len() - 1;
+        for bucket in self.buckets.drain(..) {
+            for (k, v) in bucket {
+                let b = (hash_of(&k) as usize) & mask;
+                bigger[b].push((k, v));
+            }
+        }
+        self.buckets = bigger;
+    }
+
+    /// Does any entry have this key? Expected O(1).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .any(|(k, _)| k == key)
+    }
+
+    /// Metered variant ticking once per chain element touched — used to
+    /// demonstrate the expected-O(1) probe cost in E1.
+    pub fn contains_key_metered(&self, key: &K, meter: &Meter) -> bool {
+        for (k, _) in &self.buckets[self.bucket_of(key)] {
+            meter.tick();
+            if k == key {
+                return true;
+            }
+        }
+        meter.tick(); // the final (failed) probe of an empty/missing chain
+        false
+    }
+
+    /// All values stored under `key`.
+    pub fn get_all(&self, key: &K) -> Vec<&V> {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove all entries under `key`, returning how many were removed.
+    pub fn remove_all(&mut self, key: &K) -> usize {
+        let b = self.bucket_of(key);
+        let before = self.buckets[b].len();
+        self.buckets[b].retain(|(k, _)| k != key);
+        let removed = before - self.buckets[b].len();
+        self.len -= removed;
+        removed
+    }
+
+    /// Longest chain length — a health metric asserted by tests.
+    pub fn max_chain_len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::cost::Meter;
+
+    #[test]
+    fn build_and_probe() {
+        let idx = HashIndex::build((0u64..1000).map(|i| (i, i * 10)));
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.contains_key(&999));
+        assert!(!idx.contains_key(&1000));
+        assert_eq!(idx.get(&5), Some(&50));
+        assert_eq!(idx.get(&5000), None);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_all_values() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.insert("a", 1);
+        idx.insert("a", 2);
+        idx.insert("b", 3);
+        let mut vals: Vec<i32> = idx.get_all(&"a").into_iter().copied().collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn remove_all_removes_every_duplicate() {
+        let mut idx = HashIndex::with_capacity(4);
+        idx.insert(7u64, 'x');
+        idx.insert(7, 'y');
+        idx.insert(8, 'z');
+        assert_eq!(idx.remove_all(&7), 2);
+        assert!(!idx.contains_key(&7));
+        assert!(idx.contains_key(&8));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove_all(&7), 0);
+    }
+
+    #[test]
+    fn growth_keeps_all_entries_findable() {
+        let mut idx = HashIndex::with_capacity(1);
+        for i in 0u64..10_000 {
+            idx.insert(i, ());
+        }
+        for i in 0u64..10_000 {
+            assert!(idx.contains_key(&i), "lost key {i}");
+        }
+        assert!(!idx.contains_key(&10_000));
+    }
+
+    #[test]
+    fn chains_stay_short_on_sequential_keys() {
+        let idx = HashIndex::build((0u64..100_000).map(|i| (i, ())));
+        // Expected chain length is ≤ 2 (load factor); allow generous slack
+        // for the tail of the distribution.
+        assert!(
+            idx.max_chain_len() <= 16,
+            "max chain {} too long — hashing is degenerate",
+            idx.max_chain_len()
+        );
+    }
+
+    #[test]
+    fn metered_probe_touches_few_entries() {
+        let idx = HashIndex::build((0u64..65_536).map(|i| (i, ())));
+        let meter = Meter::new();
+        let mut worst = 0;
+        for q in (0u64..70_000).step_by(997) {
+            meter.take();
+            idx.contains_key_metered(&q, &meter);
+            worst = worst.max(meter.steps());
+        }
+        assert!(worst <= 16, "worst probe cost {worst} not O(1)-like");
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let idx = HashIndex::build(
+            ["alpha", "beta", "gamma"]
+                .iter()
+                .map(|s| (s.to_string(), s.len())),
+        );
+        assert_eq!(idx.get(&"beta".to_string()), Some(&4));
+        assert!(!idx.contains_key(&"delta".to_string()));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: HashIndex<u64, ()> = HashIndex::with_capacity(0);
+        assert!(idx.is_empty());
+        assert!(!idx.contains_key(&0));
+        assert_eq!(idx.max_chain_len(), 0);
+    }
+}

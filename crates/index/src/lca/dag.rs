@@ -1,0 +1,315 @@
+//! All-pairs LCA on DAGs — the Section 4(4) case the paper attributes to
+//! Bender et al. \[5\]: "G can be preprocessed by computing LCA for all pairs
+//! of nodes in O(|G|³) time. Then given any nodes (u, v) in G, LCA(u, v)
+//! can be found in O(1) time."
+//!
+//! On a DAG a pair may have several lowest common ancestors; this structure
+//! returns the canonical *topologically deepest* one (the common ancestor
+//! with maximal topological rank), which is always an LCA: any proper
+//! descendant that were also a common ancestor would have a larger rank.
+//!
+//! Preprocessing: reflexive ancestor bitsets by a reverse-topological
+//! sweep, then for each pair intersect two bitsets and take the highest
+//! rank — O(n²·n/64) word operations, the "cubic-ish" budget the paper
+//! allows. Queries are one table probe.
+
+use pitract_core::cost::Meter;
+
+/// Errors for [`DagLca::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint was out of range.
+    BadEdge(usize, usize),
+    /// The graph contains a cycle — not a DAG.
+    Cyclic,
+}
+
+/// All-pairs DAG LCA table with O(1) lookups.
+#[derive(Debug, Clone)]
+pub struct DagLca {
+    n: usize,
+    /// `table[u * n + v]` = canonical LCA of (u, v), or `u32::MAX` if the
+    /// pair has no common ancestor.
+    table: Vec<u32>,
+    /// Reflexive ancestor bitsets, one row of `words` u64s per node.
+    anc: Vec<u64>,
+    words: usize,
+    topo_rank: Vec<u32>,
+}
+
+impl DagLca {
+    /// Preprocess a DAG given as an edge list over `n` nodes.
+    pub fn build(n: usize, edges: &[(usize, usize)]) -> Result<Self, DagError> {
+        assert!(n < u32::MAX as usize, "too many nodes for u32 table");
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(DagError::BadEdge(u, v));
+            }
+        }
+        // Kahn topological order.
+        let mut indeg = vec![0usize; n];
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u].push(v);
+            indeg[v] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            topo.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cyclic);
+        }
+        let mut topo_rank = vec![0u32; n];
+        for (r, &v) in topo.iter().enumerate() {
+            topo_rank[v] = r as u32;
+        }
+
+        // Reflexive ancestor bitsets in topological order: anc(v) = {v} ∪
+        // ⋃ anc(u) over in-edges u → v.
+        let words = n.div_ceil(64).max(1);
+        let mut anc = vec![0u64; n * words];
+        let mut in_edges = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            in_edges[v].push(u);
+        }
+        for &v in &topo {
+            let (before, from_v) = anc.split_at_mut(v * words);
+            let row_v = &mut from_v[..words];
+            row_v[v / 64] |= 1 << (v % 64);
+            for &u in &in_edges[v] {
+                if u < v {
+                    let row_u = &before[u * words..u * words + words];
+                    for w in 0..words {
+                        row_v[w] |= row_u[w];
+                    }
+                }
+            }
+            // Parents with u > v need a second borrow region; handle below.
+            for &u in &in_edges[v] {
+                if u > v {
+                    for w in 0..words {
+                        let bit = anc[u * words + w];
+                        anc[v * words + w] |= bit;
+                    }
+                }
+            }
+        }
+
+        // All-pairs table: intersect ancestor rows, take max topo rank.
+        let mut table = vec![u32::MAX; n * n];
+        for u in 0..n {
+            for v in u..n {
+                let mut best: Option<u32> = None;
+                let (ru, rv) = (&anc[u * words..(u + 1) * words], &anc[v * words..(v + 1) * words]);
+                for w in 0..words {
+                    let mut common = ru[w] & rv[w];
+                    while common != 0 {
+                        let bit = common.trailing_zeros() as usize;
+                        let node = w * 64 + bit;
+                        common &= common - 1;
+                        let rank = topo_rank[node];
+                        if best.is_none_or(|b| topo_rank[b as usize] < rank) {
+                            best = Some(node as u32);
+                        }
+                    }
+                }
+                let entry = best.unwrap_or(u32::MAX);
+                table[u * n + v] = entry;
+                table[v * n + u] = entry;
+            }
+        }
+
+        Ok(DagLca {
+            n,
+            table,
+            anc,
+            words,
+            topo_rank,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the DAG empty?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Is `w` a (reflexive) ancestor of `u`?
+    pub fn is_ancestor(&self, w: usize, u: usize) -> bool {
+        self.anc[u * self.words + w / 64] >> (w % 64) & 1 == 1
+    }
+
+    /// The canonical LCA of `(u, v)`, or `None` if they share no ancestor.
+    /// O(1): one table probe.
+    pub fn query(&self, u: usize, v: usize) -> Option<usize> {
+        let e = self.table[u * self.n + v];
+        (e != u32::MAX).then_some(e as usize)
+    }
+
+    /// Metered query (a single probe) — the O(1) evidence for E5.
+    pub fn query_metered(&self, u: usize, v: usize, meter: &Meter) -> Option<usize> {
+        meter.tick();
+        self.query(u, v)
+    }
+
+    /// Topological rank of a node (larger = deeper).
+    pub fn topo_rank(&self, v: usize) -> u32 {
+        self.topo_rank[v]
+    }
+
+    /// Validate the LCA property of a candidate `w` for `(u, v)` from first
+    /// principles — used by tests: `w` must be a common ancestor with no
+    /// proper descendant that is also a common ancestor.
+    pub fn is_lca_of(&self, w: usize, u: usize, v: usize) -> bool {
+        if !(self.is_ancestor(w, u) && self.is_ancestor(w, v)) {
+            return false;
+        }
+        (0..self.n).all(|x| {
+            x == w
+                || !(self.is_ancestor(x, u) && self.is_ancestor(x, v) && self.is_ancestor(w, x))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+    fn diamond() -> DagLca {
+        DagLca::build(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn diamond_lcas() {
+        let lca = diamond();
+        assert_eq!(lca.query(1, 2), Some(0));
+        assert_eq!(lca.query(1, 3), Some(1));
+        assert_eq!(lca.query(3, 3), Some(3));
+        assert_eq!(lca.query(0, 3), Some(0));
+    }
+
+    #[test]
+    fn disconnected_pairs_have_no_lca() {
+        let lca = DagLca::build(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(lca.query(1, 3), None);
+        assert_eq!(lca.query(0, 2), None);
+        assert_eq!(lca.query(0, 1), Some(0));
+    }
+
+    #[test]
+    fn multiple_lcas_returns_a_valid_one() {
+        // Two diamonds sharing sinks: 0→2, 0→3, 1→2, 1→3; LCA(2,3) may be 0
+        // or 1 — either is valid; the structure must return one of them.
+        let lca = DagLca::build(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let w = lca.query(2, 3).expect("common ancestor exists");
+        assert!(lca.is_lca_of(w, 2, 3), "{w} is not an LCA");
+    }
+
+    #[test]
+    fn answers_satisfy_the_lca_property_on_random_dags() {
+        let mut state = 0x1234_5678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 8, 24, 48] {
+            // Random DAG: edges only from lower to higher ids.
+            let mut edges = Vec::new();
+            for _ in 0..n * 2 {
+                let a = (rnd() as usize) % n;
+                let b = (rnd() as usize) % n;
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+            let lca = DagLca::build(n, &edges).unwrap();
+            for u in 0..n {
+                for v in 0..n {
+                    match lca.query(u, v) {
+                        Some(w) => assert!(
+                            lca.is_lca_of(w, u, v),
+                            "n={n}: {w} not an LCA of ({u},{v}); edges={edges:?}"
+                        ),
+                        None => {
+                            // No common ancestor at all.
+                            for w in 0..n {
+                                assert!(
+                                    !(lca.is_ancestor(w, u) && lca.is_ancestor(w, v)),
+                                    "missed common ancestor {w} of ({u},{v})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_are_reflexive_and_transitive() {
+        let lca = DagLca::build(5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        for v in 0..5 {
+            assert!(lca.is_ancestor(v, v), "reflexivity at {v}");
+        }
+        assert!(lca.is_ancestor(0, 3));
+        assert!(!lca.is_ancestor(3, 0));
+        assert!(!lca.is_ancestor(0, 4));
+    }
+
+    #[test]
+    fn tree_shaped_dag_matches_tree_lca() {
+        use crate::lca::tree::{naive_lca, RootedTree};
+        let parents = [None, Some(0), Some(0), Some(1), Some(1), Some(2)];
+        let t = RootedTree::from_parents(&parents).unwrap();
+        let edges: Vec<(usize, usize)> = parents
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|p| (p, c)))
+            .collect();
+        let dag = DagLca::build(6, &edges).unwrap();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(dag.query(u, v), Some(naive_lca(&t, u, v)), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        assert_eq!(
+            DagLca::build(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err(),
+            DagError::Cyclic
+        );
+    }
+
+    #[test]
+    fn bad_edge_is_rejected() {
+        assert_eq!(
+            DagLca::build(2, &[(0, 7)]).unwrap_err(),
+            DagError::BadEdge(0, 7)
+        );
+    }
+
+    #[test]
+    fn metered_query_is_one_probe() {
+        let lca = diamond();
+        let meter = Meter::new();
+        lca.query_metered(1, 2, &meter);
+        assert_eq!(meter.steps(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Binary-lifting LCA: O(n log n) preprocessing, O(log n) per query.
+//!
+//! The middle point of the E5 trade-off curve: cheaper tables than the
+//! Euler-tour structure, logarithmic instead of constant queries. Also
+//! provides k-th ancestor jumps, which the naive baseline cannot do better
+//! than linearly.
+
+use super::tree::RootedTree;
+use pitract_core::cost::Meter;
+
+/// Binary-lifting ancestor tables over a rooted tree.
+#[derive(Debug, Clone)]
+pub struct BinaryLiftingLca {
+    /// `up[k][v]` = the 2^k-th ancestor of `v` (clamped at the root).
+    up: Vec<Vec<usize>>,
+    depth: Vec<u64>,
+}
+
+impl BinaryLiftingLca {
+    /// Build the doubling tables: O(n log n).
+    pub fn build(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        let levels = (n.max(2) as f64).log2().ceil() as usize + 1;
+        let mut up = Vec::with_capacity(levels);
+        // Level 0: the parent (root points at itself, clamping walks).
+        let parents: Vec<usize> = (0..n)
+            .map(|v| tree.parent(v).unwrap_or(v))
+            .collect();
+        up.push(parents);
+        for k in 1..levels {
+            let prev = &up[k - 1];
+            let next: Vec<usize> = (0..n).map(|v| prev[prev[v]]).collect();
+            up.push(next);
+        }
+        BinaryLiftingLca {
+            up,
+            depth: (0..n).map(|v| tree.depth(v)).collect(),
+        }
+    }
+
+    /// The `k`-th ancestor of `v` (clamped at the root): O(log k).
+    pub fn kth_ancestor(&self, mut v: usize, k: u64) -> usize {
+        // Clamp so every needed jump fits in the table; anything deeper than
+        // the node's depth lands on the root anyway.
+        let mut k = k.min(self.depth[v]);
+        let mut level = 0usize;
+        while k > 0 && level < self.up.len() {
+            if k & 1 == 1 {
+                v = self.up[level][v];
+            }
+            k >>= 1;
+            level += 1;
+        }
+        v
+    }
+
+    /// `LCA(u, v)` in O(log n).
+    pub fn query(&self, u: usize, v: usize) -> usize {
+        self.query_impl(u, v, None)
+    }
+
+    /// Metered query ticking once per table jump — the O(log n) evidence.
+    pub fn query_metered(&self, u: usize, v: usize, meter: &Meter) -> usize {
+        self.query_impl(u, v, Some(meter))
+    }
+
+    fn query_impl(&self, mut u: usize, mut v: usize, meter: Option<&Meter>) -> usize {
+        // Lift the deeper endpoint to the shallower one's depth.
+        if self.depth[u] < self.depth[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let mut diff = self.depth[u] - self.depth[v];
+        let mut level = 0usize;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                if let Some(m) = meter {
+                    m.tick();
+                }
+                u = self.up[level][u];
+            }
+            diff >>= 1;
+            level += 1;
+        }
+        if u == v {
+            return u;
+        }
+        // Descend the highest jump that keeps the endpoints apart.
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][u] != self.up[k][v] {
+                if let Some(m) = meter {
+                    m.add(2);
+                }
+                u = self.up[k][u];
+                v = self.up[k][v];
+            }
+        }
+        self.up[0][u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lca::tree::naive_lca;
+    use pitract_core::cost::{assert_steps_within, CostClass, Meter};
+
+    fn random_tree(n: usize, seed: u64) -> RootedTree {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+            .collect();
+        RootedTree::from_parents(&parents).unwrap()
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        for n in [2usize, 5, 33, 128, 500] {
+            let t = random_tree(n, n as u64 + 77);
+            let lca = BinaryLiftingLca::build(&t);
+            let mut state = 99u64;
+            let mut rnd = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..300 {
+                let (u, v) = (rnd() % n, rnd() % n);
+                assert_eq!(lca.query(u, v), naive_lca(&t, u, v), "n={n} ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_ancestor_on_a_path() {
+        let parents: Vec<Option<usize>> =
+            (0..100).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let t = RootedTree::from_parents(&parents).unwrap();
+        let lca = BinaryLiftingLca::build(&t);
+        assert_eq!(lca.kth_ancestor(99, 0), 99);
+        assert_eq!(lca.kth_ancestor(99, 1), 98);
+        assert_eq!(lca.kth_ancestor(99, 64), 35);
+        assert_eq!(lca.kth_ancestor(99, 99), 0);
+        // Clamped beyond the root.
+        assert_eq!(lca.kth_ancestor(99, 10_000), 0);
+    }
+
+    #[test]
+    fn query_cost_is_logarithmic_on_paths() {
+        let n = 1usize << 14;
+        let parents: Vec<Option<usize>> =
+            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let t = RootedTree::from_parents(&parents).unwrap();
+        let lca = BinaryLiftingLca::build(&t);
+        let meter = Meter::new();
+        for (u, v) in [(n - 1, 0), (n - 1, n / 2), (n / 3, 2 * n / 3)] {
+            meter.take();
+            lca.query_metered(u, v, &meter);
+            assert_steps_within(meter.steps(), CostClass::Log, n as u64, 3.0);
+        }
+    }
+
+    #[test]
+    fn lca_of_node_with_itself_and_with_root() {
+        let t = random_tree(50, 5);
+        let lca = BinaryLiftingLca::build(&t);
+        for v in 0..50 {
+            assert_eq!(lca.query(v, v), v);
+            assert_eq!(lca.query(v, t.root()), t.root());
+        }
+    }
+
+    #[test]
+    fn ancestor_descendant_pairs() {
+        // On a path, LCA(u, v) = the shallower node.
+        let parents: Vec<Option<usize>> =
+            (0..64).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let t = RootedTree::from_parents(&parents).unwrap();
+        let lca = BinaryLiftingLca::build(&t);
+        assert_eq!(lca.query(10, 50), 10);
+        assert_eq!(lca.query(50, 10), 10);
+    }
+}

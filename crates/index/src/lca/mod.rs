@@ -1,0 +1,20 @@
+//! Lowest-common-ancestor structures — Section 4(4) of the paper.
+//!
+//! The problem L₃: given a rooted tree or a DAG `G` and nodes `u`, `v`,
+//! find `LCA(u, v)`. The paper cites Bender et al. \[5\]: trees admit
+//! O(1)-query structures after near-linear preprocessing; DAGs admit an
+//! all-pairs table computed in O(|G|³)-style preprocessing with O(1)
+//! lookups. The E5 experiment compares:
+//!
+//! | structure | input | preprocessing | per query |
+//! |---|---|---|---|
+//! | [`tree::naive_lca`] | tree | none | O(height) walk |
+//! | [`lifting::BinaryLiftingLca`] | tree | O(n log n) | O(log n) |
+//! | [`tree::EulerTourLca`] | tree | O(n log n) | O(1) (one RMQ probe) |
+//! | [`dag::DagLca`] | DAG | O(n³/64) | O(1) table lookup |
+
+pub mod dag;
+pub mod lifting;
+pub mod tree;
+
+pub use tree::{RootedTree, TreeError};

@@ -1,0 +1,392 @@
+//! Rooted trees, the Euler-tour LCA structure, and the no-preprocessing
+//! baseline.
+//!
+//! The Euler tour reduces tree LCA to RMQ (the other direction of the
+//! RMQ ⇆ LCA equivalence exploited in `pitract-reductions`): walk the tree
+//! recording every node visit and its depth; `LCA(u, v)` is the
+//! shallowest node between the first occurrences of `u` and `v` in the
+//! tour. With a sparse-table RMQ over the depths this is O(1) per query
+//! after O(n log n) preprocessing.
+
+use crate::rmq::sparse::SparseRmq;
+use crate::rmq::RangeMin;
+use pitract_core::cost::Meter;
+
+/// Construction errors for [`RootedTree::from_parents`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// No node had `parent = None`.
+    NoRoot,
+    /// More than one node had `parent = None` (second root reported).
+    MultipleRoots(usize),
+    /// A parent index was out of bounds.
+    BadParent {
+        /// The child holding the bad pointer.
+        node: usize,
+        /// The out-of-range parent value.
+        parent: usize,
+    },
+    /// A parent chain loops (node on the cycle reported).
+    Cycle(usize),
+}
+
+/// A rooted tree over nodes `0..n`, stored as parent and children arrays.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    depth: Vec<u64>,
+    root: usize,
+}
+
+impl RootedTree {
+    /// Build from a parent array (exactly one `None` = root). Validates
+    /// acyclicity and bounds.
+    pub fn from_parents(parents: &[Option<usize>]) -> Result<Self, TreeError> {
+        let n = parents.len();
+        let mut root = None;
+        for (node, &p) in parents.iter().enumerate() {
+            match p {
+                None => match root {
+                    None => root = Some(node),
+                    Some(_) => return Err(TreeError::MultipleRoots(node)),
+                },
+                Some(parent) if parent >= n => {
+                    return Err(TreeError::BadParent { node, parent })
+                }
+                Some(_) => {}
+            }
+        }
+        let root = root.ok_or(TreeError::NoRoot)?;
+
+        let mut children = vec![Vec::new(); n];
+        for (node, &p) in parents.iter().enumerate() {
+            if let Some(parent) = p {
+                children[parent].push(node);
+            }
+        }
+
+        // BFS from the root assigns depths; unvisited nodes are on cycles.
+        let mut depth = vec![u64::MAX; n];
+        let mut queue = std::collections::VecDeque::from([root]);
+        depth[root] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &c in &children[u] {
+                depth[c] = depth[u] + 1;
+                queue.push_back(c);
+            }
+        }
+        if let Some(stranded) = depth.iter().position(|&d| d == u64::MAX) {
+            return Err(TreeError::Cycle(stranded));
+        }
+
+        Ok(RootedTree {
+            parent: parents.to_vec(),
+            children,
+            depth,
+            root,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Is the tree empty? (Never true: construction requires a root.)
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of a node (`None` at the root).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Children of a node.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, v: usize) -> u64 {
+        self.depth[v]
+    }
+
+    /// Iterative Euler tour: `(visit order, first occurrence per node)`.
+    /// The tour has `2n − 1` entries.
+    pub fn euler_tour(&self) -> (Vec<usize>, Vec<usize>) {
+        let n = self.len();
+        let mut tour = Vec::with_capacity(2 * n - 1);
+        let mut first = vec![usize::MAX; n];
+        // Explicit stack of (node, next child position).
+        let mut stack: Vec<(usize, usize)> = vec![(self.root, 0)];
+        while let Some(&(u, ci)) = stack.last() {
+            if ci == 0 {
+                // First arrival.
+                if first[u] == usize::MAX {
+                    first[u] = tour.len();
+                }
+                tour.push(u);
+            }
+            if ci < self.children[u].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                stack.push((self.children[u][ci], 0));
+            } else {
+                stack.pop();
+                // Re-visit the parent on the way up.
+                if let Some(&(p, _)) = stack.last() {
+                    tour.push(p);
+                }
+            }
+        }
+        (tour, first)
+    }
+}
+
+/// The no-preprocessing LCA baseline: walk the deeper node up until the
+/// walks meet. O(height) per query — linear on path-shaped trees, the E5
+/// baseline curve.
+pub fn naive_lca(tree: &RootedTree, mut u: usize, mut v: usize) -> usize {
+    while tree.depth(u) > tree.depth(v) {
+        u = tree.parent(u).expect("deeper node has a parent");
+    }
+    while tree.depth(v) > tree.depth(u) {
+        v = tree.parent(v).expect("deeper node has a parent");
+    }
+    while u != v {
+        u = tree.parent(u).expect("non-root in lockstep walk");
+        v = tree.parent(v).expect("non-root in lockstep walk");
+    }
+    u
+}
+
+/// Metered version of [`naive_lca`]: one tick per parent hop.
+pub fn naive_lca_metered(tree: &RootedTree, mut u: usize, mut v: usize, meter: &Meter) -> usize {
+    while tree.depth(u) > tree.depth(v) {
+        meter.tick();
+        u = tree.parent(u).expect("deeper node has a parent");
+    }
+    while tree.depth(v) > tree.depth(u) {
+        meter.tick();
+        v = tree.parent(v).expect("deeper node has a parent");
+    }
+    while u != v {
+        meter.add(2);
+        u = tree.parent(u).expect("non-root in lockstep walk");
+        v = tree.parent(v).expect("non-root in lockstep walk");
+    }
+    u
+}
+
+/// Euler-tour + RMQ LCA: O(n log n) preprocessing, O(1) per query.
+#[derive(Debug, Clone)]
+pub struct EulerTourLca {
+    tour: Vec<usize>,
+    first: Vec<usize>,
+    rmq: SparseRmq<u64>,
+}
+
+impl EulerTourLca {
+    /// Preprocess the tree: tour + sparse table over tour depths.
+    pub fn build(tree: &RootedTree) -> Self {
+        let (tour, first) = tree.euler_tour();
+        let depths: Vec<u64> = tour.iter().map(|&v| tree.depth(v)).collect();
+        EulerTourLca {
+            tour,
+            first,
+            rmq: SparseRmq::build(&depths),
+        }
+    }
+
+    /// `LCA(u, v)` in O(1): one RMQ probe between the first occurrences.
+    pub fn query(&self, u: usize, v: usize) -> usize {
+        let (a, b) = {
+            let (fu, fv) = (self.first[u], self.first[v]);
+            if fu <= fv {
+                (fu, fv)
+            } else {
+                (fv, fu)
+            }
+        };
+        self.tour[self.rmq.query(a, b)]
+    }
+
+    /// Metered query: the constant probe count for E5.
+    pub fn query_metered(&self, u: usize, v: usize, meter: &Meter) -> usize {
+        let (a, b) = {
+            let (fu, fv) = (self.first[u], self.first[v]);
+            if fu <= fv {
+                (fu, fv)
+            } else {
+                (fv, fu)
+            }
+        };
+        self.tour[self.rmq.query_metered(a, b, meter)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed 9-node tree:
+    /// ```text
+    ///         0
+    ///       / | \
+    ///      1  2  3
+    ///     / \     \
+    ///    4   5     6
+    ///   /         /
+    ///  7         8
+    /// ```
+    fn sample_tree() -> RootedTree {
+        RootedTree::from_parents(&[
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(3),
+            Some(4),
+            Some(6),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_computes_depths_and_children() {
+        let t = sample_tree();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(7), 3);
+        assert_eq!(t.children(1), &[4, 5]);
+        assert_eq!(t.parent(8), Some(6));
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn construction_errors() {
+        // A single self-loop has no root at all, which is reported before
+        // cycle detection can run.
+        assert_eq!(
+            RootedTree::from_parents(&[Some(0)]).unwrap_err(),
+            TreeError::NoRoot
+        );
+        assert_eq!(
+            RootedTree::from_parents(&[Some(1), Some(0), None]).unwrap_err(),
+            TreeError::Cycle(0)
+        );
+        assert_eq!(
+            RootedTree::from_parents(&[None, None]).unwrap_err(),
+            TreeError::MultipleRoots(1)
+        );
+        assert_eq!(
+            RootedTree::from_parents(&[Some(5), None]).unwrap_err(),
+            TreeError::BadParent { node: 0, parent: 5 }
+        );
+        assert_eq!(RootedTree::from_parents(&[]).unwrap_err(), TreeError::NoRoot);
+    }
+
+    #[test]
+    fn euler_tour_shape() {
+        let t = sample_tree();
+        let (tour, first) = t.euler_tour();
+        assert_eq!(tour.len(), 2 * t.len() - 1);
+        assert_eq!(tour[0], 0);
+        assert_eq!(*tour.last().unwrap(), 0);
+        for v in 0..t.len() {
+            assert_eq!(tour[first[v]], v, "first occurrence of {v}");
+        }
+        // Adjacent tour entries differ by exactly one tree edge.
+        for w in tour.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(
+                t.parent(a) == Some(b) || t.parent(b) == Some(a),
+                "tour step {a} -> {b} is not an edge"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_lca_known_answers() {
+        let t = sample_tree();
+        assert_eq!(naive_lca(&t, 7, 5), 1);
+        assert_eq!(naive_lca(&t, 7, 8), 0);
+        assert_eq!(naive_lca(&t, 4, 4), 4);
+        assert_eq!(naive_lca(&t, 0, 8), 0);
+        assert_eq!(naive_lca(&t, 6, 8), 6);
+    }
+
+    #[test]
+    fn euler_lca_matches_naive_on_sample() {
+        let t = sample_tree();
+        let lca = EulerTourLca::build(&t);
+        for u in 0..t.len() {
+            for v in 0..t.len() {
+                assert_eq!(lca.query(u, v), naive_lca(&t, u, v), "LCA({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn euler_lca_matches_naive_on_random_trees() {
+        let mut state = 0xACE1u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 3, 10, 50, 200] {
+            // Random tree: parent of i is a uniform node < i.
+            let parents: Vec<Option<usize>> = (0..n)
+                .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+                .collect();
+            let t = RootedTree::from_parents(&parents).unwrap();
+            let lca = EulerTourLca::build(&t);
+            for _ in 0..200 {
+                let u = (rnd() as usize) % n;
+                let v = (rnd() as usize) % n;
+                assert_eq!(lca.query(u, v), naive_lca(&t, u, v), "n={n} ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn euler_query_is_constant_while_naive_is_linear_on_paths() {
+        // Path tree of depth n-1: the naive walk pays O(n); Euler stays O(1).
+        let n = 4096usize;
+        let parents: Vec<Option<usize>> =
+            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let t = RootedTree::from_parents(&parents).unwrap();
+        let lca = EulerTourLca::build(&t);
+
+        let meter = Meter::new();
+        lca.query_metered(n - 1, n - 2, &meter);
+        let euler_steps = meter.take();
+        naive_lca_metered(&t, n - 1, 0, &meter);
+        let naive_steps = meter.take();
+
+        assert!(euler_steps <= 5, "euler probe cost {euler_steps}");
+        assert!(
+            naive_steps >= (n as u64) - 2,
+            "naive walk only {naive_steps} steps on a path of {n}"
+        );
+        assert_eq!(lca.query(n - 1, n - 2), n - 2);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = RootedTree::from_parents(&[None]).unwrap();
+        let lca = EulerTourLca::build(&t);
+        assert_eq!(lca.query(0, 0), 0);
+        assert_eq!(naive_lca(&t, 0, 0), 0);
+    }
+}

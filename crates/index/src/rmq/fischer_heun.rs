@@ -1,0 +1,302 @@
+//! Fischer–Heun RMQ: linear-space preprocessing, O(1) queries — the exact
+//! structure the paper cites for Section 4(3) [Fischer & Heun, SICOMP 2011].
+//!
+//! The array is cut into blocks of `b ≈ (log₂ n)/4` elements.
+//!
+//! * Across blocks: a sparse table over the per-block minima — O((n/b)·
+//!   log(n/b)) = O(n) space for this block size.
+//! * Within blocks: two blocks whose elements have the same *Cartesian
+//!   tree* share every range-argmin, so each block is summarized by its
+//!   Cartesian tree number (the ≤ 2b-bit push/pop signature of a stack
+//!   scan). One in-block lookup table of O(b²) entries is materialized per
+//!   *distinct signature* — at most 4^b = O(√n) of them — and shared.
+//!
+//! A query touches at most: one in-block table (same-block case), or two
+//! in-block tables plus one sparse-table probe — constant work.
+
+use super::{check_range, sparse::SparseRmq, RangeMin};
+use pitract_core::cost::Meter;
+use std::collections::HashMap;
+
+/// Fischer–Heun block-decomposition RMQ.
+#[derive(Debug, Clone)]
+pub struct FischerHeunRmq<T> {
+    data: Vec<T>,
+    block_len: usize,
+    /// Global index of the leftmost minimum of each block.
+    block_argmin: Vec<usize>,
+    /// Sparse table over the block minima (values copied out so the inner
+    /// structure owns plain data).
+    summary: SparseRmq<T>,
+    /// Cartesian signature of each block.
+    signatures: Vec<u64>,
+    /// Per-signature in-block argmin tables: `table[i * b + j]` = offset of
+    /// the leftmost argmin of in-block range [i, j] (entries with i > j are
+    /// unused).
+    in_block: HashMap<u64, Vec<u8>>,
+}
+
+impl<T: Ord + Clone> FischerHeunRmq<T> {
+    /// Build in O(n) time and space.
+    pub fn build(data: &[T]) -> Self {
+        let n = data.len();
+        let block_len = block_len_for(n);
+        let nblocks = n.div_ceil(block_len).max(1);
+
+        let mut block_argmin = Vec::with_capacity(nblocks);
+        let mut signatures = Vec::with_capacity(nblocks);
+        let mut in_block: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for b in 0..nblocks {
+            let start = b * block_len;
+            let end = (start + block_len).min(n);
+            if start >= n {
+                break;
+            }
+            let block = &data[start..end];
+            // Leftmost block minimum.
+            let mut best = 0usize;
+            for (k, v) in block.iter().enumerate().skip(1) {
+                if *v < block[best] {
+                    best = k;
+                }
+            }
+            block_argmin.push(start + best);
+            // Cartesian signature + shared in-block table.
+            let sig = cartesian_signature(block);
+            signatures.push(sig);
+            in_block
+                .entry(sig)
+                .or_insert_with(|| build_in_block_table(block, block_len));
+        }
+
+        let summary_vals: Vec<T> = block_argmin.iter().map(|&i| data[i].clone()).collect();
+        FischerHeunRmq {
+            data: data.to_vec(),
+            block_len,
+            block_argmin,
+            summary: SparseRmq::build(&summary_vals),
+            signatures,
+            in_block,
+        }
+    }
+
+    /// Block length in use (≈ log₂(n)/4, at least 1).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Number of distinct Cartesian signatures — at most 4^b, the sharing
+    /// that makes the structure linear-space.
+    pub fn distinct_signatures(&self) -> usize {
+        self.in_block.len()
+    }
+
+    /// In-block argmin via the shared signature table, as a global index.
+    fn in_block_query(&self, block: usize, lo: usize, hi: usize) -> usize {
+        let table = &self.in_block[&self.signatures[block]];
+        let off = table[lo * self.block_len + hi] as usize;
+        block * self.block_len + off
+    }
+
+    fn query_unchecked(&self, i: usize, j: usize) -> usize {
+        let b = self.block_len;
+        let (bi, bj) = (i / b, j / b);
+        if bi == bj {
+            return self.in_block_query(bi, i - bi * b, j - bj * b);
+        }
+        // Suffix of bi, full middle blocks, prefix of bj — scanned left to
+        // right keeping the strictly-smallest, so ties resolve leftmost.
+        let mut best = self.in_block_query(bi, i - bi * b, b - 1);
+        if bi < bj - 1 {
+            let mid_block = self.summary.query(bi + 1, bj - 1);
+            let cand = self.block_argmin[mid_block];
+            if self.data[cand] < self.data[best] {
+                best = cand;
+            }
+        }
+        let cand = self.in_block_query(bj, 0, j - bj * b);
+        if self.data[cand] < self.data[best] {
+            best = cand;
+        }
+        best
+    }
+
+    /// Query with constant metering (≤ 3 probes + 2 comparisons) — the O(1)
+    /// evidence for E4.
+    pub fn query_metered(&self, i: usize, j: usize, meter: &Meter) -> usize {
+        check_range(i, j, self.data.len());
+        meter.add(5);
+        self.query_unchecked(i, j)
+    }
+}
+
+impl<T: Ord + Clone> RangeMin<T> for FischerHeunRmq<T> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    fn query(&self, i: usize, j: usize) -> usize {
+        check_range(i, j, self.data.len());
+        self.query_unchecked(i, j)
+    }
+}
+
+/// Block length ≈ log₂(n)/4, clamped to [1, 16] so signatures fit in u64
+/// (2 bits per element ⇒ ≤ 32 bits).
+fn block_len_for(n: usize) -> usize {
+    if n < 16 {
+        return 1;
+    }
+    (((n as f64).log2() / 4.0).floor() as usize).clamp(1, 16)
+}
+
+/// Cartesian tree number of a block: scan left to right with an increasing
+/// stack; emit a 0-bit per pop and a 1-bit per push. Two blocks get the
+/// same number iff their Cartesian trees coincide, i.e. iff every range
+/// argmin position coincides.
+fn cartesian_signature<T: Ord>(block: &[T]) -> u64 {
+    let mut sig = 0u64;
+    let mut stack: Vec<&T> = Vec::new();
+    for v in block {
+        while let Some(&top) = stack.last() {
+            if top > v {
+                stack.pop();
+                sig <<= 1; // pop = 0
+            } else {
+                break;
+            }
+        }
+        stack.push(v);
+        sig = (sig << 1) | 1; // push = 1
+    }
+    sig
+}
+
+/// Dense in-block argmin table for one representative block: O(b²) time.
+/// The table is indexed `[lo * block_len + hi]`; short final blocks simply
+/// leave their out-of-range entries untouched (queries never reach them
+/// because global bounds were checked first).
+fn build_in_block_table<T: Ord>(block: &[T], block_len: usize) -> Vec<u8> {
+    debug_assert!(block_len <= u8::MAX as usize + 1);
+    let mut table = vec![0u8; block_len * block_len];
+    for lo in 0..block.len() {
+        let mut best = lo;
+        table[lo * block_len + lo] = lo as u8;
+        for hi in lo + 1..block.len() {
+            if block[hi] < block[best] {
+                best = hi;
+            }
+            table[lo * block_len + hi] = best as u8;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmq::testkit;
+
+    #[test]
+    fn matches_reference_everywhere() {
+        for n in [1usize, 2, 3, 15, 16, 17, 63, 64, 65, 200, 257] {
+            let data = testkit::array(n, 0xF15C + n as u64);
+            let rmq = FischerHeunRmq::build(&data);
+            testkit::check_all_ranges(&rmq, &data);
+        }
+    }
+
+    #[test]
+    fn large_array_spot_checks() {
+        let n = 100_000;
+        let data = testkit::array(n, 99);
+        let rmq = FischerHeunRmq::build(&data);
+        let ranges = [
+            (0usize, n - 1),
+            (0, 0),
+            (n - 1, n - 1),
+            (12_345, 54_321),
+            (99_990, 99_999),
+            (7, 8),
+        ];
+        for (i, j) in ranges {
+            assert_eq!(
+                rmq.query(i, j),
+                testkit::reference(&data, i, j),
+                "range [{i},{j}]"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_shapes_not_values() {
+        // Same Cartesian tree, different values.
+        assert_eq!(
+            cartesian_signature(&[1, 5, 3]),
+            cartesian_signature(&[10, 50, 30])
+        );
+        // Different shapes.
+        assert_ne!(
+            cartesian_signature(&[1, 2, 3]),
+            cartesian_signature(&[3, 2, 1])
+        );
+    }
+
+    #[test]
+    fn signatures_are_shared_across_blocks() {
+        // Strictly increasing data: every full block has the same shape, so
+        // very few distinct in-block tables exist (full blocks share one;
+        // a short final block may add another).
+        let data: Vec<i64> = (0..10_000).collect();
+        let rmq = FischerHeunRmq::build(&data);
+        assert!(
+            rmq.distinct_signatures() <= 2,
+            "monotone data produced {} signatures",
+            rmq.distinct_signatures()
+        );
+    }
+
+    #[test]
+    fn block_len_grows_with_n() {
+        assert_eq!(block_len_for(8), 1);
+        assert!(block_len_for(1 << 16) >= 4);
+        assert!(block_len_for(1 << 20) >= 5);
+        assert!(block_len_for(usize::MAX) <= 16);
+    }
+
+    #[test]
+    fn constant_metered_cost() {
+        let data = testkit::array(1 << 16, 4);
+        let rmq = FischerHeunRmq::build(&data);
+        let meter = pitract_core::cost::Meter::new();
+        for (i, j) in [(0usize, (1 << 16) - 1), (3, 3), (1000, 50_000)] {
+            meter.take();
+            rmq.query_metered(i, j, &meter);
+            assert_eq!(meter.steps(), 5, "[{i},{j}]");
+        }
+    }
+
+    #[test]
+    fn leftmost_on_ties_across_blocks() {
+        // Force equal minima in different blocks.
+        let mut data = vec![5i64; 64];
+        data[3] = -7;
+        data[40] = -7;
+        data[60] = -7;
+        let rmq = FischerHeunRmq::build(&data);
+        assert_eq!(rmq.query(0, 63), 3);
+        assert_eq!(rmq.query(4, 63), 40);
+        assert_eq!(rmq.query(41, 63), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn bad_range_panics() {
+        FischerHeunRmq::build(&[1, 2, 3]).query(3, 3);
+    }
+}

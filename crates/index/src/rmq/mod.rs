@@ -1,0 +1,101 @@
+//! Range-minimum query structures — Section 4(3) of the paper.
+//!
+//! The problem L₂: given a static array `A[0..n)` and `i ≤ j`, return a
+//! position of the minimum of `A[i..=j]`. The paper cites Fischer & Heun's
+//! result that O(n)-bit PTIME preprocessing suffices for O(1) queries; this
+//! module implements the whole spectrum the E4 experiment compares:
+//!
+//! | structure | preprocessing | per query |
+//! |---|---|---|
+//! | [`naive::NaiveRmq`] | none | O(n) scan |
+//! | [`table::AllPairsRmq`] | O(n²) | O(1) |
+//! | [`sparse::SparseRmq`] | O(n log n) | O(1) |
+//! | [`segtree::SegTreeRmq`] | O(n) | O(log n), supports point updates |
+//! | [`fischer_heun::FischerHeunRmq`] | O(n) | O(1) |
+//!
+//! **Contract.** Every implementation returns the *leftmost* index attaining
+//! the minimum, so results are comparable bit-for-bit across structures —
+//! the cross-validation property test in the crate root relies on this.
+
+pub mod fischer_heun;
+pub mod naive;
+pub mod segtree;
+pub mod sparse;
+pub mod table;
+
+/// Common interface of all RMQ structures.
+pub trait RangeMin<T: Ord> {
+    /// Number of array elements.
+    fn len(&self) -> usize;
+
+    /// Is the underlying array empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying array.
+    fn data(&self) -> &[T];
+
+    /// Leftmost index of the minimum in the inclusive range `[i, j]`.
+    ///
+    /// Panics if `i > j` or `j ≥ len()` — malformed queries are caller
+    /// bugs, mirroring the paper's precondition `1 ≤ i ≤ j ≤ n`.
+    fn query(&self, i: usize, j: usize) -> usize;
+
+    /// The minimum value itself.
+    fn min_value(&self, i: usize, j: usize) -> &T {
+        &self.data()[self.query(i, j)]
+    }
+}
+
+/// Validate query bounds; shared by all implementations.
+pub(crate) fn check_range(i: usize, j: usize, len: usize) {
+    assert!(
+        i <= j && j < len,
+        "invalid RMQ range [{i}, {j}] on array of length {len}"
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared generators and the cross-implementation oracle check.
+    use super::*;
+
+    /// Deterministic pseudo-random array.
+    pub fn array(n: usize, seed: u64) -> Vec<i64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as i64 - 500
+            })
+            .collect()
+    }
+
+    /// Leftmost-argmin reference.
+    pub fn reference(data: &[i64], i: usize, j: usize) -> usize {
+        let mut best = i;
+        for k in i + 1..=j {
+            if data[k] < data[best] {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Exhaustively compare `rmq` against the reference on all ranges.
+    pub fn check_all_ranges<R: RangeMin<i64>>(rmq: &R, data: &[i64]) {
+        for i in 0..data.len() {
+            for j in i..data.len() {
+                let got = rmq.query(i, j);
+                let expect = reference(data, i, j);
+                assert_eq!(
+                    got, expect,
+                    "range [{i},{j}] on {data:?}: got {got}, want {expect}"
+                );
+            }
+        }
+    }
+}

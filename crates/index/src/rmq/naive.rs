@@ -1,0 +1,109 @@
+//! The no-preprocessing RMQ baseline: scan the queried range.
+//!
+//! This is the "PTIME but infeasible on big data" side of the paper's
+//! dichotomy — correct, zero preprocessing cost, O(n) per query. Experiment
+//! E4 uses it as the reference curve the preprocessed structures must beat.
+
+use super::{check_range, RangeMin};
+use pitract_core::cost::Meter;
+
+/// RMQ by linear scan of the queried range.
+#[derive(Debug, Clone)]
+pub struct NaiveRmq<T> {
+    data: Vec<T>,
+}
+
+impl<T: Ord + Clone> NaiveRmq<T> {
+    /// "Preprocess" by storing the array as-is (O(n) copy, no structure).
+    pub fn build(data: &[T]) -> Self {
+        NaiveRmq {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Scan with per-comparison metering — certifies the O(n) baseline cost
+    /// in E4.
+    pub fn query_metered(&self, i: usize, j: usize, meter: &Meter) -> usize {
+        check_range(i, j, self.data.len());
+        let mut best = i;
+        for k in i + 1..=j {
+            meter.tick();
+            if self.data[k] < self.data[best] {
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+impl<T: Ord + Clone> RangeMin<T> for NaiveRmq<T> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    fn query(&self, i: usize, j: usize) -> usize {
+        check_range(i, j, self.data.len());
+        let mut best = i;
+        for k in i + 1..=j {
+            if self.data[k] < self.data[best] {
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmq::testkit;
+
+    #[test]
+    fn matches_reference_everywhere() {
+        for n in [1usize, 2, 3, 17, 50] {
+            let data = testkit::array(n, 0xBEEF + n as u64);
+            let rmq = NaiveRmq::build(&data);
+            testkit::check_all_ranges(&rmq, &data);
+        }
+    }
+
+    #[test]
+    fn leftmost_on_ties() {
+        let rmq = NaiveRmq::build(&[5, 1, 1, 1, 5]);
+        assert_eq!(rmq.query(0, 4), 1);
+        assert_eq!(rmq.query(2, 4), 2);
+    }
+
+    #[test]
+    fn single_element_ranges() {
+        let rmq = NaiveRmq::build(&[3, 1, 2]);
+        for i in 0..3 {
+            assert_eq!(rmq.query(i, i), i);
+        }
+    }
+
+    #[test]
+    fn metered_cost_is_range_length() {
+        let data = testkit::array(100, 7);
+        let rmq = NaiveRmq::build(&data);
+        let meter = Meter::new();
+        rmq.query_metered(10, 60, &meter);
+        assert_eq!(meter.steps(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn inverted_range_panics() {
+        NaiveRmq::build(&[1, 2, 3]).query(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn out_of_bounds_panics() {
+        NaiveRmq::build(&[1, 2, 3]).query(0, 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Segment-tree RMQ: O(n) build, O(log n) query, **point updates**.
+//!
+//! The segment tree trades the O(1) query of the static structures for
+//! updatability — exactly the trade-off behind the paper's "incremental
+//! preprocessing" discussion (Section 1, justification (3)): when the data
+//! changes by ΔD, rebuilding a sparse table costs O(n log n), while a
+//! segment tree absorbs each point change in O(log n). Experiment E10 uses
+//! this as the maintainable-index contestant.
+
+use super::{check_range, RangeMin};
+use pitract_core::cost::Meter;
+
+/// Array-backed segment tree over minima (leftmost argmin convention).
+#[derive(Debug, Clone)]
+pub struct SegTreeRmq<T> {
+    data: Vec<T>,
+    /// Heap-shaped argmin tree: `tree[1]` is the root; node i has children
+    /// 2i and 2i+1; leaves map to positions `size..size+n`.
+    tree: Vec<u32>,
+    size: usize,
+}
+
+impl<T: Ord + Clone> SegTreeRmq<T> {
+    /// Build in O(n).
+    pub fn build(data: &[T]) -> Self {
+        let n = data.len();
+        assert!(n <= u32::MAX as usize, "array too large for u32 indices");
+        let size = n.next_power_of_two().max(1);
+        // Sentinel: out-of-range leaves point at u32::MAX and always lose.
+        let mut tree = vec![u32::MAX; 2 * size];
+        for i in 0..n {
+            tree[size + i] = i as u32;
+        }
+        let mut t = SegTreeRmq {
+            data: data.to_vec(),
+            tree,
+            size,
+        };
+        for node in (1..size).rev() {
+            t.tree[node] = t.combine(t.tree[2 * node], t.tree[2 * node + 1]);
+        }
+        t
+    }
+
+    /// Leftmost-argmin combiner with the out-of-range sentinel.
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        match (a, b) {
+            (u32::MAX, b) => b,
+            (a, u32::MAX) => a,
+            (a, b) => {
+                if self.data[b as usize] < self.data[a as usize] {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Replace `data[pos]` with `value` and repair the path to the root:
+    /// O(log n) — the bounded-maintenance operation of E10.
+    pub fn update(&mut self, pos: usize, value: T) {
+        assert!(pos < self.data.len(), "update position {pos} out of bounds");
+        self.data[pos] = value;
+        let mut node = (self.size + pos) / 2;
+        while node >= 1 {
+            self.tree[node] = self.combine(self.tree[2 * node], self.tree[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    /// Query ticking the meter once per visited node — certifies O(log n).
+    pub fn query_metered(&self, i: usize, j: usize, meter: &Meter) -> usize {
+        check_range(i, j, self.data.len());
+        self.query_impl(i, j, Some(meter))
+    }
+
+    fn query_impl(&self, i: usize, j: usize, meter: Option<&Meter>) -> usize {
+        // Iterative bottom-up range query, collecting left-side candidates
+        // in order and right-side candidates in reverse, so the leftmost
+        // argmin can be picked deterministically.
+        let mut lo = self.size + i;
+        let mut hi = self.size + j + 1;
+        let mut left_cands: Vec<u32> = Vec::new();
+        let mut right_cands: Vec<u32> = Vec::new();
+        while lo < hi {
+            if let Some(m) = meter {
+                m.tick();
+            }
+            if lo & 1 == 1 {
+                left_cands.push(self.tree[lo]);
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                right_cands.push(self.tree[hi]);
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        let mut best = u32::MAX;
+        for &c in left_cands.iter().chain(right_cands.iter().rev()) {
+            best = self.combine(best, c);
+        }
+        best as usize
+    }
+}
+
+impl<T: Ord + Clone> RangeMin<T> for SegTreeRmq<T> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    fn query(&self, i: usize, j: usize) -> usize {
+        check_range(i, j, self.data.len());
+        self.query_impl(i, j, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmq::testkit;
+    use pitract_core::cost::{assert_steps_within, CostClass, Meter};
+
+    #[test]
+    fn matches_reference_everywhere() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let data = testkit::array(n, 0xD00D + n as u64);
+            let rmq = SegTreeRmq::build(&data);
+            testkit::check_all_ranges(&rmq, &data);
+        }
+    }
+
+    #[test]
+    fn leftmost_on_ties() {
+        let data = vec![3, 0, 5, 0, 0, 7];
+        let rmq = SegTreeRmq::build(&data);
+        assert_eq!(rmq.query(0, 5), 1);
+        assert_eq!(rmq.query(2, 5), 3);
+        assert_eq!(rmq.query(4, 5), 4);
+    }
+
+    #[test]
+    fn updates_repair_answers() {
+        let mut rmq = SegTreeRmq::build(&testkit::array(64, 5));
+        let mut shadow = rmq.data().to_vec();
+        let updates = [(0usize, -900i64), (63, -950), (31, 7), (0, 100), (10, -1000)];
+        for (pos, val) in updates {
+            rmq.update(pos, val);
+            shadow[pos] = val;
+            for (i, j) in [(0usize, 63usize), (0, 31), (31, 63), (pos, pos)] {
+                assert_eq!(
+                    rmq.query(i, j),
+                    testkit::reference(&shadow, i, j),
+                    "after update ({pos},{val}) range [{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_then_full_revalidation() {
+        let mut rmq = SegTreeRmq::build(&testkit::array(33, 9));
+        rmq.update(16, -10_000);
+        rmq.update(0, 10_000);
+        let shadow = rmq.data().to_vec();
+        testkit::check_all_ranges(&rmq, &shadow);
+    }
+
+    #[test]
+    fn query_cost_is_logarithmic() {
+        let n = 1usize << 15;
+        let rmq = SegTreeRmq::build(&testkit::array(n, 13));
+        let meter = Meter::new();
+        for (i, j) in [(0usize, n - 1), (1, n - 2), (n / 3, 2 * n / 3)] {
+            meter.take();
+            rmq.query_metered(i, j, &meter);
+            assert_steps_within(meter.steps(), CostClass::Log, n as u64, 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn update_out_of_bounds_panics() {
+        SegTreeRmq::build(&[1, 2, 3]).update(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn bad_range_panics() {
+        SegTreeRmq::build(&[1, 2, 3]).query(0, 5);
+    }
+}

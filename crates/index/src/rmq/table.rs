@@ -1,0 +1,103 @@
+//! All-pairs RMQ: the quadratic-space extreme of the preprocessing
+//! trade-off.
+//!
+//! Precomputing the answer for every `(i, j)` pair is the bluntest way to
+//! buy O(1) queries — Example 3 of the paper does exactly this for
+//! reachability ("precompute a matrix that records the reachability between
+//! all pairs"). Here it doubles as the mutation-free reference for the
+//! subtler structures and as an E4 data point showing that Π-tractability
+//! caps the preprocessing *output* at polynomial size but says nothing about
+//! it being small.
+
+use super::{check_range, RangeMin};
+
+/// RMQ answered from a precomputed triangular table, O(n²) space.
+#[derive(Debug, Clone)]
+pub struct AllPairsRmq<T> {
+    data: Vec<T>,
+    /// Row i stores argmins for ranges [i, i], [i, i+1], … packed densely.
+    table: Vec<u32>,
+    row_offsets: Vec<usize>,
+}
+
+impl<T: Ord + Clone> AllPairsRmq<T> {
+    /// Precompute all range minima by dynamic programming: O(n²) time and
+    /// space. Panics if the array has more than `u32::MAX` elements.
+    pub fn build(data: &[T]) -> Self {
+        let n = data.len();
+        assert!(n <= u32::MAX as usize, "array too large for u32 indices");
+        let mut table = Vec::with_capacity(n * (n + 1) / 2);
+        let mut row_offsets = Vec::with_capacity(n);
+        for i in 0..n {
+            row_offsets.push(table.len());
+            let mut best = i;
+            table.push(best as u32);
+            for j in i + 1..n {
+                if data[j] < data[best] {
+                    best = j;
+                }
+                table.push(best as u32);
+            }
+        }
+        AllPairsRmq {
+            data: data.to_vec(),
+            table,
+            row_offsets,
+        }
+    }
+
+    /// Size of the precomputed table in entries — E4 reports this to show
+    /// the quadratic space cost.
+    pub fn table_entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl<T: Ord + Clone> RangeMin<T> for AllPairsRmq<T> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    fn query(&self, i: usize, j: usize) -> usize {
+        check_range(i, j, self.data.len());
+        self.table[self.row_offsets[i] + (j - i)] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmq::testkit;
+
+    #[test]
+    fn matches_reference_everywhere() {
+        for n in [1usize, 2, 7, 33, 64] {
+            let data = testkit::array(n, 0xABCD + n as u64);
+            let rmq = AllPairsRmq::build(&data);
+            testkit::check_all_ranges(&rmq, &data);
+        }
+    }
+
+    #[test]
+    fn table_is_triangular() {
+        let rmq = AllPairsRmq::build(&testkit::array(10, 3));
+        assert_eq!(rmq.table_entries(), 10 * 11 / 2);
+    }
+
+    #[test]
+    fn leftmost_on_ties() {
+        let rmq = AllPairsRmq::build(&[2, 0, 0, 2, 0]);
+        assert_eq!(rmq.query(0, 4), 1);
+        assert_eq!(rmq.query(3, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RMQ range")]
+    fn bad_range_panics() {
+        AllPairsRmq::build(&[1, 2]).query(1, 0);
+    }
+}

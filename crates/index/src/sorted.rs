@@ -1,0 +1,245 @@
+//! The sorted static index of Section 4(2): sort once, binary-search
+//! forever.
+//!
+//! The paper's decision problem L₁ ("does element e appear in unordered
+//! list M?") is made Π-tractable by the factorization that treats M as data
+//! and e as query: preprocessing sorts M in O(|M| log |M|) and every
+//! membership query then takes O(log |M|). [`SortedIndex`] is that
+//! preprocessing result; its metered query path lets tests assert the
+//! logarithmic claim step by step.
+
+use pitract_core::cost::Meter;
+use std::ops::Bound;
+
+/// A sorted, deduplicating-free static index over keys (duplicates are kept;
+/// membership and counting still work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedIndex<K: Ord> {
+    keys: Vec<K>,
+}
+
+impl<K: Ord + Clone> SortedIndex<K> {
+    /// Preprocess an unordered list: O(n log n) comparison sort.
+    pub fn build(unordered: &[K]) -> Self {
+        let mut keys = unordered.to_vec();
+        keys.sort_unstable();
+        SortedIndex { keys }
+    }
+
+    /// Build from a slice already known to be sorted. Panics (debug) if the
+    /// input is not sorted — this is a construction-time contract, not a
+    /// runtime condition.
+    pub fn from_sorted(keys: Vec<K>) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        SortedIndex { keys }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Membership query: O(log n).
+    pub fn contains(&self, key: &K) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+
+    /// Membership with per-comparison metering: the instrumented form used
+    /// by tests and the E3 experiment to certify O(log n).
+    pub fn contains_metered(&self, key: &K, meter: &Meter) -> bool {
+        let mut lo = 0usize;
+        let mut hi = self.keys.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            meter.tick();
+            match self.keys[mid].cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of entries equal to `key`: two binary searches, O(log n).
+    pub fn count(&self, key: &K) -> usize {
+        self.keys.partition_point(|k| k <= key) - self.keys.partition_point(|k| k < key)
+    }
+
+    /// Number of entries within the given bounds: O(log n).
+    pub fn count_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        let start = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(k) => self.keys.partition_point(|x| x < k),
+            Bound::Excluded(k) => self.keys.partition_point(|x| x <= k),
+        };
+        let end = match hi {
+            Bound::Unbounded => self.keys.len(),
+            Bound::Included(k) => self.keys.partition_point(|x| x <= k),
+            Bound::Excluded(k) => self.keys.partition_point(|x| x < k),
+        };
+        end.saturating_sub(start)
+    }
+
+    /// Is any entry within the bounds? O(log n) — the Boolean
+    /// range-selection query of Section 4(1).
+    pub fn any_in_range(&self, lo: Bound<&K>, hi: Bound<&K>) -> bool {
+        self.count_range(lo, hi) > 0
+    }
+
+    /// Greatest key ≤ `key` (predecessor), O(log n).
+    pub fn predecessor(&self, key: &K) -> Option<&K> {
+        let pos = self.keys.partition_point(|x| x <= key);
+        pos.checked_sub(1).map(|i| &self.keys[i])
+    }
+
+    /// Smallest key ≥ `key` (successor), O(log n).
+    pub fn successor(&self, key: &K) -> Option<&K> {
+        let pos = self.keys.partition_point(|x| x < key);
+        self.keys.get(pos)
+    }
+
+    /// The sorted keys.
+    pub fn as_slice(&self) -> &[K] {
+        &self.keys
+    }
+}
+
+/// The no-preprocessing baseline: a linear scan over the unordered list,
+/// metered per comparison. This is what Example 1 contrasts the index
+/// against — on 1 PB it is the "1.9 days" side of the arithmetic.
+pub fn scan_contains_metered<K: Ord>(unordered: &[K], key: &K, meter: &Meter) -> bool {
+    for k in unordered {
+        meter.tick();
+        if k == key {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::cost::{assert_steps_within, CostClass};
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        // Deterministic shuffle via multiplicative hashing.
+        (0..n).map(|i| (i * 2654435761) % n).collect()
+    }
+
+    #[test]
+    fn contains_agrees_with_scan() {
+        let data = shuffled(500);
+        let idx = SortedIndex::build(&data);
+        for q in 0..600u64 {
+            assert_eq!(idx.contains(&q), data.contains(&q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn metered_contains_is_logarithmic() {
+        let n = 1u64 << 16;
+        let data: Vec<u64> = (0..n).collect();
+        let idx = SortedIndex::build(&data);
+        let meter = Meter::new();
+        for q in [0u64, 1, n / 2, n - 1, n + 5] {
+            meter.take();
+            idx.contains_metered(&q, &meter);
+            assert_steps_within(meter.steps(), CostClass::Log, n, 2.0);
+        }
+    }
+
+    #[test]
+    fn scan_baseline_is_linear_in_the_worst_case() {
+        let n = 4096u64;
+        let data = shuffled(n);
+        let meter = Meter::new();
+        scan_contains_metered(&data, &(n + 1), &meter); // absent: full scan
+        assert_eq!(meter.steps(), n);
+    }
+
+    #[test]
+    fn metered_and_plain_agree() {
+        let data = shuffled(257);
+        let idx = SortedIndex::build(&data);
+        let meter = Meter::new();
+        for q in 0..300u64 {
+            assert_eq!(idx.contains(&q), idx.contains_metered(&q, &meter));
+        }
+    }
+
+    #[test]
+    fn count_handles_duplicates() {
+        let idx = SortedIndex::build(&[5u64, 1, 5, 5, 9, 1]);
+        assert_eq!(idx.count(&5), 3);
+        assert_eq!(idx.count(&1), 2);
+        assert_eq!(idx.count(&9), 1);
+        assert_eq!(idx.count(&7), 0);
+    }
+
+    #[test]
+    fn count_range_matches_filter() {
+        let data = shuffled(300);
+        let idx = SortedIndex::build(&data);
+        for (lo, hi) in [(10u64, 20u64), (0, 0), (250, 400), (100, 100)] {
+            let expect = data.iter().filter(|&&x| x >= lo && x <= hi).count();
+            assert_eq!(
+                idx.count_range(Bound::Included(&lo), Bound::Included(&hi)),
+                expect,
+                "[{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn count_range_bound_variants() {
+        let idx = SortedIndex::build(&[1u64, 2, 3, 4, 5]);
+        assert_eq!(idx.count_range(Bound::Excluded(&1), Bound::Excluded(&5)), 3);
+        assert_eq!(idx.count_range(Bound::Unbounded, Bound::Included(&3)), 3);
+        assert_eq!(idx.count_range(Bound::Included(&3), Bound::Unbounded), 3);
+        assert_eq!(idx.count_range(Bound::Unbounded, Bound::Unbounded), 5);
+        // Inverted range counts zero, never underflows.
+        assert_eq!(idx.count_range(Bound::Included(&5), Bound::Included(&1)), 0);
+    }
+
+    #[test]
+    fn any_in_range_is_boolean_range_selection() {
+        let idx = SortedIndex::build(&[10u64, 20, 30]);
+        assert!(idx.any_in_range(Bound::Included(&15), Bound::Included(&25)));
+        assert!(!idx.any_in_range(Bound::Included(&21), Bound::Included(&29)));
+    }
+
+    #[test]
+    fn predecessor_successor() {
+        let idx = SortedIndex::build(&[10u64, 20, 30]);
+        assert_eq!(idx.predecessor(&25), Some(&20));
+        assert_eq!(idx.predecessor(&10), Some(&10));
+        assert_eq!(idx.predecessor(&5), None);
+        assert_eq!(idx.successor(&25), Some(&30));
+        assert_eq!(idx.successor(&30), Some(&30));
+        assert_eq!(idx.successor(&31), None);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx = SortedIndex::<u64>::build(&[]);
+        assert!(idx.is_empty());
+        assert!(!idx.contains(&1));
+        assert_eq!(idx.count_range(Bound::Unbounded, Bound::Unbounded), 0);
+        assert_eq!(idx.predecessor(&1), None);
+        assert_eq!(idx.successor(&1), None);
+    }
+
+    #[test]
+    fn from_sorted_accepts_sorted_input() {
+        let idx = SortedIndex::from_sorted(vec![1u64, 1, 2, 3]);
+        assert_eq!(idx.len(), 4);
+        assert!(idx.contains(&1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the index crate: B⁺-tree against the standard
+//! ordered map (including range scans), sorted-index statistics against
+//! brute force, and LCA structures against the naive walk.
+
+use pitract_index::bptree::BPlusTree;
+use pitract_index::lca::lifting::BinaryLiftingLca;
+use pitract_index::lca::tree::{naive_lca, EulerTourLca, RootedTree};
+use pitract_index::sorted::SortedIndex;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+proptest! {
+    /// Range scans over the B⁺-tree equal BTreeMap ranges for arbitrary
+    /// bound combinations after arbitrary operation sequences.
+    #[test]
+    fn bptree_ranges_match_btreemap(
+        order in 3usize..10,
+        ops in prop::collection::vec((0u8..2, 0u64..100), 0..200),
+        lo in 0u64..110,
+        hi in 0u64..110,
+        bounds_kind in 0u8..4,
+    ) {
+        let mut tree: BPlusTree<u64, u64> = BPlusTree::with_order(order);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            if op == 0 {
+                tree.insert(key, key * 3);
+                model.insert(key, key * 3);
+            } else {
+                tree.remove(&key);
+                model.remove(&key);
+            }
+        }
+        let (blo, bhi) = match bounds_kind {
+            0 => (Bound::Included(&lo), Bound::Included(&hi)),
+            1 => (Bound::Excluded(&lo), Bound::Excluded(&hi)),
+            2 => (Bound::Unbounded, Bound::Included(&hi)),
+            _ => (Bound::Included(&lo), Bound::Unbounded),
+        };
+        let got: Vec<(u64, u64)> = tree.range(blo, bhi).map(|(k, v)| (*k, *v)).collect();
+        let expect: Vec<(u64, u64)> = model
+            .iter()
+            .filter(|(k, _)| {
+                let above = match blo {
+                    Bound::Included(l) => *k >= l,
+                    Bound::Excluded(l) => *k > l,
+                    Bound::Unbounded => true,
+                };
+                let below = match bhi {
+                    Bound::Included(h) => *k <= h,
+                    Bound::Excluded(h) => *k < h,
+                    Bound::Unbounded => true,
+                };
+                above && below
+            })
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        prop_assert_eq!(got, expect);
+        tree.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// get / get_mut / contains_key agree, and get_mut edits persist.
+    #[test]
+    fn bptree_get_mut_consistency(keys in prop::collection::hash_set(0u64..300, 1..150)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let mut tree: BPlusTree<u64, u64> = BPlusTree::build(keys.iter().map(|&k| (k, k)));
+        for &k in &keys {
+            prop_assert!(tree.contains_key(&k));
+            let v = tree.get_mut(&k).expect("present");
+            *v += 1000;
+        }
+        for &k in &keys {
+            prop_assert_eq!(tree.get(&k), Some(&(k + 1000)));
+        }
+        prop_assert_eq!(tree.get_mut(&10_000), None);
+    }
+
+    /// Sorted-index counting statistics match brute-force filters.
+    #[test]
+    fn sorted_index_statistics(xs in prop::collection::vec(0i64..100, 0..200), probe in -5i64..110) {
+        let idx = SortedIndex::build(&xs);
+        prop_assert_eq!(idx.contains(&probe), xs.contains(&probe));
+        prop_assert_eq!(idx.count(&probe), xs.iter().filter(|&&x| x == probe).count());
+        let hi = probe + 13;
+        prop_assert_eq!(
+            idx.count_range(Bound::Included(&probe), Bound::Included(&hi)),
+            xs.iter().filter(|&&x| x >= probe && x <= hi).count()
+        );
+        // Predecessor/successor against brute force.
+        prop_assert_eq!(
+            idx.predecessor(&probe).copied(),
+            xs.iter().copied().filter(|&x| x <= probe).max()
+        );
+        prop_assert_eq!(
+            idx.successor(&probe).copied(),
+            xs.iter().copied().filter(|&x| x >= probe).min()
+        );
+    }
+
+    /// Both preprocessed LCA structures equal the naive walk on random
+    /// trees and random query pairs.
+    #[test]
+    fn lca_structures_agree(n in 1usize..60, seed in any::<u64>(),
+                            pairs in prop::collection::vec((0usize..60, 0usize..60), 1..30)) {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+            .collect();
+        let tree = RootedTree::from_parents(&parents).expect("valid random tree");
+        let euler = EulerTourLca::build(&tree);
+        let lift = BinaryLiftingLca::build(&tree);
+        for (a, b) in pairs {
+            let (u, v) = (a % n, b % n);
+            let expect = naive_lca(&tree, u, v);
+            prop_assert_eq!(euler.query(u, v), expect, "euler ({},{})", u, v);
+            prop_assert_eq!(lift.query(u, v), expect, "lifting ({},{})", u, v);
+        }
+    }
+
+    /// kth_ancestor composes: the a-th ancestor of the b-th ancestor is
+    /// the (a+b)-th ancestor (with clamping at the root).
+    #[test]
+    fn kth_ancestor_composes(n in 2usize..100, v in 0usize..100, a in 0u64..64, b in 0u64..64) {
+        let v = v % n;
+        let parents: Vec<Option<usize>> =
+            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let tree = RootedTree::from_parents(&parents).expect("path tree");
+        let lift = BinaryLiftingLca::build(&tree);
+        let two_step = lift.kth_ancestor(lift.kth_ancestor(v, a), b);
+        let one_step = lift.kth_ancestor(v, a + b);
+        prop_assert_eq!(two_step, one_step);
+    }
+}

@@ -1,0 +1,341 @@
+//! Buss kernelization — the paper's Section 4(9) preprocessing.
+//!
+//! Rules, applied to exhaustion in O(|V| + |E|):
+//!
+//! 1. **High-degree rule.** A vertex of degree > k must belong to every
+//!    size-≤-k cover (otherwise all > k of its neighbors would); force it
+//!    in and decrement the budget.
+//! 2. **Isolated-vertex rule.** Degree-0 vertices never help; drop them.
+//! 3. **Cutoff.** A residual graph with maximum degree ≤ k′ and more than
+//!    k′² edges has no size-k′ cover — answer NO outright.
+//!
+//! What survives is a **kernel** with ≤ k′² edges and ≤ k′² + k′ vertices:
+//! a size bounded by the parameter alone, independent of |G|. Solving the
+//! kernel with the 2^k search tree therefore costs O(1) for fixed k — the
+//! paper's "when K is fixed, VC is in ΠTP".
+
+use crate::vc::{bounded_search_tree, is_vertex_cover};
+use pitract_graph::Graph;
+use pitract_core::cost::Meter;
+
+/// Result of kernelizing a `(G, k)` instance.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Vertices forced into the cover by the high-degree rule (original
+    /// ids).
+    pub forced: Vec<usize>,
+    /// Remaining budget k′ = k − |forced|.
+    pub budget: usize,
+    /// The kernel graph, re-indexed densely.
+    pub graph: Graph,
+    /// Kernel node → original node id.
+    pub back_map: Vec<usize>,
+    /// `Some(answer)` when the rules already decided the instance.
+    pub decided: Option<bool>,
+}
+
+/// Apply Buss's rules to `(g, k)`. Runs in O(|V| + |E| + k·|V|) — the
+/// near-linear preprocessing budget the paper cites. The meter ticks once
+/// per edge/vertex touched so E12 can report preprocessing cost.
+pub fn kernelize(g: &Graph, k: usize, meter: &Meter) -> Kernel {
+    assert!(!g.is_directed(), "vertex cover instances are undirected");
+    // Vertex cover is invariant under parallel-edge removal, but the
+    // high-degree rule and the k² cutoff are NOT: they must count distinct
+    // neighbors/edges. Normalize to a simple graph first (O(|E| log |E|)).
+    let g = &simplify(g);
+    let n = g.node_count();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    // Self-loops count twice in adjacency for undirected repr? Our repr
+    // stores a self-loop once; its endpoint is forced below like a
+    // high-degree vertex (a loop can only be covered by its endpoint).
+    let mut removed = vec![false; n];
+    let mut forced = Vec::new();
+    let mut budget = k;
+
+    // Force self-loop endpoints first.
+    #[allow(clippy::needless_range_loop)] // v indexes three arrays at once
+    for v in 0..n {
+        if g.neighbors(v).contains(&v) && !removed[v] {
+            removed[v] = true;
+            forced.push(v);
+            for &w in g.neighbors(v) {
+                meter.tick();
+                if w != v && degree[w] > 0 {
+                    degree[w] -= 1;
+                }
+            }
+            if budget == 0 {
+                return decided_kernel(forced, false);
+            }
+            budget -= 1;
+        }
+    }
+
+    // High-degree rule to exhaustion. Each forced vertex costs one budget
+    // unit, so at most k rounds fire.
+    while let Some(v) = (0..n).find(|&v| !removed[v] && degree[v] > budget) {
+        meter.tick();
+        removed[v] = true;
+        forced.push(v);
+        for &w in g.neighbors(v) {
+            meter.tick();
+            if !removed[w] && degree[w] > 0 {
+                degree[w] -= 1;
+            }
+        }
+        if budget == 0 {
+            // A vertex with degree > 0 remains forced but no budget: the
+            // residual edges decide below; forcing with zero budget means NO
+            // unless no edges remain.
+            return decided_kernel(forced, false);
+        }
+        budget -= 1;
+    }
+
+    // Collect residual edges (both endpoints alive, no self loops left).
+    let mut kept_edges = Vec::new();
+    for (u, v) in g.edges() {
+        meter.tick();
+        if u != v && !removed[u] && !removed[v] {
+            kept_edges.push((u, v));
+        }
+    }
+
+    // Cutoff: max degree ≤ budget now, so > budget² edges ⇒ NO.
+    if kept_edges.len() > budget * budget {
+        return decided_kernel(forced, false);
+    }
+    if kept_edges.is_empty() {
+        return decided_kernel(forced, true);
+    }
+
+    // Re-index the (non-isolated) surviving vertices densely.
+    let mut new_id = vec![usize::MAX; n];
+    let mut back_map = Vec::new();
+    for &(u, v) in &kept_edges {
+        for w in [u, v] {
+            if new_id[w] == usize::MAX {
+                new_id[w] = back_map.len();
+                back_map.push(w);
+            }
+        }
+    }
+    let edges: Vec<(usize, usize)> = kept_edges
+        .iter()
+        .map(|&(u, v)| (new_id[u], new_id[v]))
+        .collect();
+    let graph = Graph::undirected_from_edges(back_map.len(), &edges);
+
+    Kernel {
+        forced,
+        budget,
+        graph,
+        back_map,
+        decided: None,
+    }
+}
+
+/// Deduplicate parallel edges (self-loops kept once).
+fn simplify(g: &Graph) -> Graph {
+    let mut edges: Vec<(usize, usize)> = g
+        .edges()
+        .into_iter()
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::undirected_from_edges(g.node_count(), &edges)
+}
+
+fn decided_kernel(forced: Vec<usize>, answer: bool) -> Kernel {
+    Kernel {
+        forced,
+        budget: 0,
+        graph: Graph::undirected_from_edges(0, &[]),
+        back_map: Vec::new(),
+        decided: Some(answer),
+    }
+}
+
+/// End-to-end solver: kernelize, then run the 2^k search tree on the
+/// kernel, then translate the cover back to original vertex ids.
+pub fn solve_via_kernel(g: &Graph, k: usize, meter: &Meter) -> Option<Vec<usize>> {
+    let kernel = kernelize(g, k, meter);
+    match kernel.decided {
+        Some(false) => None,
+        Some(true) => {
+            let mut cover = kernel.forced;
+            cover.sort_unstable();
+            Some(cover)
+        }
+        None => {
+            let sub = bounded_search_tree(&kernel.graph, kernel.budget)?;
+            let mut cover = kernel.forced;
+            cover.extend(sub.into_iter().map(|v| kernel.back_map[v]));
+            cover.sort_unstable();
+            debug_assert!(is_vertex_cover(g, &cover));
+            Some(cover)
+        }
+    }
+}
+
+/// Boolean decision form (the paper states VC as a decision problem).
+pub fn decide_via_kernel(g: &Graph, k: usize, meter: &Meter) -> bool {
+    solve_via_kernel(g, k, meter).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vc::brute_force;
+
+    fn star_plus_matching() -> Graph {
+        // Star center 0 with 8 leaves, plus a disjoint edge (9,10).
+        let mut edges: Vec<(usize, usize)> = (1..9).map(|i| (0, i)).collect();
+        edges.push((9, 10));
+        Graph::undirected_from_edges(11, &edges)
+    }
+
+    #[test]
+    fn high_degree_rule_forces_the_center() {
+        let meter = Meter::new();
+        let kernel = kernelize(&star_plus_matching(), 3, &meter);
+        assert!(kernel.forced.contains(&0), "center has degree 8 > 3");
+        assert!(kernel.decided.is_none());
+        assert_eq!(kernel.budget, 2);
+        assert_eq!(kernel.graph.edge_count(), 1, "only (9,10) survives");
+    }
+
+    #[test]
+    fn kernel_size_respects_buss_bound() {
+        let meter = Meter::new();
+        let mut state = 0x5151u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [20usize, 60, 120] {
+            for k in [2usize, 4, 6] {
+                let edges: Vec<(usize, usize)> = (0..3 * n)
+                    .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+                    .filter(|&(u, v)| u != v)
+                    .collect();
+                let g = Graph::undirected_from_edges(n, &edges);
+                let kernel = kernelize(&g, k, &meter);
+                if kernel.decided.is_none() {
+                    let b = kernel.budget;
+                    assert!(
+                        kernel.graph.edge_count() <= b * b,
+                        "kernel has {} edges > {}²",
+                        kernel.graph.edge_count(),
+                        b
+                    );
+                    assert!(
+                        kernel.graph.node_count() <= b * b + b,
+                        "kernel has {} nodes > {}² + {}",
+                        kernel.graph.node_count(),
+                        b,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_solver_agrees_with_brute_force() {
+        let meter = Meter::new();
+        let mut state = 0x7777u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [6usize, 10, 14, 18] {
+            for trial in 0..8 {
+                let m = n + 2 * trial;
+                let edges: Vec<(usize, usize)> = (0..m)
+                    .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+                    .filter(|&(u, v)| u != v)
+                    .collect();
+                let g = Graph::undirected_from_edges(n, &edges);
+                for k in 0..=8.min(n) {
+                    let expect = brute_force(&g, k).is_some();
+                    let got = decide_via_kernel(&g, k, &meter);
+                    assert_eq!(got, expect, "n={n} k={k} edges={edges:?}");
+                    if let Some(cover) = solve_via_kernel(&g, k, &meter) {
+                        assert!(cover.len() <= k);
+                        assert!(is_vertex_cover(&g, &cover));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_rejects_dense_residues() {
+        // Complete graph K8 with k = 2: after (no) forcing, 28 edges > 4.
+        let mut edges = Vec::new();
+        for u in 0..8 {
+            for v in u + 1..8 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::undirected_from_edges(8, &edges);
+        let meter = Meter::new();
+        let kernel = kernelize(&g, 2, &meter);
+        // Degree 7 > 2 forces vertices until budget exhausts ⇒ decided NO,
+        // or cutoff fires; either way the decision is NO.
+        assert!(!decide_via_kernel(&g, 2, &meter));
+        assert!(kernel.decided == Some(false) || kernel.graph.edge_count() > 4);
+    }
+
+    #[test]
+    fn edgeless_graphs_are_yes_instances_even_at_k0() {
+        let g = Graph::undirected_from_edges(10, &[]);
+        let meter = Meter::new();
+        assert_eq!(solve_via_kernel(&g, 0, &meter), Some(vec![]));
+    }
+
+    #[test]
+    fn self_loops_are_forced_by_kernelization() {
+        let g = Graph::undirected_from_edges(4, &[(0, 0), (1, 2)]);
+        let meter = Meter::new();
+        let cover = solve_via_kernel(&g, 2, &meter).expect("coverable with 2");
+        assert!(cover.contains(&0));
+        assert!(!decide_via_kernel(&g, 1, &meter));
+    }
+
+    #[test]
+    fn fixed_k_query_cost_is_independent_of_graph_size() {
+        // The E12 headline: for fixed k, the post-kernel work is bounded by
+        // a function of k alone. We check the kernel size stays flat as n
+        // grows 16× on star-heavy graphs.
+        let meter = Meter::new();
+        let mut kernel_sizes = Vec::new();
+        for n in [100usize, 400, 1600] {
+            // A few high-degree hubs plus a sparse matching.
+            let mut edges = Vec::new();
+            for hub in 0..3 {
+                for i in 3..n / 2 {
+                    edges.push((hub, i));
+                }
+            }
+            for i in 0..5 {
+                edges.push((n / 2 + 2 * i, n / 2 + 2 * i + 1));
+            }
+            let g = Graph::undirected_from_edges(n, &edges);
+            let kernel = kernelize(&g, 8, &meter);
+            let size = kernel.graph.size();
+            kernel_sizes.push(size);
+        }
+        let spread = kernel_sizes.iter().max().unwrap() - kernel_sizes.iter().min().unwrap();
+        assert!(
+            spread <= 4,
+            "kernel sizes {kernel_sizes:?} should be ~flat for fixed k"
+        );
+    }
+}

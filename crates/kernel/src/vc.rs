@@ -1,0 +1,276 @@
+//! The Vertex Cover problem: checkers, exact solvers, approximation.
+//!
+//! VC (Garey & Johnson, problem GT1): given undirected `G = (V, E)` and `K ≤ |V|`,
+//! is there a vertex set of size ≤ K touching every edge? NP-complete, the
+//! paper's example of a problem *outside* ΠTP (Corollary 7).
+
+use pitract_graph::Graph;
+
+/// Does `cover` touch every edge of `g`?
+pub fn is_vertex_cover(g: &Graph, cover: &[usize]) -> bool {
+    let mut in_cover = vec![false; g.node_count()];
+    for &v in cover {
+        if v >= g.node_count() {
+            return false;
+        }
+        in_cover[v] = true;
+    }
+    g.edges().iter().all(|&(u, v)| in_cover[u] || in_cover[v])
+}
+
+/// Exact solver by bounded search tree: pick an uncovered edge `(u, v)`,
+/// branch on "u in cover" / "v in cover". O(2^K · |E|) — polynomial for
+/// fixed K, the engine run on Buss kernels.
+pub fn bounded_search_tree(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    assert!(!g.is_directed(), "vertex cover is defined on undirected graphs");
+    let edges: Vec<(usize, usize)> = g
+        .edges()
+        .into_iter()
+        .filter(|&(u, v)| u != v) // self-loops handled by the caller rules
+        .collect();
+    let mut chosen = Vec::new();
+    // Self-loop endpoints are forced into any cover.
+    let mut forced: Vec<usize> = g
+        .edges()
+        .iter()
+        .filter(|&&(u, v)| u == v)
+        .map(|&(u, _)| u)
+        .collect();
+    forced.sort_unstable();
+    forced.dedup();
+    if forced.len() > k {
+        return None;
+    }
+    let mut in_cover = vec![false; g.node_count()];
+    for &v in &forced {
+        in_cover[v] = true;
+        chosen.push(v);
+    }
+    let budget = k - forced.len();
+    search(&edges, &mut in_cover, &mut chosen, budget).then(|| {
+        chosen.sort_unstable();
+        chosen
+    })
+}
+
+fn search(
+    edges: &[(usize, usize)],
+    in_cover: &mut Vec<bool>,
+    chosen: &mut Vec<usize>,
+    budget: usize,
+) -> bool {
+    // Find the first uncovered edge.
+    let uncovered = edges
+        .iter()
+        .find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
+    let Some(&(u, v)) = uncovered else {
+        return true; // everything covered
+    };
+    if budget == 0 {
+        return false;
+    }
+    for pick in [u, v] {
+        in_cover[pick] = true;
+        chosen.push(pick);
+        if search(edges, in_cover, chosen, budget - 1) {
+            return true;
+        }
+        chosen.pop();
+        in_cover[pick] = false;
+    }
+    false
+}
+
+/// Exact solver by exhaustive subset enumeration (reference oracle for
+/// tests; exponential in |V|, keep |V| ≤ ~20).
+pub fn brute_force(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    assert!(n <= 24, "brute force oracle limited to 24 nodes, got {n}");
+    let edges = g.edges();
+    // Try sizes from 0 up so the returned cover is minimum.
+    for size in 0..=k.min(n) {
+        let mut found = None;
+        for_each_combination(n, size, |subset| {
+            let mut in_cover = vec![false; n];
+            for &v in subset {
+                in_cover[v] = true;
+            }
+            if edges.iter().all(|&(u, v)| in_cover[u] || in_cover[v]) {
+                found = Some(subset.to_vec());
+                true
+            } else {
+                false
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Visit every size-`k` subset of `0..n` in lexicographic order until the
+/// visitor returns `true` (early exit).
+fn for_each_combination(n: usize, k: usize, mut visit: impl FnMut(&[usize]) -> bool) {
+    if k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        if visit(&idx) {
+            return;
+        }
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return; // exhausted
+            }
+            i -= 1;
+            if idx[i] < i + n - k {
+                idx[i] += 1;
+                for j in i + 1..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Greedy 2-approximation (maximal matching): pick an uncovered edge, take
+/// both endpoints. Always a valid cover of size ≤ 2·OPT.
+pub fn greedy_two_approx(g: &Graph) -> Vec<usize> {
+    let mut in_cover = vec![false; g.node_count()];
+    let mut cover = Vec::new();
+    for (u, v) in g.edges() {
+        if !in_cover[u] && !in_cover[v] {
+            if u == v {
+                in_cover[u] = true;
+                cover.push(u);
+            } else {
+                in_cover[u] = true;
+                in_cover[v] = true;
+                cover.push(u);
+                cover.push(v);
+            }
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn petersen_like() -> Graph {
+        // A 5-cycle with a pendant: minimum VC = 3 (cycle needs ⌈5/2⌉ = 3;
+        // choosing them right also covers the pendant? No — check below).
+        Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5)])
+    }
+
+    #[test]
+    fn cover_checker() {
+        let g = petersen_like();
+        assert!(is_vertex_cover(&g, &[0, 2, 3]));
+        assert!(!is_vertex_cover(&g, &[0, 2]), "edge (3,4) uncovered");
+        assert!(!is_vertex_cover(&g, &[99]), "out of range is not a cover");
+        assert!(is_vertex_cover(&g, &[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn search_tree_finds_minimum_on_cycle_with_pendant() {
+        let g = petersen_like();
+        assert!(bounded_search_tree(&g, 2).is_none());
+        let cover = bounded_search_tree(&g, 3).expect("VC of size 3 exists");
+        assert!(cover.len() <= 3);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn search_tree_matches_brute_force_on_random_graphs() {
+        let mut state = 0xFACEu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [4usize, 8, 12] {
+            for trial in 0..10 {
+                let m = n + trial;
+                let edges: Vec<(usize, usize)> = (0..m)
+                    .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+                    .filter(|&(u, v)| u != v)
+                    .collect();
+                let g = Graph::undirected_from_edges(n, &edges);
+                for k in 0..=n {
+                    let bf = brute_force(&g, k);
+                    let st = bounded_search_tree(&g, k);
+                    assert_eq!(
+                        bf.is_some(),
+                        st.is_some(),
+                        "n={n} k={k} edges={edges:?}"
+                    );
+                    if let Some(c) = st {
+                        assert!(c.len() <= k);
+                        assert!(is_vertex_cover(&g, &c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_cover() {
+        let g = Graph::undirected_from_edges(5, &[]);
+        assert_eq!(bounded_search_tree(&g, 0), Some(vec![]));
+        assert_eq!(brute_force(&g, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn self_loops_force_their_endpoint() {
+        let g = Graph::undirected_from_edges(3, &[(0, 0), (1, 2)]);
+        let cover = bounded_search_tree(&g, 2).expect("cover of size 2");
+        assert!(cover.contains(&0), "self-loop endpoint must be chosen");
+        assert!(is_vertex_cover(&g, &cover));
+        assert!(bounded_search_tree(&g, 1).is_none());
+    }
+
+    #[test]
+    fn greedy_is_valid_and_within_twice_optimum() {
+        let mut state = 0xB0BAu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [6usize, 10, 14] {
+            let edges: Vec<(usize, usize)> = (0..2 * n)
+                .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+                .filter(|&(u, v)| u != v)
+                .collect();
+            let g = Graph::undirected_from_edges(n, &edges);
+            let greedy = greedy_two_approx(&g);
+            assert!(is_vertex_cover(&g, &greedy));
+            // Find the true optimum.
+            let opt = (0..=n)
+                .find(|&k| brute_force(&g, k).is_some())
+                .expect("full vertex set is always a cover");
+            assert!(
+                greedy.len() <= 2 * opt.max(1),
+                "greedy {} vs opt {opt}",
+                greedy.len()
+            );
+        }
+    }
+
+    #[test]
+    fn star_graph_optimum_is_center() {
+        let edges: Vec<(usize, usize)> = (1..10).map(|i| (0, i)).collect();
+        let g = Graph::undirected_from_edges(10, &edges);
+        let cover = bounded_search_tree(&g, 1).expect("center covers all");
+        assert_eq!(cover, vec![0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Parallel connected components by label propagation with pointer
+//! doubling — the NC counterpart of the sequential BFS/union-find pass.
+//!
+//! Each node carries a component label (initially itself). A round:
+//!
+//! 1. **Hook:** every edge pulls both endpoint labels down to their
+//!    minimum (one parallel step over the edges);
+//! 2. **Compress:** every label chain is halved by pointer jumping
+//!    (`label[v] ← label[label[v]]`), repeated ⌈log₂ n⌉ times.
+//!
+//! Because compression lets labels traverse chains whose length doubles
+//! per round, O(log n) rounds suffice, giving O(log² n) depth with
+//! O((n + m) log² n) work — comfortably NC, which is why undirected
+//! connectivity queries (the source problem of the BDS reduction) are
+//! Π-tractable even counting their *preprocessing* as parallel work.
+
+use crate::machine::Cost;
+
+/// Result of the parallel components computation.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Smallest node id in each node's component (the canonical label).
+    pub label: Vec<usize>,
+    /// Hook+compress rounds executed until fixpoint.
+    pub rounds: u32,
+}
+
+impl Components {
+    /// Are `u` and `v` in the same component? O(1).
+    pub fn connected(&self, u: usize, v: usize) -> bool {
+        self.label[u] == self.label[v]
+    }
+
+    /// Number of distinct components.
+    pub fn count(&self) -> usize {
+        let mut seen = vec![false; self.label.len()];
+        let mut count = 0;
+        for &l in &self.label {
+            if !seen[l] {
+                seen[l] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Compute connected components of an undirected graph given as an edge
+/// list over `n` nodes. Returns the labeling and the PRAM cost.
+pub fn parallel_components(n: usize, edges: &[(usize, usize)]) -> (Components, Cost) {
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+    }
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut cost = Cost::flat(n as u64);
+    let compress_steps = (n.max(2) as f64).log2().ceil() as usize;
+
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let before = label.clone();
+
+        // Hook: all edges in parallel (min is commutative/associative, so
+        // the sequential emulation of a CRCW-min write is faithful).
+        for &(u, v) in edges {
+            let m = label[u].min(label[v]);
+            label[u] = m;
+            label[v] = m;
+        }
+        cost = cost.then(Cost::flat(edges.len() as u64));
+
+        // Compress: pointer-double log n times.
+        for _ in 0..compress_steps {
+            let snapshot = label.clone();
+            for v in 0..n {
+                label[v] = snapshot[snapshot[v]];
+            }
+            cost = cost.then(Cost::flat(n as u64));
+        }
+
+        if label == before {
+            break;
+        }
+        assert!(
+            rounds as usize <= 2 * compress_steps + 4,
+            "label propagation failed to converge in O(log n) rounds"
+        );
+    }
+
+    (Components { label, rounds }, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::assert_depth_within;
+    use pitract_core::cost::CostClass;
+
+    /// Sequential reference: BFS components.
+    fn reference(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut label = vec![usize::MAX; n];
+        for s in 0..n {
+            if label[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            label[s] = s;
+            while let Some(u) = stack.pop() {
+                for &w in &adj[u] {
+                    if label[w] == usize::MAX {
+                        label[w] = s;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    #[test]
+    fn matches_bfs_on_random_graphs() {
+        let mut state = 0xC01Du64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as usize
+        };
+        for n in [1usize, 2, 10, 64, 200] {
+            for density in [0usize, 1, 3] {
+                let edges: Vec<(usize, usize)> = (0..n * density)
+                    .map(|_| (rnd() % n, rnd() % n))
+                    .collect();
+                let (comp, _) = parallel_components(n, &edges);
+                let expect = reference(n, &edges);
+                for u in 0..n {
+                    for v in 0..n {
+                        assert_eq!(
+                            comp.connected(u, v),
+                            expect[u] == expect[v],
+                            "n={n} density={density} pair ({u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_labels_are_component_minima() {
+        let edges = [(4usize, 2usize), (2, 7), (1, 5)];
+        let (comp, _) = parallel_components(8, &edges);
+        assert_eq!(comp.label[7], 2);
+        assert_eq!(comp.label[4], 2);
+        assert_eq!(comp.label[5], 1);
+        assert_eq!(comp.label[0], 0);
+        assert_eq!(comp.count(), 5); // {2,4,7} {1,5} {0} {3} {6}
+    }
+
+    #[test]
+    fn path_graph_converges_in_log_rounds_with_polylog_depth() {
+        // The worst case for plain label propagation (diameter = n); the
+        // doubling compression must crush it in O(log n) rounds.
+        for n in [64usize, 512, 4096] {
+            let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+            let (comp, cost) = parallel_components(n, &edges);
+            assert_eq!(comp.count(), 1);
+            assert!(
+                (comp.rounds as f64) <= (n as f64).log2() + 4.0,
+                "n={n}: {} rounds",
+                comp.rounds
+            );
+            assert_depth_within(cost, CostClass::PolyLog(2), n as u64, 3.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let (comp, cost) = parallel_components(0, &[]);
+        assert_eq!(comp.count(), 0);
+        assert!(cost.depth <= 1);
+        let (comp, _) = parallel_components(5, &[]);
+        assert_eq!(comp.count(), 5);
+        assert!(comp.connected(3, 3));
+        assert!(!comp.connected(0, 1));
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let (comp, _) = parallel_components(3, &[(1, 1), (0, 2)]);
+        assert!(comp.connected(0, 2));
+        assert!(!comp.connected(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edges_rejected() {
+        parallel_components(2, &[(0, 5)]);
+    }
+}

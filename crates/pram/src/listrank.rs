@@ -1,0 +1,184 @@
+//! List ranking by pointer jumping — the textbook O(log n)-round NC
+//! algorithm.
+//!
+//! Given a linked list as a successor array, compute every node's distance
+//! to the tail. Sequentially this is a trivial O(n) walk — but the walk has
+//! depth O(n), i.e. it is *not* in NC. Pointer jumping halves every
+//! remaining distance per round (`next[i] ← next[next[i]]`), so `⌈log₂ n⌉`
+//! rounds of O(n) parallel work suffice: depth O(log n), work O(n log n).
+//!
+//! In this workspace list ranking is used by the BDS experiment (E7): the
+//! preprocessed breadth-depth order is a list, and rank queries over it are
+//! the paper's "is u visited before v" queries.
+
+use crate::machine::Cost;
+
+/// Error cases for [`rank_list`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListError {
+    /// A successor index was out of bounds.
+    BadIndex {
+        /// Node holding the bad pointer.
+        node: usize,
+        /// The out-of-range successor value.
+        target: usize,
+    },
+    /// The structure contains a cycle (pointer jumping cannot terminate).
+    Cyclic,
+}
+
+/// Compute `rank[i]` = number of links from node `i` to the tail of its
+/// list (tail has rank 0), by pointer jumping.
+///
+/// `next[i]` is the successor of node `i`, or `None` at a tail. Multiple
+/// disjoint lists are allowed. Cycles are detected and reported.
+pub fn rank_list(next: &[Option<usize>]) -> Result<(Vec<u64>, Cost), ListError> {
+    let n = next.len();
+    if n == 0 {
+        return Ok((Vec::new(), Cost::ZERO));
+    }
+    for (node, &succ) in next.iter().enumerate() {
+        if let Some(target) = succ {
+            if target >= n {
+                return Err(ListError::BadIndex { node, target });
+            }
+        }
+    }
+
+    let mut rank: Vec<u64> = next.iter().map(|s| u64::from(s.is_some())).collect();
+    let mut jump: Vec<Option<usize>> = next.to_vec();
+    let mut cost = Cost::flat(n as u64);
+
+    // ⌈log₂ n⌉ + 1 rounds always suffice for acyclic lists.
+    let rounds = (n.max(2) as f64).log2().ceil() as usize + 1;
+    for _ in 0..rounds {
+        let mut changed = false;
+        let prev_rank = rank.clone();
+        let prev_jump = jump.clone();
+        for i in 0..n {
+            if let Some(j) = prev_jump[i] {
+                rank[i] = prev_rank[i] + prev_rank[j];
+                jump[i] = prev_jump[j];
+                changed = true;
+            }
+        }
+        // One parallel round: n unit updates, constant depth.
+        cost = cost.then(Cost::flat(n as u64));
+        if !changed {
+            break;
+        }
+    }
+
+    if jump.iter().any(Option::is_some) {
+        return Err(ListError::Cyclic);
+    }
+    Ok((rank, cost))
+}
+
+/// Reconstruct the visit order of a single list from its head, using ranks:
+/// position in the list = `rank[head] - rank[i]`. O(n) work, O(1) depth
+/// after ranking.
+pub fn order_from_ranks(head: usize, rank: &[u64]) -> Vec<usize> {
+    let len = rank[head] as usize + 1;
+    let mut order = vec![usize::MAX; len];
+    for (i, &r) in rank.iter().enumerate() {
+        let pos = rank[head].checked_sub(r).map(|d| d as usize);
+        if let Some(pos) = pos {
+            if pos < len && order[pos] == usize::MAX {
+                order[pos] = i;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::assert_depth_within;
+    use pitract_core::cost::CostClass;
+
+    /// Build the successor array of a single chain visiting `perm` in order.
+    fn chain(perm: &[usize]) -> Vec<Option<usize>> {
+        let mut next = vec![None; perm.len()];
+        for w in perm.windows(2) {
+            next[w[0]] = Some(w[1]);
+        }
+        next
+    }
+
+    #[test]
+    fn ranks_of_a_straight_chain() {
+        // 0 -> 1 -> 2 -> 3
+        let (rank, _) = rank_list(&chain(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(rank, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn ranks_of_a_shuffled_chain() {
+        // 2 -> 0 -> 3 -> 1
+        let (rank, _) = rank_list(&chain(&[2, 0, 3, 1])).unwrap();
+        assert_eq!(rank[2], 3);
+        assert_eq!(rank[0], 2);
+        assert_eq!(rank[3], 1);
+        assert_eq!(rank[1], 0);
+    }
+
+    #[test]
+    fn multiple_disjoint_lists() {
+        // 0 -> 1 ; 2 -> 3 -> 4
+        let mut next = vec![None; 5];
+        next[0] = Some(1);
+        next[2] = Some(3);
+        next[3] = Some(4);
+        let (rank, _) = rank_list(&next).unwrap();
+        assert_eq!(rank, vec![1, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(rank_list(&[]).unwrap().0, Vec::<u64>::new());
+        assert_eq!(rank_list(&[None]).unwrap().0, vec![0]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        for n in [16usize, 128, 1024, 8192] {
+            let perm: Vec<usize> = (0..n).collect();
+            let (_, cost) = rank_list(&chain(&perm)).unwrap();
+            // Pointer jumping: O(log n) rounds of constant depth.
+            assert_depth_within(cost, CostClass::Log, n as u64, 3.0);
+            // A sequential walk would have depth n; make sure we beat it.
+            assert!(cost.depth < n as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut next = vec![None; 3];
+        next[0] = Some(1);
+        next[1] = Some(2);
+        next[2] = Some(0);
+        assert_eq!(rank_list(&next).unwrap_err(), ListError::Cyclic);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        assert_eq!(rank_list(&[Some(0)]).unwrap_err(), ListError::Cyclic);
+    }
+
+    #[test]
+    fn bad_index_is_reported() {
+        assert_eq!(
+            rank_list(&[Some(5)]).unwrap_err(),
+            ListError::BadIndex { node: 0, target: 5 }
+        );
+    }
+
+    #[test]
+    fn order_reconstruction_matches_chain() {
+        let perm = vec![4, 2, 0, 1, 3];
+        let (rank, _) = rank_list(&chain(&perm)).unwrap();
+        assert_eq!(order_from_ranks(4, &rank), perm);
+    }
+}

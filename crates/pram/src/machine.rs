@@ -1,0 +1,182 @@
+//! The `(work, depth)` cost algebra and Brent's scheduling theorem.
+//!
+//! A PRAM computation is summarized by its **work** `W` (total elementary
+//! operations across all processors) and **depth** `D` (length of the
+//! longest dependency chain; equivalently, time with unboundedly many
+//! processors). A computation is in NC iff `D = O(log^k n)` and
+//! `W = n^O(1)` — exactly the query-answering budget of Definition 1.
+//!
+//! [`Cost`] forms a near-semiring: [`Cost::then`] (sequential composition)
+//! adds both components; [`Cost::join`] (parallel composition) adds work and
+//! maxes depth. [`brent_time`] converts `(W, D)` into running time on `p`
+//! processors — `⌈W/p⌉ + D` — which the E14 experiment uses to show the
+//! "seconds instead of days" arithmetic of the paper's introduction.
+
+use pitract_core::cost::CostClass;
+
+/// Work/depth summary of a (simulated) parallel computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total elementary operations performed.
+    pub work: u64,
+    /// Longest chain of dependent operations (parallel time).
+    pub depth: u64,
+}
+
+impl Cost {
+    /// The zero cost (identity for both compositions).
+    pub const ZERO: Cost = Cost { work: 0, depth: 0 };
+
+    /// One elementary operation.
+    pub const UNIT: Cost = Cost { work: 1, depth: 1 };
+
+    /// A cost with the given work performed fully in parallel (depth 1).
+    pub fn flat(work: u64) -> Cost {
+        Cost {
+            work,
+            depth: u64::from(work > 0),
+        }
+    }
+
+    /// A purely sequential cost (depth = work).
+    pub fn sequential(work: u64) -> Cost {
+        Cost { work, depth: work }
+    }
+
+    /// Sequential composition: `self` then `other`.
+    #[must_use]
+    pub fn then(self, other: Cost) -> Cost {
+        Cost {
+            work: self.work + other.work,
+            depth: self.depth + other.depth,
+        }
+    }
+
+    /// Parallel composition: `self` alongside `other`.
+    #[must_use]
+    pub fn join(self, other: Cost) -> Cost {
+        Cost {
+            work: self.work + other.work,
+            depth: self.depth.max(other.depth),
+        }
+    }
+
+    /// Parallel composition of many branches.
+    pub fn join_all(costs: impl IntoIterator<Item = Cost>) -> Cost {
+        costs.into_iter().fold(Cost::ZERO, Cost::join)
+    }
+
+    /// Is the depth within `c·bound(n) + c` for the given class? This is the
+    /// executable form of "the answering step is in NC" for a concrete run.
+    pub fn depth_within(self, class: CostClass, n: u64, c: f64) -> bool {
+        (self.depth as f64) <= c * class.bound(n) + c
+    }
+
+    /// Is the work polynomial-bounded: `work ≤ c·n^d + c`?
+    pub fn work_poly_bounded(self, n: u64, d: u32, c: f64) -> bool {
+        (self.work as f64) <= c * (n.max(2) as f64).powi(d as i32) + c
+    }
+}
+
+/// Brent's theorem: a computation with work `W` and depth `D` can be run on
+/// `p` processors in at most `⌈W/p⌉ + D` steps.
+pub fn brent_time(cost: Cost, processors: u64) -> u64 {
+    let p = processors.max(1);
+    cost.work.div_ceil(p) + cost.depth
+}
+
+/// Panicking depth assertion with a readable message, used throughout the
+/// workspace's NC-side tests.
+pub fn assert_depth_within(cost: Cost, class: CostClass, n: u64, c: f64) {
+    let bound = c * class.bound(n) + c;
+    assert!(
+        (cost.depth as f64) <= bound,
+        "NC depth bound violated: depth {} on n={n}, but {class} allows {bound:.1} (work was {})",
+        cost.depth,
+        cost.work
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn then_adds_both_components() {
+        let a = Cost { work: 5, depth: 2 };
+        let b = Cost { work: 7, depth: 3 };
+        assert_eq!(a.then(b), Cost { work: 12, depth: 5 });
+    }
+
+    #[test]
+    fn join_adds_work_maxes_depth() {
+        let a = Cost { work: 5, depth: 2 };
+        let b = Cost { work: 7, depth: 3 };
+        assert_eq!(a.join(b), Cost { work: 12, depth: 3 });
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let a = Cost { work: 4, depth: 4 };
+        assert_eq!(a.then(Cost::ZERO), a);
+        assert_eq!(a.join(Cost::ZERO), a);
+        assert_eq!(Cost::ZERO.then(a), a);
+    }
+
+    #[test]
+    fn flat_and_sequential_shapes() {
+        assert_eq!(Cost::flat(10), Cost { work: 10, depth: 1 });
+        assert_eq!(Cost::flat(0), Cost::ZERO);
+        assert_eq!(Cost::sequential(10), Cost { work: 10, depth: 10 });
+    }
+
+    #[test]
+    fn join_all_over_branches() {
+        let branches = vec![
+            Cost { work: 1, depth: 1 },
+            Cost { work: 2, depth: 5 },
+            Cost { work: 3, depth: 2 },
+        ];
+        assert_eq!(Cost::join_all(branches), Cost { work: 6, depth: 5 });
+    }
+
+    #[test]
+    fn brent_time_interpolates_between_serial_and_parallel() {
+        let c = Cost {
+            work: 1000,
+            depth: 10,
+        };
+        assert_eq!(brent_time(c, 1), 1010);
+        assert_eq!(brent_time(c, 1000), 11);
+        // More processors than work: depth dominates.
+        assert_eq!(brent_time(c, 1_000_000), 11);
+        // Guard against p = 0.
+        assert_eq!(brent_time(c, 0), 1010);
+    }
+
+    #[test]
+    fn depth_within_checks_nc_budget() {
+        let c = Cost {
+            work: 1 << 20,
+            depth: 40,
+        };
+        assert!(c.depth_within(CostClass::PolyLog(2), 1 << 20, 1.0));
+        assert!(!c.depth_within(CostClass::Constant, 1 << 20, 1.0));
+    }
+
+    #[test]
+    fn work_poly_bounded_checks_processor_budget() {
+        let c = Cost {
+            work: 10_000,
+            depth: 1,
+        };
+        assert!(c.work_poly_bounded(100, 2, 1.5));
+        assert!(!c.work_poly_bounded(100, 1, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NC depth bound violated")]
+    fn assert_depth_within_panics() {
+        assert_depth_within(Cost::sequential(1000), CostClass::Log, 1000, 2.0);
+    }
+}

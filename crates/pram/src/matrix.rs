@@ -1,0 +1,296 @@
+//! Packed Boolean matrices and O(log² n)-depth transitive closure.
+//!
+//! Example 3 of the paper notes that reachability (the NL-complete GAP
+//! problem) lies in NC, hence is Π-tractable even *without* clever indexing.
+//! The standard witness is transitive closure by repeated squaring of the
+//! adjacency matrix: each Boolean product has O(log n) depth (an OR tree
+//! over the middle index), and `⌈log₂ n⌉` squarings reach the closure, so
+//! the whole computation has O(log² n) depth with polynomial work — NC².
+//!
+//! Rows are packed 64 bits to a word, so the sequential implementation is
+//! also fast in practice; the *accounted* work counts word operations.
+
+use crate::machine::Cost;
+
+/// A square Boolean matrix with rows packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// The n×n all-zero matrix.
+    pub fn zero(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// The n×n identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zero(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Build from a directed edge list over `n` vertices. Out-of-range
+    /// edges panic (caller input bug, not a runtime condition).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut m = BitMatrix::zero(n);
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            m.set(u, v, true);
+        }
+        m
+    }
+
+    /// Dimension n.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Read entry (i, j).
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        let word = self.bits[i * self.words_per_row + j / 64];
+        (word >> (j % 64)) & 1 == 1
+    }
+
+    /// Write entry (i, j).
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        debug_assert!(i < self.n && j < self.n);
+        let slot = &mut self.bits[i * self.words_per_row + j / 64];
+        if value {
+            *slot |= 1 << (j % 64);
+        } else {
+            *slot &= !(1 << (j % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Bitwise OR with another matrix of the same dimension.
+    pub fn or_assign(&mut self, other: &BitMatrix) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Boolean matrix product `self · other`, with PRAM accounting:
+    /// for each of the n² output entries the OR over the middle index is a
+    /// reduction tree of depth ⌈log₂ n⌉; all entries evaluate in parallel.
+    /// The implementation itself ORs packed rows for speed.
+    pub fn multiply(&self, other: &BitMatrix) -> (BitMatrix, Cost) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = BitMatrix::zero(n);
+        let mut word_ops = 0u64;
+        for i in 0..n {
+            let out_row = i * self.words_per_row;
+            for k in 0..n {
+                if self.get(i, k) {
+                    let other_row = k * self.words_per_row;
+                    for w in 0..self.words_per_row {
+                        out.bits[out_row + w] |= other.bits[other_row + w];
+                        word_ops += 1;
+                    }
+                }
+            }
+        }
+        let depth = (n.max(2) as f64).log2().ceil() as u64 + 1;
+        (
+            out,
+            Cost {
+                work: word_ops.max(n as u64),
+                depth,
+            },
+        )
+    }
+
+    /// Reflexive-transitive closure by repeated squaring: `R ← (A ∨ I)`,
+    /// then `R ← R·R` for ⌈log₂ n⌉ rounds. Depth O(log² n), work
+    /// polynomial — the NC² reachability witness.
+    pub fn transitive_closure(&self) -> (BitMatrix, Cost) {
+        let n = self.n;
+        if n == 0 {
+            return (self.clone(), Cost::ZERO);
+        }
+        let mut r = self.clone();
+        r.or_assign(&BitMatrix::identity(n));
+        let mut cost = Cost::flat((n * self.words_per_row) as u64);
+        let rounds = (n.max(2) as f64).log2().ceil() as u32;
+        for _ in 0..rounds {
+            let (sq, c) = r.multiply(&r);
+            r = sq;
+            cost = cost.then(c);
+        }
+        (r, cost)
+    }
+
+    /// Reachability query against a closure matrix: one O(1) probe. This is
+    /// the paper's "answer all reachability queries on G in O(1) time by
+    /// using the matrix" (Example 3).
+    pub fn reachable(&self, u: usize, v: usize) -> bool {
+        self.get(u, v)
+    }
+}
+
+/// Reference sequential closure (DFS from every vertex) used by tests to
+/// validate the squaring closure.
+pub fn closure_by_dfs(n: usize, edges: &[(usize, usize)]) -> BitMatrix {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u].push(v);
+    }
+    let mut out = BitMatrix::zero(n);
+    for s in 0..n {
+        let mut stack = vec![s];
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            out.set(s, u, true);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::assert_depth_within;
+    use pitract_core::cost::CostClass;
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundaries() {
+        let mut m = BitMatrix::zero(130);
+        for &(i, j) in &[(0, 0), (0, 63), (0, 64), (0, 129), (129, 127), (64, 65)] {
+            assert!(!m.get(i, j));
+            m.set(i, j, true);
+            assert!(m.get(i, j));
+            m.set(i, j, false);
+            assert!(!m.get(i, j));
+        }
+    }
+
+    #[test]
+    fn identity_has_exactly_n_ones() {
+        let m = BitMatrix::identity(77);
+        assert_eq!(m.count_ones(), 77);
+        assert!(m.get(5, 5));
+        assert!(!m.get(5, 6));
+    }
+
+    #[test]
+    fn multiply_matches_definition_on_small_matrix() {
+        // 0 -> 1 -> 2: A² should contain exactly 0 -> 2.
+        let a = BitMatrix::from_edges(3, &[(0, 1), (1, 2)]);
+        let (sq, _) = a.multiply(&a);
+        assert!(sq.get(0, 2));
+        assert_eq!(sq.count_ones(), 1);
+    }
+
+    #[test]
+    fn closure_on_a_path_reaches_everything_forward() {
+        let n = 10;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let a = BitMatrix::from_edges(n, &edges);
+        let (tc, _) = a.transitive_closure();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(tc.reachable(i, j), i <= j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matches_dfs_reference_on_random_graphs() {
+        // Deterministic pseudo-random edges (LCG) over several sizes.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 5, 17, 40, 64, 65] {
+            let m = n * 2;
+            let edges: Vec<(usize, usize)> = (0..m)
+                .map(|_| ((rnd() as usize) % n, (rnd() as usize) % n))
+                .collect();
+            let a = BitMatrix::from_edges(n, &edges);
+            let (tc, _) = a.transitive_closure();
+            let expect = closure_by_dfs(n, &edges);
+            assert_eq!(tc, expect, "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn closure_depth_is_log_squared() {
+        for n in [8usize, 64, 256, 512] {
+            let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            let a = BitMatrix::from_edges(n, &edges);
+            let (_, cost) = a.transitive_closure();
+            assert_depth_within(cost, CostClass::PolyLog(2), n as u64, 2.0);
+        }
+    }
+
+    #[test]
+    fn closure_work_is_polynomial() {
+        let n = 128;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let (_, cost) = BitMatrix::from_edges(n, &edges).transitive_closure();
+        assert!(cost.work_poly_bounded(n as u64, 3, 2.0));
+    }
+
+    #[test]
+    fn empty_matrix_closure_is_empty() {
+        let m = BitMatrix::zero(0);
+        let (tc, cost) = m.transitive_closure();
+        assert_eq!(tc.dim(), 0);
+        assert_eq!(cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn cycle_closure_is_complete_within_component() {
+        let a = BitMatrix::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        let (tc, _) = a.transitive_closure();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(tc.reachable(i, j), "({i},{j}) inside the cycle");
+            }
+        }
+        assert!(!tc.reachable(0, 3));
+        assert!(tc.reachable(3, 3), "closure is reflexive");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        BitMatrix::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn multiply_rejects_dimension_mismatch() {
+        let a = BitMatrix::zero(2);
+        let b = BitMatrix::zero(3);
+        let _ = a.multiply(&b);
+    }
+}

@@ -1,0 +1,275 @@
+//! O(log n)-depth parallel building blocks: map, tree reduce, Blelloch scan,
+//! filter (pack).
+//!
+//! These are the primitives every NC algorithm in the workspace is built
+//! from. Each returns its result together with its [`Cost`]; the accounting
+//! conventions are:
+//!
+//! * applying a user function to one element costs what the function
+//!   reports (or `Cost::UNIT` in the `_unit` variants);
+//! * a parallel step over `n` elements joins the element costs (max depth);
+//! * a combining tree over `n` elements adds `⌈log₂ n⌉` levels of depth.
+
+use crate::machine::Cost;
+
+/// Apply `f` to every element in parallel. Depth = max element depth;
+/// work = sum of element works.
+pub fn par_map<T, U>(xs: &[T], f: impl Fn(&T) -> (U, Cost)) -> (Vec<U>, Cost) {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut cost = Cost::ZERO;
+    for x in xs {
+        let (u, c) = f(x);
+        out.push(u);
+        cost = cost.join(c);
+    }
+    (out, cost)
+}
+
+/// [`par_map`] with unit-cost element functions.
+pub fn par_map_unit<T, U>(xs: &[T], f: impl Fn(&T) -> U) -> (Vec<U>, Cost) {
+    let mut out = Vec::with_capacity(xs.len());
+    for x in xs {
+        out.push(f(x));
+    }
+    (out, Cost::flat(xs.len() as u64))
+}
+
+/// Tree reduction with an associative operator: depth `⌈log₂ n⌉`, work
+/// `n − 1` applications (each charged one unit).
+///
+/// Returns `identity` for the empty slice.
+pub fn par_reduce<T: Clone>(
+    xs: &[T],
+    identity: T,
+    op: impl Fn(&T, &T) -> T,
+) -> (T, Cost) {
+    if xs.is_empty() {
+        return (identity, Cost::ZERO);
+    }
+    let mut level: Vec<T> = xs.to_vec();
+    let mut cost = Cost::ZERO;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let pairs = level.len() / 2;
+        for i in 0..pairs {
+            next.push(op(&level[2 * i], &level[2 * i + 1]));
+        }
+        if level.len() % 2 == 1 {
+            next.push(level[level.len() - 1].clone());
+        }
+        // One parallel level: `pairs` unit operations side by side.
+        cost = cost.then(Cost::flat(pairs as u64));
+        level = next;
+    }
+    (level.pop().expect("nonempty"), cost)
+}
+
+/// Exclusive prefix sums (Blelloch scan) over an associative operator with
+/// identity: returns `out[i] = xs[0] ⊕ … ⊕ xs[i-1]` and the total ⊕ of all
+/// elements. Work O(n), depth O(log n) (up-sweep plus down-sweep).
+pub fn par_scan<T: Clone>(
+    xs: &[T],
+    identity: T,
+    op: impl Fn(&T, &T) -> T,
+) -> (Vec<T>, T, Cost) {
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), identity, Cost::ZERO);
+    }
+    // Pad to a power of two for a clean tree; padding elements are the
+    // identity and charge no work.
+    let size = n.next_power_of_two();
+    let mut tree: Vec<T> = Vec::with_capacity(size);
+    tree.extend(xs.iter().cloned());
+    tree.resize(size, identity.clone());
+
+    let mut cost = Cost::ZERO;
+
+    // Up-sweep: tree[i] becomes the sum of its block.
+    // Represent the implicit tree as levels of a working array.
+    let mut levels: Vec<Vec<T>> = vec![tree];
+    while levels.last().expect("nonempty").len() > 1 {
+        let prev = levels.last().expect("nonempty");
+        let mut next = Vec::with_capacity(prev.len() / 2);
+        for i in 0..prev.len() / 2 {
+            next.push(op(&prev[2 * i], &prev[2 * i + 1]));
+        }
+        cost = cost.then(Cost::flat((prev.len() / 2) as u64));
+        levels.push(next);
+    }
+
+    // Down-sweep: propagate left-sums back down.
+    // carry[i] at a level = sum of everything strictly left of block i.
+    let mut carry: Vec<T> = vec![identity.clone()];
+    for level_idx in (0..levels.len() - 1).rev() {
+        let level = &levels[level_idx];
+        let mut next_carry = Vec::with_capacity(level.len());
+        for (block, c) in carry.iter().enumerate() {
+            // Left child keeps the carry; right child adds the left child.
+            next_carry.push(c.clone());
+            if 2 * block + 1 < level.len() {
+                next_carry.push(op(c, &level[2 * block]));
+            }
+        }
+        cost = cost.then(Cost::flat(carry.len() as u64));
+        carry = next_carry;
+    }
+
+    let total = op(
+        &carry[n - 1],
+        &levels[0][n - 1],
+    );
+    carry.truncate(n);
+    (carry, total, cost)
+}
+
+/// Parallel filter (pack): keep elements satisfying `pred`, preserving
+/// order. Implemented as flag → scan → scatter: work O(n), depth O(log n).
+pub fn par_filter<T: Clone>(xs: &[T], pred: impl Fn(&T) -> bool) -> (Vec<T>, Cost) {
+    let (flags, flag_cost) = par_map_unit(xs, |x| u64::from(pred(x)));
+    let (offsets, total, scan_cost) = par_scan(&flags, 0u64, |a, b| a + b);
+    let mut out: Vec<Option<T>> = vec![None; total as usize];
+    for (i, x) in xs.iter().enumerate() {
+        if flags[i] == 1 {
+            out[offsets[i] as usize] = Some(x.clone());
+        }
+    }
+    let scatter_cost = Cost::flat(xs.len() as u64);
+    let cost = flag_cost.then(scan_cost).then(scatter_cost);
+    (
+        out.into_iter().map(|o| o.expect("scan placed it")).collect(),
+        cost,
+    )
+}
+
+/// Index of a maximal element under `key`, by tree reduction. Depth
+/// O(log n). Returns `None` on empty input.
+pub fn par_argmax<T, K: Ord + Clone>(xs: &[T], key: impl Fn(&T) -> K) -> (Option<usize>, Cost) {
+    if xs.is_empty() {
+        return (None, Cost::ZERO);
+    }
+    let pairs: Vec<(usize, K)> = xs.iter().enumerate().map(|(i, x)| (i, key(x))).collect();
+    let init = pairs[0].clone();
+    let (best, cost) = par_reduce(&pairs, init, |a, b| {
+        if b.1 > a.1 {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    });
+    (Some(best.0), cost.then(Cost::flat(xs.len() as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::cost::CostClass;
+    use crate::machine::assert_depth_within;
+
+    #[test]
+    fn par_map_unit_has_depth_one() {
+        let (ys, cost) = par_map_unit(&[1, 2, 3, 4], |x| x * 2);
+        assert_eq!(ys, vec![2, 4, 6, 8]);
+        assert_eq!(cost.depth, 1);
+        assert_eq!(cost.work, 4);
+    }
+
+    #[test]
+    fn par_reduce_sums_correctly_with_log_depth() {
+        for n in [1usize, 2, 3, 7, 8, 100, 1000, 4096] {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            let (sum, cost) = par_reduce(&xs, 0, |a, b| a + b);
+            assert_eq!(sum, (n as u64) * (n as u64 - 1) / 2, "n={n}");
+            assert_depth_within(cost, CostClass::Log, n as u64, 2.0);
+            assert!(cost.work < 2 * n as u64 + 2);
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_identity() {
+        let (sum, cost) = par_reduce(&[] as &[u64], 42, |a, b| a + b);
+        assert_eq!(sum, 42);
+        assert_eq!(cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_prefix_sums() {
+        for n in [1usize, 2, 3, 5, 8, 9, 64, 100, 1000] {
+            let xs: Vec<u64> = (1..=n as u64).collect();
+            let (pre, total, cost) = par_scan(&xs, 0, |a, b| a + b);
+            let mut expect = Vec::with_capacity(n);
+            let mut acc = 0;
+            for x in &xs {
+                expect.push(acc);
+                acc += x;
+            }
+            assert_eq!(pre, expect, "n={n}");
+            assert_eq!(total, acc, "n={n}");
+            assert_depth_within(cost, CostClass::Log, n as u64, 4.0);
+        }
+    }
+
+    #[test]
+    fn par_scan_empty() {
+        let (pre, total, cost) = par_scan(&[] as &[u64], 0, |a, b| a + b);
+        assert!(pre.is_empty());
+        assert_eq!(total, 0);
+        assert_eq!(cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn par_scan_work_is_linear() {
+        let n = 4096u64;
+        let xs: Vec<u64> = (0..n).collect();
+        let (_, _, cost) = par_scan(&xs, 0, |a, b| a + b);
+        assert!(
+            cost.work <= 4 * n,
+            "scan work {} should be O(n) for n={n}",
+            cost.work
+        );
+    }
+
+    #[test]
+    fn par_filter_keeps_order_and_log_depth() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let (evens, cost) = par_filter(&xs, |x| x % 2 == 0);
+        assert_eq!(evens.len(), 500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        assert!(evens.iter().all(|x| x % 2 == 0));
+        assert_depth_within(cost, CostClass::Log, 1000, 6.0);
+    }
+
+    #[test]
+    fn par_filter_empty_and_none_match() {
+        let (none, _) = par_filter(&[1u64, 3, 5], |x| x % 2 == 0);
+        assert!(none.is_empty());
+        let (empty, cost) = par_filter(&[] as &[u64], |_| true);
+        assert!(empty.is_empty());
+        assert_eq!(cost.work, 0);
+    }
+
+    #[test]
+    fn par_argmax_finds_first_max() {
+        let xs = vec![3u64, 9, 2, 9, 1];
+        let (idx, cost) = par_argmax(&xs, |x| *x);
+        // Ties resolve to the earlier index because later elements only win
+        // with a strictly greater key.
+        assert_eq!(idx, Some(1));
+        assert_depth_within(cost, CostClass::Log, xs.len() as u64, 4.0);
+        let (none, _) = par_argmax(&[] as &[u64], |x| *x);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn scan_with_non_commutative_monoid() {
+        // String concatenation: exercises associativity without
+        // commutativity, which the down-sweep ordering must respect.
+        let xs: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pre, total, _) = par_scan(&xs, String::new(), |a, b| format!("{a}{b}"));
+        assert_eq!(pre, vec!["", "a", "ab", "abc", "abcd"]);
+        assert_eq!(total, "abcde");
+    }
+}

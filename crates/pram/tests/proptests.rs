@@ -1,0 +1,139 @@
+//! Property-based tests for the PRAM substrate: every parallel algorithm
+//! agrees with its sequential reference, and depth bounds hold on
+//! arbitrary inputs — the NC claims under adversarial data.
+
+use pitract_core::cost::CostClass;
+use pitract_pram::listrank::{order_from_ranks, rank_list};
+use pitract_pram::machine::{brent_time, Cost};
+use pitract_pram::matrix::{closure_by_dfs, BitMatrix};
+use pitract_pram::primitives::{par_filter, par_map_unit, par_reduce, par_scan};
+use pitract_pram::sort::{par_merge, par_merge_sort};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn scan_matches_sequential(xs in prop::collection::vec(0u64..1000, 0..200)) {
+        let (prefix, total, cost) = par_scan(&xs, 0u64, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(prefix[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+        if !xs.is_empty() {
+            prop_assert!(cost.depth_within(CostClass::Log, xs.len() as u64, 4.0));
+        }
+    }
+
+    #[test]
+    fn reduce_matches_fold(xs in prop::collection::vec(any::<u32>(), 0..300)) {
+        let (m, cost) = par_reduce(&xs, 0u32, |a, b| (*a).max(*b));
+        prop_assert_eq!(m, xs.iter().copied().max().unwrap_or(0));
+        prop_assert!(cost.depth <= 12, "depth {} for n={}", cost.depth, xs.len());
+    }
+
+    #[test]
+    fn filter_matches_retain(xs in prop::collection::vec(-100i64..100, 0..200)) {
+        let (kept, _) = par_filter(&xs, |x| *x > 0);
+        let expect: Vec<i64> = xs.iter().copied().filter(|x| *x > 0).collect();
+        prop_assert_eq!(kept, expect);
+    }
+
+    #[test]
+    fn merge_matches_std(mut a in prop::collection::vec(0i64..100, 0..50),
+                         mut b in prop::collection::vec(0i64..100, 0..50)) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let (merged, _) = par_merge(&a, &b);
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        expect.sort();
+        prop_assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn sort_matches_std(xs in prop::collection::vec(any::<i32>(), 0..300)) {
+        let (sorted, cost) = par_merge_sort(&xs);
+        let mut expect = xs.clone();
+        expect.sort();
+        prop_assert_eq!(sorted, expect);
+        if xs.len() > 1 {
+            prop_assert!(cost.depth_within(CostClass::PolyLog(2), xs.len() as u64, 4.0));
+        }
+    }
+
+    /// List ranking on a random permutation chain equals walk distances.
+    #[test]
+    fn list_ranking_matches_walk(perm in prop::collection::vec(0usize..64, 1..64)) {
+        // Dedup to build a valid permutation prefix.
+        let mut seen = std::collections::HashSet::new();
+        let perm: Vec<usize> = perm.into_iter().filter(|v| seen.insert(*v)).collect();
+        prop_assume!(!perm.is_empty());
+        let n = perm.len();
+        // Relabel to 0..n.
+        let mut relabel = std::collections::HashMap::new();
+        for &v in &perm {
+            let id = relabel.len();
+            relabel.insert(v, id);
+        }
+        let chain: Vec<usize> = perm.iter().map(|v| relabel[v]).collect();
+        let mut next = vec![None; n];
+        for w in chain.windows(2) {
+            next[w[0]] = Some(w[1]);
+        }
+        let (ranks, cost) = rank_list(&next).expect("valid chain");
+        for (pos, &node) in chain.iter().enumerate() {
+            prop_assert_eq!(ranks[node] as usize, n - 1 - pos);
+        }
+        prop_assert!(cost.depth_within(CostClass::Log, n as u64, 4.0));
+        prop_assert_eq!(order_from_ranks(chain[0], &ranks), chain);
+    }
+
+    /// Squaring closure equals DFS closure on arbitrary digraphs, with
+    /// polylog depth.
+    #[test]
+    fn closure_matches_dfs(n in 1usize..40,
+                           edges in prop::collection::vec((0usize..40, 0usize..40), 0..100)) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let m = BitMatrix::from_edges(n, &edges);
+        let (tc, cost) = m.transitive_closure();
+        prop_assert_eq!(tc, closure_by_dfs(n, &edges));
+        prop_assert!(cost.depth_within(CostClass::PolyLog(2), n as u64, 4.0));
+    }
+
+    /// Brent time is monotone in processors and sandwiched between depth
+    /// and work + depth.
+    #[test]
+    fn brent_bounds(work in 0u64..1_000_000, depth in 0u64..1000, p1 in 1u64..1024, p2 in 1u64..1024) {
+        let c = Cost { work, depth };
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(brent_time(c, hi) <= brent_time(c, lo));
+        prop_assert!(brent_time(c, hi) >= depth);
+        prop_assert!(brent_time(c, 1) == work + depth);
+    }
+
+    /// Cost algebra laws: `then` is associative, `join` is associative and
+    /// commutative, ZERO is the unit of both.
+    #[test]
+    fn cost_algebra_laws(aw in 0u64..1000, ad in 0u64..1000,
+                         bw in 0u64..1000, bd in 0u64..1000,
+                         cw in 0u64..1000, cd in 0u64..1000) {
+        let a = Cost { work: aw, depth: ad };
+        let b = Cost { work: bw, depth: bd };
+        let c = Cost { work: cw, depth: cd };
+        prop_assert_eq!(a.then(b).then(c), a.then(b.then(c)));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.then(Cost::ZERO), a);
+        prop_assert_eq!(a.join(Cost::ZERO), a);
+    }
+
+    /// par_map_unit charges exactly n work at depth ≤ 1.
+    #[test]
+    fn map_unit_cost_shape(xs in prop::collection::vec(any::<u16>(), 0..100)) {
+        let (ys, cost) = par_map_unit(&xs, |x| *x as u32 + 1);
+        prop_assert_eq!(ys.len(), xs.len());
+        prop_assert_eq!(cost.work, xs.len() as u64);
+        prop_assert!(cost.depth <= 1);
+    }
+}

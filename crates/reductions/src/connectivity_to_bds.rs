@@ -1,0 +1,195 @@
+//! Source-connectivity `≤NC_fa` BDS — reducing *into* the paper's
+//! ΠTP-complete problem (Theorem 5's working direction).
+//!
+//! Source problem: "is node t in the same component as node 0 of an
+//! undirected graph G?". The reduction plants a **sentinel**: `α` renumbers
+//! G so that the source keeps number 0, a fresh isolated node takes number
+//! 1, and everything else shifts up by one. A breadth-depth search then
+//! exhausts the component of node 0 first and — because restarts pick the
+//! lowest-numbered unvisited node — visits the isolated sentinel
+//! immediately afterwards. Hence:
+//!
+//! > t is connected to the source **iff** t's image is visited before the
+//! > sentinel in the BDS of α(G).
+//!
+//! `β(t) = (shift(t), 1)` touches only the query. Transferring the BDS
+//! visit-order index (Example 5's preprocessing) back along the reduction
+//! equips connectivity with O(1) queries after one PTIME search.
+
+use pitract_core::cost::CostClass;
+use pitract_core::factor::identity_pair_factorization;
+use pitract_core::problem::FnProblem;
+use pitract_core::reduce::{FReduction, FactorReduction};
+use pitract_core::scheme::Scheme;
+use pitract_graph::bds::BdsIndex;
+use pitract_graph::traverse::reachable_bfs;
+use pitract_graph::Graph;
+
+/// Source instance: an undirected graph (source = node 0) and a target.
+pub type ConnInstance = (Graph, usize);
+/// Target instance: a numbered undirected graph and a node pair.
+pub type BdsInstance = (Graph, (usize, usize));
+
+/// The source decision problem.
+pub fn connectivity_problem() -> FnProblem<ConnInstance> {
+    FnProblem::new("source-connectivity", |x: &ConnInstance| {
+        x.1 < x.0.node_count() && reachable_bfs(&x.0, 0, x.1)
+    })
+}
+
+/// The BDS decision problem (Example 2).
+pub fn bds_problem() -> FnProblem<BdsInstance> {
+    FnProblem::new("BDS", |x: &BdsInstance| {
+        let (u, v) = x.1;
+        let n = x.0.node_count();
+        if u >= n || v >= n {
+            return false;
+        }
+        let idx = BdsIndex::build(&x.0);
+        idx.visited_before(u, v)
+    })
+}
+
+/// Shift an original node id into the sentinel numbering.
+pub fn shift(v: usize) -> usize {
+    if v == 0 {
+        0
+    } else {
+        v + 1
+    }
+}
+
+/// `α`: add the isolated sentinel as node 1, shifting original ids ≥ 1 up.
+pub fn plant_sentinel(g: &Graph) -> Graph {
+    assert!(!g.is_directed(), "connectivity instances are undirected");
+    let n = g.node_count();
+    let edges: Vec<(usize, usize)> = g
+        .edges()
+        .into_iter()
+        .map(|(u, v)| (shift(u), shift(v)))
+        .collect();
+    Graph::undirected_from_edges(n + 1, &edges)
+}
+
+/// The `≤NC_fa` reduction under identity factorizations.
+pub fn reduction() -> FactorReduction<ConnInstance, Graph, usize, BdsInstance, Graph, (usize, usize)>
+{
+    FactorReduction::new(
+        identity_pair_factorization(),
+        identity_pair_factorization(),
+        FReduction::new(
+            "sentinel-plant",
+            plant_sentinel,
+            |t: &usize| (shift(*t), 1usize),
+        ),
+    )
+}
+
+/// The Π-tractability scheme for BDS (Example 5): one full search as
+/// preprocessing, O(1) position probes per query.
+pub fn bds_index_scheme() -> Scheme<Graph, (BdsIndex, usize), (usize, usize)> {
+    Scheme::new(
+        "BDS visit-order index",
+        CostClass::NLogN,
+        CostClass::Constant,
+        |d: &Graph| (BdsIndex::build(d), d.node_count()),
+        |(idx, n): &(BdsIndex, usize), &(u, v): &(usize, usize)| {
+            u < *n && v < *n && idx.visited_before(u, v)
+        },
+    )
+}
+
+/// The transferred connectivity scheme: preprocess once (sentinel graph +
+/// BDS), answer each "is t connected to the source?" in O(1).
+pub fn transferred_connectivity_scheme() -> Scheme<Graph, (BdsIndex, usize), usize> {
+    reduction().transfer(&bds_index_scheme(), CostClass::Linear, CostClass::Constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::problem::DecisionProblem;
+    use pitract_graph::generate;
+
+    fn probe_graphs() -> Vec<Graph> {
+        vec![
+            Graph::undirected_from_edges(1, &[]),
+            Graph::undirected_from_edges(4, &[(0, 2)]),
+            Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (4, 5)]),
+            generate::gnp_undirected(25, 0.08, 11),
+            generate::gnp_undirected(25, 0.02, 12),
+            generate::path(30, false),
+        ]
+    }
+
+    #[test]
+    fn sentinel_graph_shape() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1), (1, 2)]);
+        let s = plant_sentinel(&g);
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.degree(1), 0, "sentinel is isolated");
+        assert_eq!(s.edges(), vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn reduction_is_answer_preserving() {
+        let src = connectivity_problem();
+        let dst = bds_problem();
+        let mut probes = Vec::new();
+        for g in probe_graphs() {
+            for t in 0..g.node_count() {
+                probes.push((g.clone(), t));
+            }
+            probes.push((g.clone(), g.node_count() + 3)); // out of range
+        }
+        assert_eq!(reduction().verify(&src, &dst, &probes), Ok(()));
+        // The probe set exercises both answers.
+        let yes = probes.iter().filter(|x| src.accepts(x)).count();
+        assert!(yes > 0 && yes < probes.len());
+    }
+
+    #[test]
+    fn transferred_scheme_answers_connectivity() {
+        let scheme = transferred_connectivity_scheme();
+        assert!(scheme.claims_pi_tractable());
+        for g in probe_graphs() {
+            let p = scheme.preprocess(&g);
+            for t in 0..g.node_count() {
+                assert_eq!(
+                    scheme.answer(&p, &t),
+                    reachable_bfs(&g, 0, t),
+                    "target {t} in {:?}",
+                    g.edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_is_single_search_queries_are_probes() {
+        // On a large graph, the transferred scheme preprocesses once and
+        // then answers a batch of queries without re-searching: positions
+        // of the index must answer all targets consistently with BFS.
+        let g = generate::gnp_undirected(300, 0.004, 99);
+        let scheme = transferred_connectivity_scheme();
+        let p = scheme.preprocess(&g);
+        let mut connected = 0;
+        for t in 0..300 {
+            if scheme.answer(&p, &t) {
+                connected += 1;
+            }
+        }
+        // Sanity: the component of 0 is nontrivial but not everything.
+        assert!(connected >= 1);
+        assert!(connected <= 300);
+    }
+
+    #[test]
+    fn source_itself_is_always_connected() {
+        let scheme = transferred_connectivity_scheme();
+        for g in probe_graphs() {
+            let p = scheme.preprocess(&g);
+            assert!(scheme.answer(&p, &0), "source must connect to itself");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Tree-LCA `≤NC_fa` RMQ via the Euler tour — Bender et al.'s route, the
+//! direction the paper's Section 4(4) preprocessing actually takes.
+//!
+//! `α` walks the tree once and emits the Euler structure (tour, first
+//! occurrences, depths); the target language answers "is the tour node at
+//! the depth-argmin between two first occurrences equal to w?". Note how
+//! the occurrence map travels **with the data part** — the query part stays
+//! the bare `(u, v, w)` triple. That placement is forced: `β` may only see
+//! the query, and first occurrences depend on the tree. This is a small
+//! live demonstration of why `≤NC_fa` lets the *data* side absorb
+//! structure, the same liberty Theorem 5 exploits at full scale.
+
+use pitract_core::cost::CostClass;
+use pitract_core::factor::identity_pair_factorization;
+use pitract_core::lang::FnPairLanguage;
+use pitract_core::reduce::{FReduction, FactorReduction};
+use pitract_core::scheme::Scheme;
+use pitract_index::lca::tree::{naive_lca, RootedTree};
+use pitract_index::rmq::sparse::SparseRmq;
+use pitract_index::rmq::RangeMin;
+
+/// Query triples: (u, v, candidate LCA w).
+pub type Triple = (usize, usize, usize);
+
+/// The Euler structure `α` produces: the data part of the target class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EulerData {
+    /// Node visit sequence (2n − 1 entries).
+    pub tour: Vec<usize>,
+    /// First occurrence of each node in the tour.
+    pub first: Vec<usize>,
+    /// Depth of each tour entry.
+    pub depths: Vec<u64>,
+}
+
+impl EulerData {
+    /// Walk a tree into its Euler structure.
+    pub fn from_tree(t: &RootedTree) -> Self {
+        let (tour, first) = t.euler_tour();
+        let depths = tour.iter().map(|&v| t.depth(v)).collect();
+        EulerData { tour, first, depths }
+    }
+}
+
+/// Source language: LCA verification on rooted trees.
+pub fn lca_language() -> FnPairLanguage<RootedTree, Triple> {
+    FnPairLanguage::new("tree-lca", |d: &RootedTree, &(u, v, w): &Triple| {
+        u < d.len() && v < d.len() && naive_lca(d, u, v) == w
+    })
+}
+
+/// Target language: depth-argmin verification on Euler structures
+/// (evaluated by scan — the *specification*; the scheme below is the fast
+/// path).
+pub fn euler_rmq_language() -> FnPairLanguage<EulerData, Triple> {
+    FnPairLanguage::new("euler-rmq", |d: &EulerData, &(u, v, w): &Triple| {
+        if u >= d.first.len() || v >= d.first.len() {
+            return false;
+        }
+        let (a, b) = {
+            let (fu, fv) = (d.first[u], d.first[v]);
+            (fu.min(fv), fu.max(fv))
+        };
+        let mut best = a;
+        for k in a + 1..=b {
+            if d.depths[k] < d.depths[best] {
+                best = k;
+            }
+        }
+        d.tour[best] == w
+    })
+}
+
+/// The `≤NC_fa` reduction: `α` = Euler walk, `β` = identity.
+#[allow(clippy::type_complexity)]
+pub fn reduction() -> FactorReduction<(RootedTree, Triple), RootedTree, Triple, (EulerData, Triple), EulerData, Triple>
+{
+    FactorReduction::new(
+        identity_pair_factorization(),
+        identity_pair_factorization(),
+        FReduction::new(
+            "euler-tour",
+            |d: &RootedTree| EulerData::from_tree(d),
+            |q: &Triple| *q,
+        ),
+    )
+}
+
+/// Π-tractability scheme for the target class: sparse-table RMQ over the
+/// tour depths, O(1) per query.
+pub fn sparse_euler_scheme() -> Scheme<EulerData, (EulerData, SparseRmq<u64>), Triple> {
+    Scheme::new(
+        "sparse-table euler RMQ",
+        CostClass::NLogN,
+        CostClass::Constant,
+        |d: &EulerData| (d.clone(), SparseRmq::build(&d.depths)),
+        |(d, rmq): &(EulerData, SparseRmq<u64>), &(u, v, w): &Triple| {
+            if u >= d.first.len() || v >= d.first.len() {
+                return false;
+            }
+            let (a, b) = {
+                let (fu, fv) = (d.first[u], d.first[v]);
+                (fu.min(fv), fu.max(fv))
+            };
+            d.tour[rmq.query(a, b)] == w
+        },
+    )
+}
+
+/// The transferred LCA scheme: Euler walk + sparse table at preprocessing,
+/// O(1) probes per query — exactly Section 4(4)'s claim.
+pub fn transferred_lca_scheme() -> Scheme<RootedTree, (EulerData, SparseRmq<u64>), Triple> {
+    reduction().transfer(&sparse_euler_scheme(), CostClass::Linear, CostClass::Constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::problem::FnProblem;
+    use pitract_core::lang::PairLanguage;
+
+    fn random_tree(n: usize, seed: u64) -> RootedTree {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+            .collect();
+        RootedTree::from_parents(&parents).unwrap()
+    }
+
+    fn probes() -> Vec<(RootedTree, Triple)> {
+        let mut out = Vec::new();
+        for n in [1usize, 2, 5, 17, 40] {
+            let t = random_tree(n, n as u64 * 7 + 1);
+            for (u, v) in [(0usize, n - 1), (n / 2, n / 3), (n - 1, n - 1)] {
+                let w_true = naive_lca(&t, u, v);
+                out.push((t.clone(), (u, v, w_true)));
+                out.push((t.clone(), (u, v, (w_true + 1) % n)));
+                out.push((t.clone(), (u, v, n + 5))); // out of range w
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reduction_is_answer_preserving() {
+        let src = FnProblem::new("lca", {
+            let lang = lca_language();
+            move |x: &(RootedTree, Triple)| lang.contains(&x.0, &x.1)
+        });
+        let dst = FnProblem::new("euler-rmq", {
+            let lang = euler_rmq_language();
+            move |x: &(EulerData, Triple)| lang.contains(&x.0, &x.1)
+        });
+        assert_eq!(reduction().verify(&src, &dst, &probes()), Ok(()));
+    }
+
+    #[test]
+    fn transferred_scheme_matches_naive_lca_everywhere() {
+        let scheme = transferred_lca_scheme();
+        assert!(scheme.claims_pi_tractable());
+        for n in [1usize, 3, 10, 60] {
+            let t = random_tree(n, n as u64 + 31);
+            let p = scheme.preprocess(&t);
+            for u in 0..n {
+                for v in 0..n {
+                    let w = naive_lca(&t, u, v);
+                    assert!(scheme.answer(&p, &(u, v, w)), "n={n} ({u},{v})");
+                    if n > 1 {
+                        assert!(
+                            !scheme.answer(&p, &(u, v, (w + 1) % n)),
+                            "n={n} ({u},{v}) wrong w accepted"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euler_data_shape() {
+        let t = random_tree(20, 3);
+        let d = EulerData::from_tree(&t);
+        assert_eq!(d.tour.len(), 39);
+        assert_eq!(d.depths.len(), 39);
+        assert_eq!(d.first.len(), 20);
+        for v in 0..20 {
+            assert_eq!(d.tour[d.first[v]], v);
+        }
+    }
+
+    #[test]
+    fn chained_reduction_rmq_to_lca_to_rmq_roundtrips() {
+        // Lemma 2 in action across crates: RMQ → LCA (Cartesian) composed
+        // with LCA → Euler-RMQ. The composite maps array queries all the
+        // way to Euler structures and must stay answer-preserving.
+        let composite = crate::rmq_lca::reduction().compose(reduction());
+        let src = FnProblem::new("rmq", {
+            let lang = crate::rmq_lca::rmq_language();
+            move |x: &(Vec<i64>, crate::rmq_lca::Triple)| lang.contains(&x.0, &x.1)
+        });
+        let dst = FnProblem::new("euler-rmq", {
+            let lang = euler_rmq_language();
+            move |x: &(EulerData, Triple)| lang.contains(&x.0, &x.1)
+        });
+        let arrays = [
+            vec![3i64, 1, 4, 1, 5],
+            vec![2, 2, 2],
+            vec![9],
+            (0..32).map(|i| ((i * 11) % 13) as i64).collect::<Vec<_>>(),
+        ];
+        let mut probes = Vec::new();
+        for data in arrays {
+            let n = data.len();
+            for i in 0..n {
+                for j in i..n {
+                    probes.push((data.clone(), (i, j, i)));
+                    probes.push((data.clone(), (i, j, j)));
+                }
+            }
+        }
+        assert_eq!(composite.verify(&src, &dst, &probes), Ok(()));
+    }
+}

@@ -1,0 +1,127 @@
+//! PointSelection `≤NC_F` RangeSelection: a point is a degenerate range.
+//!
+//! Section 4(1) extends Example 1 from point to range selections with the
+//! same B⁺-tree preprocessing; this reduction states the inclusion of the
+//! classes formally (`α = id`, `β` maps `A = c` to `c ≤ A ≤ c`) and lets
+//! one transferred scheme serve both.
+
+use pitract_core::cost::CostClass;
+use pitract_core::lang::FnPairLanguage;
+use pitract_core::reduce::FReduction;
+use pitract_relation::{Relation, SelectionQuery};
+use std::ops::Bound;
+
+/// The target language: Boolean range selection.
+pub fn range_selection_language() -> FnPairLanguage<Relation, SelectionQuery> {
+    FnPairLanguage::new("range-selection", |d: &Relation, q: &SelectionQuery| {
+        d.eval_scan(q)
+    })
+}
+
+/// Rewrite a query, replacing every point constraint by the closed range
+/// `[c, c]` (recursively through conjunctions).
+fn pointless(q: &SelectionQuery) -> SelectionQuery {
+    match q {
+        SelectionQuery::Point { col, value } => SelectionQuery::Range {
+            col: *col,
+            lo: Bound::Included(value.clone()),
+            hi: Bound::Included(value.clone()),
+        },
+        SelectionQuery::Range { col, lo, hi } => SelectionQuery::Range {
+            col: *col,
+            lo: lo.clone(),
+            hi: hi.clone(),
+        },
+        SelectionQuery::And(a, b) => SelectionQuery::and(pointless(a), pointless(b)),
+    }
+}
+
+/// The F-reduction: identity on data, point→range on queries.
+pub fn reduction() -> FReduction<Relation, SelectionQuery, Relation, SelectionQuery> {
+    FReduction::new("point→range", |d: &Relation| d.clone(), pointless)
+}
+
+/// β's cost class: a constant-size rewrite.
+pub const BETA_COST: CostClass = CostClass::Constant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_to_selection::{point_selection_language, wrapped_schema};
+    use pitract_relation::Value;
+
+    fn relation(values: &[i64]) -> Relation {
+        Relation::from_rows(
+            wrapped_schema(),
+            values.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    fn probes() -> Vec<(Relation, SelectionQuery)> {
+        vec![
+            (relation(&[1, 2, 3]), SelectionQuery::point(0, 2i64)),
+            (relation(&[1, 2, 3]), SelectionQuery::point(0, 7i64)),
+            (relation(&[]), SelectionQuery::point(0, 0i64)),
+            (
+                relation(&[5, 5]),
+                SelectionQuery::and(
+                    SelectionQuery::point(0, 5i64),
+                    SelectionQuery::point(0, 5i64),
+                ),
+            ),
+            (
+                relation(&[1, 9]),
+                SelectionQuery::range_closed(0, 2i64, 8i64),
+            ),
+        ]
+    }
+
+    #[test]
+    fn reduction_preserves_membership() {
+        assert_eq!(
+            reduction().verify(
+                &point_selection_language(),
+                &range_selection_language(),
+                &probes()
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn pointless_rewrites_points_to_degenerate_ranges() {
+        let q = pointless(&SelectionQuery::point(0, 4i64));
+        match q {
+            SelectionQuery::Range { col, lo, hi } => {
+                assert_eq!(col, 0);
+                assert_eq!(lo, Bound::Included(Value::Int(4)));
+                assert_eq!(hi, Bound::Included(Value::Int(4)));
+            }
+            other => panic!("expected a range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointless_is_semantics_preserving_on_tuples() {
+        let tuples = [
+            vec![Value::Int(4)],
+            vec![Value::Int(5)],
+            vec![Value::Int(-4)],
+        ];
+        let queries = [
+            SelectionQuery::point(0, 4i64),
+            SelectionQuery::range_closed(0, -5i64, 0i64),
+            SelectionQuery::and(
+                SelectionQuery::point(0, 5i64),
+                SelectionQuery::range_closed(0, 0i64, 9i64),
+            ),
+        ];
+        for q in &queries {
+            let rewritten = pointless(q);
+            for t in &tuples {
+                assert_eq!(q.matches(t), rewritten.matches(t), "{q:?} on {t:?}");
+            }
+        }
+    }
+}

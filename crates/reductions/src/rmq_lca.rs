@@ -1,0 +1,234 @@
+//! RMQ `≤NC_fa` tree-LCA via the Cartesian tree.
+//!
+//! The classic equivalence behind Section 4(3)/(4): the leftmost minimum of
+//! `A[i..=j]` is the lowest common ancestor of positions `i` and `j` in the
+//! array's Cartesian tree (built with the "equal elements attach right"
+//! convention so the root of any range is its *leftmost* minimum).
+//!
+//! Boolean form (the framework works with Boolean classes): the query
+//! `(i, j, w)` asks "is the leftmost argmin of `[i, j]` exactly `w`?"; the
+//! target query asks "is `LCA(i, j) = w`?". `α` builds the Cartesian tree
+//! (data side only), `β` is the identity — and transferring the Euler-tour
+//! LCA scheme backwards equips RMQ with O(1) queries, closing the loop the
+//! paper draws between the two case studies.
+
+use pitract_core::cost::CostClass;
+use pitract_core::factor::identity_pair_factorization;
+use pitract_core::lang::FnPairLanguage;
+use pitract_core::reduce::{FReduction, FactorReduction};
+use pitract_core::scheme::Scheme;
+use pitract_index::lca::tree::{naive_lca, EulerTourLca, RootedTree};
+
+/// Query triples: (i, j, candidate-answer w).
+pub type Triple = (usize, usize, usize);
+
+/// Source language: leftmost-argmin verification on arrays. The endpoint
+/// pair is treated as unordered (like LCA's), so the reduction's iff holds
+/// on *every* query string, well-formed or not, as Definition 4 demands.
+pub fn rmq_language() -> FnPairLanguage<Vec<i64>, Triple> {
+    FnPairLanguage::new("rmq-argmin", |d: &Vec<i64>, &(a, b, w): &Triple| {
+        let (i, j) = (a.min(b), a.max(b));
+        if j >= d.len() {
+            return false;
+        }
+        let mut best = i;
+        for k in i + 1..=j {
+            if d[k] < d[best] {
+                best = k;
+            }
+        }
+        best == w
+    })
+}
+
+/// Target language: LCA verification on rooted trees.
+pub fn lca_language() -> FnPairLanguage<RootedTree, Triple> {
+    FnPairLanguage::new("tree-lca", |d: &RootedTree, &(u, v, w): &Triple| {
+        if u >= d.len() || v >= d.len() {
+            return false;
+        }
+        naive_lca(d, u, v) == w
+    })
+}
+
+/// Build the Cartesian tree of an array: O(n) stack construction, leftmost
+/// minimum at the root, node ids = array positions.
+///
+/// Empty arrays get a single-node placeholder tree (the language rejects
+/// all queries on them anyway, since any position is out of range).
+pub fn cartesian_tree(data: &[i64]) -> RootedTree {
+    if data.is_empty() {
+        return RootedTree::from_parents(&[None]).expect("singleton tree");
+    }
+    let n = data.len();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let mut last_popped: Option<usize> = None;
+        while let Some(&top) = stack.last() {
+            if data[top] > data[i] {
+                stack.pop();
+                last_popped = Some(top);
+            } else {
+                break;
+            }
+        }
+        if let Some(p) = last_popped {
+            // i replaces p in the spine; p hangs under i.
+            parent[p] = Some(i);
+        }
+        if let Some(&top) = stack.last() {
+            parent[i] = Some(top);
+        }
+        stack.push(i);
+    }
+    RootedTree::from_parents(&parent).expect("cartesian construction is acyclic")
+}
+
+/// The `≤NC_fa` reduction under identity factorizations on both sides.
+#[allow(clippy::type_complexity)]
+pub fn reduction() -> FactorReduction<(Vec<i64>, Triple), Vec<i64>, Triple, (RootedTree, Triple), RootedTree, Triple>
+{
+    FactorReduction::new(
+        identity_pair_factorization(),
+        identity_pair_factorization(),
+        FReduction::new(
+            "cartesian-tree",
+            |d: &Vec<i64>| cartesian_tree(d),
+            |q: &Triple| *q,
+        ),
+    )
+}
+
+/// The Π-tractability scheme for the target class: Euler tour + sparse
+/// RMQ, O(1) LCA verification.
+pub fn euler_lca_scheme() -> Scheme<RootedTree, (EulerTourLca, usize), Triple> {
+    Scheme::new(
+        "euler-tour LCA",
+        CostClass::NLogN,
+        CostClass::Constant,
+        |d: &RootedTree| (EulerTourLca::build(d), d.len()),
+        |(lca, n): &(EulerTourLca, usize), &(u, v, w): &Triple| {
+            u < *n && v < *n && lca.query(u, v) == w
+        },
+    )
+}
+
+/// RMQ scheme obtained by transfer (Lemma 3, constructively): Cartesian
+/// tree at preprocessing time, O(1) LCA probes at query time.
+pub fn transferred_rmq_scheme() -> Scheme<Vec<i64>, (EulerTourLca, usize), Triple> {
+    // β is a projection: constant parallel depth, as `≤NC_fa` requires.
+    reduction().transfer(&euler_lca_scheme(), CostClass::Linear, CostClass::Constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_core::lang::PairLanguage;
+    use pitract_core::problem::{DecisionProblem, FnProblem};
+
+    fn arrays() -> Vec<Vec<i64>> {
+        vec![
+            vec![5],
+            vec![2, 1],
+            vec![1, 2],
+            vec![3, 1, 4, 1, 5, 9, 2, 6],
+            vec![7, 7, 7, 7],
+            (0..64).map(|i| ((i * 37) % 23) as i64 - 11).collect(),
+        ]
+    }
+
+    #[test]
+    fn cartesian_tree_root_is_leftmost_minimum() {
+        for data in arrays() {
+            let t = cartesian_tree(&data);
+            let min_pos = data
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(t.root(), min_pos, "array {data:?}");
+        }
+    }
+
+    #[test]
+    fn cartesian_lca_equals_leftmost_argmin() {
+        for data in arrays() {
+            let t = cartesian_tree(&data);
+            for i in 0..data.len() {
+                for j in i..data.len() {
+                    let mut best = i;
+                    for k in i + 1..=j {
+                        if data[k] < data[best] {
+                            best = k;
+                        }
+                    }
+                    assert_eq!(
+                        naive_lca(&t, i, j),
+                        best,
+                        "array {data:?} range [{i},{j}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_answer_preserving() {
+        let rmq_problem = FnProblem::new("rmq", {
+            let lang = rmq_language();
+            move |x: &(Vec<i64>, Triple)| lang.contains(&x.0, &x.1)
+        });
+        let lca_problem = FnProblem::new("lca", {
+            let lang = lca_language();
+            move |x: &(RootedTree, Triple)| lang.contains(&x.0, &x.1)
+        });
+        let r = reduction();
+        let mut probes = Vec::new();
+        for data in arrays() {
+            let n = data.len();
+            for (i, j) in [(0usize, 0usize), (0, n - 1), (n / 3, 2 * n / 3)] {
+                for w in [i, j, (i + j) / 2] {
+                    probes.push((data.clone(), (i.min(j), j.max(i), w)));
+                }
+            }
+        }
+        assert_eq!(r.verify(&rmq_problem, &lca_problem, &probes), Ok(()));
+        // Spot-check both polarities appear in the probe set.
+        let positives = probes
+            .iter()
+            .filter(|x| rmq_problem.accepts(x))
+            .count();
+        assert!(positives > 0 && positives < probes.len());
+    }
+
+    #[test]
+    fn transferred_scheme_answers_rmq_in_constant_claimed_cost() {
+        let scheme = transferred_rmq_scheme();
+        assert!(scheme.claims_pi_tractable());
+        assert_eq!(scheme.answer_cost(), CostClass::Constant);
+        let lang = rmq_language();
+        let instances: Vec<(Vec<i64>, Vec<Triple>)> = arrays()
+            .into_iter()
+            .map(|data| {
+                let n = data.len();
+                let queries = (0..n)
+                    .flat_map(|i| (i..n).flat_map(move |j| [(i, j, i), (i, j, j)]))
+                    .collect();
+                (data, queries)
+            })
+            .collect();
+        assert_eq!(scheme.verify_against(&lang, &instances), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_rejected_not_panicking() {
+        let scheme = transferred_rmq_scheme();
+        let p = scheme.preprocess(&vec![1, 2, 3]);
+        assert!(!scheme.answer(&p, &(0, 9, 0)));
+        assert!(!scheme.answer(&p, &(9, 9, 9)));
+        let lang = rmq_language();
+        assert!(!lang.contains(&vec![1, 2, 3], &(0, 9, 0)));
+    }
+}

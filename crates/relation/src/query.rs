@@ -1,0 +1,222 @@
+//! Boolean selection query classes — Section 4(1) of the paper.
+//!
+//! * **Point selection** (the class Q₁ of Example 1): is there a tuple with
+//!   `t[A] = c`?
+//! * **Range selection**: is there a tuple with `c₁ ≤ t[A] ≤ c₂`?
+//! * **Conjunction**: both of the above on (possibly) different columns —
+//!   closed under the rewriting used by the views case study.
+//!
+//! Queries reference columns by index; [`SelectionQuery::validate`] checks
+//! them against a schema before evaluation, so malformed queries fail
+//! loudly instead of silently returning false.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// A Boolean selection query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionQuery {
+    /// `∃t : t[col] = value`.
+    Point {
+        /// Column index.
+        col: usize,
+        /// The constant `c`.
+        value: Value,
+    },
+    /// `∃t : lo ≤ t[col] ≤ hi` (bounds as given).
+    Range {
+        /// Column index.
+        col: usize,
+        /// Lower bound.
+        lo: Bound<Value>,
+        /// Upper bound.
+        hi: Bound<Value>,
+    },
+    /// Both sub-queries are witnessed **by the same tuple**.
+    And(Box<SelectionQuery>, Box<SelectionQuery>),
+}
+
+impl SelectionQuery {
+    /// Convenience constructor: point selection.
+    pub fn point(col: usize, value: impl Into<Value>) -> Self {
+        SelectionQuery::Point {
+            col,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor: closed-interval range selection.
+    pub fn range_closed(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        SelectionQuery::Range {
+            col,
+            lo: Bound::Included(lo.into()),
+            hi: Bound::Included(hi.into()),
+        }
+    }
+
+    /// Convenience constructor: conjunction.
+    pub fn and(a: SelectionQuery, b: SelectionQuery) -> Self {
+        SelectionQuery::And(Box::new(a), Box::new(b))
+    }
+
+    /// Check column references and type compatibility against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        match self {
+            SelectionQuery::Point { col, value } => {
+                if *col >= schema.arity() {
+                    return Err(format!("column {col} out of range"));
+                }
+                if !schema.col_type(*col).admits(value) {
+                    return Err(format!(
+                        "point value {value} has wrong type for column {:?}",
+                        schema.name(*col)
+                    ));
+                }
+                Ok(())
+            }
+            SelectionQuery::Range { col, lo, hi } => {
+                if *col >= schema.arity() {
+                    return Err(format!("column {col} out of range"));
+                }
+                for b in [lo, hi] {
+                    if let Bound::Included(v) | Bound::Excluded(v) = b {
+                        if !schema.col_type(*col).admits(v) {
+                            return Err(format!(
+                                "range bound {v} has wrong type for column {:?}",
+                                schema.name(*col)
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SelectionQuery::And(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+        }
+    }
+
+    /// Does a single tuple satisfy the query?
+    pub fn matches(&self, tuple: &[Value]) -> bool {
+        match self {
+            SelectionQuery::Point { col, value } => &tuple[*col] == value,
+            SelectionQuery::Range { col, lo, hi } => {
+                let v = &tuple[*col];
+                let above = match lo {
+                    Bound::Unbounded => true,
+                    Bound::Included(l) => v >= l,
+                    Bound::Excluded(l) => v > l,
+                };
+                let below = match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(h) => v <= h,
+                    Bound::Excluded(h) => v < h,
+                };
+                above && below
+            }
+            SelectionQuery::And(a, b) => a.matches(tuple) && b.matches(tuple),
+        }
+    }
+
+    /// All columns the query touches (used by index routing and views).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            SelectionQuery::Point { col, .. } | SelectionQuery::Range { col, .. } => {
+                out.push(*col)
+            }
+            SelectionQuery::And(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColType;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColType::Int), ("city", ColType::Str)])
+    }
+
+    #[test]
+    fn point_matches_equal_cells() {
+        let q = SelectionQuery::point(0, 7i64);
+        assert!(q.matches(&[Value::Int(7), Value::str("x")]));
+        assert!(!q.matches(&[Value::Int(8), Value::str("x")]));
+    }
+
+    #[test]
+    fn range_bound_combinations() {
+        let t = [Value::Int(5), Value::str("x")];
+        assert!(SelectionQuery::range_closed(0, 5i64, 5i64).matches(&t));
+        assert!(SelectionQuery::Range {
+            col: 0,
+            lo: Bound::Excluded(Value::Int(4)),
+            hi: Bound::Unbounded,
+        }
+        .matches(&t));
+        assert!(!SelectionQuery::Range {
+            col: 0,
+            lo: Bound::Excluded(Value::Int(5)),
+            hi: Bound::Unbounded,
+        }
+        .matches(&t));
+        assert!(!SelectionQuery::Range {
+            col: 0,
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(Value::Int(5)),
+        }
+        .matches(&t));
+    }
+
+    #[test]
+    fn and_requires_one_witnessing_tuple() {
+        let q = SelectionQuery::and(
+            SelectionQuery::point(0, 1i64),
+            SelectionQuery::point(1, "rome"),
+        );
+        assert!(q.matches(&[Value::Int(1), Value::str("rome")]));
+        assert!(!q.matches(&[Value::Int(1), Value::str("oslo")]));
+    }
+
+    #[test]
+    fn validate_catches_bad_columns_and_types() {
+        let s = schema();
+        assert!(SelectionQuery::point(0, 1i64).validate(&s).is_ok());
+        assert!(SelectionQuery::point(5, 1i64).validate(&s).is_err());
+        assert!(SelectionQuery::point(0, "str").validate(&s).is_err());
+        assert!(SelectionQuery::range_closed(1, 1i64, 2i64)
+            .validate(&s)
+            .is_err());
+        let nested_bad = SelectionQuery::and(
+            SelectionQuery::point(0, 1i64),
+            SelectionQuery::point(9, 1i64),
+        );
+        assert!(nested_bad.validate(&s).is_err());
+    }
+
+    #[test]
+    fn columns_are_collected_and_deduped() {
+        let q = SelectionQuery::and(
+            SelectionQuery::point(1, "a"),
+            SelectionQuery::and(
+                SelectionQuery::range_closed(0, 1i64, 2i64),
+                SelectionQuery::point(1, "b"),
+            ),
+        );
+        assert_eq!(q.columns(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Array analytics with Π-tractable *functions* — the paper's Section 8
+//! open issue (3) ("Π-tractability for search problems and function
+//! problems") exercised on the RMQ/LCA machinery.
+//!
+//! A time-series of sensor readings is queried for the *position* of the
+//! minimum in a window (a search problem, not a Boolean one). We build a
+//! `SearchScheme` from the Fischer–Heun structure, verify it against the
+//! scan, and Booleanize it back into the paper's decision form.
+//!
+//! Run with: `cargo run --release --example array_analytics`
+
+use pi_tractable::core::cost::CostClass;
+use pi_tractable::core::search::SearchScheme;
+use pi_tractable::index::rmq::fischer_heun::FischerHeunRmq;
+use pi_tractable::index::rmq::naive::NaiveRmq;
+use pi_tractable::index::rmq::RangeMin;
+use pi_tractable::prelude::*;
+
+fn main() {
+    println!("=== Π-tractable functions: windowed minima over a time series ===\n");
+
+    // A day of per-second readings with dips.
+    let n = 86_400usize;
+    let readings: Vec<i64> = (0..n)
+        .map(|t| {
+            let base = 500 + ((t as f64 / 3600.0).sin() * 200.0) as i64;
+            let dip = if t % 7001 == 0 { -400 } else { 0 };
+            base + dip
+        })
+        .collect();
+
+    // The search problem: Q = (window start, window end) → argmin position.
+    let scheme: SearchScheme<Vec<i64>, FischerHeunRmq<i64>, (usize, usize), usize> =
+        SearchScheme::new(
+            "windowed-argmin (Fischer-Heun)",
+            CostClass::Linear,   // O(n) preprocessing
+            CostClass::Constant, // O(1) per query
+            |d: &Vec<i64>| FischerHeunRmq::build(d),
+            |p: &FischerHeunRmq<i64>, &(i, j): &(usize, usize)| p.query(i, j),
+        );
+    assert!(scheme.claims_pi_tractable());
+
+    let meter = Meter::new();
+    let naive = NaiveRmq::build(&readings);
+    let preprocessed = scheme.preprocess(&readings);
+
+    let windows: Vec<(usize, usize)> = (0..24)
+        .map(|h| (h * 3600, (h * 3600 + 3599).min(n - 1)))
+        .collect();
+
+    let mut scan_steps = 0u64;
+    println!("hour | window argmin | reading | (scan steps vs O(1) probe)");
+    for (h, &(i, j)) in windows.iter().enumerate() {
+        meter.take();
+        let by_scan = naive.query_metered(i, j, &meter);
+        scan_steps += meter.take();
+        let by_scheme = scheme.answer(&preprocessed, &(i, j));
+        assert_eq!(by_scan, by_scheme, "window [{i},{j}]");
+        if h % 6 == 0 {
+            println!(
+                "  {h:>2} |  t={by_scheme:>6} | {:>6} |",
+                readings[by_scheme]
+            );
+        }
+    }
+    println!(
+        "\nscan: {} steps/window; Fischer-Heun probe: O(1) after one O(n) pass",
+        scan_steps / windows.len() as u64
+    );
+
+    // The paper's Booleanization: decision form "is the argmin exactly a?"
+    let decision = scheme.to_decision();
+    let p = decision.preprocess(&readings);
+    let (i, j) = windows[3];
+    let truth = scheme.answer(&preprocessed, &(i, j));
+    assert!(decision.answer(&p, &((i, j), truth)));
+    assert!(!decision.answer(&p, &((i, j), truth + 1)));
+    println!("\nBooleanized decision form agrees with the search form —");
+    println!("Section 8's open issue (3), closed constructively for this class.");
+}

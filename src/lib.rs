@@ -1,0 +1,74 @@
+//! # pi-tractable — making queries tractable on big data with preprocessing
+//!
+//! A Rust reproduction of Fan, Geerts & Neven, *"Making Queries Tractable
+//! on Big Data with Preprocessing (through the eyes of complexity theory)"*,
+//! PVLDB 6(9), 2013.
+//!
+//! The paper proposes **Π-tractability**: a query class is feasible on big
+//! data if a one-time PTIME preprocessing step `Π(D)` enables every query to
+//! be answered in NC (parallel polylog time). This facade crate re-exports
+//! the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | languages of pairs, factorizations, schemes, `≤NC_F` / `≤NC_fa` reductions, cost model, curve fitting |
+//! | [`pram`] | work/depth PRAM substrate (the executable NC model) |
+//! | [`index`] | B⁺-trees, sorted/hash indexes, RMQ and LCA structures |
+//! | [`graph`] | breadth-depth search, reachability indexes, SCC, query-preserving compression, generators |
+//! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
+//! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
+//! | [`kernel`] | Vertex Cover with Buss kernelization |
+//! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
+//! | [`reductions`] | concrete reductions between the case-study classes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! // The paper's Example 1: point selections, scan vs. index.
+//! let schema = Schema::new(&[("id", ColType::Int)]);
+//! let rows = (0..10_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! let relation = Relation::from_rows(schema, rows).unwrap();
+//!
+//! // No preprocessing: a linear scan per query.
+//! let query = SelectionQuery::point(0, 9_999i64);
+//! assert!(relation.eval_scan(&query));
+//!
+//! // PTIME preprocessing Π(D): build a B+-tree, answer in O(log n).
+//! let indexed = IndexedRelation::build(&relation, &[0]);
+//! assert!(indexed.answer(&query));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use pitract_circuit as circuit;
+pub use pitract_core as core;
+pub use pitract_graph as graph;
+pub use pitract_incremental as incremental;
+pub use pitract_index as index;
+pub use pitract_kernel as kernel;
+pub use pitract_pram as pram;
+pub use pitract_reductions as reductions;
+pub use pitract_relation as relation;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use pitract_core::cost::{CostClass, Meter};
+    pub use pitract_core::factor::{Factorization, FnFactorization};
+    pub use pitract_core::fit::{best_fit, FitModel, Sample};
+    pub use pitract_core::lang::{FnPairLanguage, PairLanguage};
+    pub use pitract_core::problem::{DecisionProblem, FnProblem};
+    pub use pitract_core::reduce::{FReduction, FactorReduction};
+    pub use pitract_core::scheme::Scheme;
+    pub use pitract_graph::bds::{bds_order, BdsIndex};
+    pub use pitract_graph::compress::CompressedReach;
+    pub use pitract_graph::reach::ReachIndex;
+    pub use pitract_graph::Graph;
+    pub use pitract_index::bptree::BPlusTree;
+    pub use pitract_index::sorted::SortedIndex;
+    pub use pitract_relation::indexed::IndexedRelation;
+    pub use pitract_relation::views::{MaterializedView, ViewSet};
+    pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+}

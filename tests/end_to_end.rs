@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the paper's main claims, executed
+//! against the public API exactly as a downstream user would.
+
+use pi_tractable::graph::generate;
+use pi_tractable::graph::traverse::reachable_bfs;
+use pi_tractable::prelude::*;
+
+/// Figure 2, containment NC ⊆ ΠT⁰Q: an NC-answerable class gets a trivial
+/// scheme that is correct and claims tractability.
+#[test]
+fn nc_classes_are_trivially_pi_tractable() {
+    let lang = FnPairLanguage::new("small-membership", |d: &Vec<u64>, q: &u64| d.contains(q));
+    let scheme = pi_tractable::core::scheme::trivial_nc_scheme(lang, CostClass::Log);
+    assert!(scheme.claims_pi_tractable());
+    let lang2 = FnPairLanguage::new("small-membership", |d: &Vec<u64>, q: &u64| d.contains(q));
+    let instances = vec![(vec![1, 5, 9], vec![5u64, 6]), (vec![], vec![0])];
+    assert_eq!(scheme.verify_against(&lang2, &instances), Ok(()));
+}
+
+/// Example 1 across the whole stack: scan, B⁺-tree, and sorted index give
+/// identical Boolean answers on a shared workload; only costs differ.
+#[test]
+fn example1_three_engines_agree() {
+    let schema = Schema::new(&[("a", ColType::Int)]);
+    let values: Vec<i64> = (0..3_000).map(|i| (i * 7) % 5_000).collect();
+    let rows = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+    let relation = Relation::from_rows(schema, rows).unwrap();
+    let indexed = IndexedRelation::build(&relation, &[0]);
+    let sorted = SortedIndex::build(&values);
+
+    let meter = Meter::new();
+    for probe in (0..6_000i64).step_by(13) {
+        let q = SelectionQuery::point(0, probe);
+        let by_scan = relation.eval_scan(&q);
+        let by_tree = indexed.answer_metered(&q, &meter);
+        let by_sorted = sorted.contains(&probe);
+        assert_eq!(by_scan, by_tree, "probe {probe}");
+        assert_eq!(by_scan, by_sorted, "probe {probe}");
+    }
+}
+
+/// The preprocessing-pays-off crossover the paper's introduction argues:
+/// total cost of (preprocess once + q cheap queries) undercuts q scans
+/// once q is large enough, and never helps for a single query.
+#[test]
+fn amortization_crossover_exists() {
+    let n = 1u64 << 14;
+    let values: Vec<u64> = (0..n).collect();
+
+    // Cost model from the measured meters.
+    let meter = Meter::new();
+    let sorted = SortedIndex::build(&values);
+    meter.take();
+    sorted.contains_metered(&(n + 1), &meter);
+    let per_index_query = meter.take().max(1);
+    pi_tractable::index::sorted::scan_contains_metered(&values, &(n + 1), &meter);
+    let per_scan_query = meter.take();
+    // Preprocessing: n log n comparison budget.
+    let preprocess = (n as f64 * (n as f64).log2()) as u64;
+
+    // One query: scanning wins.
+    assert!(per_scan_query < preprocess + per_index_query);
+    // Many queries: preprocessing wins (find the crossover).
+    let crossover = (1..10_000_000u64)
+        .find(|&q| preprocess + q * per_index_query < q * per_scan_query)
+        .expect("crossover must exist");
+    assert!(
+        crossover < 100_000,
+        "crossover {crossover} unexpectedly late for n={n}"
+    );
+}
+
+/// Query-preserving compression composed with the closure index: compress
+/// first, index the compressed graph, answer original queries — both
+/// layers preserve every answer (Section 4(5) + Example 3 stacked).
+#[test]
+fn compression_then_indexing_preserves_reachability() {
+    let g = generate::gnp_directed(120, 0.02, 31);
+    let compressed = CompressedReach::build(&g);
+    let direct = ReachIndex::build(&g);
+    for u in (0..120).step_by(3) {
+        for v in (0..120).step_by(7) {
+            let expect = u == v || reachable_bfs(&g, u, v);
+            assert_eq!(direct.reachable(u, v), expect, "direct ({u},{v})");
+            assert_eq!(compressed.reachable(u, v), expect, "compressed ({u},{v})");
+        }
+    }
+}
+
+/// The BDS index answers exactly like the full search on structured and
+/// random graphs — Υ′ vs Υ_BDS of Figure 1 as a correctness statement.
+#[test]
+fn bds_factorizations_agree() {
+    let meter = Meter::new();
+    for g in [
+        generate::grid(12),
+        generate::gnp_undirected(150, 0.02, 5),
+        generate::path(80, false),
+    ] {
+        let idx = BdsIndex::build(&g);
+        let n = g.node_count();
+        for k in 0..200 {
+            let (u, v) = ((k * 31) % n, (k * 17 + 3) % n);
+            assert_eq!(
+                idx.visited_before(u, v),
+                pi_tractable::graph::bds::visited_before_by_search(&g, u, v, &meter),
+                "({u},{v})"
+            );
+        }
+    }
+}
+
+/// Full order: the BDS order restarts components in numbering order and
+/// is consistent with the index positions.
+#[test]
+fn bds_order_and_index_are_consistent() {
+    let g = generate::gnp_undirected(100, 0.01, 77);
+    let order = bds_order(&g);
+    let idx = BdsIndex::build(&g);
+    for (pos, &node) in order.iter().enumerate() {
+        assert_eq!(idx.position(node), pos);
+    }
+    // Permutation check.
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+}
+
+/// Incremental preprocessing story end-to-end: a maintained index answers
+/// identically to a fresh rebuild after a mixed insert/delete stream.
+#[test]
+fn maintained_index_equals_rebuilt_index() {
+    let schema = Schema::new(&[("k", ColType::Int)]);
+    let rows: Vec<Vec<Value>> = (0..500i64).map(|i| vec![Value::Int(i * 2)]).collect();
+    let base = Relation::from_rows(schema.clone(), rows).unwrap();
+    let mut maintained = IndexedRelation::build(&base, &[0]);
+
+    // Stream of updates.
+    for i in 0..200i64 {
+        maintained
+            .insert(vec![Value::Int(1_000 + i)])
+            .expect("valid row");
+    }
+    for id in (0..100).step_by(2) {
+        maintained.delete(id);
+    }
+
+    // Rebuild from the maintained relation's live rows.
+    let rebuilt = IndexedRelation::build(&maintained.to_relation(), &[0]);
+    for probe in -10..1_300i64 {
+        let q = SelectionQuery::point(0, probe);
+        assert_eq!(maintained.answer(&q), rebuilt.answer(&q), "probe {probe}");
+    }
+}
+
+/// Growth-curve classification distinguishes the scan from the index on
+/// *measured* (not synthetic) step counts — the machinery every experiment
+/// table rests on.
+#[test]
+fn fit_separates_scan_from_index_on_real_meters() {
+    let meter = Meter::new();
+    let mut scan = Vec::new();
+    let mut index = Vec::new();
+    for &n in &[1u64 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] {
+        let values: Vec<u64> = (0..n).collect();
+        let sorted = SortedIndex::build(&values);
+        meter.take();
+        pi_tractable::index::sorted::scan_contains_metered(&values, &(n + 1), &meter);
+        scan.push(Sample::new(n, meter.take()));
+        sorted.contains_metered(&(n + 1), &meter);
+        index.push(Sample::new(n, meter.take()));
+    }
+    assert_eq!(best_fit(&scan).best().model, FitModel::Linear);
+    let idx_model = best_fit(&index).best().model;
+    assert!(
+        idx_model.is_polylog(),
+        "index fit should be polylog, got {idx_model}"
+    );
+}

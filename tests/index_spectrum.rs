@@ -1,0 +1,106 @@
+//! The full reachability-index spectrum on shared workloads, plus circuit
+//! compression composed with the gate-table scheme — integration coverage
+//! for the extension modules.
+
+use pi_tractable::circuit::factor::{gate_factorization, gate_table_scheme};
+use pi_tractable::circuit::generate::layered;
+use pi_tractable::circuit::simplify::simplify;
+use pi_tractable::core::factor::Factorization;
+use pi_tractable::graph::generate;
+use pi_tractable::graph::grail::GrailIndex;
+use pi_tractable::graph::hop::HopLabels;
+use pi_tractable::graph::traverse::reachable_bfs;
+use pi_tractable::prelude::*;
+
+/// Four reachability engines (BFS spec, GRAIL, 2-hop, closure matrix) give
+/// identical answers on every query over shared DAGs.
+#[test]
+fn reachability_engines_agree_across_the_spectrum() {
+    for seed in [1u64, 7, 23] {
+        let g = generate::random_dag(80, 240, seed);
+        let matrix = ReachIndex::build(&g);
+        let grail = GrailIndex::build(&g, 2, seed).expect("DAG");
+        let hop = HopLabels::build(&g).expect("DAG");
+        for u in 0..80 {
+            for v in 0..80 {
+                let expect = reachable_bfs(&g, u, v);
+                assert_eq!(matrix.reachable(u, v), expect, "matrix ({u},{v})");
+                assert_eq!(grail.reachable(u, v), expect, "grail ({u},{v})");
+                assert_eq!(hop.query(u, v), expect, "hop ({u},{v})");
+            }
+        }
+    }
+}
+
+/// Index sizes order as theory predicts on hub-shaped inputs: 2-hop labels
+/// ≪ closure bits.
+#[test]
+fn label_sizes_undercut_the_closure_on_hub_graphs() {
+    // Hub-and-spoke layers compress well under hub labeling.
+    let g = generate::layered_dag(4, 50, 3, 5);
+    let n = g.node_count();
+    let hop = HopLabels::build(&g).expect("DAG");
+    let closure_bits = (n * n) as u64;
+    let label_entries = hop.total_label_entries() as u64 * 32; // u32 entries
+    assert!(
+        label_entries < closure_bits,
+        "labels {label_entries} bits vs closure {closure_bits} bits"
+    );
+}
+
+/// Circuit compression composes with the Π-tractability pipeline: simplify
+/// first, then build the gate table — identical designated-output answers,
+/// smaller preprocessing.
+#[test]
+fn simplified_circuits_feed_the_gate_table_scheme() {
+    let scheme = gate_table_scheme();
+    let f = gate_factorization();
+    for seed in 0..5u64 {
+        let circuit = layered(7, 14, 6, seed);
+        let small = simplify(&circuit);
+        assert!(small.size() <= circuit.size());
+        for pattern in [0u32, 1, 64, 127] {
+            let inputs: Vec<bool> = (0..7).map(|i| (pattern >> i) & 1 == 1).collect();
+            let x_big = (circuit.clone(), inputs.clone());
+            let x_small = (small.clone(), inputs);
+            let pre_big = scheme.preprocess(&f.pi1(&x_big));
+            let pre_small = scheme.preprocess(&f.pi1(&x_small));
+            assert_eq!(
+                scheme.answer(&pre_big, &f.pi2(&x_big)),
+                scheme.answer(&pre_small, &f.pi2(&x_small)),
+                "seed {seed} pattern {pattern}"
+            );
+            assert_eq!(pre_small.len(), small.size());
+        }
+    }
+}
+
+/// Compression ratio claims hold jointly: graph compression and circuit
+/// simplification both shrink redundancy-heavy instances while preserving
+/// every answer their query class can ask.
+#[test]
+fn both_compressions_shrink_redundant_instances()  {
+    // Graph side: a bundle of parallel 2-paths through equivalent middles.
+    let mut edges = Vec::new();
+    for m in 1..=30 {
+        edges.push((0, m));
+        edges.push((m, 31));
+    }
+    let g = pi_tractable::graph::Graph::directed_from_edges(32, &edges);
+    let compressed = CompressedReach::build(&g);
+    assert!(compressed.compression_ratio() > 5.0);
+    assert!(compressed.reachable(0, 31));
+    assert!(!compressed.reachable(5, 6));
+
+    // Circuit side: a chain of double negations folds away.
+    use pi_tractable::circuit::Gate;
+    let mut gates = vec![Gate::Input(0)];
+    for i in 0..20 {
+        gates.push(Gate::Not(i));
+    }
+    let c = pi_tractable::circuit::Circuit::new(1, gates, 20).unwrap();
+    let s = simplify(&c);
+    assert!(s.size() < c.size() / 2, "{} vs {}", s.size(), c.size());
+    assert_eq!(s.evaluate(&[true]), c.evaluate(&[true]));
+    assert_eq!(s.evaluate(&[false]), c.evaluate(&[false]));
+}

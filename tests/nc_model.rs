@@ -1,0 +1,134 @@
+//! NC-model integration tests: the work/depth substrate certifies the
+//! "parallel polylog time" half of Definition 1 for the preprocessed
+//! query paths — and refuses to certify the paths that are *not* NC.
+
+use pi_tractable::core::cost::CostClass;
+use pi_tractable::graph::generate;
+use pi_tractable::pram::machine::{brent_time, Cost};
+use pi_tractable::pram::matrix::BitMatrix;
+use pi_tractable::pram::primitives::{par_filter, par_reduce, par_scan};
+use pi_tractable::pram::sort::par_merge_sort;
+use pi_tractable::prelude::*;
+
+/// Reachability preprocessing itself is NC (Example 3's "NL ⊆ NC" side):
+/// closure by squaring has polylog depth at every tested scale, and the
+/// depth grows like log², not like n.
+#[test]
+fn closure_depth_scales_polylogarithmically() {
+    let mut samples = Vec::new();
+    for &n in &[32usize, 64, 128, 256, 512] {
+        let g = generate::gnp_directed(n, 2.0 / n as f64, n as u64);
+        let m = BitMatrix::from_edges(n, &g.edges());
+        let (_, cost) = m.transitive_closure();
+        assert!(
+            cost.depth_within(CostClass::PolyLog(2), n as u64, 2.0),
+            "depth {} at n={n}",
+            cost.depth
+        );
+        samples.push(Sample::new(n as u64, cost.depth));
+    }
+    let fit = best_fit(&samples);
+    assert!(
+        fit.best().model.is_polylog(),
+        "closure depth fit: {}",
+        fit.best().model
+    );
+}
+
+/// The NC toolkit keeps its depth promises while staying correct.
+#[test]
+fn primitives_depth_and_correctness() {
+    let n = 1u64 << 12;
+    let xs: Vec<u64> = (0..n).map(|i| (i * 48271) % 1009).collect();
+
+    let (sum, c1) = par_reduce(&xs, 0, |a, b| a + b);
+    assert_eq!(sum, xs.iter().sum::<u64>());
+    assert!(c1.depth_within(CostClass::Log, n, 2.0));
+
+    let (prefix, total, c2) = par_scan(&xs, 0u64, |a, b| a + b);
+    assert_eq!(total, sum);
+    assert_eq!(prefix[0], 0);
+    assert!(c2.depth_within(CostClass::Log, n, 4.0));
+
+    let (evens, c3) = par_filter(&xs, |x| x % 2 == 0);
+    assert!(evens.iter().all(|x| x % 2 == 0));
+    assert!(c3.depth_within(CostClass::Log, n, 6.0));
+
+    let (sorted, c4) = par_merge_sort(&xs);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    assert!(c4.depth_within(CostClass::PolyLog(2), n, 3.0));
+}
+
+/// Brent's theorem arithmetic: with polynomially many processors the
+/// closure runs in polylog steps — the "seconds on big data" claim; with
+/// one processor it degrades to the sequential work.
+#[test]
+fn brent_schedule_interpolates() {
+    let g = generate::gnp_directed(256, 0.01, 3);
+    let (_, cost) = BitMatrix::from_edges(256, &g.edges()).transitive_closure();
+    let sequential = brent_time(cost, 1);
+    let massively_parallel = brent_time(cost, u64::MAX / 2);
+    // ⌈W/p⌉ contributes a single step once p exceeds the work.
+    assert_eq!(massively_parallel, cost.depth + 1);
+    assert!(sequential > cost.depth * 10, "work should dominate at p=1");
+    // Monotone in p.
+    let mut prev = sequential;
+    for p in [2u64, 8, 64, 1024, 1 << 20] {
+        let t = brent_time(cost, p);
+        assert!(t <= prev, "Brent time must not increase with processors");
+        prev = t;
+    }
+}
+
+/// The negative control: a deep circuit's parallel evaluation has depth
+/// proportional to the circuit depth — NOT polylog — which is exactly why
+/// CVP under Υ₀ fails Definition 1 (Theorem 9's intuition, measured).
+#[test]
+fn deep_circuits_are_not_polylog_depth() {
+    use pi_tractable::circuit::generate::layered;
+    let mut depths = Vec::new();
+    for &layers in &[32usize, 64, 128, 256] {
+        let c = layered(4, layers, 4, 7);
+        let (_, cost) = c.evaluate_parallel_model(&[true, false, true, false]);
+        depths.push(Sample::new(c.size() as u64, cost.depth));
+        // Depth tracks layers, i.e. grows linearly with size/width.
+        assert!(cost.depth as usize >= layers / 2);
+    }
+    let fit = best_fit(&depths);
+    assert!(
+        !fit.best().model.is_polylog(),
+        "deep-circuit depth misclassified as {}",
+        fit.best().model
+    );
+}
+
+/// The positive control: balanced AND-trees (an NC¹ family) evaluate with
+/// logarithmic parallel depth.
+#[test]
+fn shallow_circuits_are_log_depth() {
+    use pi_tractable::circuit::generate::and_tree;
+    for k in [4u32, 6, 8, 10] {
+        let c = and_tree(k);
+        let (v, cost) = c.evaluate_parallel_model(&vec![true; 1 << k]);
+        assert!(v);
+        assert_eq!(cost.depth, u64::from(k) + 1);
+        assert!(cost.depth_within(CostClass::Log, c.size() as u64, 2.0));
+    }
+}
+
+/// Work/depth algebra sanity on a composite pipeline: scan-then-reduce has
+/// the sum of depths and the sum of works.
+#[test]
+fn cost_algebra_composes() {
+    let a = Cost { work: 100, depth: 5 };
+    let b = Cost { work: 50, depth: 7 };
+    assert_eq!(a.then(b), Cost { work: 150, depth: 12 });
+    assert_eq!(a.join(b), Cost { work: 150, depth: 7 });
+    assert_eq!(
+        Cost::join_all([a, b, Cost::UNIT]),
+        Cost {
+            work: 151,
+            depth: 7
+        }
+    );
+}
