@@ -95,8 +95,9 @@ fn bench_e04_rmq(c: &mut Criterion) {
 fn bench_e05_lca(c: &mut Criterion) {
     let mut group = c.benchmark_group("e05_lca");
     let n = 1usize << 15;
-    let parents: Vec<Option<usize>> =
-        (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some(i - 1) })
+        .collect();
     let tree = RootedTree::from_parents(&parents).unwrap();
     let euler = EulerTourLca::build(&tree);
     group.bench_function("naive_walk_deep", |b| {

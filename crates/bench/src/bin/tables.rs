@@ -7,10 +7,7 @@
 use pitract_bench::all_experiments;
 
 fn main() {
-    let filter: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|s| s.to_lowercase())
-        .collect();
+    let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
     println!("Π-tractability experiment harness — one table per paper claim\n");
     for (id, run) in all_experiments() {
         if !filter.is_empty() && !filter.iter().any(|f| f == id) {

@@ -78,9 +78,15 @@ pub fn run_e10() -> Table {
         id: "E10",
         title: "bounded incremental computation (Section 4(7), Ramalingam-Reps accounting)",
         paper_claim: "incremental cost should be a function of |CHANGED| = |ΔD|+|ΔO|, not |D|",
-        headers: ["algorithm", "total work", "total |CHANGED|", "worst ratio", "note"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "algorithm",
+            "total work",
+            "total |CHANGED|",
+            "worst ratio",
+            "note",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         verdict: "reachability maintenance is amortized-bounded; B+-tree maintenance beats \
                   shift/resort by orders of magnitude"
@@ -126,9 +132,15 @@ pub fn run_e11() -> Table {
         title: "CVP: the Υ₀ factorization vs the gate-table re-factorization (Thm 9 / Cor 6)",
         paper_claim: "under Υ₀ preprocessing cannot help (P-complete query part); re-factorized, \
                       CVP answers in O(1) after PTIME gate evaluation",
-        headers: ["|circuit|", "depth", "Υ₀ steps/q", "Υ_gate prep (once)", "Υ_gate steps/q"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "|circuit|",
+            "depth",
+            "Υ₀ steps/q",
+            "Υ_gate prep (once)",
+            "Υ_gate steps/q",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         verdict: format!(
             "Υ₀ per-query cost grows ({}); re-factorized queries are single probes",
@@ -182,11 +194,18 @@ pub fn run_e12() -> Table {
         id: "E12",
         title: "vertex cover: Buss kernelization at fixed K (Section 4(9))",
         paper_claim: "kernelize in O(|E|); for fixed K the residual decision is O(1) in |G|",
-        headers: ["n", "edges", "kernelize steps", "kernel n+e", "post-kernel size"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "n",
+            "edges",
+            "kernelize steps",
+            "kernel n+e",
+            "post-kernel size",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
-        verdict: "kernel size stays flat while |G| grows 64x — the fixed-parameter O(1) query".into(),
+        verdict: "kernel size stays flat while |G| grows 64x — the fixed-parameter O(1) query"
+            .into(),
     }
 }
 
@@ -262,7 +281,9 @@ pub fn run_e13() -> Table {
         title: "reductions in action: native vs transferred schemes (Lemmas 2/3/8)",
         paper_claim: "reductions are transitive and compatible: a scheme for the target yields \
                       a scheme for the source",
-        headers: ["pipeline", "measure", "cost shape"].map(String::from).to_vec(),
+        headers: ["pipeline", "measure", "cost shape"]
+            .map(String::from)
+            .to_vec(),
         rows,
         verdict: "every transferred scheme answers identically to the native engine; overhead \
                   is a constant-depth query rewrite"
@@ -297,9 +318,15 @@ pub fn run_e14() -> Table {
         title: "the NC substrate: work/depth of closure, scan, parallel sort",
         paper_claim: "NC = polylog parallel time with polynomially many processors; reachability \
                       closure is the NC² witness",
-        headers: ["n", "closure depth", "closure work", "scan depth", "sort depth"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "n",
+            "closure depth",
+            "closure work",
+            "scan depth",
+            "sort depth",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         verdict: format!(
             "closure depth fits {} (polylog), validating the Definition-1 query budget",

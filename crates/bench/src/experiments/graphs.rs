@@ -122,9 +122,18 @@ pub fn run_e08() -> Table {
     let mut rows = Vec::new();
     let n = 1200usize;
     let workloads: Vec<(&str, Graph)> = vec![
-        ("ER dense (cyclic)", generate::gnp_directed(n, 4.0 / n as f64, 7)),
-        ("ER sparse (DAG-ish)", generate::gnp_directed(n, 1.2 / n as f64, 8)),
-        ("pref-attachment", generate::preferential_attachment(n, 3, 9)),
+        (
+            "ER dense (cyclic)",
+            generate::gnp_directed(n, 4.0 / n as f64, 7),
+        ),
+        (
+            "ER sparse (DAG-ish)",
+            generate::gnp_directed(n, 1.2 / n as f64, 8),
+        ),
+        (
+            "pref-attachment",
+            generate::preferential_attachment(n, 3, 9),
+        ),
         ("layered DAG", generate::layered_dag(30, 40, 2, 10)),
         ("3 big cycles", {
             let mut edges = Vec::new();
@@ -229,11 +238,18 @@ pub fn run_e09() -> Table {
         id: "E9",
         title: "query answering using views (Section 4(6))",
         paper_claim: "answer Q from V(D) without touching big D; V(D) is much smaller than D",
-        headers: ["view", "|D| rows", "|V(D)| rows", "base steps/q", "view steps/q"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "view",
+            "|D| rows",
+            "|V(D)| rows",
+            "base steps/q",
+            "view steps/q",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
-        verdict: "speedup tracks |D|/|V(D)|: the smaller the covering view, the cheaper the query".into(),
+        verdict: "speedup tracks |D|/|V(D)|: the smaller the covering view, the cheaper the query"
+            .into(),
     }
 }
 

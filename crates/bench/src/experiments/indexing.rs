@@ -109,7 +109,9 @@ pub fn run_e02() -> Table {
         id: "E2",
         title: "range selection via B+-tree (Section 4(1))",
         paper_claim: "range queries answered in O(log |D|) after B+-tree preprocessing",
-        headers: ["n", "scan steps/q", "b+tree steps/q"].map(String::from).to_vec(),
+        headers: ["n", "scan steps/q", "b+tree steps/q"]
+            .map(String::from)
+            .to_vec(),
         rows,
         verdict: format!("index probe fits {}", fit.best().model),
     }
@@ -144,9 +146,15 @@ pub fn run_e03() -> Table {
         id: "E3",
         title: "searching in a list: sort once, binary-search forever (Section 4(2))",
         paper_claim: "sort M in O(|M| log |M|), then answer membership in O(log |M|)",
-        headers: ["n", "scan steps/q", "probe steps/q", "sort steps (once)", "crossover #q"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "n",
+            "scan steps/q",
+            "probe steps/q",
+            "sort steps (once)",
+            "crossover #q",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         verdict: "one-time sort amortizes within ~log n queries at every size".into(),
     }

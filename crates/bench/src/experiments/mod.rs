@@ -10,9 +10,9 @@
 //! * Growth verdicts come from `pitract_core::fit::best_fit` over the
 //!   measured series.
 
-mod indexing;
-mod graphs;
 mod dynamics;
+mod graphs;
+mod indexing;
 
 pub use dynamics::{run_e10, run_e11, run_e12, run_e13, run_e14};
 pub use graphs::{run_e06, run_e07, run_e08, run_e09};

@@ -78,14 +78,20 @@ impl Circuit {
                 Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
                     // Check both below via a temporary.
                     if *a >= i {
-                        return Err(CircuitError::ForwardReference { gate: i, operand: *a });
+                        return Err(CircuitError::ForwardReference {
+                            gate: i,
+                            operand: *a,
+                        });
                     }
                     std::slice::from_ref(b)
                 }
             };
             for &op in operands {
                 if op >= i {
-                    return Err(CircuitError::ForwardReference { gate: i, operand: op });
+                    return Err(CircuitError::ForwardReference {
+                        gate: i,
+                        operand: op,
+                    });
                 }
             }
         }
@@ -192,9 +198,7 @@ impl Circuit {
             let v = match *g {
                 Gate::Input(_) | Gate::Const(_) => 0,
                 Gate::Not(a) => d[a] + 1,
-                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
-                    std::cmp::max(d[a], d[b]) + 1
-                }
+                Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => std::cmp::max(d[a], d[b]) + 1,
             };
             d.push(v);
         }
@@ -301,17 +305,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_malformed_circuits() {
-        assert_eq!(
-            Circuit::new(1, vec![], 0).unwrap_err(),
-            CircuitError::Empty
-        );
+        assert_eq!(Circuit::new(1, vec![], 0).unwrap_err(), CircuitError::Empty);
         assert_eq!(
             Circuit::new(1, vec![Gate::Not(0)], 0).unwrap_err(),
-            CircuitError::ForwardReference { gate: 0, operand: 0 }
+            CircuitError::ForwardReference {
+                gate: 0,
+                operand: 0
+            }
         );
         assert_eq!(
             Circuit::new(1, vec![Gate::Input(0), Gate::And(0, 1)], 1).unwrap_err(),
-            CircuitError::ForwardReference { gate: 1, operand: 1 }
+            CircuitError::ForwardReference {
+                gate: 1,
+                operand: 1
+            }
         );
         assert_eq!(
             Circuit::new(1, vec![Gate::Input(5)], 0).unwrap_err(),
@@ -327,7 +334,10 @@ mod tests {
     fn forward_reference_in_first_operand_caught() {
         assert_eq!(
             Circuit::new(1, vec![Gate::Input(0), Gate::And(1, 0)], 1).unwrap_err(),
-            CircuitError::ForwardReference { gate: 1, operand: 1 }
+            CircuitError::ForwardReference {
+                gate: 1,
+                operand: 1
+            }
         );
     }
 

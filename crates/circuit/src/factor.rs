@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn upsilon0_scheme_is_correct_but_not_tractable() {
         let scheme = upsilon0_scheme();
-        assert!(!scheme.claims_pi_tractable(), "Theorem 9: Υ₀ cannot claim NC");
+        assert!(
+            !scheme.claims_pi_tractable(),
+            "Theorem 9: Υ₀ cannot claim NC"
+        );
         let p = cvp_problem();
         for x in instances() {
             let f = upsilon0();

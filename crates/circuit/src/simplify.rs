@@ -122,15 +122,24 @@ pub fn simplify(c: &Circuit) -> Circuit {
                 Gate::Not(ra)
             }
             Gate::And(a, b) => {
-                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                let (ra, rb) = (
+                    remap(a, &mut new_gates, &new_id),
+                    remap(b, &mut new_gates, &new_id),
+                );
                 Gate::And(ra, rb)
             }
             Gate::Or(a, b) => {
-                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                let (ra, rb) = (
+                    remap(a, &mut new_gates, &new_id),
+                    remap(b, &mut new_gates, &new_id),
+                );
                 Gate::Or(ra, rb)
             }
             Gate::Xor(a, b) => {
-                let (ra, rb) = (remap(a, &mut new_gates, &new_id), remap(b, &mut new_gates, &new_id));
+                let (ra, rb) = (
+                    remap(a, &mut new_gates, &new_id),
+                    remap(b, &mut new_gates, &new_id),
+                );
                 Gate::Xor(ra, rb)
             }
         };
@@ -256,7 +265,12 @@ mod tests {
         .unwrap();
         let s = simplify(&c);
         assert_equivalent(&c, &s);
-        assert_eq!(s.size(), 1, "collapses to the bare input, got {:?}", s.gates());
+        assert_eq!(
+            s.size(),
+            1,
+            "collapses to the bare input, got {:?}",
+            s.gates()
+        );
     }
 
     #[test]

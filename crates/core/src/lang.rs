@@ -64,11 +64,7 @@ impl<D, Q> PairLanguage for FnPairLanguage<D, Q> {
 ///
 /// Used when a reduction or compression step claims to *preserve* a language:
 /// `agree_on(&orig, &compressed_view, &instances)`.
-pub fn agree_on<L1, L2>(
-    l1: &L1,
-    l2: &L2,
-    instances: &[(L1::Data, L1::Query)],
-) -> Result<(), usize>
+pub fn agree_on<L1, L2>(l1: &L1, l2: &L2, instances: &[(L1::Data, L1::Query)]) -> Result<(), usize>
 where
     L1: PairLanguage,
     L2: PairLanguage<Data = L1::Data, Query = L1::Query>,
@@ -100,9 +96,7 @@ mod tests {
     #[test]
     fn agree_on_detects_divergence() {
         let l1 = member_lang();
-        let l2 = FnPairLanguage::new("broken", |d: &Vec<u64>, q: &u64| {
-            d.contains(q) || *q == 99
-        });
+        let l2 = FnPairLanguage::new("broken", |d: &Vec<u64>, q: &u64| d.contains(q) || *q == 99);
         let instances = vec![(vec![1, 2], 1u64), (vec![1, 2], 5), (vec![], 99)];
         assert_eq!(agree_on(&l1, &l2, &instances), Err(2));
         assert_eq!(agree_on(&l1, &l1, &instances), Ok(()));

@@ -75,7 +75,10 @@ impl<X> DecisionProblem for FnProblem<X> {
 /// paper's definition by Proposition 1 (`ρ(π₁(x), π₂(x)) = x`); on pairs
 /// outside the image it is the natural total extension, which is also what
 /// the paper's reductions quantify over ("for all D and Q in Σ*").
-pub fn induced_pair_language<L, F>(problem: L, factorization: F) -> FnPairLanguage<F::Data, F::Query>
+pub fn induced_pair_language<L, F>(
+    problem: L,
+    factorization: F,
+) -> FnPairLanguage<F::Data, F::Query>
 where
     L: DecisionProblem + 'static,
     F: Factorization<Instance = L::Instance> + 'static,
@@ -110,9 +113,7 @@ where
     instances.iter().all(|x| {
         factorization.check_roundtrip(x)
             && problem.accepts(x)
-                == problem.accepts(
-                    &factorization.rho(&factorization.pi1(x), &factorization.pi2(x)),
-                )
+                == problem.accepts(&factorization.rho(&factorization.pi1(x), &factorization.pi2(x)))
     })
 }
 

@@ -435,7 +435,10 @@ mod tests {
         let r = shift_reduction(1);
         // S₂ is "shifted contains": d contains q (both already shifted), so
         // the same language works as target.
-        assert_eq!(r.verify(&lang_contains(), &lang_contains(), &probes()), Ok(()));
+        assert_eq!(
+            r.verify(&lang_contains(), &lang_contains(), &probes()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -455,7 +458,10 @@ mod tests {
         let r = shift_reduction(1).then(shift_reduction(10));
         assert_eq!(r.alpha(&vec![5]), vec![16]);
         assert_eq!(r.beta(&5), 16);
-        assert_eq!(r.verify(&lang_contains(), &lang_contains(), &probes()), Ok(()));
+        assert_eq!(
+            r.verify(&lang_contains(), &lang_contains(), &probes()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -476,15 +482,14 @@ mod tests {
         let source_scheme = r.transfer(&target, CostClass::Linear, CostClass::Constant);
         assert!(source_scheme.claims_pi_tractable());
         let lang = lang_contains();
-        let instances: Vec<(Vec<u64>, Vec<u64>)> = vec![
-            (vec![4, 8, 15], vec![8, 16, 15]),
-            (vec![], vec![3]),
-        ];
+        let instances: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(vec![4, 8, 15], vec![8, 16, 15]), (vec![], vec![3])];
         assert_eq!(source_scheme.verify_against(&lang, &instances), Ok(()));
     }
 
-    fn factor_shift(delta: u64) -> FactorReduction<(Vec<u64>, u64), Vec<u64>, u64, (Vec<u64>, u64), Vec<u64>, u64>
-    {
+    fn factor_shift(
+        delta: u64,
+    ) -> FactorReduction<(Vec<u64>, u64), Vec<u64>, u64, (Vec<u64>, u64), Vec<u64>, u64> {
         FactorReduction::new(
             identity_pair_factorization(),
             identity_pair_factorization(),

@@ -232,10 +232,7 @@ mod tests {
         assert_ne!(bds, dfs);
         // BFS visits level by level: same as BDS here; check the deeper
         // structure where they split.
-        let g2 = Graph::undirected_from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (3, 5), (2, 4), (4, 6)],
-        );
+        let g2 = Graph::undirected_from_edges(7, &[(0, 1), (0, 2), (1, 3), (3, 5), (2, 4), (4, 6)]);
         let bds2 = bds_order(&g2);
         let (_, bfs2) = crate::traverse::bfs(&g2, 0);
         // BDS: 0 visits 1,2; continue at 1: visit 3; at 3: visit 5; then 2:
@@ -259,7 +256,10 @@ mod tests {
         for (n, edges) in [
             (1usize, vec![]),
             (6, vec![(0usize, 5usize), (5, 2), (2, 1), (1, 4)]),
-            (8, vec![(7, 6), (6, 5), (5, 4), (4, 3), (3, 2), (2, 1), (1, 0)]),
+            (
+                8,
+                vec![(7, 6), (6, 5), (5, 4), (4, 3), (3, 2), (2, 1), (1, 0)],
+            ),
         ] {
             let g = Graph::undirected_from_edges(n, &edges);
             let mut order = bds_order(&g);

@@ -64,7 +64,11 @@ impl HopLabels {
             return Err(HopError::Cyclic);
         }
 
-        let rev = if n > 0 { g.reversed() } else { Graph::new(0, true) };
+        let rev = if n > 0 {
+            g.reversed()
+        } else {
+            Graph::new(0, true)
+        };
 
         // Hub order: total degree descending, id ascending to break ties.
         let mut order: Vec<usize> = (0..n).collect();
@@ -171,8 +175,7 @@ impl HopLabels {
 
     /// Total number of label entries (the index size statistic).
     pub fn total_label_entries(&self) -> usize {
-        self.lout.iter().map(Vec::len).sum::<usize>()
-            + self.lin.iter().map(Vec::len).sum::<usize>()
+        self.lout.iter().map(Vec::len).sum::<usize>() + self.lin.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Largest single label (worst-case query factor).

@@ -185,7 +185,11 @@ mod tests {
         let (idx_par, cost) = ReachIndex::build_parallel_model(&g);
         for s in 0..40 {
             for t in 0..40 {
-                assert_eq!(idx_seq.reachable(s, t), idx_par.reachable(s, t), "({s},{t})");
+                assert_eq!(
+                    idx_seq.reachable(s, t),
+                    idx_par.reachable(s, t),
+                    "({s},{t})"
+                );
             }
         }
         // Depth must be polylog: the NC claim.

@@ -107,7 +107,10 @@ impl Graph {
 
     /// Reverse all edges (directed graphs only).
     pub fn reversed(&self) -> Graph {
-        assert!(self.directed, "reversing an undirected graph is a no-op bug");
+        assert!(
+            self.directed,
+            "reversing an undirected graph is a no-op bug"
+        );
         let mut g = Graph::new(self.node_count(), true);
         for (u, ns) in self.adj.iter().enumerate() {
             for &v in ns {

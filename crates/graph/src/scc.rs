@@ -146,10 +146,7 @@ mod tests {
 
     fn two_cycles_and_tail() -> Graph {
         // Cycle {0,1,2} -> cycle {3,4} -> tail 5.
-        Graph::directed_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
-        )
+        Graph::directed_from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)])
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! boundedness verdicts extend to the views case study.
 
 use crate::bounded::{BoundednessReport, UpdateRecord};
-use pitract_relation::views::{MaterializedView, ViewSet};
 use pitract_relation::value::Value;
+use pitract_relation::views::{MaterializedView, ViewSet};
 
 /// A view set whose maintenance is |CHANGED|-accounted.
 #[derive(Debug, Default)]

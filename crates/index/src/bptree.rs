@@ -762,7 +762,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             Node::Free => Err(format!("reachable free node {idx}")),
             Node::Leaf { keys, vals, .. } => {
                 if keys.len() != vals.len() {
-                    return Err(format!("leaf {idx}: {} keys, {} vals", keys.len(), vals.len()));
+                    return Err(format!(
+                        "leaf {idx}: {} keys, {} vals",
+                        keys.len(),
+                        vals.len()
+                    ));
                 }
                 if !is_root && keys.len() < self.min_keys() {
                     return Err(format!(
@@ -976,7 +980,7 @@ mod tests {
             let keys: Vec<u64> = (0..500).map(|i| (i * 7919) % 500).collect();
             for &k in &keys {
                 tree.insert(k, k);
-                }
+            }
             assert_eq!(tree.len(), 500, "order {order}");
             for k in 0..500u64 {
                 assert_eq!(tree.get(&k), Some(&k), "order {order} key {k}");

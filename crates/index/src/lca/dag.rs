@@ -108,7 +108,10 @@ impl DagLca {
         for u in 0..n {
             for v in u..n {
                 let mut best: Option<u32> = None;
-                let (ru, rv) = (&anc[u * words..(u + 1) * words], &anc[v * words..(v + 1) * words]);
+                let (ru, rv) = (
+                    &anc[u * words..(u + 1) * words],
+                    &anc[v * words..(v + 1) * words],
+                );
                 for w in 0..words {
                     let mut common = ru[w] & rv[w];
                     while common != 0 {
@@ -177,8 +180,7 @@ impl DagLca {
             return false;
         }
         (0..self.n).all(|x| {
-            x == w
-                || !(self.is_ancestor(x, u) && self.is_ancestor(x, v) && self.is_ancestor(w, x))
+            x == w || !(self.is_ancestor(x, u) && self.is_ancestor(x, v) && self.is_ancestor(w, x))
         })
     }
 }

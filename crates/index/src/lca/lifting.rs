@@ -23,9 +23,7 @@ impl BinaryLiftingLca {
         let levels = (n.max(2) as f64).log2().ceil() as usize + 1;
         let mut up = Vec::with_capacity(levels);
         // Level 0: the parent (root points at itself, clamping walks).
-        let parents: Vec<usize> = (0..n)
-            .map(|v| tree.parent(v).unwrap_or(v))
-            .collect();
+        let parents: Vec<usize> = (0..n).map(|v| tree.parent(v).unwrap_or(v)).collect();
         up.push(parents);
         for k in 1..levels {
             let prev = &up[k - 1];
@@ -113,7 +111,13 @@ mod tests {
             state
         };
         let parents: Vec<Option<usize>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some((rnd() as usize) % i)
+                }
+            })
             .collect();
         RootedTree::from_parents(&parents).unwrap()
     }
@@ -137,8 +141,9 @@ mod tests {
 
     #[test]
     fn kth_ancestor_on_a_path() {
-        let parents: Vec<Option<usize>> =
-            (0..100).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..100)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let t = RootedTree::from_parents(&parents).unwrap();
         let lca = BinaryLiftingLca::build(&t);
         assert_eq!(lca.kth_ancestor(99, 0), 99);
@@ -152,8 +157,9 @@ mod tests {
     #[test]
     fn query_cost_is_logarithmic_on_paths() {
         let n = 1usize << 14;
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let t = RootedTree::from_parents(&parents).unwrap();
         let lca = BinaryLiftingLca::build(&t);
         let meter = Meter::new();
@@ -177,8 +183,9 @@ mod tests {
     #[test]
     fn ancestor_descendant_pairs() {
         // On a path, LCA(u, v) = the shallower node.
-        let parents: Vec<Option<usize>> =
-            (0..64).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..64)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let t = RootedTree::from_parents(&parents).unwrap();
         let lca = BinaryLiftingLca::build(&t);
         assert_eq!(lca.query(10, 50), 10);

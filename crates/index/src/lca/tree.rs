@@ -51,9 +51,7 @@ impl RootedTree {
                     None => root = Some(node),
                     Some(_) => return Err(TreeError::MultipleRoots(node)),
                 },
-                Some(parent) if parent >= n => {
-                    return Err(TreeError::BadParent { node, parent })
-                }
+                Some(parent) if parent >= n => return Err(TreeError::BadParent { node, parent }),
                 Some(_) => {}
             }
         }
@@ -291,7 +289,10 @@ mod tests {
             RootedTree::from_parents(&[Some(5), None]).unwrap_err(),
             TreeError::BadParent { node: 0, parent: 5 }
         );
-        assert_eq!(RootedTree::from_parents(&[]).unwrap_err(), TreeError::NoRoot);
+        assert_eq!(
+            RootedTree::from_parents(&[]).unwrap_err(),
+            TreeError::NoRoot
+        );
     }
 
     #[test]
@@ -347,7 +348,13 @@ mod tests {
         for n in [2usize, 3, 10, 50, 200] {
             // Random tree: parent of i is a uniform node < i.
             let parents: Vec<Option<usize>> = (0..n)
-                .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+                .map(|i| {
+                    if i == 0 {
+                        None
+                    } else {
+                        Some((rnd() as usize) % i)
+                    }
+                })
                 .collect();
             let t = RootedTree::from_parents(&parents).unwrap();
             let lca = EulerTourLca::build(&t);
@@ -363,8 +370,9 @@ mod tests {
     fn euler_query_is_constant_while_naive_is_linear_on_paths() {
         // Path tree of depth n-1: the naive walk pays O(n); Euler stays O(1).
         let n = 4096usize;
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let t = RootedTree::from_parents(&parents).unwrap();
         let lca = EulerTourLca::build(&t);
 

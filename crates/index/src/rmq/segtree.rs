@@ -149,7 +149,13 @@ mod tests {
     fn updates_repair_answers() {
         let mut rmq = SegTreeRmq::build(&testkit::array(64, 5));
         let mut shadow = rmq.data().to_vec();
-        let updates = [(0usize, -900i64), (63, -950), (31, 7), (0, 100), (10, -1000)];
+        let updates = [
+            (0usize, -900i64),
+            (63, -950),
+            (31, 7),
+            (0, 100),
+            (10, -1000),
+        ];
         for (pos, val) in updates {
             rmq.update(pos, val);
             shadow[pos] = val;

@@ -27,7 +27,13 @@ impl<T: Ord + Clone> SparseRmq<T> {
         if n >= 2 {
             // Level for windows of size 2.
             let mut prev: Vec<u32> = (0..n - 1)
-                .map(|i| if data[i + 1] < data[i] { i as u32 + 1 } else { i as u32 })
+                .map(|i| {
+                    if data[i + 1] < data[i] {
+                        i as u32 + 1
+                    } else {
+                        i as u32
+                    }
+                })
                 .collect();
             let mut width = 2usize;
             levels.push(prev.clone());
@@ -37,7 +43,11 @@ impl<T: Ord + Clone> SparseRmq<T> {
                 for i in 0..next_len {
                     let a = prev[i];
                     let b = prev[i + width];
-                    next.push(if data[b as usize] < data[a as usize] { b } else { a });
+                    next.push(if data[b as usize] < data[a as usize] {
+                        b
+                    } else {
+                        a
+                    });
                 }
                 width *= 2;
                 levels.push(next.clone());

@@ -15,8 +15,8 @@
 //! paper's "when K is fixed, VC is in ΠTP".
 
 use crate::vc::{bounded_search_tree, is_vertex_cover};
-use pitract_graph::Graph;
 use pitract_core::cost::Meter;
+use pitract_graph::Graph;
 
 /// Result of kernelizing a `(G, k)` instance.
 #[derive(Debug, Clone)]

@@ -22,7 +22,10 @@ pub fn is_vertex_cover(g: &Graph, cover: &[usize]) -> bool {
 /// branch on "u in cover" / "v in cover". O(2^K · |E|) — polynomial for
 /// fixed K, the engine run on Buss kernels.
 pub fn bounded_search_tree(g: &Graph, k: usize) -> Option<Vec<usize>> {
-    assert!(!g.is_directed(), "vertex cover is defined on undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "vertex cover is defined on undirected graphs"
+    );
     let edges: Vec<(usize, usize)> = g
         .edges()
         .into_iter()
@@ -60,9 +63,7 @@ fn search(
     budget: usize,
 ) -> bool {
     // Find the first uncovered edge.
-    let uncovered = edges
-        .iter()
-        .find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
+    let uncovered = edges.iter().find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
     let Some(&(u, v)) = uncovered else {
         return true; // everything covered
     };
@@ -207,11 +208,7 @@ mod tests {
                 for k in 0..=n {
                     let bf = brute_force(&g, k);
                     let st = bounded_search_tree(&g, k);
-                    assert_eq!(
-                        bf.is_some(),
-                        st.is_some(),
-                        "n={n} k={k} edges={edges:?}"
-                    );
+                    assert_eq!(bf.is_some(), st.is_some(), "n={n} k={k} edges={edges:?}");
                     if let Some(c) = st {
                         assert!(c.len() <= k);
                         assert!(is_vertex_cover(&g, &c));

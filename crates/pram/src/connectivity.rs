@@ -133,9 +133,8 @@ mod tests {
         };
         for n in [1usize, 2, 10, 64, 200] {
             for density in [0usize, 1, 3] {
-                let edges: Vec<(usize, usize)> = (0..n * density)
-                    .map(|_| (rnd() % n, rnd() % n))
-                    .collect();
+                let edges: Vec<(usize, usize)> =
+                    (0..n * density).map(|_| (rnd() % n, rnd() % n)).collect();
                 let (comp, _) = parallel_components(n, &edges);
                 let expect = reference(n, &edges);
                 for u in 0..n {

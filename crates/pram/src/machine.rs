@@ -127,7 +127,13 @@ mod tests {
     fn flat_and_sequential_shapes() {
         assert_eq!(Cost::flat(10), Cost { work: 10, depth: 1 });
         assert_eq!(Cost::flat(0), Cost::ZERO);
-        assert_eq!(Cost::sequential(10), Cost { work: 10, depth: 10 });
+        assert_eq!(
+            Cost::sequential(10),
+            Cost {
+                work: 10,
+                depth: 10
+            }
+        );
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn par_map_unit<T, U>(xs: &[T], f: impl Fn(&T) -> U) -> (Vec<U>, Cost) {
 /// `n − 1` applications (each charged one unit).
 ///
 /// Returns `identity` for the empty slice.
-pub fn par_reduce<T: Clone>(
-    xs: &[T],
-    identity: T,
-    op: impl Fn(&T, &T) -> T,
-) -> (T, Cost) {
+pub fn par_reduce<T: Clone>(xs: &[T], identity: T, op: impl Fn(&T, &T) -> T) -> (T, Cost) {
     if xs.is_empty() {
         return (identity, Cost::ZERO);
     }
@@ -67,11 +63,7 @@ pub fn par_reduce<T: Clone>(
 /// Exclusive prefix sums (Blelloch scan) over an associative operator with
 /// identity: returns `out[i] = xs[0] ⊕ … ⊕ xs[i-1]` and the total ⊕ of all
 /// elements. Work O(n), depth O(log n) (up-sweep plus down-sweep).
-pub fn par_scan<T: Clone>(
-    xs: &[T],
-    identity: T,
-    op: impl Fn(&T, &T) -> T,
-) -> (Vec<T>, T, Cost) {
+pub fn par_scan<T: Clone>(xs: &[T], identity: T, op: impl Fn(&T, &T) -> T) -> (Vec<T>, T, Cost) {
     let n = xs.len();
     if n == 0 {
         return (Vec::new(), identity, Cost::ZERO);
@@ -115,10 +107,7 @@ pub fn par_scan<T: Clone>(
         carry = next_carry;
     }
 
-    let total = op(
-        &carry[n - 1],
-        &levels[0][n - 1],
-    );
+    let total = op(&carry[n - 1], &levels[0][n - 1]);
     carry.truncate(n);
     (carry, total, cost)
 }
@@ -137,7 +126,9 @@ pub fn par_filter<T: Clone>(xs: &[T], pred: impl Fn(&T) -> bool) -> (Vec<T>, Cos
     let scatter_cost = Cost::flat(xs.len() as u64);
     let cost = flag_cost.then(scan_cost).then(scatter_cost);
     (
-        out.into_iter().map(|o| o.expect("scan placed it")).collect(),
+        out.into_iter()
+            .map(|o| o.expect("scan placed it"))
+            .collect(),
         cost,
     )
 }
@@ -150,21 +141,25 @@ pub fn par_argmax<T, K: Ord + Clone>(xs: &[T], key: impl Fn(&T) -> K) -> (Option
     }
     let pairs: Vec<(usize, K)> = xs.iter().enumerate().map(|(i, x)| (i, key(x))).collect();
     let init = pairs[0].clone();
-    let (best, cost) = par_reduce(&pairs, init, |a, b| {
-        if b.1 > a.1 {
-            b.clone()
-        } else {
-            a.clone()
-        }
-    });
+    let (best, cost) = par_reduce(
+        &pairs,
+        init,
+        |a, b| {
+            if b.1 > a.1 {
+                b.clone()
+            } else {
+                a.clone()
+            }
+        },
+    );
     (Some(best.0), cost.then(Cost::flat(xs.len() as u64)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pitract_core::cost::CostClass;
     use crate::machine::assert_depth_within;
+    use pitract_core::cost::CostClass;
 
     #[test]
     fn par_map_unit_has_depth_one() {

@@ -77,11 +77,9 @@ pub fn reduction() -> FactorReduction<ConnInstance, Graph, usize, BdsInstance, G
     FactorReduction::new(
         identity_pair_factorization(),
         identity_pair_factorization(),
-        FReduction::new(
-            "sentinel-plant",
-            plant_sentinel,
-            |t: &usize| (shift(*t), 1usize),
-        ),
+        FReduction::new("sentinel-plant", plant_sentinel, |t: &usize| {
+            (shift(*t), 1usize)
+        }),
     )
 }
 

@@ -45,12 +45,7 @@ mod tests {
 
     fn instances() -> Vec<CvpInstance> {
         let mut out: Vec<CvpInstance> = (0..5u64)
-            .map(|seed| {
-                (
-                    layered(5, 12, 5, seed),
-                    to_bits(seed.wrapping_mul(19), 5),
-                )
-            })
+            .map(|seed| (layered(5, 12, 5, seed), to_bits(seed.wrapping_mul(19), 5)))
             .collect();
         // A structured family too: adders checking right and wrong sums.
         let mut inputs = to_bits(100, 8);

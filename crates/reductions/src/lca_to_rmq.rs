@@ -38,7 +38,11 @@ impl EulerData {
     pub fn from_tree(t: &RootedTree) -> Self {
         let (tour, first) = t.euler_tour();
         let depths = tour.iter().map(|&v| t.depth(v)).collect();
-        EulerData { tour, first, depths }
+        EulerData {
+            tour,
+            first,
+            depths,
+        }
     }
 }
 
@@ -73,7 +77,8 @@ pub fn euler_rmq_language() -> FnPairLanguage<EulerData, Triple> {
 
 /// The `≤NC_fa` reduction: `α` = Euler walk, `β` = identity.
 #[allow(clippy::type_complexity)]
-pub fn reduction() -> FactorReduction<(RootedTree, Triple), RootedTree, Triple, (EulerData, Triple), EulerData, Triple>
+pub fn reduction(
+) -> FactorReduction<(RootedTree, Triple), RootedTree, Triple, (EulerData, Triple), EulerData, Triple>
 {
     FactorReduction::new(
         identity_pair_factorization(),
@@ -110,14 +115,18 @@ pub fn sparse_euler_scheme() -> Scheme<EulerData, (EulerData, SparseRmq<u64>), T
 /// The transferred LCA scheme: Euler walk + sparse table at preprocessing,
 /// O(1) probes per query — exactly Section 4(4)'s claim.
 pub fn transferred_lca_scheme() -> Scheme<RootedTree, (EulerData, SparseRmq<u64>), Triple> {
-    reduction().transfer(&sparse_euler_scheme(), CostClass::Linear, CostClass::Constant)
+    reduction().transfer(
+        &sparse_euler_scheme(),
+        CostClass::Linear,
+        CostClass::Constant,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pitract_core::problem::FnProblem;
     use pitract_core::lang::PairLanguage;
+    use pitract_core::problem::FnProblem;
 
     fn random_tree(n: usize, seed: u64) -> RootedTree {
         let mut state = seed | 1;
@@ -128,7 +137,13 @@ mod tests {
             state
         };
         let parents: Vec<Option<usize>> = (0..n)
-            .map(|i| if i == 0 { None } else { Some((rnd() as usize) % i) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some((rnd() as usize) % i)
+                }
+            })
             .collect();
         RootedTree::from_parents(&parents).unwrap()
     }

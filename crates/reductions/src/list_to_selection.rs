@@ -85,7 +85,11 @@ mod tests {
     fn reduction_preserves_membership() {
         let r = reduction();
         assert_eq!(
-            r.verify(&list_search_language(), &point_selection_language(), &probes()),
+            r.verify(
+                &list_search_language(),
+                &point_selection_language(),
+                &probes()
+            ),
             Ok(())
         );
     }
@@ -93,12 +97,18 @@ mod tests {
     #[test]
     fn transferred_scheme_answers_list_search() {
         let scheme = transferred_list_scheme();
-        assert!(scheme.claims_pi_tractable(), "Log answering, NLogN preprocessing");
+        assert!(
+            scheme.claims_pi_tractable(),
+            "Log answering, NLogN preprocessing"
+        );
         let lang = list_search_language();
         let instances: Vec<(Vec<i64>, Vec<i64>)> = vec![
             (vec![10, 20, 30], vec![10, 15, 30, -1]),
             (vec![], vec![0, 1]),
-            ((0..500).map(|i| i * 3).collect(), vec![0, 1, 2, 3, 1497, 1500]),
+            (
+                (0..500).map(|i| i * 3).collect(),
+                vec![0, 1, 2, 3, 1497, 1500],
+            ),
         ];
         assert_eq!(scheme.verify_against(&lang, &instances), Ok(()));
     }

@@ -87,7 +87,8 @@ pub fn cartesian_tree(data: &[i64]) -> RootedTree {
 
 /// The `≤NC_fa` reduction under identity factorizations on both sides.
 #[allow(clippy::type_complexity)]
-pub fn reduction() -> FactorReduction<(Vec<i64>, Triple), Vec<i64>, Triple, (RootedTree, Triple), RootedTree, Triple>
+pub fn reduction(
+) -> FactorReduction<(Vec<i64>, Triple), Vec<i64>, Triple, (RootedTree, Triple), RootedTree, Triple>
 {
     FactorReduction::new(
         identity_pair_factorization(),
@@ -164,11 +165,7 @@ mod tests {
                             best = k;
                         }
                     }
-                    assert_eq!(
-                        naive_lca(&t, i, j),
-                        best,
-                        "array {data:?} range [{i},{j}]"
-                    );
+                    assert_eq!(naive_lca(&t, i, j), best, "array {data:?} range [{i},{j}]");
                 }
             }
         }
@@ -196,10 +193,7 @@ mod tests {
         }
         assert_eq!(r.verify(&rmq_problem, &lca_problem, &probes), Ok(()));
         // Spot-check both polarities appear in the probe set.
-        let positives = probes
-            .iter()
-            .filter(|x| rmq_problem.accepts(x))
-            .count();
+        let positives = probes.iter().filter(|x| rmq_problem.accepts(x)).count();
         assert!(positives > 0 && positives < probes.len());
     }
 

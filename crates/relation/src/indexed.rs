@@ -151,9 +151,7 @@ impl IndexedRelation {
                         meter.add(tree_descent_cost(&self.indexes[col]));
                         return ids.iter().any(|&id| {
                             meter.tick();
-                            self.rows[id]
-                                .as_ref()
-                                .is_some_and(|row| b.matches(row))
+                            self.rows[id].as_ref().is_some_and(|row| b.matches(row))
                         });
                     }
                 }
@@ -163,9 +161,7 @@ impl IndexedRelation {
                         meter.add(tree_descent_cost(&self.indexes[col]));
                         return ids.iter().any(|&id| {
                             meter.tick();
-                            self.rows[id]
-                                .as_ref()
-                                .is_some_and(|row| a.matches(row))
+                            self.rows[id].as_ref().is_some_and(|row| a.matches(row))
                         });
                     }
                 }
@@ -223,12 +219,7 @@ mod tests {
 
     fn big_relation(n: i64) -> Relation {
         let rows: Vec<Vec<Value>> = (0..n)
-            .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::str(format!("city{}", i % 10)),
-                ]
-            })
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
             .collect();
         Relation::from_rows(schema(), rows).unwrap()
     }
@@ -324,7 +315,10 @@ mod tests {
         ir.delete(0);
         assert!(!ir.answer(&SelectionQuery::point(1, "solo")));
         ir.delete(1);
-        assert!(ir.answer(&SelectionQuery::point(1, "pair")), "row 2 remains");
+        assert!(
+            ir.answer(&SelectionQuery::point(1, "pair")),
+            "row 2 remains"
+        );
         ir.delete(2);
         assert!(!ir.answer(&SelectionQuery::point(1, "pair")));
         assert!(ir.is_empty());

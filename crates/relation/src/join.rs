@@ -241,16 +241,9 @@ mod tests {
     fn string_keyed_joins() {
         let s1 = Schema::new(&[("name", ColType::Str)]);
         let s2 = Schema::new(&[("who", ColType::Str), ("x", ColType::Int)]);
-        let a = Relation::from_rows(
-            s1,
-            vec![vec![Value::str("ada")], vec![Value::str("zoe")]],
-        )
-        .unwrap();
-        let b = Relation::from_rows(
-            s2,
-            vec![vec![Value::str("zoe"), Value::Int(7)]],
-        )
-        .unwrap();
+        let a = Relation::from_rows(s1, vec![vec![Value::str("ada")], vec![Value::str("zoe")]])
+            .unwrap();
+        let b = Relation::from_rows(s2, vec![vec![Value::str("zoe"), Value::Int(7)]]).unwrap();
         let j = hash_join(&a, 0, &b, 0);
         assert_eq!(j.len(), 1);
         assert_eq!(j.row(0)[2], Value::Int(7));

@@ -131,9 +131,7 @@ impl SelectionQuery {
 
     fn collect_columns(&self, out: &mut Vec<usize>) {
         match self {
-            SelectionQuery::Point { col, .. } | SelectionQuery::Range { col, .. } => {
-                out.push(*col)
-            }
+            SelectionQuery::Point { col, .. } | SelectionQuery::Range { col, .. } => out.push(*col),
             SelectionQuery::And(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);

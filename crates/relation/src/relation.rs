@@ -120,7 +120,9 @@ mod tests {
     fn insert_validates() {
         let mut r = sample();
         assert!(r.insert(vec![Value::Int(4), Value::str("kyiv")]).is_ok());
-        assert!(r.insert(vec![Value::str("bad"), Value::str("kyiv")]).is_err());
+        assert!(r
+            .insert(vec![Value::str("bad"), Value::str("kyiv")])
+            .is_err());
         assert!(r.insert(vec![Value::Int(5)]).is_err());
         assert_eq!(r.len(), 4);
     }
@@ -173,6 +175,9 @@ mod tests {
     fn count_where_counts_all_matches() {
         let r = sample();
         assert_eq!(r.count_where(&SelectionQuery::point(1, "rome")), 2);
-        assert_eq!(r.count_where(&SelectionQuery::range_closed(0, 1i64, 3i64)), 3);
+        assert_eq!(
+            r.count_where(&SelectionQuery::range_closed(0, 1i64, 3i64)),
+            3
+        );
     }
 }

@@ -36,10 +36,7 @@ impl Schema {
             assert!(seen.insert(*name), "duplicate column name {name:?}");
         }
         Schema {
-            columns: columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            columns: columns.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
         }
     }
 

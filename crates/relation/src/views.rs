@@ -409,13 +409,7 @@ mod tests {
     #[test]
     fn unbounded_view_covers_everything_on_its_column() {
         let rel = base(100);
-        let v = MaterializedView::materialize(
-            "all",
-            &rel,
-            0,
-            Bound::Unbounded,
-            Bound::Unbounded,
-        );
+        let v = MaterializedView::materialize("all", &rel, 0, Bound::Unbounded, Bound::Unbounded);
         assert_eq!(v.len(), 100);
         assert!(v.covers(&SelectionQuery::point(0, -5i64)));
         assert!(v.covers(&SelectionQuery::range_closed(0, 0i64, 1_000_000i64)));

@@ -21,7 +21,11 @@ fn main() {
     let side = 60; // 3600-node grid
     let g = generate::grid(side);
     let n = g.node_count();
-    println!("graph: {}x{side} grid, {n} nodes, {} edges", side, g.edge_count());
+    println!(
+        "graph: {}x{side} grid, {n} nodes, {} edges",
+        side,
+        g.edge_count()
+    );
 
     let queries: Vec<(usize, usize)> = (0..50)
         .map(|i| ((i * 389) % n, (i * 241 + 13) % n))
@@ -71,9 +75,7 @@ fn main() {
     let connected = (0..sparse.node_count())
         .filter(|t| scheme.answer(&pre, t))
         .count();
-    println!(
-        "sparse G(n=1500, p=0.0008): component of node 0 has {connected} nodes,"
-    );
+    println!("sparse G(n=1500, p=0.0008): component of node 0 has {connected} nodes,");
     println!("computed via: plant sentinel → one BDS → O(1) probes per node.");
     println!("\nThat is the paper's program: find a `≤NC_fa` reduction to the");
     println!("ΠTP-complete problem, preprocess once, and the class is tractable.");

@@ -27,9 +27,11 @@ fn main() {
         })
         .collect();
     let base = Relation::from_rows(schema, rows).expect("valid log rows");
-    println!("log table: {} rows, {} errors", base.len(), base.count_where(
-        &SelectionQuery::point(1, "ERROR"),
-    ));
+    println!(
+        "log table: {} rows, {} errors",
+        base.len(),
+        base.count_where(&SelectionQuery::point(1, "ERROR"),)
+    );
 
     // The query class: "any ERROR with ts in [a, b]?"
     let window = |a: i64, b: i64| {

@@ -44,9 +44,7 @@ fn main() {
         }
         let per_scan = scan_steps / queries.len() as u64;
         let per_index = index_steps / queries.len() as u64;
-        println!(
-            "n = {n:>8}: scan {per_scan:>8} steps/query | B+-tree {per_index:>3} steps/query"
-        );
+        println!("n = {n:>8}: scan {per_scan:>8} steps/query | B+-tree {per_index:>3} steps/query");
         scan_samples.push(Sample::new(n, per_scan));
         index_samples.push(Sample::new(n, per_index));
     }

@@ -1,0 +1,90 @@
+//! Smoke tests executing every `examples/*.rs` end to end, so the examples
+//! can never silently rot: they are compiled by `cargo test` anyway, and
+//! this suite additionally runs each binary and checks it exits cleanly
+//! with output.
+//!
+//! Each test shells out to the same `cargo` that is running the suite
+//! (`env!("CARGO")`), reusing the already-built dev profile, so the
+//! marginal cost is the examples' own runtime (all under ~2s). Set
+//! `PITRACT_SKIP_EXAMPLE_SMOKE=1` to skip, e.g. on constrained runners.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    // Value-checked (not just presence) so `PITRACT_SKIP_EXAMPLE_SMOKE=0`
+    // or an empty templated var still runs the smoke tests.
+    let skip = std::env::var("PITRACT_SKIP_EXAMPLE_SMOKE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    if skip {
+        eprintln!("skipping example smoke test for `{name}` (PITRACT_SKIP_EXAMPLE_SMOKE set)");
+        return;
+    }
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "-q", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` produced no output; examples should narrate what they demonstrate"
+    );
+}
+
+#[test]
+fn example_quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn example_array_analytics_runs() {
+    run_example("array_analytics");
+}
+
+#[test]
+fn example_bds_order_runs() {
+    run_example("bds_order");
+}
+
+#[test]
+fn example_log_analytics_runs() {
+    run_example("log_analytics");
+}
+
+#[test]
+fn example_social_network_runs() {
+    run_example("social_network");
+}
+
+/// Guards the list above against drift: a new example file must get a
+/// smoke test (or this inventory updated consciously).
+#[test]
+fn every_example_file_has_a_smoke_test() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(String::from)
+        })
+        .collect();
+    found.sort();
+    let covered = [
+        "array_analytics",
+        "bds_order",
+        "log_analytics",
+        "quickstart",
+        "social_network",
+    ];
+    assert_eq!(
+        found, covered,
+        "examples/ and the smoke-test inventory disagree; add a smoke test for new examples"
+    );
+}

@@ -79,7 +79,7 @@ fn simplified_circuits_feed_the_gate_table_scheme() {
 /// simplification both shrink redundancy-heavy instances while preserving
 /// every answer their query class can ask.
 #[test]
-fn both_compressions_shrink_redundant_instances()  {
+fn both_compressions_shrink_redundant_instances() {
     // Graph side: a bundle of parallel 2-paths through equivalent middles.
     let mut edges = Vec::new();
     for m in 1..=30 {

@@ -120,10 +120,25 @@ fn shallow_circuits_are_log_depth() {
 /// the sum of depths and the sum of works.
 #[test]
 fn cost_algebra_composes() {
-    let a = Cost { work: 100, depth: 5 };
+    let a = Cost {
+        work: 100,
+        depth: 5,
+    };
     let b = Cost { work: 50, depth: 7 };
-    assert_eq!(a.then(b), Cost { work: 150, depth: 12 });
-    assert_eq!(a.join(b), Cost { work: 150, depth: 7 });
+    assert_eq!(
+        a.then(b),
+        Cost {
+            work: 150,
+            depth: 12
+        }
+    );
+    assert_eq!(
+        a.join(b),
+        Cost {
+            work: 150,
+            depth: 7
+        }
+    );
     assert_eq!(
         Cost::join_all([a, b, Cost::UNIT]),
         Cost {

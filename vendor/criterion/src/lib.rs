@@ -1,0 +1,372 @@
+//! Offline shim for the subset of [criterion 0.5](https://docs.rs/criterion)
+//! used by this workspace's benches: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It measures wall-clock time with `std::time::Instant` and prints one
+//! line per benchmark (median ns/iter over the sampled batches). There is
+//! no statistical analysis, HTML report, or baseline comparison — the
+//! point is that `cargo bench` runs hermetically and the bench sources
+//! compile unmodified against the real crate when network access returns
+//! (swap the `criterion` entry of `[workspace.dependencies]` for a
+//! version requirement).
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once, so bench targets double as smoke
+//! tests. Positional CLI arguments act as substring filters on benchmark
+//! ids, mirroring criterion's filtering.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark in full mode.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    sample_size: usize,
+    ran: std::cell::Cell<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::parse_args(std::env::args().skip(1))
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        // A filter that matches nothing would otherwise look like a
+        // successful (but empty) run.
+        if !self.filters.is_empty() && self.ran.get() == 0 {
+            eprintln!(
+                "criterion shim: no benchmarks matched filters {:?}",
+                self.filters
+            );
+        }
+    }
+}
+
+impl Criterion {
+    fn parse_args(args: impl Iterator<Item = String>) -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Zero-argument flags cargo/libtest/criterion pass that the
+                // shim safely ignores.
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" | "--exact"
+                | "--list" | "--include-ignored" | "--noplot" | "--discard-baseline" => {}
+                // Value-taking flags: consume the value so it is never
+                // mistaken for a benchmark filter.
+                "--sample-size"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--color"
+                | "--format"
+                | "--logfile"
+                | "--skip"
+                | "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with("--") && s.contains('=') => {}
+                s if s.starts_with('-') => {
+                    eprintln!("criterion shim: ignoring unknown flag `{s}`");
+                }
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filters,
+            sample_size: 10,
+            ran: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.render(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, sample_size: usize, mut f: F) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return;
+        }
+        self.ran.set(self.ran.get() + 1);
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if let Some(ns) = bencher.median_ns() {
+            println!("{id:<60} {ns:>14.1} ns/iter");
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Per-group, snapshotted from the Criterion default at creation, so one
+    // group's setting never leaks into later groups (matches real criterion).
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark (full mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through (criterion's parameterized
+    /// form; the shim forwards the reference verbatim).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter (criterion's
+    /// `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time. In
+    /// `--test` mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1/10 of a sample budget?
+        let calibrate = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+        let budget = TARGET_MEASURE / self.sample_size as u32;
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Re-export matching criterion's `black_box` (std's is canonical now).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("probe", 8).render(), "probe/8");
+        assert_eq!(BenchmarkId::from_parameter(32).render(), "32");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion::parse_args(["--test".to_string()].into_iter());
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn value_flag_arguments_do_not_become_filters() {
+        let c = Criterion::parse_args(
+            ["--measurement-time", "5", "--sample-size", "50", "--bench"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert!(c.filters.is_empty(), "flag values leaked: {:?}", c.filters);
+        assert!(!c.test_mode);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored_not_filtered() {
+        let c = Criterion::parse_args(
+            ["--no-such-flag", "--opt=value", "real_filter"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(c.filters, vec!["real_filter".to_string()]);
+    }
+
+    #[test]
+    fn sample_size_does_not_leak_across_groups() {
+        let mut c = Criterion::parse_args(["--test".to_string()].into_iter());
+        {
+            let mut g1 = c.benchmark_group("g1");
+            g1.sample_size(20);
+            assert_eq!(g1.sample_size, 20);
+            g1.finish();
+        }
+        let g2 = c.benchmark_group("g2");
+        assert_eq!(g2.sample_size, 10);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_benchmarks() {
+        let mut c =
+            Criterion::parse_args(["--test".to_string(), "match_me".to_string()].into_iter());
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        c.bench_function("match_me_too", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline shim for the subset of [proptest 1.x](https://docs.rs/proptest)
+//! used by this workspace's property suites: the `proptest!` macro with
+//! `pattern in strategy` arguments, range / tuple / collection / regex-lite
+//! string strategies, `any::<T>()`, the `prop_assert*` family, and
+//! `prop_assume!`.
+//!
+//! Differences from the real crate, chosen deliberately for hermetic CI:
+//!
+//! * **Deterministic by default.** Every test function runs a fixed number
+//!   of cases (`PROPTEST_CASES`, default 64) from a fixed seed
+//!   (`PROPTEST_SEED`, default `0x5EED_CAFE`) perturbed by the test name,
+//!   so CI failures always reproduce locally.
+//! * **No shrinking.** On failure the full generated inputs are printed
+//!   instead; cases here are small enough to eyeball.
+//! * **Regex strategies** support only the `.{lo,hi}` / `.{n}` / `.*` /
+//!   `.+` shapes the workspace uses.
+//!
+//! To switch back to the crates.io release, point the `proptest` entry of
+//! `[workspace.dependencies]` at a version requirement; the test sources
+//! need no edits.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` works as in proptest.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item expands to a `#[test]` that runs the body over generated cases.
+///
+/// Implementation note: arguments are split on *top-level* commas by the
+/// token-munching [`__proptest_case!`] helper (commas inside strategy
+/// expressions always sit inside `(..)`/`[..]` token trees), which is how
+/// the shim supports optional `mut` on argument patterns without macro
+/// ambiguity.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)+) $body:block)*) => {
+        $(
+            $crate::__proptest_case! { @parse [$(#[$meta])*] $name [] ($($args)+) $body }
+        )*
+    };
+}
+
+/// Internal recursive parser behind [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // --- argument list parsing: `mut? ident in <strategy tokens>` -------
+    (@parse $meta:tt $name:ident [$($acc:tt)*] (mut $arg:ident in $($rest:tt)+) $body:block) => {
+        $crate::__proptest_case! { @strat $meta $name [$($acc)*] $arg [] ($($rest)+) $body }
+    };
+    (@parse $meta:tt $name:ident [$($acc:tt)*] ($arg:ident in $($rest:tt)+) $body:block) => {
+        $crate::__proptest_case! { @strat $meta $name [$($acc)*] $arg [] ($($rest)+) $body }
+    };
+    (@parse $meta:tt $name:ident [$($acc:tt)*] () $body:block) => {
+        $crate::__proptest_case! { @emit $meta $name [$($acc)*] $body }
+    };
+    // --- strategy accumulation until a top-level `,` or end -------------
+    (@strat $meta:tt $name:ident [$($acc:tt)*] $arg:ident [$($strat:tt)+] (, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! { @parse $meta $name [$($acc)* ($arg [$($strat)+])] ($($rest)*) $body }
+    };
+    (@strat $meta:tt $name:ident [$($acc:tt)*] $arg:ident [$($strat:tt)+] () $body:block) => {
+        $crate::__proptest_case! { @emit $meta $name [$($acc)* ($arg [$($strat)+])] $body }
+    };
+    (@strat $meta:tt $name:ident $acc:tt $arg:ident [$($strat:tt)*] ($t:tt $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case! { @strat $meta $name $acc $arg [$($strat)* $t] ($($rest)*) $body }
+    };
+    // --- code generation -------------------------------------------------
+    (@emit [$(#[$meta:meta])*] $name:ident [$(($arg:ident [$($strat:tt)+]))+] $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            // `render_only` asks for the inputs of the current case as a
+            // string WITHOUT running the body: cases are regenerable from
+            // the deterministic per-case seed, so the runner re-invokes in
+            // this mode only after a failure, keeping Debug-formatting off
+            // the passing-case hot path.
+            $crate::test_runner::run(stringify!($name), |__pt_rng, __pt_render_only| {
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg = $crate::strategy::Strategy::generate(&($($strat)+), __pt_rng);
+                )+
+                if __pt_render_only {
+                    let __pt_inputs = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}\n")),+),
+                        $(&$arg),+
+                    );
+                    return (::std::result::Result::Ok(()), ::std::option::Option::Some(__pt_inputs));
+                }
+                let mut __pt_body = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                (__pt_body(), ::std::option::Option::None)
+            });
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (`==`) inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`\n  note: {}",
+            stringify!($left), stringify!($right), left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal (`!=`) inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`\n  note: {}",
+            stringify!($left), stringify!($right), left, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case (without failing) when a precondition on the
+/// generated inputs does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}

@@ -1,0 +1,161 @@
+//! Value-generation strategies: ranges, tuples, constants, and a
+//! regex-lite string strategy.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Blanket impl so `&strategy` works wherever a strategy is expected.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String literals act as regex strategies in proptest. The shim supports
+/// the shapes this workspace uses: `.{lo,hi}`, `.{n}`, `.*`, `.+`, and a
+/// plain literal string (matched exactly). Generated characters are
+/// printable ASCII.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = match parse_dot_quantifier(self) {
+            Some(bounds) => bounds,
+            None if !self.contains(['.', '*', '+', '{', '[', '(', '\\', '?']) => {
+                return self.to_string();
+            }
+            None => panic!(
+                "proptest shim: unsupported regex strategy {self:?} \
+                 (supported: `.{{lo,hi}}`, `.{{n}}`, `.*`, `.+`, literals)"
+            ),
+        };
+        let len = rng.rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| rng.rng.gen_range(0x20u32..0x7F) as u8 as char)
+            .collect()
+    }
+}
+
+/// Parses `.{lo,hi}` / `.{n}` / `.*` / `.+` into inclusive length bounds.
+fn parse_dot_quantifier(pattern: &str) -> Option<(usize, usize)> {
+    match pattern {
+        "." => return Some((1, 1)),
+        ".*" => return Some((0, 8)),
+        ".+" => return Some((1, 8)),
+        _ => {}
+    }
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    match body.split_once(',') {
+        Some((lo, hi)) => Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)),
+        None => {
+            let n = body.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_quantifier_parses() {
+        assert_eq!(parse_dot_quantifier(".{0,12}"), Some((0, 12)));
+        assert_eq!(parse_dot_quantifier(".{5}"), Some((5, 5)));
+        assert_eq!(parse_dot_quantifier(".*"), Some((0, 8)));
+        assert_eq!(parse_dot_quantifier("abc"), None);
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::for_test("string_strategy_respects_bounds");
+        for _ in 0..200 {
+            let s = ".{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.is_ascii());
+        }
+    }
+
+    #[test]
+    fn tuple_and_range_strategies_compose() {
+        let mut rng = TestRng::for_test("tuple_and_range");
+        for _ in 0..200 {
+            let (a, b, c) = (0u8..3, 10u64..20, -5i64..5).generate(&mut rng);
+            assert!(a < 3);
+            assert!((10..20).contains(&b));
+            assert!((-5..5).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The deterministic case runner: seeding, case counting, rejection
+//! accounting, and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default base seed (override with `PROPTEST_SEED`). Fixed so CI runs are
+/// reproducible; combined with the test name so distinct properties see
+/// distinct streams.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE;
+
+/// The RNG handed to strategies. Wraps the vendored [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Underlying generator (public so strategies in this crate can draw).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for case `case` of the named test.
+    fn new(name: &str, base_seed: u64, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(base_seed ^ h ^ ((case as u64) << 32)),
+        }
+    }
+
+    /// Convenience constructor for unit tests of the shim itself.
+    pub fn for_test(name: &str) -> Self {
+        TestRng::new(name, DEFAULT_SEED, 0)
+    }
+}
+
+/// Why a test case did not pass: a discarded precondition or a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; the runner tries another.
+    Reject(String),
+    /// The property is false for these inputs.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs one property. `body` receives the per-case RNG plus a
+/// `render_only` flag: when the flag is set it must generate the case's
+/// inputs and return their `Debug` rendering *without* executing the
+/// property body. Cases are regenerable from the deterministic per-case
+/// seed, so the runner requests a rendering only after a failure —
+/// passing cases never pay for input formatting. Panics — failing the
+/// enclosing `#[test]` — on the first falsified case.
+pub fn run<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng, bool) -> (Result<(), TestCaseError>, Option<String>),
+{
+    let cases = env_u64("PROPTEST_CASES", DEFAULT_CASES as u64) as u32;
+    let base_seed = env_u64("PROPTEST_SEED", DEFAULT_SEED);
+    let max_rejects = cases.saturating_mul(8).max(256);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    while passed < cases {
+        let mut rng = TestRng::new(name, base_seed, case);
+        case += 1;
+        // Catch panics from inside the property body (stray unwrap on
+        // generated data, index out of bounds, ...) so they get the same
+        // input-replay report as prop_assert! failures.
+        let (outcome, _) = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng, false)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                let mut replay = TestRng::new(name, base_seed, case - 1);
+                let (_, inputs) = body(&mut replay, true);
+                panic!(
+                    "proptest: property `{name}` panicked at case {} \
+                     (seed 0x{base_seed:X}; rerun with PROPTEST_SEED={base_seed})\n\
+                     {msg}\ninputs:\n{}",
+                    case - 1,
+                    inputs.unwrap_or_default()
+                );
+            }
+        };
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest shim: `{name}` rejected {rejected} cases \
+                     (passed {passed}/{cases}); loosen the prop_assume! filter"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                let mut replay = TestRng::new(name, base_seed, case - 1);
+                let (_, inputs) = body(&mut replay, true);
+                panic!(
+                    "proptest: property `{name}` falsified at case {} \
+                     (seed 0x{base_seed:X}; rerun with PROPTEST_SEED={base_seed})\n\
+                     {reason}\ninputs:\n{}",
+                    case - 1,
+                    inputs.unwrap_or_default()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases_without_rendering() {
+        let mut n = 0;
+        run("passing", |_, render_only| {
+            assert!(!render_only, "inputs must not be rendered on success");
+            n += 1;
+            (Ok(()), None)
+        });
+        assert_eq!(n, DEFAULT_CASES);
+    }
+
+    #[test]
+    #[should_panic(expected = "x = 3")]
+    fn failing_property_panics_with_replayed_inputs() {
+        run("failing", |_, render_only| {
+            if render_only {
+                (Ok(()), Some("x = 3\n".into()))
+            } else {
+                (Err(TestCaseError::fail("nope")), None)
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:\ny = 7")]
+    fn body_panics_also_replay_inputs() {
+        run("body_panics", |_, render_only| {
+            if render_only {
+                (Ok(()), Some("y = 7\n".into()))
+            } else {
+                panic!("stray unwrap in the property body");
+            }
+        });
+    }
+
+    #[test]
+    fn rejections_are_retried() {
+        let mut n = 0u32;
+        run("rejecting", |_, _| {
+            n += 1;
+            if n.is_multiple_of(2) {
+                (Err(TestCaseError::reject("odd only")), None)
+            } else {
+                (Ok(()), None)
+            }
+        });
+        assert!(n > DEFAULT_CASES);
+    }
+
+    #[test]
+    fn seeds_differ_across_cases_and_names() {
+        use rand::RngCore;
+        let a = TestRng::new("alpha", DEFAULT_SEED, 0).rng.next_u64();
+        let b = TestRng::new("alpha", DEFAULT_SEED, 1).rng.next_u64();
+        let c = TestRng::new("beta", DEFAULT_SEED, 0).rng.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}
