@@ -38,7 +38,7 @@ fn bench_e01_e02_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("e01_e02_selection");
     for &n in &[1i64 << 14, 1 << 17] {
         let rel = relation_of(n);
-        let idx = IndexedRelation::build(&rel, &[0]);
+        let idx = IndexedRelation::build(&rel, &[0]).expect("column 0 exists");
         let miss = SelectionQuery::point(0, n + 1);
         group.bench_with_input(BenchmarkId::new("scan_point", n), &n, |b, _| {
             b.iter(|| rel.eval_scan(black_box(&miss)))

@@ -31,7 +31,7 @@ pub fn run_e01() -> Table {
     let mut tree_series = Vec::new();
     for &n in &SIZES {
         let rel = int_relation(n);
-        let indexed = IndexedRelation::build(&rel, &[0]);
+        let indexed = IndexedRelation::build(&rel, &[0]).expect("column 0 exists");
         let hash: HashIndex<i64, ()> = HashIndex::build((0..n as i64).map(|i| (i, ())));
 
         let queries: Vec<i64> = (0..32).map(|k| (n as i64) + k - 16).collect();
@@ -82,7 +82,7 @@ pub fn run_e02() -> Table {
     let mut idx_series = Vec::new();
     for &n in &SIZES {
         let rel = int_relation(n);
-        let indexed = IndexedRelation::build(&rel, &[0]);
+        let indexed = IndexedRelation::build(&rel, &[0]).expect("column 0 exists");
         // Empty ranges beyond the data: worst case for the scan, and the
         // Boolean index answer needs only the range start.
         let (mut s_scan, mut s_idx) = (0u64, 0u64);

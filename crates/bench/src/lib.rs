@@ -35,5 +35,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e12", run_e12),
         ("e13", run_e13),
         ("e14", run_e14),
+        ("e15", run_e15),
     ]
 }

@@ -1,0 +1,401 @@
+//! Batched, multi-threaded query serving over a [`ShardedRelation`].
+//!
+//! A [`QueryBatch`] is the unit of traffic: many independent selection
+//! queries answered together. Execution fans out across shards with
+//! `std::thread::scope` — one worker per shard that any query routes to —
+//! and each worker answers its slice of the batch against its shard with
+//! a thread-local [`Meter`] (the meter is deliberately not shared: the
+//! paper's NC bound is per processor, so each shard accounts its own
+//! steps). The per-shard results are then merged: Boolean answers OR
+//! across shards, row-id answers union (translated to global ids), and
+//! per-query meters aggregate into a [`BatchReport`].
+//!
+//! Shard routing happens before the fan-out: a query whose shard-key
+//! constraints prove most shards irrelevant is simply never shipped to
+//! them, so a well-partitioned point-lookup workload does O(1) shards of
+//! work per query while still spreading the batch across all shards.
+
+use crate::planner::{Planner, QueryPlan};
+use crate::shard::ShardedRelation;
+use pitract_core::cost::Meter;
+use pitract_relation::SelectionQuery;
+
+/// A batch of Boolean selection queries to serve together.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    queries: Vec<SelectionQuery>,
+}
+
+/// One shard worker's output: `(query index, result, metered steps)` per
+/// assigned query, in ascending query order.
+type WorkerResults<T> = Vec<(usize, T, u64)>;
+
+/// Per-query accounting in a batch report.
+#[derive(Debug, Clone)]
+pub struct QueryCost {
+    /// The access path the planner routed this query through.
+    pub plan: QueryPlan,
+    /// Metered steps actually spent, summed over all shards probed.
+    pub steps: u64,
+    /// How many shards the query was shipped to after routing.
+    pub shards_probed: usize,
+}
+
+/// Aggregated cost accounting for one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One entry per query, in batch order.
+    pub per_query: Vec<QueryCost>,
+    /// Total metered steps across the whole batch (all queries, all
+    /// shards).
+    pub total_steps: u64,
+}
+
+/// Boolean answers plus the cost report.
+#[derive(Debug, Clone)]
+pub struct BatchAnswers {
+    /// One Boolean answer per query, in batch order.
+    pub answers: Vec<bool>,
+    /// The aggregated cost report.
+    pub report: BatchReport,
+}
+
+/// Row-id answers (global ids, ascending) plus the cost report.
+#[derive(Debug, Clone)]
+pub struct BatchRows {
+    /// Matching global row ids per query, in batch order.
+    pub rows: Vec<Vec<usize>>,
+    /// The aggregated cost report.
+    pub report: BatchReport,
+}
+
+impl BatchReport {
+    /// How many queries ran through each access path, in a stable
+    /// (cheapest-first) label order.
+    pub fn path_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut hist: Vec<(&'static str, usize)> = Vec::new();
+        for label in [
+            "point-probe",
+            "range-probe",
+            "index-nested-loop",
+            "full-scan",
+        ] {
+            let count = self
+                .per_query
+                .iter()
+                .filter(|c| c.plan.path.label() == label)
+                .count();
+            if count > 0 {
+                hist.push((label, count));
+            }
+        }
+        hist
+    }
+
+    /// Total shards probed across the batch (the fan-out volume).
+    pub fn shards_probed(&self) -> usize {
+        self.per_query.iter().map(|c| c.shards_probed).sum()
+    }
+}
+
+impl QueryBatch {
+    /// A batch from any sequence of queries.
+    pub fn new(queries: impl IntoIterator<Item = SelectionQuery>) -> Self {
+        QueryBatch {
+            queries: queries.into_iter().collect(),
+        }
+    }
+
+    /// The queries, in batch order.
+    pub fn queries(&self) -> &[SelectionQuery] {
+        &self.queries
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Answer every query in the batch, fanning out across shards on
+    /// scoped threads. Returns answers in batch order plus the aggregated
+    /// cost report. Errors if any query fails schema validation.
+    pub fn execute(&self, relation: &ShardedRelation) -> Result<BatchAnswers, String> {
+        let (plans, routed) = self.route(relation)?;
+        let merged = self.fan_out(relation, &routed, |shard, q, meter| {
+            shard.answer_metered(q, meter)
+        });
+        let mut answers = vec![false; self.queries.len()];
+        for (qi, per_shard) in merged.iter().enumerate() {
+            answers[qi] = per_shard.iter().any(|(hit, _)| *hit);
+        }
+        Ok(BatchAnswers {
+            answers,
+            report: report_from(plans, &routed, &merged),
+        })
+    }
+
+    /// Enumerate the matching global row ids for every query in the
+    /// batch, fanning out across shards on scoped threads.
+    pub fn execute_rows(&self, relation: &ShardedRelation) -> Result<BatchRows, String> {
+        let (plans, routed) = self.route(relation)?;
+        let merged = self.fan_out(relation, &routed, |shard, q, meter| {
+            shard.matching_ids_metered(q, meter)
+        });
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); self.queries.len()];
+        for (qi, per_shard) in merged.iter().enumerate() {
+            for ((locals, _), &shard) in per_shard.iter().zip(&routed[qi]) {
+                rows[qi].extend(locals.iter().map(|&l| relation.global_id(shard, l)));
+            }
+            rows[qi].sort_unstable();
+        }
+        Ok(BatchRows {
+            rows,
+            report: report_from(plans, &routed, &merged),
+        })
+    }
+
+    /// Validate, plan, and shard-route every query.
+    fn route(
+        &self,
+        relation: &ShardedRelation,
+    ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), String> {
+        let indexed_cols = relation.shards()[0].indexed_columns();
+        let rows = relation.len();
+        let mut plans = Vec::with_capacity(self.queries.len());
+        let mut routed = Vec::with_capacity(self.queries.len());
+        for (qi, q) in self.queries.iter().enumerate() {
+            q.validate(relation.schema())
+                .map_err(|e| format!("query {qi}: {e}"))?;
+            plans.push(Planner::plan(&indexed_cols, rows, q));
+            routed.push(relation.relevant_shards(q));
+        }
+        Ok((plans, routed))
+    }
+
+    /// Run `eval` for every (query, relevant shard) pair, one scoped
+    /// thread per shard that has work. Returns, per query, the shard
+    /// results in the same order as `routed[qi]`, each with its metered
+    /// step count.
+    fn fan_out<T: Send>(
+        &self,
+        relation: &ShardedRelation,
+        routed: &[Vec<usize>],
+        eval: impl Fn(&pitract_relation::indexed::IndexedRelation, &SelectionQuery, &Meter) -> T + Sync,
+    ) -> Vec<Vec<(T, u64)>> {
+        // Invert the routing into per-shard work lists.
+        let mut work: Vec<Vec<usize>> = vec![Vec::new(); relation.shard_count()];
+        for (qi, shards) in routed.iter().enumerate() {
+            for &s in shards {
+                work[s].push(qi);
+            }
+        }
+        let queries = &self.queries;
+        let eval = &eval;
+        // One worker per shard with work (shards no query routes to cost
+        // nothing, not even a thread spawn); each worker answers its whole
+        // slice with a thread-local meter per query.
+        let per_shard_results: Vec<(usize, WorkerResults<T>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .iter()
+                .enumerate()
+                .filter(|(_, assigned)| !assigned.is_empty())
+                .map(|(s, assigned)| {
+                    let shard = &relation.shards()[s];
+                    scope.spawn(move || {
+                        let meter = Meter::new();
+                        let results = assigned
+                            .iter()
+                            .map(|&qi| {
+                                meter.take();
+                                let out = eval(shard, &queries[qi], &meter);
+                                (qi, out, meter.take())
+                            })
+                            .collect::<Vec<_>>();
+                        (s, results)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        // Re-assemble per query, preserving routed shard order: workers
+        // were spawned in ascending shard order and, within a shard,
+        // results are in work-list (ascending query) order.
+        let mut merged: Vec<Vec<(T, u64)>> = routed
+            .iter()
+            .map(|shards| Vec::with_capacity(shards.len()))
+            .collect();
+        for (s, results) in per_shard_results {
+            for (qi, out, steps) in results {
+                debug_assert!(routed[qi].contains(&s));
+                merged[qi].push((out, steps));
+            }
+        }
+        merged
+    }
+}
+
+/// Aggregate plans, routing and per-shard meters into the batch report.
+fn report_from<T>(
+    plans: Vec<QueryPlan>,
+    routed: &[Vec<usize>],
+    merged: &[Vec<(T, u64)>],
+) -> BatchReport {
+    let per_query: Vec<QueryCost> = plans
+        .into_iter()
+        .zip(routed)
+        .zip(merged)
+        .map(|((plan, shards), results)| QueryCost {
+            plan,
+            steps: results.iter().map(|(_, s)| s).sum(),
+            shards_probed: shards.len(),
+        })
+        .collect();
+    let total_steps = per_query.iter().map(|c| c.steps).sum();
+    BatchReport {
+        per_query,
+        total_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::AccessPath;
+    use crate::shard::ShardBy;
+    use pitract_relation::{ColType, Relation, Schema, Value};
+
+    fn relation(n: i64) -> Relation {
+        let schema = Schema::new(&[("id", ColType::Int), ("city", ColType::Str)]);
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn mixed_batch(n: i64) -> QueryBatch {
+        QueryBatch::new((0..60i64).map(|k| match k % 3 {
+            0 => SelectionQuery::point(0, (k * 37) % (n + 20)),
+            1 => SelectionQuery::range_closed(0, k * 11, k * 11 + 25),
+            _ => SelectionQuery::and(
+                SelectionQuery::point(1, format!("city{}", k % 10).as_str()),
+                SelectionQuery::range_closed(0, k * 7, k * 7 + 40),
+            ),
+        }))
+    }
+
+    #[test]
+    fn batch_answers_match_scan_oracle_at_every_shard_count() {
+        let n = 500i64;
+        let rel = relation(n);
+        let batch = mixed_batch(n);
+        for shards in [1, 2, 3, 8] {
+            let sr =
+                ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, shards, &[0, 1]).unwrap();
+            let got = batch.execute(&sr).unwrap();
+            for (q, &ans) in batch.queries().iter().zip(&got.answers) {
+                assert_eq!(ans, rel.eval_scan(q), "shards={shards} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rows_match_count_oracle() {
+        let n = 300i64;
+        let rel = relation(n);
+        let sr = ShardedRelation::build(&rel, ShardBy::Hash { col: 1 }, 4, &[0, 1]).unwrap();
+        let batch = mixed_batch(n);
+        let got = batch.execute_rows(&sr).unwrap();
+        for (q, ids) in batch.queries().iter().zip(&got.rows) {
+            assert_eq!(ids.len(), rel.count_where(q), "{q:?}");
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for &gid in ids {
+                assert!(q.matches(sr.row(gid).unwrap()), "{q:?} id {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounts_every_query_and_path() {
+        let n = 400i64;
+        let sr = ShardedRelation::build(&relation(n), ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+        let batch = QueryBatch::new([
+            SelectionQuery::point(0, 3i64),
+            SelectionQuery::range_closed(0, 10i64, 20i64),
+            SelectionQuery::and(
+                SelectionQuery::point(0, 3i64),
+                SelectionQuery::point(1, "city3"),
+            ),
+            SelectionQuery::point(1, "absent"),
+        ]);
+        let got = batch.execute(&sr).unwrap();
+        let report = &got.report;
+        assert_eq!(report.per_query.len(), 4);
+        assert_eq!(
+            report.total_steps,
+            report.per_query.iter().map(|c| c.steps).sum::<u64>()
+        );
+        assert_eq!(
+            report.path_histogram(),
+            vec![
+                ("point-probe", 1),
+                ("range-probe", 1),
+                ("index-nested-loop", 1),
+                ("full-scan", 1),
+            ]
+        );
+        // The shard-key point queries were routed to a single shard; the
+        // unindexed-column scan had to visit all four.
+        assert_eq!(report.per_query[0].shards_probed, 1);
+        assert_eq!(report.per_query[2].shards_probed, 1);
+        assert_eq!(report.per_query[3].shards_probed, 4);
+        // The scan dominates the metered work.
+        assert!(report.per_query[3].steps >= n as u64 / 2);
+        assert!(report.per_query[0].steps < 64);
+        // Plans carried through the report match the planner's routing.
+        assert_eq!(
+            report.per_query[0].plan.path,
+            AccessPath::PointProbe { col: 0 }
+        );
+    }
+
+    #[test]
+    fn concurrent_batches_share_one_sharded_relation() {
+        let n = 400i64;
+        let rel = relation(n);
+        let sr = ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+        let batch = mixed_batch(n);
+        let expected: Vec<bool> = batch.queries().iter().map(|q| rel.eval_scan(q)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| batch.execute(&sr).unwrap().answers))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expected);
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_not_panicked() {
+        let sr = ShardedRelation::build(&relation(10), ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+        let batch = QueryBatch::new([SelectionQuery::point(7, 1i64)]);
+        let err = batch.execute(&sr).unwrap_err();
+        assert!(err.contains("query 0"), "{err}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let sr = ShardedRelation::build(&relation(10), ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+        let got = QueryBatch::new([]).execute(&sr).unwrap();
+        assert!(got.answers.is_empty());
+        assert_eq!(got.report.total_steps, 0);
+    }
+}

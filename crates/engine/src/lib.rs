@@ -1,0 +1,37 @@
+//! # pitract-engine — the sharded batch serving layer
+//!
+//! The paper's Definition 1 promises that after a one-time PTIME
+//! preprocessing step `Π(D)`, every query is answerable in NC — *parallel*
+//! polylog time. The sibling crates certify the polylog half with step
+//! meters; this crate exercises the parallel half with real threads:
+//!
+//! * [`shard::ShardedRelation`] — `Π(D)` at scale: the data is hash- or
+//!   range-partitioned across `S` shards, each an independently indexed
+//!   [`pitract_relation::indexed::IndexedRelation`]. Inserts and deletes
+//!   stay incremental (one shard touched per update), and shard-key-aware
+//!   routing prunes the shards a query can possibly match.
+//! * [`planner::Planner`] — a small cost-based router: every query is
+//!   assigned the cheapest access path (point probe < range probe <
+//!   index-nested-loop conjunction < full scan) with an estimated step
+//!   cost, mirroring exactly the routing the executor performs.
+//! * [`batch::QueryBatch`] — the serving API: a batch of selection
+//!   queries fans out across shards on scoped threads
+//!   (`std::thread::scope`, no extra dependencies), each shard answering
+//!   its slice with a thread-local meter; Boolean or row-id results are
+//!   merged and the per-query meters are aggregated into a
+//!   [`batch::BatchReport`] cost report.
+//!
+//! The correctness contract — checked by unit, integration and property
+//! tests — is that every batch answer equals the single-threaded scan
+//! oracle [`pitract_relation::Relation::eval_scan`] on the same data.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod planner;
+pub mod shard;
+
+pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
+pub use planner::{AccessPath, Planner, QueryPlan};
+pub use shard::{ShardBy, ShardedRelation};

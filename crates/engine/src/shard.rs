@@ -1,0 +1,498 @@
+//! Horizontal partitioning: one logical relation, `S` indexed shards.
+//!
+//! `Π(D)` from the paper scales out by splitting `D` into shards and
+//! preprocessing each independently — preprocessing stays PTIME (it is a
+//! disjoint union of per-shard builds), updates stay incremental (one
+//! shard per tuple), and query answering gains the parallel dimension the
+//! NC claim is about: shards can be probed concurrently, and shard-key
+//! routing often proves most shards irrelevant without touching them.
+
+use pitract_core::cost::Meter;
+use pitract_relation::indexed::IndexedRelation;
+use pitract_relation::{Relation, Schema, SelectionQuery, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Bound;
+
+/// The partitioning function assigning each tuple to a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardBy {
+    /// Shard `hash(t[col]) mod S` — uniform spread, point-routable.
+    Hash {
+        /// The shard-key column.
+        col: usize,
+    },
+    /// Range partitioning on `col`: shard `i` holds tuples with
+    /// `splits[i-1] ≤ t[col] < splits[i]` (first/last shard unbounded
+    /// below/above). `splits` must be strictly ascending with exactly
+    /// `S - 1` entries — both point- and range-routable.
+    Range {
+        /// The shard-key column.
+        col: usize,
+        /// The `S - 1` ascending split points.
+        splits: Vec<Value>,
+    },
+}
+
+impl ShardBy {
+    /// The shard-key column.
+    pub fn col(&self) -> usize {
+        match self {
+            ShardBy::Hash { col } | ShardBy::Range { col, .. } => *col,
+        }
+    }
+}
+
+/// A relation hash/range-partitioned across `S` independently indexed
+/// shards, with global row ids stable under deletes.
+#[derive(Debug)]
+pub struct ShardedRelation {
+    schema: Schema,
+    shard_by: ShardBy,
+    shards: Vec<IndexedRelation>,
+    /// Per shard: local row id → global row id.
+    global_ids: Vec<Vec<usize>>,
+    /// Global row id → (shard, local id); tombstoned on delete.
+    locations: Vec<Option<(usize, usize)>>,
+    live: usize,
+}
+
+impl ShardedRelation {
+    /// Partition `relation` into `shard_count` shards and index `cols` on
+    /// each shard (the per-shard `Π`). PTIME: one pass to route plus an
+    /// O(n/S log n/S) index build per shard per column.
+    pub fn build(
+        relation: &Relation,
+        shard_by: ShardBy,
+        shard_count: usize,
+        cols: &[usize],
+    ) -> Result<Self, String> {
+        if shard_count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        let arity = relation.schema().arity();
+        if shard_by.col() >= arity {
+            return Err(format!(
+                "shard column {} out of range: schema has arity {arity}",
+                shard_by.col()
+            ));
+        }
+        if let ShardBy::Range { splits, .. } = &shard_by {
+            if splits.len() + 1 != shard_count {
+                return Err(format!(
+                    "range partitioning over {shard_count} shards needs {} splits, got {}",
+                    shard_count - 1,
+                    splits.len()
+                ));
+            }
+            if splits.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("range split points must be strictly ascending".into());
+            }
+        }
+        let empty = Relation::new(relation.schema().clone());
+        let shards = (0..shard_count)
+            .map(|_| IndexedRelation::build(&empty, cols))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut sharded = ShardedRelation {
+            schema: relation.schema().clone(),
+            shard_by,
+            shards,
+            global_ids: vec![Vec::new(); shard_count],
+            locations: Vec::with_capacity(relation.len()),
+            live: 0,
+        };
+        for row in relation.rows() {
+            sharded.insert(row.clone())?;
+        }
+        Ok(sharded)
+    }
+
+    /// Schema of the logical relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (read-only; used by the batch executor).
+    pub fn shards(&self) -> &[IndexedRelation] {
+        &self.shards
+    }
+
+    /// Live tuples per shard (the balance diagnostic).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(IndexedRelation::len).collect()
+    }
+
+    /// Total live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The partitioning function.
+    pub fn shard_by(&self) -> &ShardBy {
+        &self.shard_by
+    }
+
+    /// Which shard a tuple with shard-key `value` lives in.
+    pub fn shard_of(&self, value: &Value) -> usize {
+        match &self.shard_by {
+            ShardBy::Hash { .. } => {
+                let mut h = DefaultHasher::new();
+                value.hash(&mut h);
+                (h.finish() % self.shards.len() as u64) as usize
+            }
+            ShardBy::Range { splits, .. } => splits.partition_point(|s| s <= value),
+        }
+    }
+
+    /// Insert a tuple, routing it to its shard and maintaining that
+    /// shard's indexes. Returns the stable global row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, String> {
+        self.schema.admits(&row)?;
+        let shard = self.shard_of(&row[self.shard_by.col()]);
+        let local = self.shards[shard].insert(row)?;
+        let gid = self.locations.len();
+        debug_assert_eq!(local, self.global_ids[shard].len());
+        self.global_ids[shard].push(gid);
+        self.locations.push(Some((shard, local)));
+        self.live += 1;
+        Ok(gid)
+    }
+
+    /// Delete by global row id, maintaining the owning shard's indexes.
+    /// Returns the removed tuple, or `None` if the id was already
+    /// deleted/invalid.
+    pub fn delete(&mut self, gid: usize) -> Option<Vec<Value>> {
+        let (shard, local) = self.locations.get_mut(gid)?.take()?;
+        let row = self.shards[shard]
+            .delete(local)
+            .expect("location map and shard agree on live rows");
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// The global id of a shard-local row id (used when merging per-shard
+    /// row-id answers back into the logical relation's id space).
+    pub fn global_id(&self, shard: usize, local: usize) -> usize {
+        self.global_ids[shard][local]
+    }
+
+    /// The live tuple under a global row id.
+    pub fn row(&self, gid: usize) -> Option<&[Value]> {
+        let (shard, local) = (*self.locations.get(gid)?)?;
+        self.shards[shard].row(local)
+    }
+
+    /// Which shards could possibly hold a tuple matching `q`.
+    ///
+    /// Every conjunct that constrains the shard-key column narrows the
+    /// candidate set: a point selection pins a single shard under either
+    /// partitioning; a range selection pins a contiguous shard interval
+    /// under range partitioning. Conjuncts on other columns (and ranges
+    /// under hash partitioning) keep the set unchanged, so the result is
+    /// always a superset of the shards with matches — routing can prune,
+    /// never drop answers.
+    pub fn relevant_shards(&self, q: &SelectionQuery) -> Vec<usize> {
+        let s = self.shards.len();
+        let mut mask = vec![true; s];
+        for conjunct in q.conjuncts() {
+            match conjunct {
+                SelectionQuery::Point { col, value } if *col == self.shard_by.col() => {
+                    let keep = self.shard_of(value);
+                    for (i, m) in mask.iter_mut().enumerate() {
+                        *m &= i == keep;
+                    }
+                }
+                SelectionQuery::Range { col, lo, hi } if *col == self.shard_by.col() => {
+                    if let ShardBy::Range { .. } = self.shard_by {
+                        let first = match lo {
+                            Bound::Included(v) | Bound::Excluded(v) => self.shard_of(v),
+                            Bound::Unbounded => 0,
+                        };
+                        let last = match hi {
+                            Bound::Included(v) | Bound::Excluded(v) => self.shard_of(v),
+                            Bound::Unbounded => s - 1,
+                        };
+                        for (i, m) in mask.iter_mut().enumerate() {
+                            *m &= first <= i && i <= last;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        (0..s).filter(|&i| mask[i]).collect()
+    }
+
+    /// Boolean answer, probing only the relevant shards sequentially.
+    /// (The parallel path is [`crate::batch::QueryBatch`].)
+    pub fn answer(&self, q: &SelectionQuery) -> bool {
+        self.answer_metered(q, &Meter::new())
+    }
+
+    /// Metered Boolean answer over the relevant shards.
+    pub fn answer_metered(&self, q: &SelectionQuery, meter: &Meter) -> bool {
+        self.relevant_shards(q)
+            .into_iter()
+            .any(|s| self.shards[s].answer_metered(q, meter))
+    }
+
+    /// Global ids (ascending) of all live rows matching `q`.
+    pub fn matching_ids(&self, q: &SelectionQuery) -> Vec<usize> {
+        let meter = Meter::new();
+        let mut ids: Vec<usize> = self
+            .relevant_shards(q)
+            .into_iter()
+            .flat_map(|s| {
+                self.shards[s]
+                    .matching_ids_metered(q, &meter)
+                    .into_iter()
+                    .map(move |local| self.global_id(s, local))
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Export all live tuples as one relation (shard-major order; a
+    /// test/diagnostic aid).
+    pub fn to_relation(&self) -> Relation {
+        let rows: Vec<Vec<Value>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.to_relation().rows().to_vec())
+            .collect();
+        Relation::from_rows(self.schema.clone(), rows).expect("shards hold validated rows")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_relation::ColType;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColType::Int), ("city", ColType::Str)])
+    }
+
+    fn relation(n: i64) -> Relation {
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
+            .collect();
+        Relation::from_rows(schema(), rows).unwrap()
+    }
+
+    fn int_splits(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let rel = relation(10);
+        assert!(ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, 0, &[0]).is_err());
+        assert!(ShardedRelation::build(&rel, ShardBy::Hash { col: 9 }, 2, &[0]).is_err());
+        assert!(ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, 2, &[7]).is_err());
+        let wrong_arity = ShardBy::Range {
+            col: 0,
+            splits: int_splits(&[5]),
+        };
+        assert!(ShardedRelation::build(&rel, wrong_arity, 4, &[0]).is_err());
+        let unsorted = ShardBy::Range {
+            col: 0,
+            splits: int_splits(&[7, 3, 5]),
+        };
+        assert!(ShardedRelation::build(&rel, unsorted, 4, &[0]).is_err());
+    }
+
+    #[test]
+    fn every_tuple_lands_in_exactly_one_shard() {
+        for shard_by in [
+            ShardBy::Hash { col: 0 },
+            ShardBy::Range {
+                col: 0,
+                splits: int_splits(&[25, 50, 75]),
+            },
+        ] {
+            let sr = ShardedRelation::build(&relation(100), shard_by, 4, &[0, 1]).unwrap();
+            assert_eq!(sr.len(), 100);
+            assert_eq!(sr.shard_sizes().iter().sum::<usize>(), 100);
+            assert_eq!(sr.to_relation().len(), 100);
+        }
+    }
+
+    #[test]
+    fn range_partitioning_respects_split_points() {
+        let sr = ShardedRelation::build(
+            &relation(100),
+            ShardBy::Range {
+                col: 0,
+                splits: int_splits(&[10, 60]),
+            },
+            3,
+            &[0],
+        )
+        .unwrap();
+        // Shard 0: v < 10 (10 rows); shard 1: 10 ≤ v < 60 (50); shard 2: rest.
+        assert_eq!(sr.shard_sizes(), vec![10, 50, 40]);
+        assert_eq!(sr.shard_of(&Value::Int(9)), 0);
+        assert_eq!(sr.shard_of(&Value::Int(10)), 1, "split point goes right");
+        assert_eq!(sr.shard_of(&Value::Int(10_000)), 2);
+    }
+
+    #[test]
+    fn answers_match_scan_oracle_on_all_query_shapes() {
+        let rel = relation(200);
+        for shard_by in [
+            ShardBy::Hash { col: 1 },
+            ShardBy::Range {
+                col: 0,
+                splits: int_splits(&[50, 100, 150]),
+            },
+        ] {
+            let sr = ShardedRelation::build(&rel, shard_by, 4, &[0, 1]).unwrap();
+            let queries = [
+                SelectionQuery::point(0, 123i64),
+                SelectionQuery::point(0, 999i64),
+                SelectionQuery::point(1, "city7"),
+                SelectionQuery::range_closed(0, 40i64, 55i64),
+                SelectionQuery::range_closed(0, 900i64, 950i64),
+                SelectionQuery::and(
+                    SelectionQuery::point(1, "city3"),
+                    SelectionQuery::range_closed(0, 100i64, 160i64),
+                ),
+            ];
+            for q in &queries {
+                assert_eq!(sr.answer(q), rel.eval_scan(q), "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_route_to_one_shard() {
+        let hash =
+            ShardedRelation::build(&relation(64), ShardBy::Hash { col: 0 }, 8, &[0]).unwrap();
+        assert_eq!(
+            hash.relevant_shards(&SelectionQuery::point(0, 7i64)).len(),
+            1
+        );
+        // A non-key query touches every shard.
+        assert_eq!(
+            hash.relevant_shards(&SelectionQuery::point(1, "city1"))
+                .len(),
+            8
+        );
+        // Ranges do not route under hash partitioning.
+        assert_eq!(
+            hash.relevant_shards(&SelectionQuery::range_closed(0, 1i64, 2i64))
+                .len(),
+            8
+        );
+    }
+
+    #[test]
+    fn range_queries_route_to_contiguous_shards() {
+        let sr = ShardedRelation::build(
+            &relation(100),
+            ShardBy::Range {
+                col: 0,
+                splits: int_splits(&[25, 50, 75]),
+            },
+            4,
+            &[0],
+        )
+        .unwrap();
+        assert_eq!(
+            sr.relevant_shards(&SelectionQuery::range_closed(0, 30i64, 60i64)),
+            vec![1, 2]
+        );
+        assert_eq!(
+            sr.relevant_shards(&SelectionQuery::point(0, 80i64)),
+            vec![3]
+        );
+        let half_open = SelectionQuery::Range {
+            col: 0,
+            lo: Bound::Unbounded,
+            hi: Bound::Excluded(Value::Int(20)),
+        };
+        assert_eq!(sr.relevant_shards(&half_open), vec![0]);
+        // A conjunction intersects its conjuncts' shard sets.
+        let conj = SelectionQuery::and(
+            SelectionQuery::range_closed(0, 30i64, 60i64),
+            SelectionQuery::point(0, 40i64),
+        );
+        assert_eq!(sr.relevant_shards(&conj), vec![1]);
+        // Contradictory shard-key points prune everything.
+        let contradiction = SelectionQuery::and(
+            SelectionQuery::point(0, 10i64),
+            SelectionQuery::point(0, 90i64),
+        );
+        assert!(sr.relevant_shards(&contradiction).is_empty());
+        assert!(!sr.answer(&contradiction));
+    }
+
+    #[test]
+    fn inserts_and_deletes_keep_global_ids_stable() {
+        let mut sr =
+            ShardedRelation::build(&relation(20), ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+        let gid = sr.insert(vec![Value::Int(100), Value::str("new")]).unwrap();
+        assert_eq!(gid, 20);
+        assert_eq!(sr.row(gid).unwrap()[1], Value::str("new"));
+        assert!(sr.answer(&SelectionQuery::point(0, 100i64)));
+
+        let removed = sr.delete(5).expect("gid 5 live");
+        assert_eq!(removed[0], Value::Int(5));
+        assert!(sr.delete(5).is_none(), "double delete is a no-op");
+        assert!(!sr.answer(&SelectionQuery::point(0, 5i64)));
+        assert_eq!(sr.len(), 20);
+        // Other ids are untouched.
+        assert_eq!(sr.row(6).unwrap()[0], Value::Int(6));
+        assert!(sr.row(5).is_none());
+    }
+
+    #[test]
+    fn matching_ids_are_global_and_sorted() {
+        let sr =
+            ShardedRelation::build(&relation(30), ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap();
+        // Build assigns global ids in row order, so city2 rows are 2,12,22.
+        assert_eq!(
+            sr.matching_ids(&SelectionQuery::point(1, "city2")),
+            vec![2, 12, 22]
+        );
+        assert_eq!(
+            sr.matching_ids(&SelectionQuery::range_closed(0, 4i64, 6i64)),
+            vec![4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_indexed_relation() {
+        let rel = relation(50);
+        let sr = ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, 1, &[0]).unwrap();
+        assert_eq!(sr.shard_sizes(), vec![50]);
+        for q in [
+            SelectionQuery::point(0, 25i64),
+            SelectionQuery::range_closed(0, 10i64, 12i64),
+        ] {
+            assert_eq!(sr.answer(&q), rel.eval_scan(&q));
+        }
+    }
+
+    #[test]
+    fn empty_relation_answers_false() {
+        let sr =
+            ShardedRelation::build(&Relation::new(schema()), ShardBy::Hash { col: 0 }, 4, &[0])
+                .unwrap();
+        assert!(sr.is_empty());
+        assert!(!sr.answer(&SelectionQuery::point(0, 1i64)));
+        assert!(sr.matching_ids(&SelectionQuery::point(0, 1i64)).is_empty());
+    }
+}

@@ -33,13 +33,17 @@ pub struct HopLabels {
 pub enum HopError {
     /// The graph has a directed cycle; condense SCCs first.
     Cyclic,
+    /// The graph is undirected; hop labels are defined on DAGs.
+    NotDirected,
 }
 
 impl HopLabels {
     /// Build labels in hub-first order. O(Σ pruned-BFS work); rejects
-    /// cyclic inputs.
+    /// undirected and cyclic inputs.
     pub fn build(g: &Graph) -> Result<Self, HopError> {
-        assert!(g.is_directed(), "hop labels are defined on DAGs");
+        if !g.is_directed() {
+            return Err(HopError::NotDirected);
+        }
         let n = g.node_count();
 
         // Cycle check via Kahn.
@@ -292,9 +296,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "DAGs")]
-    fn undirected_rejected() {
+    fn undirected_rejected_with_error() {
+        // Regression: this used to abort the process via `assert!` instead
+        // of returning an error the caller can handle (mirroring `Cyclic`).
         let g = Graph::undirected_from_edges(2, &[(0, 1)]);
-        let _ = HopLabels::build(&g);
+        assert_eq!(HopLabels::build(&g).unwrap_err(), HopError::NotDirected);
     }
 }

@@ -53,7 +53,7 @@ pub fn indexed_selection_scheme() -> Scheme<Relation, IndexedRelation, Selection
         "B+tree point selection",
         CostClass::NLogN,
         CostClass::Log,
-        |d: &Relation| IndexedRelation::build(d, &[0]),
+        |d: &Relation| IndexedRelation::build(d, &[0]).expect("column 0 exists"),
         |p: &IndexedRelation, q: &SelectionQuery| p.answer(q),
     )
 }

@@ -39,7 +39,17 @@ pub struct IndexedRelation {
 impl IndexedRelation {
     /// Preprocess a relation by building indexes on `cols`. O(n log n) per
     /// indexed column.
-    pub fn build(relation: &Relation, cols: &[usize]) -> Self {
+    ///
+    /// Every entry of `cols` must name a column of the schema; an
+    /// out-of-range column is reported as an error instead of panicking
+    /// during index maintenance.
+    pub fn build(relation: &Relation, cols: &[usize]) -> Result<Self, String> {
+        let arity = relation.schema().arity();
+        if let Some(&bad) = cols.iter().find(|&&c| c >= arity) {
+            return Err(format!(
+                "cannot index column {bad}: schema has arity {arity}"
+            ));
+        }
         let mut ir = IndexedRelation {
             schema: relation.schema().clone(),
             rows: Vec::with_capacity(relation.len()),
@@ -49,7 +59,7 @@ impl IndexedRelation {
         for row in relation.rows() {
             ir.insert(row.clone()).expect("source relation is valid");
         }
-        ir
+        Ok(ir)
     }
 
     /// Schema of the underlying relation.
@@ -125,6 +135,112 @@ impl IndexedRelation {
             .unwrap_or_default()
     }
 
+    /// The live tuple stored under `id`, or `None` if `id` was deleted or
+    /// never assigned.
+    pub fn row(&self, id: usize) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Live row ids whose `col` falls in `[lo, hi]` (bounds as given),
+    /// ascending. Empty if the column is unindexed.
+    pub fn row_ids_in_range(&self, col: usize, lo: &Bound<Value>, hi: &Bound<Value>) -> Vec<usize> {
+        let Some(tree) = self.indexes.get(&col) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<usize> = tree
+            .range(as_ref_bound(lo), as_ref_bound(hi))
+            .flat_map(|(_, posting)| posting.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Enumerate (ascending) the ids of all live rows matching `q`,
+    /// routing through the same access paths as [`Self::answer_metered`]:
+    /// point probe, range probe, index-nested-loop conjunction, scan.
+    ///
+    /// This is the enumeration mode of the serving layer: the Boolean
+    /// answer is `!ids.is_empty()`, but callers that need the witnesses
+    /// (e.g. row-id batch serving in `pitract-engine`) get them directly.
+    pub fn matching_ids_metered(&self, q: &SelectionQuery, meter: &Meter) -> Vec<usize> {
+        match q {
+            SelectionQuery::Point { col, value } if self.indexes.contains_key(col) => {
+                meter.add(tree_descent_cost(&self.indexes[col]));
+                let ids = self.row_ids_eq(*col, value);
+                meter.add(ids.len() as u64);
+                ids
+            }
+            SelectionQuery::Range { col, lo, hi } if self.indexes.contains_key(col) => {
+                meter.add(tree_descent_cost(&self.indexes[col]));
+                let ids = self.row_ids_in_range(*col, lo, hi);
+                meter.add(ids.len() as u64);
+                ids
+            }
+            SelectionQuery::And(_, _) => match self.driving_conjunct(&q.conjuncts()) {
+                Some(driving) => self
+                    .driving_candidates(driving, meter)
+                    .into_iter()
+                    .filter(|&id| {
+                        meter.tick();
+                        self.rows[id].as_ref().is_some_and(|row| q.matches(row))
+                    })
+                    .collect(),
+                None => self.scan_ids_metered(q, meter),
+            },
+            _ => self.scan_ids_metered(q, meter),
+        }
+    }
+
+    /// The conjunct an index-nested-loop drives through: the first indexed
+    /// point conjunct, else the first indexed range conjunct. This is the
+    /// single routing policy shared by [`Self::answer_metered`] and
+    /// [`Self::matching_ids_metered`] (and mirrored, with an agreement
+    /// test, by the `pitract-engine` planner).
+    fn driving_conjunct<'a>(&self, conjuncts: &[&'a SelectionQuery]) -> Option<&'a SelectionQuery> {
+        conjuncts
+            .iter()
+            .find(|c| {
+                matches!(c, SelectionQuery::Point { col, .. }
+                    if self.indexes.contains_key(col))
+            })
+            .or_else(|| {
+                conjuncts.iter().find(|c| {
+                    matches!(c, SelectionQuery::Range { col, .. }
+                        if self.indexes.contains_key(col))
+                })
+            })
+            .copied()
+    }
+
+    /// Candidate row ids produced by probing the driving conjunct's index,
+    /// charging one tree descent. Only called with a point/range conjunct
+    /// returned by [`Self::driving_conjunct`].
+    fn driving_candidates(&self, driving: &SelectionQuery, meter: &Meter) -> Vec<usize> {
+        match driving {
+            SelectionQuery::Point { col, value } => {
+                meter.add(tree_descent_cost(&self.indexes[col]));
+                self.row_ids_eq(*col, value)
+            }
+            SelectionQuery::Range { col, lo, hi } => {
+                meter.add(tree_descent_cost(&self.indexes[col]));
+                self.row_ids_in_range(*col, lo, hi)
+            }
+            SelectionQuery::And(_, _) => unreachable!("driving conjuncts are leaves"),
+        }
+    }
+
+    fn scan_ids_metered(&self, q: &SelectionQuery, meter: &Meter) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| {
+                let row = slot.as_ref()?;
+                meter.tick();
+                q.matches(row).then_some(id)
+            })
+            .collect()
+    }
+
     /// Answer a Boolean selection query, preferring indexes and falling
     /// back to a scan. The meter prices every comparison / probe.
     pub fn answer_metered(&self, q: &SelectionQuery, meter: &Meter) -> bool {
@@ -142,30 +258,37 @@ impl IndexedRelation {
                 }
                 None => self.scan_metered(q, meter),
             },
-            SelectionQuery::And(a, b) => {
-                // Route through an indexed point conjunct when available,
-                // verifying candidates against the full predicate.
-                if let SelectionQuery::Point { col, value } = a.as_ref() {
-                    if self.indexes.contains_key(col) {
-                        let ids = self.row_ids_eq(*col, value);
+            SelectionQuery::And(_, _) => {
+                // Flatten the conjunction tree and route through any indexed
+                // conjunct — point preferred over range — verifying every
+                // candidate against the full predicate. Nested `And` shapes
+                // and range-only conjunctions used to degrade to a scan.
+                // The range path stays lazy (no candidate collection) so
+                // the Boolean answer can exit on the first witness.
+                match self.driving_conjunct(&q.conjuncts()) {
+                    Some(SelectionQuery::Point { col, value }) => {
                         meter.add(tree_descent_cost(&self.indexes[col]));
-                        return ids.iter().any(|&id| {
-                            meter.tick();
-                            self.rows[id].as_ref().is_some_and(|row| b.matches(row))
-                        });
-                    }
-                }
-                if let SelectionQuery::Point { col, value } = b.as_ref() {
-                    if self.indexes.contains_key(col) {
                         let ids = self.row_ids_eq(*col, value);
-                        meter.add(tree_descent_cost(&self.indexes[col]));
-                        return ids.iter().any(|&id| {
+                        ids.iter().any(|&id| {
                             meter.tick();
-                            self.rows[id].as_ref().is_some_and(|row| a.matches(row))
-                        });
+                            self.rows[id].as_ref().is_some_and(|row| q.matches(row))
+                        })
                     }
+                    Some(SelectionQuery::Range { col, lo, hi }) => {
+                        let tree = &self.indexes[col];
+                        meter.add(tree_descent_cost(tree));
+                        for (_, posting) in tree.range(as_ref_bound(lo), as_ref_bound(hi)) {
+                            for &id in posting {
+                                meter.tick();
+                                if self.rows[id].as_ref().is_some_and(|row| q.matches(row)) {
+                                    return true;
+                                }
+                            }
+                        }
+                        false
+                    }
+                    _ => self.scan_metered(q, meter),
                 }
-                self.scan_metered(q, meter)
             }
         }
     }
@@ -227,7 +350,7 @@ mod tests {
     #[test]
     fn indexed_answers_match_scan_answers() {
         let rel = big_relation(500);
-        let ir = IndexedRelation::build(&rel, &[0, 1]);
+        let ir = IndexedRelation::build(&rel, &[0, 1]).unwrap();
         let queries = vec![
             SelectionQuery::point(0, 250i64),
             SelectionQuery::point(0, 9999i64),
@@ -248,7 +371,7 @@ mod tests {
     #[test]
     fn point_probe_is_logarithmic() {
         let n = 1i64 << 15;
-        let ir = IndexedRelation::build(&big_relation(n), &[0]);
+        let ir = IndexedRelation::build(&big_relation(n), &[0]).unwrap();
         let meter = Meter::new();
         for v in [0i64, n / 2, n - 1, n + 5] {
             meter.take();
@@ -260,7 +383,7 @@ mod tests {
     #[test]
     fn range_probe_is_logarithmic() {
         let n = 1i64 << 15;
-        let ir = IndexedRelation::build(&big_relation(n), &[0]);
+        let ir = IndexedRelation::build(&big_relation(n), &[0]).unwrap();
         let meter = Meter::new();
         meter.take();
         ir.answer_metered(&SelectionQuery::range_closed(0, 5i64, 50i64), &meter);
@@ -270,7 +393,7 @@ mod tests {
     #[test]
     fn unindexed_column_falls_back_to_scan() {
         let rel = big_relation(100);
-        let ir = IndexedRelation::build(&rel, &[0]);
+        let ir = IndexedRelation::build(&rel, &[0]).unwrap();
         let meter = Meter::new();
         ir.answer_metered(&SelectionQuery::point(1, "absent"), &meter);
         assert_eq!(meter.steps(), 100, "miss on unindexed column scans all");
@@ -278,7 +401,7 @@ mod tests {
 
     #[test]
     fn inserts_are_visible_and_indexed() {
-        let mut ir = IndexedRelation::build(&big_relation(10), &[0]);
+        let mut ir = IndexedRelation::build(&big_relation(10), &[0]).unwrap();
         assert!(!ir.answer(&SelectionQuery::point(0, 100i64)));
         ir.insert(vec![Value::Int(100), Value::str("x")]).unwrap();
         assert!(ir.answer(&SelectionQuery::point(0, 100i64)));
@@ -288,7 +411,7 @@ mod tests {
     #[test]
     fn deletes_remove_from_queries_and_prune_postings() {
         // 20 rows: each city value appears twice (rows i and i+10).
-        let mut ir = IndexedRelation::build(&big_relation(20), &[0, 1]);
+        let mut ir = IndexedRelation::build(&big_relation(20), &[0, 1]).unwrap();
         // Row ids equal initial positions; delete id 3 (id value 3).
         let removed = ir.delete(3).expect("row 3 exists");
         assert_eq!(removed[0], Value::Int(3));
@@ -311,7 +434,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut ir = IndexedRelation::build(&rel, &[1]);
+        let mut ir = IndexedRelation::build(&rel, &[1]).unwrap();
         ir.delete(0);
         assert!(!ir.answer(&SelectionQuery::point(1, "solo")));
         ir.delete(1);
@@ -327,7 +450,7 @@ mod tests {
     #[test]
     fn conjunction_routes_through_index_and_verifies() {
         let rel = big_relation(1000);
-        let ir = IndexedRelation::build(&rel, &[1]);
+        let ir = IndexedRelation::build(&rel, &[1]).unwrap();
         let meter = Meter::new();
         let q = SelectionQuery::and(
             SelectionQuery::point(1, "city4"),
@@ -344,8 +467,108 @@ mod tests {
     }
 
     #[test]
+    fn build_rejects_out_of_range_index_columns() {
+        // Regression: this used to panic with index-out-of-bounds inside
+        // insert's index maintenance instead of reporting the bad column.
+        let rel = big_relation(10);
+        let err = IndexedRelation::build(&rel, &[2]).unwrap_err();
+        assert!(err.contains("column 2"), "unhelpful error: {err}");
+        let err = IndexedRelation::build(&rel, &[0, 99]).unwrap_err();
+        assert!(err.contains("column 99"), "unhelpful error: {err}");
+        assert!(
+            IndexedRelation::build(&rel, &[]).is_ok(),
+            "no indexes is fine"
+        );
+    }
+
+    #[test]
+    fn conjunction_routes_through_range_conjunct() {
+        // Regression: with only the *range* side indexed, the conjunction
+        // used to degrade to a full scan.
+        let rel = big_relation(1000);
+        let ir = IndexedRelation::build(&rel, &[0]).unwrap();
+        let meter = Meter::new();
+        let q = SelectionQuery::and(
+            SelectionQuery::point(1, "city4"),
+            SelectionQuery::range_closed(0, 700i64, 710i64),
+        );
+        let got = ir.answer_metered(&q, &meter);
+        assert_eq!(got, rel.eval_scan(&q));
+        // 11 candidates in [700, 710]; far fewer than a 1000-row scan.
+        assert!(
+            meter.steps() < 100,
+            "range-conjunct probe cost {} suggests a full scan",
+            meter.steps()
+        );
+    }
+
+    #[test]
+    fn conjunction_routes_through_nested_and_shapes() {
+        // Regression: a nested And(And(p, _), _) hid the indexed point
+        // conjunct from the old top-level-only routing.
+        let rel = big_relation(1000);
+        let ir = IndexedRelation::build(&rel, &[1]).unwrap();
+        let meter = Meter::new();
+        let nested = SelectionQuery::and(
+            SelectionQuery::and(
+                SelectionQuery::range_closed(0, 0i64, 999i64),
+                SelectionQuery::point(1, "city4"),
+            ),
+            SelectionQuery::range_closed(0, 700i64, 710i64),
+        );
+        let got = ir.answer_metered(&nested, &meter);
+        assert_eq!(got, rel.eval_scan(&nested));
+        assert!(
+            meter.steps() < 200,
+            "nested-And probe cost {} suggests a full scan",
+            meter.steps()
+        );
+    }
+
+    #[test]
+    fn matching_ids_agree_with_scan_on_every_path() {
+        let rel = big_relation(200);
+        let mut ir = IndexedRelation::build(&rel, &[0, 1]).unwrap();
+        ir.delete(42);
+        let queries = vec![
+            SelectionQuery::point(0, 41i64),
+            SelectionQuery::point(0, 42i64), // deleted row
+            SelectionQuery::point(1, "city7"),
+            SelectionQuery::range_closed(0, 40i64, 45i64),
+            SelectionQuery::and(
+                SelectionQuery::point(1, "city1"),
+                SelectionQuery::range_closed(0, 0i64, 60i64),
+            ),
+        ];
+        let meter = Meter::new();
+        for q in queries {
+            let got = ir.matching_ids_metered(&q, &meter);
+            let expect: Vec<usize> = (0..ir.rows.len())
+                .filter(|&id| ir.row(id).is_some_and(|row| q.matches(row)))
+                .collect();
+            assert_eq!(got, expect, "{q:?}");
+            assert_eq!(!got.is_empty(), ir.answer(&q), "bool/ids disagree {q:?}");
+        }
+    }
+
+    #[test]
+    fn row_ids_in_range_are_sorted_and_live() {
+        let mut ir = IndexedRelation::build(&big_relation(50), &[0]).unwrap();
+        ir.delete(10);
+        let ids = ir.row_ids_in_range(
+            0,
+            &Bound::Included(Value::Int(8)),
+            &Bound::Excluded(Value::Int(13)),
+        );
+        assert_eq!(ids, vec![8, 9, 11, 12]);
+        assert!(ir
+            .row_ids_in_range(1, &Bound::Unbounded, &Bound::Unbounded)
+            .is_empty());
+    }
+
+    #[test]
     fn to_relation_roundtrips_live_rows() {
-        let mut ir = IndexedRelation::build(&big_relation(5), &[0]);
+        let mut ir = IndexedRelation::build(&big_relation(5), &[0]).unwrap();
         ir.delete(2);
         let rel = ir.to_relation();
         assert_eq!(rel.len(), 4);
@@ -354,7 +577,7 @@ mod tests {
 
     #[test]
     fn row_ids_eq_returns_live_ids() {
-        let ir = IndexedRelation::build(&big_relation(30), &[1]);
+        let ir = IndexedRelation::build(&big_relation(30), &[1]).unwrap();
         let ids = ir.row_ids_eq(1, &Value::str("city2"));
         assert_eq!(ids, vec![2, 12, 22]);
         assert!(ir.row_ids_eq(0, &Value::Int(1)).is_empty(), "unindexed col");

@@ -120,6 +120,28 @@ impl SelectionQuery {
         }
     }
 
+    /// Flatten the conjunction tree into its leaf conjuncts, left to right.
+    ///
+    /// A `Point`/`Range` query is its own single conjunct; nested `And`s of
+    /// any shape — `And(And(p, q), r)`, `And(p, And(q, r))` — flatten to the
+    /// same leaf list. Index routing uses this so an indexed conjunct is
+    /// found no matter where it sits in the tree.
+    pub fn conjuncts(&self) -> Vec<&SelectionQuery> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a SelectionQuery>) {
+        match self {
+            SelectionQuery::And(a, b) => {
+                a.collect_conjuncts(out);
+                b.collect_conjuncts(out);
+            }
+            leaf => out.push(leaf),
+        }
+    }
+
     /// All columns the query touches (used by index routing and views).
     pub fn columns(&self) -> Vec<usize> {
         let mut out = Vec::new();
@@ -204,6 +226,19 @@ mod tests {
             SelectionQuery::point(9, 1i64),
         );
         assert!(nested_bad.validate(&s).is_err());
+    }
+
+    #[test]
+    fn conjuncts_flatten_every_and_shape() {
+        let p = SelectionQuery::point(0, 1i64);
+        let q = SelectionQuery::point(1, "a");
+        let r = SelectionQuery::range_closed(0, 1i64, 2i64);
+        let left_deep = SelectionQuery::and(SelectionQuery::and(p.clone(), q.clone()), r.clone());
+        let right_deep = SelectionQuery::and(p.clone(), SelectionQuery::and(q.clone(), r.clone()));
+        let expect = vec![&p, &q, &r];
+        assert_eq!(left_deep.conjuncts(), expect);
+        assert_eq!(right_deep.conjuncts(), expect);
+        assert_eq!(p.conjuncts(), vec![&p], "a leaf is its own conjunct");
     }
 
     #[test]

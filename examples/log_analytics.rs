@@ -64,7 +64,7 @@ fn main() {
 
     // Strategy 2: B+-tree on severity, verify candidates. (Mutable: the
     // incremental-maintenance section appends rows later.)
-    let mut indexed = IndexedRelation::build(&base, &[0, 1]);
+    let mut indexed = IndexedRelation::build(&base, &[0, 1]).expect("column 0 exists");
     let mut idx_steps = 0u64;
     for (k, q) in queries.iter().enumerate() {
         meter.take();

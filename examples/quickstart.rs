@@ -25,7 +25,7 @@ fn main() {
         let relation = Relation::from_rows(schema, rows).expect("valid rows");
 
         // Π(D): build the B+-tree index (one-time, PTIME).
-        let indexed = IndexedRelation::build(&relation, &[0]);
+        let indexed = IndexedRelation::build(&relation, &[0]).expect("column 0 exists");
 
         // A batch of queries: mostly misses (worst case for the scan).
         let queries: Vec<SelectionQuery> = (0..64)

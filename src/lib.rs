@@ -16,6 +16,7 @@
 //! | [`index`] | B⁺-trees, sorted/hash indexes, RMQ and LCA structures |
 //! | [`graph`] | breadth-depth search, reachability indexes, SCC, query-preserving compression, generators |
 //! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
+//! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
@@ -36,8 +37,37 @@
 //! assert!(relation.eval_scan(&query));
 //!
 //! // PTIME preprocessing Π(D): build a B+-tree, answer in O(log n).
-//! let indexed = IndexedRelation::build(&relation, &[0]);
+//! let indexed = IndexedRelation::build(&relation, &[0]).unwrap();
 //! assert!(indexed.answer(&query));
+//! ```
+//!
+//! ## Serving at scale
+//!
+//! The NC half of Definition 1 is about *parallel* answering. The
+//! [`engine`] crate realizes it with real threads: a
+//! [`ShardedRelation`](crate::engine::shard::ShardedRelation) hash- or
+//! range-partitions the data across shards (each one an independently
+//! indexed `Π(D)`), a [`Planner`](crate::engine::planner::Planner) routes
+//! every query to its cheapest access path, and a
+//! [`QueryBatch`](crate::engine::batch::QueryBatch) fans a batch of
+//! queries out across shards on scoped threads, merging answers and
+//! per-query step meters into a batch cost report.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! let schema = Schema::new(&[("id", ColType::Int)]);
+//! let rows = (0..10_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! let relation = Relation::from_rows(schema, rows).unwrap();
+//!
+//! // Π(D) at scale: 4 hash shards, each with a B+-tree on column 0.
+//! let sharded = ShardedRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//!
+//! // A batch of queries answered in one parallel fan-out.
+//! let batch = QueryBatch::new((0..100i64).map(|k| SelectionQuery::point(0, k * 101)));
+//! let result = batch.execute(&sharded).unwrap();
+//! assert!(result.answers.iter().filter(|&&a| a).count() == 100);
+//! assert!(result.report.total_steps > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -45,6 +75,7 @@
 
 pub use pitract_circuit as circuit;
 pub use pitract_core as core;
+pub use pitract_engine as engine;
 pub use pitract_graph as graph;
 pub use pitract_incremental as incremental;
 pub use pitract_index as index;
@@ -62,6 +93,9 @@ pub mod prelude {
     pub use pitract_core::problem::{DecisionProblem, FnProblem};
     pub use pitract_core::reduce::{FReduction, FactorReduction};
     pub use pitract_core::scheme::Scheme;
+    pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
+    pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
+    pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
     pub use pitract_graph::compress::CompressedReach;
     pub use pitract_graph::reach::ReachIndex;

@@ -25,7 +25,7 @@ fn example1_three_engines_agree() {
     let values: Vec<i64> = (0..3_000).map(|i| (i * 7) % 5_000).collect();
     let rows = values.iter().map(|&v| vec![Value::Int(v)]).collect();
     let relation = Relation::from_rows(schema, rows).unwrap();
-    let indexed = IndexedRelation::build(&relation, &[0]);
+    let indexed = IndexedRelation::build(&relation, &[0]).expect("column 0 exists");
     let sorted = SortedIndex::build(&values);
 
     let meter = Meter::new();
@@ -133,7 +133,7 @@ fn maintained_index_equals_rebuilt_index() {
     let schema = Schema::new(&[("k", ColType::Int)]);
     let rows: Vec<Vec<Value>> = (0..500i64).map(|i| vec![Value::Int(i * 2)]).collect();
     let base = Relation::from_rows(schema.clone(), rows).unwrap();
-    let mut maintained = IndexedRelation::build(&base, &[0]);
+    let mut maintained = IndexedRelation::build(&base, &[0]).expect("column 0 exists");
 
     // Stream of updates.
     for i in 0..200i64 {
@@ -146,7 +146,7 @@ fn maintained_index_equals_rebuilt_index() {
     }
 
     // Rebuild from the maintained relation's live rows.
-    let rebuilt = IndexedRelation::build(&maintained.to_relation(), &[0]);
+    let rebuilt = IndexedRelation::build(&maintained.to_relation(), &[0]).expect("column 0 exists");
     for probe in -10..1_300i64 {
         let q = SelectionQuery::point(0, probe);
         assert_eq!(maintained.answer(&q), rebuilt.answer(&q), "probe {probe}");

@@ -63,6 +63,11 @@ fn example_social_network_runs() {
     run_example("social_network");
 }
 
+#[test]
+fn example_sharded_serving_runs() {
+    run_example("sharded_serving");
+}
+
 /// Guards the list above against drift: a new example file must get a
 /// smoke test (or this inventory updated consciously).
 #[test]
@@ -81,6 +86,7 @@ fn every_example_file_has_a_smoke_test() {
         "bds_order",
         "log_analytics",
         "quickstart",
+        "sharded_serving",
         "social_network",
     ];
     assert_eq!(

@@ -112,12 +112,78 @@ proptest! {
         let schema = Schema::new(&[("a", ColType::Int)]);
         let rows = values.iter().map(|&v| vec![Value::Int(v)]).collect();
         let rel = Relation::from_rows(schema, rows).unwrap();
-        let idx = IndexedRelation::build(&rel, &[0]);
+        let idx = IndexedRelation::build(&rel, &[0]).expect("column 0 exists");
         for p in probes {
             let point = SelectionQuery::point(0, p);
             prop_assert_eq!(idx.answer(&point), rel.eval_scan(&point));
             let range = SelectionQuery::range_closed(0, p, p + 7);
             prop_assert_eq!(idx.answer(&range), rel.eval_scan(&range));
+        }
+    }
+
+    /// A sharded relation — any shard count, either partitioning, after
+    /// any insert/delete interleaving — batch-answers exactly like a
+    /// sequential scan over the surviving rows.
+    #[test]
+    fn sharded_relation_equals_scan_under_updates(
+        shards in 1usize..9,
+        use_range_partitioning in any::<bool>(),
+        ops in prop::collection::vec((0u8..4, -40i64..40, 0usize..8), 1..120),
+        probes in prop::collection::vec((0u8..3, -50i64..50, 0usize..8), 1..30),
+    ) {
+        let schema = Schema::new(&[("k", ColType::Int), ("tag", ColType::Str)]);
+        let shard_by = if use_range_partitioning {
+            // Ascending int splits spanning the value domain.
+            let splits = (1..shards as i64)
+                .map(|i| Value::Int(-40 + i * 80 / shards as i64))
+                .collect();
+            ShardBy::Range { col: 0, splits }
+        } else {
+            ShardBy::Hash { col: 0 }
+        };
+        let mut sharded = ShardedRelation::build(
+            &Relation::new(schema.clone()),
+            shard_by,
+            shards,
+            &[0, 1],
+        ).unwrap();
+        // The model: plain rows keyed by the same global ids.
+        let mut model: Vec<Option<Vec<Value>>> = Vec::new();
+        for (op, k, t) in ops {
+            if op < 3 {
+                let row = vec![Value::Int(k), Value::str(format!("t{t}"))];
+                let gid = sharded.insert(row.clone()).unwrap();
+                prop_assert_eq!(gid, model.len());
+                model.push(Some(row));
+            } else if !model.is_empty() {
+                let victim = (k.unsigned_abs() as usize + t) % model.len();
+                prop_assert_eq!(
+                    sharded.delete(victim),
+                    model[victim].take(),
+                    "delete {}", victim
+                );
+            }
+        }
+        let live: Vec<Vec<Value>> = model.iter().flatten().cloned().collect();
+        let oracle = Relation::from_rows(schema, live).unwrap();
+        prop_assert_eq!(sharded.len(), oracle.len());
+
+        let batch = QueryBatch::new(probes.iter().map(|&(shape, v, t)| match shape {
+            0 => SelectionQuery::point(0, v),
+            1 => SelectionQuery::range_closed(0, v, v + 9),
+            _ => SelectionQuery::and(
+                SelectionQuery::point(1, format!("t{t}").as_str()),
+                SelectionQuery::range_closed(0, v, v + 15),
+            ),
+        }));
+        let got = batch.execute(&sharded).unwrap();
+        for (q, &ans) in batch.queries().iter().zip(&got.answers) {
+            prop_assert_eq!(ans, oracle.eval_scan(q), "{:?}", q);
+        }
+        // Row-id mode agrees with the match count on the oracle.
+        let rows = batch.execute_rows(&sharded).unwrap();
+        for (q, ids) in batch.queries().iter().zip(&rows.rows) {
+            prop_assert_eq!(ids.len(), oracle.count_where(q), "{:?}", q);
         }
     }
 
