@@ -1,0 +1,93 @@
+//! Wall-clock benchmarks for the snapshot store, plus the
+//! machine-readable perf artifact.
+//!
+//! Besides the criterion groups, every run (including the CI `--test`
+//! smoke) serializes the size → (cold build, snapshot load) curve to
+//! `BENCH_store.json` (default `target/BENCH_store.json` in the
+//! workspace root; override with the `BENCH_STORE_JSON` env var), next
+//! to the engine's `BENCH_engine.json`, so future PRs can diff both the
+//! serving and the warm-start trajectories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::experiments::{store_warmstart_sweep, StoreSample, STORE_SHARDS};
+use pitract_engine::shard::{ShardBy, ShardedRelation};
+use pitract_relation::{ColType, Relation, Schema, Value};
+use pitract_store::Snapshot;
+use std::hint::black_box;
+use std::io::Write as _;
+
+const SIZES: [i64; 3] = [1 << 13, 1 << 15, 1 << 16];
+
+fn relation(n: i64) -> Relation {
+    let schema = Schema::new(&[("id", ColType::Int), ("grp", ColType::Str)]);
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::Int(i), Value::str(format!("grp{}", i % 64))])
+        .collect();
+    Relation::from_rows(schema, rows).expect("valid rows")
+}
+
+fn bench_build_vs_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_build_vs_load");
+    for &n in &SIZES {
+        let rel = relation(n);
+        group.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, _| {
+            b.iter(|| {
+                ShardedRelation::build(
+                    black_box(&rel),
+                    ShardBy::Hash { col: 0 },
+                    STORE_SHARDS,
+                    &[0, 1],
+                )
+                .expect("valid sharding spec")
+            })
+        });
+        let built = ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, STORE_SHARDS, &[0, 1])
+            .expect("valid sharding spec");
+        let bytes = Snapshot::Sharded(built).to_bytes();
+        group.bench_with_input(BenchmarkId::new("snapshot_load", n), &n, |b, _| {
+            b.iter(|| Snapshot::from_bytes(black_box(&bytes)).expect("own bytes load"))
+        });
+    }
+    group.finish();
+}
+
+/// Measure the sweep once and write the JSON artifact.
+fn emit_bench_store_json(c: &mut Criterion) {
+    // One timed repetition per size keeps the `--test` smoke fast; the
+    // criterion groups above carry the statistically sampled numbers.
+    let samples = store_warmstart_sweep(&SIZES, 1);
+    let path = std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_store.json").to_string()
+    });
+    match write_json(&path, &samples) {
+        Ok(()) => println!("BENCH_store.json written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    // Keep the shim's "ran at least one benchmark" accounting honest.
+    c.bench_function("e16_emit_json", |b| b.iter(|| samples.len()));
+}
+
+fn write_json(path: &str, samples: &[StoreSample]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"snapshot-warmstart\",")?;
+    writeln!(f, "  \"shards\": {STORE_SHARDS},")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"rows\": {}, \"file_bytes\": {}, \"build_seconds\": {:.6}, \"load_seconds\": {:.6}, \"speedup\": {:.2}}}{comma}",
+            s.rows, s.file_bytes, s.build_seconds, s.load_seconds, s.speedup()
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+criterion_group!(benches, bench_build_vs_load, emit_bench_store_json);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Pinned, dependency-free hashing: FNV-1a 64.
+//!
+//! Two call sites make the hash function part of a **persistent
+//! contract**: `pitract-engine` routes tuples to shards with it (so a
+//! snapshot's rows must route identically after a reload, possibly by a
+//! binary built with a different toolchain), and `pitract-store`
+//! checksums snapshot files with it. Neither may silently drift, so both
+//! use this single implementation instead of `std`'s `DefaultHasher`
+//! (whose algorithm is unspecified and may change between Rust
+//! releases). FNV-1a is an integrity/dispersion hash, not a defense
+//! against adversarial collisions.
+
+/// Incremental FNV-1a 64 state.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Fresh state at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(OFFSET_BASIS)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference values for the standard FNV-1a 64 parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -55,6 +55,7 @@ pub mod cost;
 pub mod encode;
 pub mod factor;
 pub mod fit;
+pub mod hash;
 pub mod lang;
 pub mod problem;
 pub mod reduce;

@@ -15,6 +15,7 @@
 //! them, so a well-partitioned point-lookup workload does O(1) shards of
 //! work per query while still spreading the batch across all shards.
 
+use crate::error::EngineError;
 use crate::planner::{Planner, QueryPlan};
 use crate::shard::ShardedRelation;
 use pitract_core::cost::Meter;
@@ -124,7 +125,7 @@ impl QueryBatch {
     /// Answer every query in the batch, fanning out across shards on
     /// scoped threads. Returns answers in batch order plus the aggregated
     /// cost report. Errors if any query fails schema validation.
-    pub fn execute(&self, relation: &ShardedRelation) -> Result<BatchAnswers, String> {
+    pub fn execute(&self, relation: &ShardedRelation) -> Result<BatchAnswers, EngineError> {
         let (plans, routed) = self.route(relation)?;
         let merged = self.fan_out(relation, &routed, |shard, q, meter| {
             shard.answer_metered(q, meter)
@@ -141,7 +142,7 @@ impl QueryBatch {
 
     /// Enumerate the matching global row ids for every query in the
     /// batch, fanning out across shards on scoped threads.
-    pub fn execute_rows(&self, relation: &ShardedRelation) -> Result<BatchRows, String> {
+    pub fn execute_rows(&self, relation: &ShardedRelation) -> Result<BatchRows, EngineError> {
         let (plans, routed) = self.route(relation)?;
         let merged = self.fan_out(relation, &routed, |shard, q, meter| {
             shard.matching_ids_metered(q, meter)
@@ -163,14 +164,17 @@ impl QueryBatch {
     fn route(
         &self,
         relation: &ShardedRelation,
-    ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), String> {
+    ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), EngineError> {
         let indexed_cols = relation.shards()[0].indexed_columns();
         let rows = relation.len();
         let mut plans = Vec::with_capacity(self.queries.len());
         let mut routed = Vec::with_capacity(self.queries.len());
         for (qi, q) in self.queries.iter().enumerate() {
             q.validate(relation.schema())
-                .map_err(|e| format!("query {qi}: {e}"))?;
+                .map_err(|e| EngineError::InvalidQuery {
+                    index: qi,
+                    reason: e,
+                })?;
             plans.push(Planner::plan(&indexed_cols, rows, q));
             routed.push(relation.relevant_shards(q));
         }
@@ -388,7 +392,11 @@ mod tests {
         let sr = ShardedRelation::build(&relation(10), ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
         let batch = QueryBatch::new([SelectionQuery::point(7, 1i64)]);
         let err = batch.execute(&sr).unwrap_err();
-        assert!(err.contains("query 0"), "{err}");
+        assert!(
+            matches!(err, EngineError::InvalidQuery { index: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("query 0"), "{err}");
     }
 
     #[test]

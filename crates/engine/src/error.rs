@@ -1,0 +1,132 @@
+//! Typed errors for the serving layer.
+//!
+//! `ShardedRelation` and `QueryBatch` used to report failures as bare
+//! `String`s, which composed poorly: callers could not match on the
+//! failure class, and the persistence layer (`pitract-store`) had no way
+//! to wrap an engine failure without re-parsing prose. [`EngineError`] is
+//! the typed replacement — it implements [`std::error::Error`] so it can
+//! sit inside other error enums as a `source()`.
+
+use pitract_relation::ColType;
+use std::fmt;
+
+/// Everything that can go wrong building, updating, or querying the
+/// sharded serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// `shard_count` was zero.
+    NoShards,
+    /// The shard-key column does not exist in the schema.
+    ShardColumnOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// The schema's arity.
+        arity: usize,
+    },
+    /// Range partitioning supplied the wrong number of split points.
+    SplitCount {
+        /// Shards requested.
+        shard_count: usize,
+        /// Splits supplied (must be `shard_count - 1`).
+        got: usize,
+    },
+    /// Range split points were not strictly ascending.
+    SplitsNotAscending,
+    /// A range split point's `Value` variant does not inhabit the
+    /// shard-key column's type (e.g. a `Str` split on an `Int` column):
+    /// such a split can never separate tuples and previously produced a
+    /// silently skewed partitioning.
+    SplitTypeMismatch {
+        /// Index of the offending split in the `splits` vector.
+        position: usize,
+        /// The shard-key column's declared type.
+        expected: ColType,
+    },
+    /// A failure reported by the underlying relation layer (schema
+    /// validation, index construction).
+    Relation(String),
+    /// A query in a batch failed validation against the schema.
+    InvalidQuery {
+        /// Position of the query in the batch.
+        index: usize,
+        /// The validation failure.
+        reason: String,
+    },
+    /// Reconstructed parts (e.g. from a persisted snapshot) were mutually
+    /// inconsistent.
+    InconsistentSnapshot(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoShards => write!(f, "shard count must be at least 1"),
+            EngineError::ShardColumnOutOfRange { col, arity } => {
+                write!(
+                    f,
+                    "shard column {col} out of range: schema has arity {arity}"
+                )
+            }
+            EngineError::SplitCount { shard_count, got } => write!(
+                f,
+                "range partitioning over {shard_count} shards needs {} splits, got {got}",
+                shard_count.saturating_sub(1)
+            ),
+            EngineError::SplitsNotAscending => {
+                write!(f, "range split points must be strictly ascending")
+            }
+            EngineError::SplitTypeMismatch { position, expected } => write!(
+                f,
+                "range split {position} does not have the shard-key column's type {expected:?}"
+            ),
+            EngineError::Relation(msg) => write!(f, "{msg}"),
+            EngineError::InvalidQuery { index, reason } => write!(f, "query {index}: {reason}"),
+            EngineError::InconsistentSnapshot(msg) => {
+                write!(f, "inconsistent snapshot parts: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert_eq!(
+            EngineError::NoShards.to_string(),
+            "shard count must be at least 1"
+        );
+        assert_eq!(
+            EngineError::ShardColumnOutOfRange { col: 9, arity: 2 }.to_string(),
+            "shard column 9 out of range: schema has arity 2"
+        );
+        assert_eq!(
+            EngineError::SplitCount {
+                shard_count: 4,
+                got: 1
+            }
+            .to_string(),
+            "range partitioning over 4 shards needs 3 splits, got 1"
+        );
+        let e = EngineError::SplitTypeMismatch {
+            position: 2,
+            expected: ColType::Int,
+        };
+        assert!(e.to_string().contains("split 2"), "{e}");
+        let q = EngineError::InvalidQuery {
+            index: 0,
+            reason: "no such column".into(),
+        };
+        assert_eq!(q.to_string(), "query 0: no such column");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&EngineError::NoShards);
+    }
+}

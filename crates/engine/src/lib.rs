@@ -20,6 +20,9 @@
 //!   its slice with a thread-local meter; Boolean or row-id results are
 //!   merged and the per-query meters are aggregated into a
 //!   [`batch::BatchReport`] cost report.
+//! * [`error::EngineError`] — the typed failure surface of the builders
+//!   and executors, so callers (including the `pitract-store` snapshot
+//!   layer) can match on failure classes instead of parsing prose.
 //!
 //! The correctness contract — checked by unit, integration and property
 //! tests — is that every batch answer equals the single-threaded scan
@@ -29,9 +32,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod error;
 pub mod planner;
 pub mod shard;
 
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
+pub use error::EngineError;
 pub use planner::{AccessPath, Planner, QueryPlan};
 pub use shard::{ShardBy, ShardedRelation};

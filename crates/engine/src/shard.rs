@@ -7,12 +7,43 @@
 //! NC claim is about: shards can be probed concurrently, and shard-key
 //! routing often proves most shards irrelevant without touching them.
 
+use crate::error::EngineError;
 use pitract_core::cost::Meter;
+use pitract_core::hash::Fnv64;
 use pitract_relation::indexed::IndexedRelation;
 use pitract_relation::{Relation, Schema, SelectionQuery, Value};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+
+/// The pinned shard-routing hash: FNV-1a 64 over the value's canonical
+/// encoding (the same byte layout as `Encode`, fed incrementally so the
+/// per-query hot path never allocates). Deliberately *not*
+/// `DefaultHasher` — see [`ShardedRelation::shard_of`].
+fn shard_hash(value: &Value) -> u64 {
+    let mut h = Fnv64::new();
+    match value {
+        Value::Int(i) => {
+            h.write(&[0]);
+            h.write(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            h.write(&[1]);
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// The one routing function: which of `shard_count` shards a shard-key
+/// `value` belongs to under `shard_by`. Shared by
+/// [`ShardedRelation::shard_of`] and the [`ShardedRelation::from_parts`]
+/// membership validation so the two can never diverge.
+fn route_shard(shard_by: &ShardBy, shard_count: usize, value: &Value) -> usize {
+    match shard_by {
+        ShardBy::Hash { .. } => (shard_hash(value) % shard_count as u64) as usize,
+        ShardBy::Range { splits, .. } => splits.partition_point(|s| s <= value),
+    }
+}
 
 /// The partitioning function assigning each tuple to a shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,33 +97,13 @@ impl ShardedRelation {
         shard_by: ShardBy,
         shard_count: usize,
         cols: &[usize],
-    ) -> Result<Self, String> {
-        if shard_count == 0 {
-            return Err("shard count must be at least 1".into());
-        }
-        let arity = relation.schema().arity();
-        if shard_by.col() >= arity {
-            return Err(format!(
-                "shard column {} out of range: schema has arity {arity}",
-                shard_by.col()
-            ));
-        }
-        if let ShardBy::Range { splits, .. } = &shard_by {
-            if splits.len() + 1 != shard_count {
-                return Err(format!(
-                    "range partitioning over {shard_count} shards needs {} splits, got {}",
-                    shard_count - 1,
-                    splits.len()
-                ));
-            }
-            if splits.windows(2).any(|w| w[0] >= w[1]) {
-                return Err("range split points must be strictly ascending".into());
-            }
-        }
+    ) -> Result<Self, EngineError> {
+        validate_shard_by(relation.schema(), &shard_by, shard_count)?;
         let empty = Relation::new(relation.schema().clone());
         let shards = (0..shard_count)
             .map(|_| IndexedRelation::build(&empty, cols))
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(EngineError::Relation)?;
         let mut sharded = ShardedRelation {
             schema: relation.schema().clone(),
             shard_by,
@@ -143,23 +154,26 @@ impl ShardedRelation {
     }
 
     /// Which shard a tuple with shard-key `value` lives in.
+    ///
+    /// Hash routing uses a **pinned** hash (FNV-1a 64 over the value's
+    /// canonical `Encode` bytes), not `std`'s `DefaultHasher`: the std
+    /// algorithm is unspecified and may change between Rust releases,
+    /// which would silently re-route every key of a persisted
+    /// `ShardBy::Hash` snapshot loaded by a newer binary. The routing
+    /// function is part of the on-disk contract now, so it must be
+    /// stable across toolchains.
     pub fn shard_of(&self, value: &Value) -> usize {
-        match &self.shard_by {
-            ShardBy::Hash { .. } => {
-                let mut h = DefaultHasher::new();
-                value.hash(&mut h);
-                (h.finish() % self.shards.len() as u64) as usize
-            }
-            ShardBy::Range { splits, .. } => splits.partition_point(|s| s <= value),
-        }
+        route_shard(&self.shard_by, self.shards.len(), value)
     }
 
     /// Insert a tuple, routing it to its shard and maintaining that
     /// shard's indexes. Returns the stable global row id.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, String> {
-        self.schema.admits(&row)?;
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, EngineError> {
+        self.schema.admits(&row).map_err(EngineError::Relation)?;
         let shard = self.shard_of(&row[self.shard_by.col()]);
-        let local = self.shards[shard].insert(row)?;
+        let local = self.shards[shard]
+            .insert(row)
+            .map_err(EngineError::Relation)?;
         let gid = self.locations.len();
         debug_assert_eq!(local, self.global_ids[shard].len());
         self.global_ids[shard].push(gid);
@@ -273,6 +287,140 @@ impl ShardedRelation {
             .collect();
         Relation::from_rows(self.schema.clone(), rows).expect("shards hold validated rows")
     }
+
+    /// Per-shard local-id → global-id maps, including entries for
+    /// tombstoned rows (persistence accessor: `pitract-store` serializes
+    /// these verbatim so reloaded relations keep the same global ids).
+    pub fn global_id_maps(&self) -> &[Vec<usize>] {
+        &self.global_ids
+    }
+
+    /// Global-id → `(shard, local id)` map with tombstones (persistence
+    /// accessor, the inverse of [`Self::global_id_maps`]).
+    pub fn locations(&self) -> &[Option<(usize, usize)>] {
+        &self.locations
+    }
+
+    /// Reassemble a `ShardedRelation` from previously exported parts —
+    /// the warm-start path used by `pitract-store` when loading a
+    /// snapshot. Validates the same partitioning invariants as
+    /// [`Self::build`] plus the mutual consistency of the id maps, so a
+    /// structurally corrupt snapshot is rejected instead of producing a
+    /// relation that answers queries differently from the original.
+    pub fn from_parts(
+        schema: Schema,
+        shard_by: ShardBy,
+        shards: Vec<IndexedRelation>,
+        global_ids: Vec<Vec<usize>>,
+        locations: Vec<Option<(usize, usize)>>,
+    ) -> Result<Self, EngineError> {
+        validate_shard_by(&schema, &shard_by, shards.len())?;
+        let inconsistent = |msg: String| EngineError::InconsistentSnapshot(msg);
+        if global_ids.len() != shards.len() {
+            return Err(inconsistent(format!(
+                "{} shards but {} global-id maps",
+                shards.len(),
+                global_ids.len()
+            )));
+        }
+        let key_col = shard_by.col();
+        for (s, shard) in shards.iter().enumerate() {
+            if shard.schema() != &schema {
+                return Err(inconsistent(format!("shard {s} schema differs")));
+            }
+            // Every live row must actually route to the shard holding it:
+            // a misplaced row would be invisible to shard-key queries
+            // (routing prunes to the shard the key *should* be in).
+            for slot in shard.slots().iter().flatten() {
+                let expect = route_shard(&shard_by, shards.len(), &slot[key_col]);
+                if expect != s {
+                    return Err(inconsistent(format!(
+                        "shard {s} holds a row whose shard key routes to shard {expect}"
+                    )));
+                }
+            }
+            if global_ids[s].len() != shard.slot_count() {
+                return Err(inconsistent(format!(
+                    "shard {s} has {} row slots but {} global ids",
+                    shard.slot_count(),
+                    global_ids[s].len()
+                )));
+            }
+            if let Some(&bad) = global_ids[s].iter().find(|&&g| g >= locations.len()) {
+                return Err(inconsistent(format!(
+                    "shard {s} maps a local row to global id {bad}, beyond {}",
+                    locations.len()
+                )));
+            }
+        }
+        let mut live = 0usize;
+        for (gid, loc) in locations.iter().enumerate() {
+            let Some((s, local)) = *loc else { continue };
+            let valid = s < shards.len()
+                && local < global_ids[s].len()
+                && global_ids[s][local] == gid
+                && shards[s].row(local).is_some();
+            if !valid {
+                return Err(inconsistent(format!(
+                    "global id {gid} points at ({s}, {local}), which does not map back"
+                )));
+            }
+            live += 1;
+        }
+        let shard_live: usize = shards.iter().map(IndexedRelation::len).sum();
+        if live != shard_live {
+            return Err(inconsistent(format!(
+                "location map lists {live} live rows, shards hold {shard_live}"
+            )));
+        }
+        Ok(ShardedRelation {
+            schema,
+            shard_by,
+            shards,
+            global_ids,
+            locations,
+            live,
+        })
+    }
+}
+
+/// The build-time partitioning checks, shared by [`ShardedRelation::build`]
+/// and [`ShardedRelation::from_parts`].
+fn validate_shard_by(
+    schema: &Schema,
+    shard_by: &ShardBy,
+    shard_count: usize,
+) -> Result<(), EngineError> {
+    if shard_count == 0 {
+        return Err(EngineError::NoShards);
+    }
+    let arity = schema.arity();
+    if shard_by.col() >= arity {
+        return Err(EngineError::ShardColumnOutOfRange {
+            col: shard_by.col(),
+            arity,
+        });
+    }
+    if let ShardBy::Range { col, splits } = shard_by {
+        if splits.len() + 1 != shard_count {
+            return Err(EngineError::SplitCount {
+                shard_count,
+                got: splits.len(),
+            });
+        }
+        // A split whose variant mismatches the column type compares via
+        // the cross-variant tie-breaker (all Ints < all Strs), so it can
+        // never separate tuples of the column's actual type — reject it
+        // instead of silently accepting a skewed partitioning.
+        let expected = schema.col_type(*col);
+        if let Some(position) = splits.iter().position(|s| !expected.admits(s)) {
+            return Err(EngineError::SplitTypeMismatch { position, expected });
+        }
+        if splits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(EngineError::SplitsNotAscending);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -311,6 +459,184 @@ mod tests {
             splits: int_splits(&[7, 3, 5]),
         };
         assert!(ShardedRelation::build(&rel, unsorted, 4, &[0]).is_err());
+    }
+
+    #[test]
+    fn build_errors_are_typed() {
+        let rel = relation(10);
+        assert_eq!(
+            ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, 0, &[0]).unwrap_err(),
+            EngineError::NoShards
+        );
+        assert_eq!(
+            ShardedRelation::build(&rel, ShardBy::Hash { col: 9 }, 2, &[0]).unwrap_err(),
+            EngineError::ShardColumnOutOfRange { col: 9, arity: 2 }
+        );
+        let unsorted = ShardBy::Range {
+            col: 0,
+            splits: int_splits(&[7, 3, 5]),
+        };
+        assert_eq!(
+            ShardedRelation::build(&rel, unsorted, 4, &[0]).unwrap_err(),
+            EngineError::SplitsNotAscending
+        );
+    }
+
+    #[test]
+    fn range_splits_must_match_shard_key_type() {
+        // Regression: a Str split on an Int column was silently accepted.
+        // Every Int sorts below every Str, so such a split can never
+        // separate the column's actual values — the partitioning skews
+        // instead of failing.
+        let rel = relation(10);
+        let mixed = ShardBy::Range {
+            col: 0,
+            splits: vec![Value::Int(5), Value::str("zzz")],
+        };
+        assert_eq!(
+            ShardedRelation::build(&rel, mixed, 3, &[0]).unwrap_err(),
+            EngineError::SplitTypeMismatch {
+                position: 1,
+                expected: ColType::Int,
+            }
+        );
+        // Same check on a Str shard key with an Int split.
+        let mixed = ShardBy::Range {
+            col: 1,
+            splits: vec![Value::Int(5)],
+        };
+        assert_eq!(
+            ShardedRelation::build(&rel, mixed, 2, &[1]).unwrap_err(),
+            EngineError::SplitTypeMismatch {
+                position: 0,
+                expected: ColType::Str,
+            }
+        );
+        // Homogeneous, correctly typed splits still build.
+        let ok = ShardBy::Range {
+            col: 1,
+            splits: vec![Value::str("city5")],
+        };
+        assert!(ShardedRelation::build(&rel, ok, 2, &[1]).is_ok());
+    }
+
+    /// Re-export every shard through the persistence accessors and
+    /// `IndexedRelation::from_parts` — the same dance `pitract-store`
+    /// does when loading a snapshot.
+    fn export_shards(sr: &ShardedRelation) -> Vec<IndexedRelation> {
+        sr.shards()
+            .iter()
+            .map(|s| {
+                IndexedRelation::from_parts(
+                    s.schema().clone(),
+                    s.slots().to_vec(),
+                    s.indexed_columns()
+                        .into_iter()
+                        .map(|c| {
+                            let entries = s
+                                .index_postings(c)
+                                .unwrap()
+                                .into_iter()
+                                .map(|(k, v)| (k.clone(), v.to_vec()))
+                                .collect();
+                            (c, entries)
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_parts_roundtrips_exported_parts() {
+        let mut sr = ShardedRelation::build(
+            &relation(40),
+            ShardBy::Range {
+                col: 0,
+                splits: int_splits(&[10, 25]),
+            },
+            3,
+            &[0, 1],
+        )
+        .unwrap();
+        sr.delete(7);
+        sr.insert(vec![Value::Int(500), Value::str("late")])
+            .unwrap();
+
+        let rebuilt = ShardedRelation::from_parts(
+            sr.schema().clone(),
+            sr.shard_by().clone(),
+            export_shards(&sr),
+            sr.global_id_maps().to_vec(),
+            sr.locations().to_vec(),
+        )
+        .unwrap();
+
+        assert_eq!(rebuilt.len(), sr.len());
+        for q in [
+            SelectionQuery::point(0, 7i64),
+            SelectionQuery::point(0, 500i64),
+            SelectionQuery::range_closed(0, 5i64, 12i64),
+            SelectionQuery::point(1, "late"),
+        ] {
+            assert_eq!(rebuilt.answer(&q), sr.answer(&q), "{q:?}");
+            assert_eq!(rebuilt.matching_ids(&q), sr.matching_ids(&q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_misrouted_rows() {
+        // A row sitting in a shard its key does not route to is invisible
+        // to shard-key queries; the maps can still be mutually consistent,
+        // so membership needs its own check.
+        let probe =
+            ShardedRelation::build(&relation(0), ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+        let stray = (0..100i64)
+            .find(|&k| probe.shard_of(&Value::Int(k)) == 1)
+            .expect("some key routes to shard 1");
+        let one_row =
+            Relation::from_rows(schema(), vec![vec![Value::Int(stray), Value::str("x")]]).unwrap();
+        let misplaced = IndexedRelation::build(&one_row, &[0]).unwrap();
+        let empty = IndexedRelation::build(&relation(0), &[0]).unwrap();
+        let err = ShardedRelation::from_parts(
+            schema(),
+            ShardBy::Hash { col: 0 },
+            vec![misplaced, empty], // stray sits in shard 0, routes to 1
+            vec![vec![0], vec![]],
+            vec![Some((0, 0))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentSnapshot(_)), "{err}");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_maps() {
+        let sr = ShardedRelation::build(&relation(10), ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+
+        // Wrong number of global-id maps.
+        let err = ShardedRelation::from_parts(
+            sr.schema().clone(),
+            sr.shard_by().clone(),
+            export_shards(&sr),
+            vec![Vec::new()],
+            sr.locations().to_vec(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentSnapshot(_)), "{err}");
+
+        // A location that does not map back.
+        let mut bad_locations = sr.locations().to_vec();
+        bad_locations[0] = Some((1, 999));
+        let err = ShardedRelation::from_parts(
+            sr.schema().clone(),
+            sr.shard_by().clone(),
+            export_shards(&sr),
+            sr.global_id_maps().to_vec(),
+            bad_locations,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentSnapshot(_)), "{err}");
     }
 
     #[test]

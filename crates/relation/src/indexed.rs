@@ -25,6 +25,10 @@ use pitract_index::bptree::BPlusTree;
 use std::collections::HashMap;
 use std::ops::Bound;
 
+/// One persisted secondary index: the column it covers plus its
+/// ascending `(key, posting list)` entries.
+pub type IndexEntries = (usize, Vec<(Value, Vec<usize>)>);
+
 /// A relation plus B⁺-tree secondary indexes on selected columns.
 #[derive(Debug)]
 pub struct IndexedRelation {
@@ -313,6 +317,103 @@ impl IndexedRelation {
         let rows: Vec<Vec<Value>> = self.rows.iter().flatten().cloned().collect();
         Relation::from_rows(self.schema.clone(), rows).expect("rows were validated on insert")
     }
+
+    /// Raw row storage including tombstones (persistence accessor:
+    /// serializing the slots verbatim is what keeps row ids stable across
+    /// a save/load cycle).
+    pub fn slots(&self) -> &[Option<Vec<Value>>] {
+        &self.rows
+    }
+
+    /// Number of row slots ever assigned (live rows plus tombstones; the
+    /// id space upper bound).
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The `(key, posting list)` entries of one column's index in
+    /// ascending key order, or `None` if the column is unindexed
+    /// (persistence accessor).
+    pub fn index_postings(&self, col: usize) -> Option<Vec<(&Value, &[usize])>> {
+        let tree = self.indexes.get(&col)?;
+        Some(tree.iter().map(|(k, v)| (k, v.as_slice())).collect())
+    }
+
+    /// Reassemble an `IndexedRelation` from previously exported parts —
+    /// the warm-start fast path used by `pitract-store`. Each index is
+    /// reconstructed with [`BPlusTree::bulk_load`] from its ascending
+    /// `(key, posting list)` entries in O(n), instead of the O(n log n)
+    /// per-key descents of [`IndexedRelation::build`].
+    ///
+    /// Validation keeps a structurally corrupt input from producing a
+    /// relation that would answer differently (or panic) later: every
+    /// live row must admit the schema, index columns must be in range,
+    /// keys must be strictly ascending, and every posting must point at a
+    /// live row holding that key.
+    pub fn from_parts(
+        schema: Schema,
+        slots: Vec<Option<Vec<Value>>>,
+        indexes: Vec<IndexEntries>,
+    ) -> Result<Self, String> {
+        for row in slots.iter().flatten() {
+            schema.admits(row)?;
+        }
+        let live = slots.iter().flatten().count();
+        let arity = schema.arity();
+        let mut trees = HashMap::with_capacity(indexes.len());
+        for (col, entries) in indexes {
+            if col >= arity {
+                return Err(format!(
+                    "cannot index column {col}: schema has arity {arity}"
+                ));
+            }
+            if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!(
+                    "index on column {col}: keys not strictly ascending"
+                ));
+            }
+            let mut posted = 0usize;
+            for (key, posting) in &entries {
+                if posting.is_empty() {
+                    return Err(format!("index on column {col}: empty posting for {key}"));
+                }
+                if posting.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!(
+                        "index on column {col}: posting ids for {key} not strictly ascending"
+                    ));
+                }
+                for &id in posting {
+                    let lives = slots
+                        .get(id)
+                        .and_then(|slot| slot.as_ref())
+                        .is_some_and(|row| &row[col] == key);
+                    if !lives {
+                        return Err(format!(
+                            "index on column {col}: posting id {id} does not hold key {key}"
+                        ));
+                    }
+                }
+                posted += posting.len();
+            }
+            // Ascending distinct keys + ascending distinct ids per posting
+            // + every posting pointing at a live row with its key + the
+            // counts matching: the postings are exactly the live rows.
+            if posted != live {
+                return Err(format!(
+                    "index on column {col} posts {posted} rows, relation has {live} live"
+                ));
+            }
+            if trees.insert(col, BPlusTree::bulk_load(entries)).is_some() {
+                return Err(format!("duplicate index on column {col}"));
+            }
+        }
+        Ok(IndexedRelation {
+            schema,
+            rows: slots,
+            live,
+            indexes: trees,
+        })
+    }
 }
 
 /// Approximate comparison cost of one descent, charged to the meter for
@@ -573,6 +674,97 @@ mod tests {
         let rel = ir.to_relation();
         assert_eq!(rel.len(), 4);
         assert!(!rel.eval_scan(&SelectionQuery::point(0, 2i64)));
+    }
+
+    fn export_parts(ir: &IndexedRelation) -> (Schema, Vec<Option<Vec<Value>>>, Vec<IndexEntries>) {
+        let indexes = ir
+            .indexed_columns()
+            .into_iter()
+            .map(|c| {
+                let entries = ir
+                    .index_postings(c)
+                    .expect("column is indexed")
+                    .into_iter()
+                    .map(|(k, v)| (k.clone(), v.to_vec()))
+                    .collect();
+                (c, entries)
+            })
+            .collect();
+        (ir.schema().clone(), ir.slots().to_vec(), indexes)
+    }
+
+    #[test]
+    fn from_parts_preserves_answers_and_ids() {
+        let mut ir = IndexedRelation::build(&big_relation(100), &[0, 1]).unwrap();
+        ir.delete(17);
+        ir.delete(40);
+        ir.insert(vec![Value::Int(777), Value::str("late")])
+            .unwrap();
+        let (schema, slots, indexes) = export_parts(&ir);
+        let rebuilt = IndexedRelation::from_parts(schema, slots, indexes).unwrap();
+        assert_eq!(rebuilt.len(), ir.len());
+        assert_eq!(rebuilt.slot_count(), ir.slot_count());
+        assert_eq!(rebuilt.indexed_columns(), ir.indexed_columns());
+        let meter = Meter::new();
+        for q in [
+            SelectionQuery::point(0, 17i64),
+            SelectionQuery::point(0, 777i64),
+            SelectionQuery::range_closed(0, 10i64, 45i64),
+            SelectionQuery::and(
+                SelectionQuery::point(1, "city3"),
+                SelectionQuery::range_closed(0, 0i64, 60i64),
+            ),
+        ] {
+            assert_eq!(rebuilt.answer(&q), ir.answer(&q), "{q:?}");
+            assert_eq!(
+                rebuilt.matching_ids_metered(&q, &meter),
+                ir.matching_ids_metered(&q, &meter),
+                "{q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_structures() {
+        let ir = IndexedRelation::build(&big_relation(10), &[0]).unwrap();
+        let (schema, slots, indexes) = export_parts(&ir);
+
+        // Index column out of range.
+        let bad = vec![(5usize, Vec::new())];
+        assert!(
+            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad)
+                .unwrap_err()
+                .contains("column 5")
+        );
+
+        // Posting pointing at a dead/mismatched row.
+        let mut bad = indexes.clone();
+        bad[0].1[0].1 = vec![9999];
+        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+
+        // Keys out of order.
+        let mut bad = indexes.clone();
+        bad[0].1.swap(0, 1);
+        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+
+        // A posting silently dropped (index incomplete).
+        let mut bad = indexes.clone();
+        bad[0].1.remove(3);
+        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+
+        // The unmodified export still loads.
+        assert!(IndexedRelation::from_parts(schema, slots, indexes).is_ok());
+    }
+
+    #[test]
+    fn index_postings_are_ascending_and_complete() {
+        let mut ir = IndexedRelation::build(&big_relation(30), &[1]).unwrap();
+        ir.delete(2);
+        let postings = ir.index_postings(1).unwrap();
+        assert!(postings.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
+        let total: usize = postings.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, ir.len(), "one posting per live row");
+        assert!(ir.index_postings(0).is_none(), "unindexed column");
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! The hand-rolled binary codec: little-endian, length-prefixed, and
+//! total on the read side.
+//!
+//! No serde: snapshot producers run offline and the format is small
+//! enough that an explicit writer/reader pair is simpler than a derive —
+//! and it keeps the crate zero-dependency. Conventions:
+//!
+//! * scalars are fixed-width little-endian (`u8`/`u16`/`u32`/`u64`/`i64`);
+//!   `usize` is always written as `u64` so files are portable across
+//!   pointer widths;
+//! * strings are a `u64` byte length followed by UTF-8 bytes (validated
+//!   on read);
+//! * sequences are a `u64` element count followed by the elements;
+//! * sum types carry a one-byte tag ([`Value`]: 0 = `Int`, 1 = `Str`;
+//!   [`ColType`]: same; `Option`: 0 = `None`, 1 = `Some`).
+//!
+//! The [`Reader`] is **total**: every read bounds-checks against the
+//! remaining input and every declared count is sanity-checked against the
+//! bytes that could possibly back it, so feeding arbitrary or truncated
+//! bytes returns a [`StoreError`] — never a panic and never an
+//! attacker-sized allocation. (A fuzz-style test in `tests/proptests.rs`
+//! drives random and truncated inputs through the whole load path.)
+
+use crate::error::StoreError;
+use pitract_relation::{ColType, Schema, Value};
+
+/// An append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Has anything been written?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (portable across pointer widths).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write raw bytes with no framing (caller-framed payloads).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a tagged [`Value`].
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.u8(0);
+                self.i64(*i);
+            }
+            Value::Str(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+
+    /// Write a row: element count, then tagged values.
+    pub fn row(&mut self, row: &[Value]) {
+        self.usize(row.len());
+        for v in row {
+            self.value(v);
+        }
+    }
+
+    /// Write an optional row (0 = tombstone, 1 = live).
+    pub fn opt_row(&mut self, slot: &Option<Vec<Value>>) {
+        match slot {
+            None => self.u8(0),
+            Some(row) => {
+                self.u8(1);
+                self.row(row);
+            }
+        }
+    }
+
+    /// Write a [`Schema`]: column count, then `(name, type tag)` pairs.
+    pub fn schema(&mut self, schema: &Schema) {
+        self.usize(schema.arity());
+        for col in 0..schema.arity() {
+            self.str(schema.name(col));
+            self.u8(match schema.col_type(col) {
+                ColType::Int => 0,
+                ColType::Str => 1,
+            });
+        }
+    }
+
+    /// Write a sequence of `u64`-encoded `usize`s.
+    pub fn usize_seq(&mut self, seq: &[usize]) {
+        self.usize(seq.len());
+        for &v in seq {
+            self.usize(v);
+        }
+    }
+
+    /// Write a sequence of `u32`s.
+    pub fn u32_seq(&mut self, seq: &[u32]) {
+        self.usize(seq.len());
+        for &v in seq {
+            self.u32(v);
+        }
+    }
+}
+
+/// A bounds-checked little-endian byte reader over a borrowed slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if n > self.remaining() {
+            return Err(StoreError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`, little-endian.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`, little-endian.
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` and narrow it to `usize`.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        usize::try_from(self.u64()?).map_err(|_| StoreError::Corrupt("usize overflow".into()))
+    }
+
+    /// Read a declared element count, rejecting counts that could not
+    /// possibly be backed by the remaining bytes (each element occupies
+    /// at least `min_elem_bytes`). This bounds allocations by the input
+    /// size, so a corrupted count cannot trigger a huge `Vec` reserve.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.usize()?;
+        if n.checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(StoreError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("string is not UTF-8".into()))
+    }
+
+    /// Read a tagged [`Value`].
+    pub fn value(&mut self) -> Result<Value, StoreError> {
+        match self.u8()? {
+            0 => Ok(Value::Int(self.i64()?)),
+            1 => Ok(Value::Str(self.str()?)),
+            tag => Err(StoreError::Corrupt(format!("bad value tag {tag}"))),
+        }
+    }
+
+    /// Read a row (count + tagged values).
+    pub fn row(&mut self) -> Result<Vec<Value>, StoreError> {
+        let n = self.count(1)?;
+        (0..n).map(|_| self.value()).collect()
+    }
+
+    /// Read an optional row.
+    pub fn opt_row(&mut self) -> Result<Option<Vec<Value>>, StoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.row()?)),
+            tag => Err(StoreError::Corrupt(format!("bad option tag {tag}"))),
+        }
+    }
+
+    /// Read a [`Schema`].
+    pub fn schema(&mut self) -> Result<Schema, StoreError> {
+        let arity = self.count(1)?;
+        let mut cols: Vec<(String, ColType)> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let name = self.str()?;
+            let ty = match self.u8()? {
+                0 => ColType::Int,
+                1 => ColType::Str,
+                tag => return Err(StoreError::Corrupt(format!("bad column type tag {tag}"))),
+            };
+            if name.is_empty() {
+                return Err(StoreError::Corrupt("empty column name".into()));
+            }
+            if cols.iter().any(|(n, _)| n == &name) {
+                return Err(StoreError::Corrupt(format!("duplicate column {name:?}")));
+            }
+            cols.push((name, ty));
+        }
+        let borrowed: Vec<(&str, ColType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Ok(Schema::new(&borrowed))
+    }
+
+    /// Read a sequence of `usize`s.
+    pub fn usize_seq(&mut self) -> Result<Vec<usize>, StoreError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Read a sequence of `u32`s.
+    pub fn u32_seq(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(65535);
+        w.u32(123_456);
+        w.u64(u64::MAX);
+        w.i64(i64::MIN);
+        w.usize(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn values_and_rows_roundtrip() {
+        let rows: Vec<Option<Vec<Value>>> = vec![
+            Some(vec![Value::Int(i64::MIN), Value::str("")]),
+            None,
+            Some(vec![Value::Int(i64::MAX), Value::str("héllo Σ* 日本語")]),
+            Some(vec![]), // zero-arity edge
+        ];
+        let mut w = Writer::new();
+        for slot in &rows {
+            w.opt_row(slot);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for slot in &rows {
+            assert_eq!(&r.opt_row().unwrap(), slot);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn schema_roundtrips() {
+        let schema = Schema::new(&[("id", ColType::Int), ("täg", ColType::Str)]);
+        let mut w = Writer::new();
+        w.schema(&schema);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).schema().unwrap(), schema);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.value(&Value::str("a longer string payload"));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.value().is_err(), "prefix of {cut} bytes must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_counts_are_rejected_before_allocation() {
+        // A count claiming 2^60 strings backed by 8 bytes of input.
+        let mut w = Writer::new();
+        w.u64(1 << 60);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).usize_seq(),
+            Err(StoreError::Truncated)
+        ));
+        assert!(matches!(
+            Reader::new(&bytes).row(),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        let bytes = [9u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            Reader::new(&bytes).value(),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut w = Writer::new();
+        w.usize(1);
+        w.str("c");
+        w.u8(7); // bad ColType tag
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).schema(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut w = Writer::new();
+        w.usize(2);
+        w.raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).str(),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! # pitract-store — persist Π(D) once, warm-start serving from disk
+//!
+//! The paper's Π-tractability contract (Definition 1) is *preprocess `D`
+//! once in PTIME, then answer every query in parallel polylog time*. The
+//! sibling crates build the preprocessed structures; this crate makes the
+//! "once" literal: a preprocessed structure is serialized to a versioned,
+//! checksummed binary snapshot, and a fresh process warm-starts by
+//! loading the snapshot instead of re-running `Π(D)` — turning every
+//! boot after the first from an O(n log n) rebuild into an O(n) read.
+//!
+//! * [`snapshot::Snapshot`] — save/load for the three production
+//!   structures: [`pitract_relation::indexed::IndexedRelation`],
+//!   [`pitract_engine::ShardedRelation`] (schema, partitioning, per-shard
+//!   data, global-id/location maps, tombstones), and
+//!   [`pitract_graph::hop::HopLabels`]. The file format (magic tag,
+//!   format version, section table, FNV-1a checksum) is documented in
+//!   [`snapshot`]'s module docs.
+//! * [`codec`] — the hand-rolled little-endian writer/reader underneath:
+//!   zero dependencies, no serde, and **total** on the read side —
+//!   arbitrary or truncated bytes produce a typed [`error::StoreError`],
+//!   never a panic or an unbounded allocation.
+//! * [`catalog::SnapshotCatalog`] — named snapshots in a directory with
+//!   atomic (temp-file + rename) replacement: list, save, load, remove.
+//!
+//! The correctness contract, enforced by unit, integration, and property
+//! tests: for every persisted structure, `load(save(x))` answers every
+//! query identically to the cold-rebuilt oracle — same Booleans, same row
+//! ids (tombstones and global-id maps are persisted verbatim) — and
+//! corrupted, truncated, or version-skewed files are rejected with a
+//! typed error.
+//!
+//! ```
+//! use pitract_relation::indexed::IndexedRelation;
+//! use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+//! use pitract_store::{Snapshot, SnapshotCatalog};
+//!
+//! let schema = Schema::new(&[("id", ColType::Int)]);
+//! let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! let relation = Relation::from_rows(schema, rows).unwrap();
+//!
+//! // Π(D), paid once…
+//! let indexed = IndexedRelation::build(&relation, &[0]).unwrap();
+//!
+//! // …persisted…
+//! let dir = std::env::temp_dir().join(format!("pitract-doc-{}", std::process::id()));
+//! let catalog = SnapshotCatalog::open(&dir).unwrap();
+//! catalog.save("ids", &Snapshot::Indexed(indexed)).unwrap();
+//!
+//! // …and warm-started by a fresh engine, no rebuild.
+//! let served = catalog.load("ids").unwrap().into_indexed().unwrap();
+//! assert!(served.answer(&SelectionQuery::point(0, 999i64)));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod catalog;
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+
+pub use catalog::SnapshotCatalog;
+pub use error::StoreError;
+pub use snapshot::{Snapshot, SnapshotKind, FORMAT_VERSION, MAGIC};

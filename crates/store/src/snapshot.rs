@@ -1,0 +1,779 @@
+//! The versioned snapshot file format and its save/load entry points.
+//!
+//! # On-disk layout (format version 1)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//! 0       8     magic tag, the ASCII bytes "PITRSNAP"
+//! 8       2     format version, u16 LE (currently 1)
+//! 10      2     structure kind, u16 LE (see [`SnapshotKind`])
+//! 12      4     section count k, u32 LE
+//! 16      12*k  section table: k entries of (tag: u32 LE, len: u64 LE);
+//!               payloads follow in table order
+//! ...     Σlen  the k section payloads, concatenated
+//! end-8   8     FNV-1a 64 checksum over every preceding byte, u64 LE
+//! ```
+//!
+//! Section payloads use the [`crate::codec`] conventions. The tags per
+//! structure kind:
+//!
+//! | kind | sections (tag) |
+//! |---|---|
+//! | `IndexedRelation` | schema (1), row slots incl. tombstones (2), per-column index postings (3) |
+//! | `ShardedRelation` | schema (1), shard_by (4), per-shard bodies (5), global-id maps (6), locations (7) |
+//! | `HopLabels` | `L_out` (8), `L_in` (9), hub ranks (10) |
+//!
+//! Readers locate sections by tag, so a future version may append new
+//! sections without breaking old payload parsing — but any change to an
+//! existing section's encoding must bump the format version, which this
+//! reader rejects with [`StoreError::VersionMismatch`]. Corruption is
+//! caught in layers: the checksum rejects bit rot and truncation, the
+//! bounds-checked codec rejects structurally impossible payloads, and the
+//! `from_parts` constructors reject decodable-but-inconsistent parts. A
+//! golden fixture test pins the byte-level format so accidental encoding
+//! drift fails CI.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StoreError;
+use pitract_core::hash::fnv1a64;
+use pitract_engine::{ShardBy, ShardedRelation};
+use pitract_graph::hop::HopLabels;
+use pitract_relation::indexed::{IndexEntries, IndexedRelation};
+use pitract_relation::{Schema, Value};
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic tag opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"PITRSNAP";
+
+/// The format version this binary writes and the only one it reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+const SEC_SCHEMA: u32 = 1;
+const SEC_ROWS: u32 = 2;
+const SEC_INDEXES: u32 = 3;
+const SEC_SHARD_BY: u32 = 4;
+const SEC_SHARDS: u32 = 5;
+const SEC_GLOBAL_IDS: u32 = 6;
+const SEC_LOCATIONS: u32 = 7;
+const SEC_LOUT: u32 = 8;
+const SEC_LIN: u32 = 9;
+const SEC_RANK: u32 = 10;
+
+/// Which preprocessed structure a snapshot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A [`pitract_relation::indexed::IndexedRelation`].
+    IndexedRelation,
+    /// A [`pitract_engine::ShardedRelation`].
+    ShardedRelation,
+    /// [`pitract_graph::hop::HopLabels`].
+    HopLabels,
+}
+
+impl SnapshotKind {
+    fn code(self) -> u16 {
+        match self {
+            SnapshotKind::IndexedRelation => 1,
+            SnapshotKind::ShardedRelation => 2,
+            SnapshotKind::HopLabels => 3,
+        }
+    }
+
+    fn from_code(code: u16) -> Result<Self, StoreError> {
+        match code {
+            1 => Ok(SnapshotKind::IndexedRelation),
+            2 => Ok(SnapshotKind::ShardedRelation),
+            3 => Ok(SnapshotKind::HopLabels),
+            other => Err(StoreError::UnknownKind(other)),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotKind::IndexedRelation => write!(f, "IndexedRelation"),
+            SnapshotKind::ShardedRelation => write!(f, "ShardedRelation"),
+            SnapshotKind::HopLabels => write!(f, "HopLabels"),
+        }
+    }
+}
+
+/// A preprocessed structure ready to persist, or freshly loaded.
+#[derive(Debug)]
+pub enum Snapshot {
+    /// A per-column-indexed relation.
+    Indexed(IndexedRelation),
+    /// A sharded, indexed relation.
+    Sharded(ShardedRelation),
+    /// Pruned 2-hop reachability labels.
+    Hop(HopLabels),
+}
+
+impl From<IndexedRelation> for Snapshot {
+    fn from(ir: IndexedRelation) -> Self {
+        Snapshot::Indexed(ir)
+    }
+}
+
+impl From<ShardedRelation> for Snapshot {
+    fn from(sr: ShardedRelation) -> Self {
+        Snapshot::Sharded(sr)
+    }
+}
+
+impl From<HopLabels> for Snapshot {
+    fn from(h: HopLabels) -> Self {
+        Snapshot::Hop(h)
+    }
+}
+
+impl Snapshot {
+    /// Which structure this snapshot holds.
+    pub fn kind(&self) -> SnapshotKind {
+        match self {
+            Snapshot::Indexed(_) => SnapshotKind::IndexedRelation,
+            Snapshot::Sharded(_) => SnapshotKind::ShardedRelation,
+            Snapshot::Hop(_) => SnapshotKind::HopLabels,
+        }
+    }
+
+    /// Unwrap an [`IndexedRelation`], or report the kind actually stored.
+    pub fn into_indexed(self) -> Result<IndexedRelation, StoreError> {
+        match self {
+            Snapshot::Indexed(ir) => Ok(ir),
+            other => Err(StoreError::WrongKind {
+                expected: SnapshotKind::IndexedRelation,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Unwrap a [`ShardedRelation`], or report the kind actually stored.
+    pub fn into_sharded(self) -> Result<ShardedRelation, StoreError> {
+        match self {
+            Snapshot::Sharded(sr) => Ok(sr),
+            other => Err(StoreError::WrongKind {
+                expected: SnapshotKind::ShardedRelation,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Unwrap [`HopLabels`], or report the kind actually stored.
+    pub fn into_hop(self) -> Result<HopLabels, StoreError> {
+        match self {
+            Snapshot::Hop(h) => Ok(h),
+            other => Err(StoreError::WrongKind {
+                expected: SnapshotKind::HopLabels,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Serialize to the snapshot byte format (deterministic: equal
+    /// structures produce equal bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let sections: Vec<(u32, Vec<u8>)> = match self {
+            Snapshot::Indexed(ir) => encode_indexed_sections(ir),
+            Snapshot::Sharded(sr) => encode_sharded_sections(sr),
+            Snapshot::Hop(h) => encode_hop_sections(h),
+        };
+        let mut w = Writer::new();
+        w.raw(&MAGIC);
+        w.u16(FORMAT_VERSION);
+        w.u16(self.kind().code());
+        w.u32(sections.len() as u32);
+        for (tag, payload) in &sections {
+            w.u32(*tag);
+            w.u64(payload.len() as u64);
+        }
+        for (_, payload) in &sections {
+            w.raw(payload);
+        }
+        let mut bytes = w.into_bytes();
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Parse a snapshot from bytes, validating magic, version, checksum,
+    /// section table, payloads, and structural invariants — in that
+    /// order. Arbitrary input yields a typed [`StoreError`], never a
+    /// panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        // Header + checksum trailer are the minimum possible file.
+        if bytes.len() < 16 + 8 {
+            return Err(StoreError::Truncated);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut header = Reader::new(&bytes[8..16]);
+        let version = header.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv1a64(body) != stored {
+            return Err(StoreError::ChecksumMismatch);
+        }
+        let kind = SnapshotKind::from_code(header.u16()?)?;
+        let count = header.u32()? as usize;
+
+        // Section table, then payload slices located by tag.
+        let table_end = 16usize
+            .checked_add(count.checked_mul(12).ok_or(StoreError::Truncated)?)
+            .ok_or(StoreError::Truncated)?;
+        if table_end > body.len() {
+            return Err(StoreError::Truncated);
+        }
+        let mut table = Reader::new(&body[16..table_end]);
+        let mut sections: Vec<(u32, usize)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = table.u32()?;
+            let len = table.usize()?;
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(StoreError::Corrupt(format!("duplicate section tag {tag}")));
+            }
+            sections.push((tag, len));
+        }
+        let payload_len: usize = sections
+            .iter()
+            .try_fold(0usize, |acc, (_, len)| acc.checked_add(*len))
+            .ok_or(StoreError::Truncated)?;
+        if table_end.checked_add(payload_len) != Some(body.len()) {
+            return Err(StoreError::Corrupt(
+                "section table does not span the file".into(),
+            ));
+        }
+        let mut offset = table_end;
+        let located: Vec<(u32, &[u8])> = sections
+            .into_iter()
+            .map(|(tag, len)| {
+                let slice = &body[offset..offset + len];
+                offset += len;
+                (tag, slice)
+            })
+            .collect();
+        let section = |tag: u32| -> Result<Reader<'_>, StoreError> {
+            located
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, s)| Reader::new(s))
+                .ok_or_else(|| StoreError::Corrupt(format!("missing section {tag}")))
+        };
+
+        match kind {
+            SnapshotKind::IndexedRelation => {
+                let schema = finish(section(SEC_SCHEMA)?, Reader::schema)?;
+                decode_indexed(schema, section(SEC_ROWS)?, section(SEC_INDEXES)?)
+                    .map(Snapshot::Indexed)
+            }
+            SnapshotKind::ShardedRelation => {
+                let schema = finish(section(SEC_SCHEMA)?, Reader::schema)?;
+                let shard_by = finish(section(SEC_SHARD_BY)?, read_shard_by)?;
+                let mut shards_r = section(SEC_SHARDS)?;
+                let shard_count = shards_r.count(2)?;
+                let mut shards = Vec::with_capacity(shard_count);
+                for _ in 0..shard_count {
+                    // Per-shard body: the same rows + indexes encoding as
+                    // a standalone IndexedRelation, sharing one schema.
+                    let slots = read_slots(&mut shards_r)?;
+                    let indexes = read_indexes(&mut shards_r)?;
+                    shards.push(
+                        IndexedRelation::from_parts(schema.clone(), slots, indexes)
+                            .map_err(StoreError::Corrupt)?,
+                    );
+                }
+                if !shards_r.is_exhausted() {
+                    return Err(StoreError::Corrupt("trailing bytes in shards".into()));
+                }
+                let mut gids_r = section(SEC_GLOBAL_IDS)?;
+                let g_count = gids_r.count(8)?;
+                let mut global_ids = Vec::with_capacity(g_count);
+                for _ in 0..g_count {
+                    global_ids.push(gids_r.usize_seq()?);
+                }
+                if !gids_r.is_exhausted() {
+                    return Err(StoreError::Corrupt("trailing bytes in global ids".into()));
+                }
+                let locations = finish(section(SEC_LOCATIONS)?, read_locations)?;
+                let sr =
+                    ShardedRelation::from_parts(schema, shard_by, shards, global_ids, locations)?;
+                Ok(Snapshot::Sharded(sr))
+            }
+            SnapshotKind::HopLabels => {
+                let lout = finish(section(SEC_LOUT)?, read_label_lists)?;
+                let lin = finish(section(SEC_LIN)?, read_label_lists)?;
+                let rank = finish(section(SEC_RANK)?, Reader::u32_seq)?;
+                HopLabels::from_parts(lout, lin, rank)
+                    .map(Snapshot::Hop)
+                    .map_err(|e| StoreError::Corrupt(e.to_string()))
+            }
+        }
+    }
+
+    /// Write the snapshot to `path` atomically: the bytes go to a
+    /// temporary sibling first and are renamed into place, so a crash
+    /// mid-write can never leave a half-written file under the final
+    /// name.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        write_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Read and parse a snapshot file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+/// Parse the structure kind from a snapshot's first bytes (at least 12)
+/// without reading or checksumming the rest of the file — the cheap path
+/// behind catalog listings.
+pub fn peek_kind(header: &[u8]) -> Result<SnapshotKind, StoreError> {
+    if header.len() < 12 {
+        return Err(StoreError::Truncated);
+    }
+    if header[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut r = Reader::new(&header[8..12]);
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    SnapshotKind::from_code(r.u16()?)
+}
+
+/// Atomic file replacement: write to a uniquely named `.tmp` sibling,
+/// fsync it, then rename over the destination (atomic on POSIX
+/// filesystems). The fsync before the rename matters: without it the
+/// rename's metadata change can hit disk before the temp file's *data*
+/// does, and a power loss in that window would replace a good snapshot
+/// with a truncated one. The temp name carries the pid and a process-
+/// wide counter so concurrent saves of the same snapshot name write
+/// disjoint files and the last rename wins with a complete file —
+/// never an interleaving.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let cleanup = |e| {
+        let _ = std::fs::remove_file(&tmp);
+        StoreError::Io(e)
+    };
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes).map_err(cleanup)?;
+    f.sync_all().map_err(cleanup)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(cleanup)?;
+    // Best-effort directory sync so the rename itself is durable too.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Run `read` on a section reader and require it to consume the whole
+/// section.
+fn finish<'a, T>(
+    mut r: Reader<'a>,
+    read: impl FnOnce(&mut Reader<'a>) -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let out = read(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(StoreError::Corrupt("trailing bytes in section".into()));
+    }
+    Ok(out)
+}
+
+// --- section encoders -----------------------------------------------------
+
+fn encode_indexed_sections(ir: &IndexedRelation) -> Vec<(u32, Vec<u8>)> {
+    let mut schema_w = Writer::new();
+    schema_w.schema(ir.schema());
+    let mut body_rows = Writer::new();
+    let mut body_indexes = Writer::new();
+    write_indexed_body(ir, &mut body_rows, &mut body_indexes);
+    vec![
+        (SEC_SCHEMA, schema_w.into_bytes()),
+        (SEC_ROWS, body_rows.into_bytes()),
+        (SEC_INDEXES, body_indexes.into_bytes()),
+    ]
+}
+
+/// Rows (slots incl. tombstones) and index postings of one
+/// `IndexedRelation`, written with the shared encoding used both for a
+/// standalone snapshot's sections and for each shard inside a
+/// `ShardedRelation` snapshot.
+fn write_indexed_body(ir: &IndexedRelation, rows: &mut Writer, indexes: &mut Writer) {
+    rows.usize(ir.slot_count());
+    for slot in ir.slots() {
+        rows.opt_row(slot);
+    }
+    // Iterate columns in sorted order so the bytes are deterministic
+    // (the underlying map is a HashMap).
+    let cols = ir.indexed_columns();
+    indexes.usize(cols.len());
+    for col in cols {
+        let postings = ir.index_postings(col).expect("column is indexed");
+        indexes.usize(col);
+        indexes.usize(postings.len());
+        for (key, ids) in postings {
+            indexes.value(key);
+            indexes.usize_seq(ids);
+        }
+    }
+}
+
+fn read_slots(r: &mut Reader<'_>) -> Result<Vec<Option<Vec<Value>>>, StoreError> {
+    let n = r.count(1)?;
+    (0..n).map(|_| r.opt_row()).collect()
+}
+
+fn read_indexes(r: &mut Reader<'_>) -> Result<Vec<IndexEntries>, StoreError> {
+    let n = r.count(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let col = r.usize()?;
+        let entry_count = r.count(1)?;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let key = r.value()?;
+            let posting = r.usize_seq()?;
+            entries.push((key, posting));
+        }
+        out.push((col, entries));
+    }
+    Ok(out)
+}
+
+fn decode_indexed(
+    schema: Schema,
+    rows: Reader<'_>,
+    indexes: Reader<'_>,
+) -> Result<IndexedRelation, StoreError> {
+    let slots = finish(rows, read_slots)?;
+    let index_entries = finish(indexes, read_indexes)?;
+    IndexedRelation::from_parts(schema, slots, index_entries).map_err(StoreError::Corrupt)
+}
+
+fn encode_sharded_sections(sr: &ShardedRelation) -> Vec<(u32, Vec<u8>)> {
+    let mut schema_w = Writer::new();
+    schema_w.schema(sr.schema());
+
+    let mut shard_by_w = Writer::new();
+    match sr.shard_by() {
+        ShardBy::Hash { col } => {
+            shard_by_w.u8(0);
+            shard_by_w.usize(*col);
+        }
+        ShardBy::Range { col, splits } => {
+            shard_by_w.u8(1);
+            shard_by_w.usize(*col);
+            shard_by_w.usize(splits.len());
+            for s in splits {
+                shard_by_w.value(s);
+            }
+        }
+    }
+
+    let mut shards_w = Writer::new();
+    shards_w.usize(sr.shard_count());
+    for shard in sr.shards() {
+        // Concatenate the rows + indexes bodies per shard; the schema is
+        // written once for the whole relation.
+        let mut rows = Writer::new();
+        let mut indexes = Writer::new();
+        write_indexed_body(shard, &mut rows, &mut indexes);
+        shards_w.raw(&rows.into_bytes());
+        shards_w.raw(&indexes.into_bytes());
+    }
+
+    let mut gids_w = Writer::new();
+    gids_w.usize(sr.global_id_maps().len());
+    for map in sr.global_id_maps() {
+        gids_w.usize_seq(map);
+    }
+
+    let mut loc_w = Writer::new();
+    loc_w.usize(sr.locations().len());
+    for loc in sr.locations() {
+        match loc {
+            None => loc_w.u8(0),
+            Some((shard, local)) => {
+                loc_w.u8(1);
+                loc_w.usize(*shard);
+                loc_w.usize(*local);
+            }
+        }
+    }
+
+    vec![
+        (SEC_SCHEMA, schema_w.into_bytes()),
+        (SEC_SHARD_BY, shard_by_w.into_bytes()),
+        (SEC_SHARDS, shards_w.into_bytes()),
+        (SEC_GLOBAL_IDS, gids_w.into_bytes()),
+        (SEC_LOCATIONS, loc_w.into_bytes()),
+    ]
+}
+
+fn read_shard_by(r: &mut Reader<'_>) -> Result<ShardBy, StoreError> {
+    match r.u8()? {
+        0 => Ok(ShardBy::Hash { col: r.usize()? }),
+        1 => {
+            let col = r.usize()?;
+            let n = r.count(1)?;
+            let splits = (0..n).map(|_| r.value()).collect::<Result<Vec<_>, _>>()?;
+            Ok(ShardBy::Range { col, splits })
+        }
+        tag => Err(StoreError::Corrupt(format!("bad shard_by tag {tag}"))),
+    }
+}
+
+fn read_locations(r: &mut Reader<'_>) -> Result<Vec<Option<(usize, usize)>>, StoreError> {
+    let n = r.count(1)?;
+    (0..n)
+        .map(|_| match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some((r.usize()?, r.usize()?))),
+            tag => Err(StoreError::Corrupt(format!("bad location tag {tag}"))),
+        })
+        .collect()
+}
+
+fn encode_hop_sections(h: &HopLabels) -> Vec<(u32, Vec<u8>)> {
+    let write_lists = |lists: &[Vec<u32>]| {
+        let mut w = Writer::new();
+        w.usize(lists.len());
+        for l in lists {
+            w.u32_seq(l);
+        }
+        w.into_bytes()
+    };
+    let mut rank_w = Writer::new();
+    rank_w.u32_seq(h.hub_ranks());
+    vec![
+        (SEC_LOUT, write_lists(h.out_labels())),
+        (SEC_LIN, write_lists(h.in_labels())),
+        (SEC_RANK, rank_w.into_bytes()),
+    ]
+}
+
+fn read_label_lists(r: &mut Reader<'_>) -> Result<Vec<Vec<u32>>, StoreError> {
+    let n = r.count(8)?;
+    (0..n).map(|_| r.u32_seq()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_engine::QueryBatch;
+    use pitract_graph::generate;
+    use pitract_relation::{ColType, Relation, SelectionQuery};
+
+    fn relation(n: i64) -> Relation {
+        let schema = Schema::new(&[("id", ColType::Int), ("city", ColType::Str)]);
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
+            .collect();
+        Relation::from_rows(schema, rows).unwrap()
+    }
+
+    fn queries() -> Vec<SelectionQuery> {
+        vec![
+            SelectionQuery::point(0, 17i64),
+            SelectionQuery::point(0, 9_999i64),
+            SelectionQuery::point(1, "city3"),
+            SelectionQuery::range_closed(0, 20i64, 35i64),
+            SelectionQuery::and(
+                SelectionQuery::point(1, "city4"),
+                SelectionQuery::range_closed(0, 0i64, 50i64),
+            ),
+        ]
+    }
+
+    #[test]
+    fn indexed_roundtrip_answers_identically() {
+        let mut ir = IndexedRelation::build(&relation(120), &[0, 1]).unwrap();
+        ir.delete(17);
+        ir.insert(vec![Value::Int(500), Value::str("new")]).unwrap();
+        let bytes = Snapshot::Indexed(ir).to_bytes();
+        let loaded = Snapshot::from_bytes(&bytes)
+            .unwrap()
+            .into_indexed()
+            .unwrap();
+        let oracle = IndexedRelation::build(&loaded.to_relation(), &[0, 1]).unwrap();
+        for q in queries() {
+            assert_eq!(loaded.answer(&q), oracle.answer(&q), "{q:?}");
+        }
+        assert_eq!(loaded.len(), 120);
+        assert!(loaded.row(17).is_none(), "tombstone survives the roundtrip");
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_global_ids_and_batches() {
+        for shard_by in [
+            ShardBy::Hash { col: 0 },
+            ShardBy::Range {
+                col: 0,
+                splits: vec![Value::Int(40), Value::Int(80)],
+            },
+        ] {
+            let mut sr = ShardedRelation::build(&relation(120), shard_by, 3, &[0, 1]).unwrap();
+            sr.delete(7);
+            sr.insert(vec![Value::Int(555), Value::str("late")])
+                .unwrap();
+
+            let bytes = Snapshot::Sharded(sr).to_bytes();
+            let orig = Snapshot::from_bytes(&bytes)
+                .unwrap()
+                .into_sharded()
+                .unwrap();
+            let loaded = Snapshot::from_bytes(&bytes)
+                .unwrap()
+                .into_sharded()
+                .unwrap();
+
+            let batch = QueryBatch::new(queries());
+            let a = batch.execute_rows(&orig).unwrap();
+            let b = batch.execute_rows(&loaded).unwrap();
+            assert_eq!(a.rows, b.rows, "global row ids preserved");
+            assert!(loaded.row(7).is_none());
+            assert_eq!(loaded.row(120).unwrap()[1], Value::str("late"));
+        }
+    }
+
+    #[test]
+    fn hop_roundtrip_queries_identically() {
+        let g = generate::random_dag(80, 200, 11);
+        let labels = HopLabels::build(&g).unwrap();
+        let bytes = Snapshot::Hop(labels.clone()).to_bytes();
+        let loaded = Snapshot::from_bytes(&bytes).unwrap().into_hop().unwrap();
+        for u in (0..80).step_by(3) {
+            for v in (0..80).step_by(5) {
+                assert_eq!(loaded.query(u, v), labels.query(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let ir = IndexedRelation::build(&relation(50), &[0, 1]).unwrap();
+        let a = Snapshot::Indexed(ir).to_bytes();
+        let ir = IndexedRelation::build(&relation(50), &[0, 1]).unwrap();
+        let b = Snapshot::Indexed(ir).to_bytes();
+        assert_eq!(a, b, "equal structures, equal bytes");
+    }
+
+    #[test]
+    fn header_validation_is_layered() {
+        let ir = IndexedRelation::build(&relation(10), &[0]).unwrap();
+        let good = Snapshot::Indexed(ir).to_bytes();
+
+        assert!(matches!(
+            Snapshot::from_bytes(&[]),
+            Err(StoreError::Truncated)
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(b"NOTASNAPxxxxxxxxxxxxxxxxxxx"),
+            Err(StoreError::BadMagic)
+        ));
+
+        // A bumped version is rejected *as a version mismatch*, before
+        // the (now stale) checksum gets a chance to confuse the report.
+        let mut bumped = good.clone();
+        bumped[8] = 2;
+        assert!(matches!(
+            Snapshot::from_bytes(&bumped),
+            Err(StoreError::VersionMismatch {
+                found: 2,
+                expected: FORMAT_VERSION
+            })
+        ));
+
+        // A flipped payload byte fails the checksum.
+        let mut corrupt = good.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&corrupt),
+            Err(StoreError::ChecksumMismatch)
+        ));
+
+        // Truncation anywhere fails with a typed error, never a panic.
+        for cut in [10, 16, 20, good.len() / 2, good.len() - 1] {
+            assert!(Snapshot::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // An unknown kind (with a recomputed checksum) is typed.
+        let mut unknown = good.clone();
+        unknown[10] = 99;
+        let body_len = unknown.len() - 8;
+        let sum = fnv1a64(&unknown[..body_len]);
+        unknown[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&unknown),
+            Err(StoreError::UnknownKind(99))
+        ));
+
+        // The pristine bytes still load.
+        assert!(Snapshot::from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn wrong_kind_unwraps_are_typed() {
+        let ir = IndexedRelation::build(&relation(5), &[0]).unwrap();
+        let snap = Snapshot::from_bytes(&Snapshot::Indexed(ir).to_bytes()).unwrap();
+        assert_eq!(snap.kind(), SnapshotKind::IndexedRelation);
+        assert!(matches!(
+            snap.into_sharded(),
+            Err(StoreError::WrongKind {
+                expected: SnapshotKind::ShardedRelation,
+                found: SnapshotKind::IndexedRelation,
+            })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let dir = std::env::temp_dir().join(format!("pitract-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rel.snap");
+        let ir = IndexedRelation::build(&relation(30), &[0]).unwrap();
+        Snapshot::Indexed(ir).save(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap().into_indexed().unwrap();
+        assert_eq!(loaded.len(), 30);
+        let stray_tmp = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|x| x == "tmp"));
+        assert!(!stray_tmp, "temp file cleaned up by rename");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        assert!(matches!(
+            Snapshot::load("/nonexistent/definitely/not/here.snap"),
+            Err(StoreError::Io(_))
+        ));
+    }
+}

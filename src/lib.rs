@@ -17,6 +17,7 @@
 //! | [`graph`] | breadth-depth search, reachability indexes, SCC, query-preserving compression, generators |
 //! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
 //! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution |
+//! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
@@ -69,6 +70,33 @@
 //! assert!(result.answers.iter().filter(|&&a| a).count() == 100);
 //! assert!(result.report.total_steps > 0);
 //! ```
+//!
+//! ## Persisting Π(D)
+//!
+//! Definition 1's preprocessing is *one-time* — so it should be paid
+//! once, not on every process start. The [`store`] crate serializes any
+//! preprocessed structure to a versioned, checksummed snapshot and warm-
+//! starts a fresh engine from disk:
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let sharded = ShardedRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//!
+//! // Persist Π(D) under a name…
+//! # let dir = std::env::temp_dir().join(format!("pitract-facade-{}", std::process::id()));
+//! let catalog = SnapshotCatalog::open(&dir).unwrap();
+//! catalog.save("ids", &Snapshot::Sharded(sharded)).unwrap();
+//!
+//! // …and serve from the reloaded snapshot: same answers, same row ids,
+//! // no rebuild.
+//! let warm = catalog.load("ids").unwrap().into_sharded().unwrap();
+//! assert!(warm.answer(&SelectionQuery::point(0, 999i64)));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -83,6 +111,7 @@ pub use pitract_kernel as kernel;
 pub use pitract_pram as pram;
 pub use pitract_reductions as reductions;
 pub use pitract_relation as relation;
+pub use pitract_store as store;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -94,6 +123,7 @@ pub mod prelude {
     pub use pitract_core::reduce::{FReduction, FactorReduction};
     pub use pitract_core::scheme::Scheme;
     pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
+    pub use pitract_engine::error::EngineError;
     pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
     pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
@@ -105,4 +135,5 @@ pub mod prelude {
     pub use pitract_relation::indexed::IndexedRelation;
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+    pub use pitract_store::{Snapshot, SnapshotCatalog, SnapshotKind, StoreError};
 }

@@ -85,6 +85,7 @@ fn every_example_file_has_a_smoke_test() {
         "array_analytics",
         "bds_order",
         "log_analytics",
+        "persistent_serving",
         "quickstart",
         "sharded_serving",
         "social_network",
@@ -93,4 +94,9 @@ fn every_example_file_has_a_smoke_test() {
         found, covered,
         "examples/ and the smoke-test inventory disagree; add a smoke test for new examples"
     );
+}
+
+#[test]
+fn example_persistent_serving_runs() {
+    run_example("persistent_serving");
 }
