@@ -1,0 +1,105 @@
+//! Wall-clock benchmarks for the live serving tier, plus the
+//! machine-readable perf artifact.
+//!
+//! Besides the criterion group, every run (including the CI `--test`
+//! smoke) serializes the writer-count → batch-throughput curve to
+//! `BENCH_live.json` (default `target/BENCH_live.json` in the workspace
+//! root; override with the `BENCH_LIVE_JSON` env var), next to
+//! `BENCH_engine.json` and `BENCH_store.json`, so future PRs can diff
+//! how much concurrent write traffic costs the serving path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::experiments::{
+    live_throughput_sweep, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS,
+};
+use pitract_engine::batch::QueryBatch;
+use pitract_engine::live::LiveRelation;
+use pitract_engine::shard::ShardBy;
+use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+use std::hint::black_box;
+use std::io::Write as _;
+
+const ROWS: i64 = 1 << 16;
+const WRITER_COUNTS: [usize; 3] = [0, 1, 4];
+
+/// Criterion group: the batch path itself (no writers — criterion's
+/// repeated sampling would conflate writer scheduling noise with the
+/// query path; the writer dimension is measured once per run by the
+/// sweep below and serialized to the JSON artifact).
+fn bench_live_batch(c: &mut Criterion) {
+    let schema = Schema::new(&[("id", ColType::Int), ("grp", ColType::Str)]);
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int(i), Value::str(format!("grp{}", i % 64))])
+        .collect();
+    let rel = Relation::from_rows(schema, rows).expect("valid rows");
+    let live = LiveRelation::build(&rel, ShardBy::Hash { col: 0 }, LIVE_SHARDS, &[0, 1])
+        .expect("valid sharding spec");
+    let batch = QueryBatch::new((0..256i64).map(|k| match k % 3 {
+        0 => SelectionQuery::point(0, (k * 997) % ROWS),
+        1 => {
+            let lo = (k * 641) % ROWS;
+            SelectionQuery::range_closed(0, lo, lo + 200)
+        }
+        _ => SelectionQuery::and(
+            SelectionQuery::point(1, format!("grp{}", k % 64).as_str()),
+            SelectionQuery::range_closed(0, (k * 331) % ROWS, (k * 331) % ROWS + 2_000),
+        ),
+    }));
+
+    let mut group = c.benchmark_group("e17_live_batch");
+    group.bench_with_input(BenchmarkId::new("locked_batch", 0), &0, |b, _| {
+        b.iter(|| black_box(&live).execute(black_box(&batch)).unwrap().answers)
+    });
+    group.finish();
+}
+
+/// Measure the writer sweep once and write the JSON artifact.
+fn emit_bench_live_json(c: &mut Criterion) {
+    // One timed repetition per writer count keeps the `--test` smoke
+    // fast; the criterion group above carries the sampled numbers for
+    // the uncontended path.
+    let samples = live_throughput_sweep(ROWS, &WRITER_COUNTS, 1);
+    let path = std::env::var("BENCH_LIVE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_live.json").to_string()
+    });
+    match write_json(&path, &samples) {
+        Ok(()) => println!("BENCH_live.json written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    // Keep the shim's "ran at least one benchmark" accounting honest.
+    c.bench_function("e17_emit_json", |b| b.iter(|| samples.len()));
+}
+
+fn write_json(path: &str, samples: &[LiveSample]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"live-serving-throughput\",")?;
+    writeln!(f, "  \"rows\": {ROWS},")?;
+    writeln!(f, "  \"shards\": {LIVE_SHARDS},")?;
+    writeln!(f, "  \"batch_queries\": {LIVE_BATCH_QUERIES},")?;
+    writeln!(f, "  \"available_parallelism\": {cores},")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"writers\": {}, \"batch_seconds\": {:.6}, \"queries_per_second\": {:.1}, \
+             \"updates_per_second\": {:.1}, \"worst_maintenance_ratio\": {:.2}}}{comma}",
+            s.writers,
+            s.batch_seconds,
+            s.queries_per_second,
+            s.updates_per_second,
+            s.worst_maintenance_ratio
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+criterion_group!(benches, bench_live_batch, emit_bench_live_json);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The sixteen experiments (see DESIGN.md §4 for the full index).
+//! The seventeen experiments (see DESIGN.md §4 for the full index).
 //!
 //! Conventions shared by all experiments:
 //!
@@ -14,10 +14,12 @@ mod dynamics;
 mod engine;
 mod graphs;
 mod indexing;
+mod live;
 mod store;
 
 pub use dynamics::{run_e10, run_e11, run_e12, run_e13, run_e14};
 pub use engine::{run_e15, shard_throughput_sweep, ShardSample, BATCH_QUERIES};
 pub use graphs::{run_e06, run_e07, run_e08, run_e09};
 pub use indexing::{run_e01, run_e02, run_e03, run_e04, run_e05};
+pub use live::{live_throughput_sweep, run_e17, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};

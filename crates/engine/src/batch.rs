@@ -17,9 +17,9 @@
 
 use crate::error::EngineError;
 use crate::planner::{Planner, QueryPlan};
-use crate::shard::ShardedRelation;
+use crate::shard::{relevant_shards_for, ShardBy, ShardedRelation};
 use pitract_core::cost::Meter;
-use pitract_relation::SelectionQuery;
+use pitract_relation::{Schema, SelectionQuery};
 
 /// A batch of Boolean selection queries to serve together.
 #[derive(Debug, Clone)]
@@ -124,12 +124,18 @@ impl QueryBatch {
 
     /// Answer every query in the batch, fanning out across shards on
     /// scoped threads. Returns answers in batch order plus the aggregated
-    /// cost report. Errors if any query fails schema validation.
+    /// cost report. Errors if any query fails schema validation, or with
+    /// [`EngineError::WorkerPanicked`] if a shard worker panics.
     pub fn execute(&self, relation: &ShardedRelation) -> Result<BatchAnswers, EngineError> {
         let (plans, routed) = self.route(relation)?;
-        let merged = self.fan_out(relation, &routed, |shard, q, meter| {
-            shard.answer_metered(q, meter)
-        });
+        let merged = fan_out(relation.shard_count(), &routed, |s, assigned| {
+            eval_assigned(
+                &self.queries,
+                &relation.shards()[s],
+                assigned,
+                |sh, q, m| sh.answer_metered(q, m),
+            )
+        })?;
         let mut answers = vec![false; self.queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
             answers[qi] = per_shard.iter().any(|(hit, _)| *hit);
@@ -144,9 +150,14 @@ impl QueryBatch {
     /// batch, fanning out across shards on scoped threads.
     pub fn execute_rows(&self, relation: &ShardedRelation) -> Result<BatchRows, EngineError> {
         let (plans, routed) = self.route(relation)?;
-        let merged = self.fan_out(relation, &routed, |shard, q, meter| {
-            shard.matching_ids_metered(q, meter)
-        });
+        let merged = fan_out(relation.shard_count(), &routed, |s, assigned| {
+            eval_assigned(
+                &self.queries,
+                &relation.shards()[s],
+                assigned,
+                |sh, q, m| sh.matching_ids_metered(q, m),
+            )
+        })?;
         let mut rows: Vec<Vec<usize>> = vec![Vec::new(); self.queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
             for ((locals, _), &shard) in per_shard.iter().zip(&routed[qi]) {
@@ -165,89 +176,139 @@ impl QueryBatch {
         &self,
         relation: &ShardedRelation,
     ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), EngineError> {
-        let indexed_cols = relation.shards()[0].indexed_columns();
-        let rows = relation.len();
-        let mut plans = Vec::with_capacity(self.queries.len());
-        let mut routed = Vec::with_capacity(self.queries.len());
-        for (qi, q) in self.queries.iter().enumerate() {
-            q.validate(relation.schema())
-                .map_err(|e| EngineError::InvalidQuery {
-                    index: qi,
-                    reason: e,
-                })?;
-            plans.push(Planner::plan(&indexed_cols, rows, q));
-            routed.push(relation.relevant_shards(q));
-        }
-        Ok((plans, routed))
-    }
-
-    /// Run `eval` for every (query, relevant shard) pair, one scoped
-    /// thread per shard that has work. Returns, per query, the shard
-    /// results in the same order as `routed[qi]`, each with its metered
-    /// step count.
-    fn fan_out<T: Send>(
-        &self,
-        relation: &ShardedRelation,
-        routed: &[Vec<usize>],
-        eval: impl Fn(&pitract_relation::indexed::IndexedRelation, &SelectionQuery, &Meter) -> T + Sync,
-    ) -> Vec<Vec<(T, u64)>> {
-        // Invert the routing into per-shard work lists.
-        let mut work: Vec<Vec<usize>> = vec![Vec::new(); relation.shard_count()];
-        for (qi, shards) in routed.iter().enumerate() {
-            for &s in shards {
-                work[s].push(qi);
-            }
-        }
-        let queries = &self.queries;
-        let eval = &eval;
-        // One worker per shard with work (shards no query routes to cost
-        // nothing, not even a thread spawn); each worker answers its whole
-        // slice with a thread-local meter per query.
-        let per_shard_results: Vec<(usize, WorkerResults<T>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .iter()
-                .enumerate()
-                .filter(|(_, assigned)| !assigned.is_empty())
-                .map(|(s, assigned)| {
-                    let shard = &relation.shards()[s];
-                    scope.spawn(move || {
-                        let meter = Meter::new();
-                        let results = assigned
-                            .iter()
-                            .map(|&qi| {
-                                meter.take();
-                                let out = eval(shard, &queries[qi], &meter);
-                                (qi, out, meter.take())
-                            })
-                            .collect::<Vec<_>>();
-                        (s, results)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        // Re-assemble per query, preserving routed shard order: workers
-        // were spawned in ascending shard order and, within a shard,
-        // results are in work-list (ascending query) order.
-        let mut merged: Vec<Vec<(T, u64)>> = routed
-            .iter()
-            .map(|shards| Vec::with_capacity(shards.len()))
-            .collect();
-        for (s, results) in per_shard_results {
-            for (qi, out, steps) in results {
-                debug_assert!(routed[qi].contains(&s));
-                merged[qi].push((out, steps));
-            }
-        }
-        merged
+        route_batch(
+            &self.queries,
+            relation.schema(),
+            &relation.shards()[0].indexed_columns(),
+            relation.slot_count(),
+            relation.shard_by(),
+            relation.shard_count(),
+        )
     }
 }
 
-/// Aggregate plans, routing and per-shard meters into the batch report.
-fn report_from<T>(
+/// Validate, plan, and shard-route a slice of queries against a logical
+/// relation described by its schema, indexed columns, total slot count
+/// (live + tombstones — what a scan walks) and partitioning. Shared by
+/// [`QueryBatch`] and the live serving layer so the two plan and route
+/// identically.
+pub(crate) fn route_batch(
+    queries: &[SelectionQuery],
+    schema: &Schema,
+    indexed_cols: &[usize],
+    slots: usize,
+    shard_by: &ShardBy,
+    shard_count: usize,
+) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), EngineError> {
+    let mut plans = Vec::with_capacity(queries.len());
+    let mut routed = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        q.validate(schema).map_err(|e| EngineError::InvalidQuery {
+            index: qi,
+            reason: e,
+        })?;
+        plans.push(Planner::plan(indexed_cols, slots, q));
+        routed.push(relevant_shards_for(shard_by, shard_count, q));
+    }
+    Ok((plans, routed))
+}
+
+/// Answer one shard's slice of a batch: every assigned query evaluated
+/// against `shard` with a per-query metered step count (the meter is
+/// reset around each query via `take`). The single worker-side metering
+/// protocol shared by [`QueryBatch::execute`], [`QueryBatch::execute_rows`]
+/// and the live layer's locked twins — the cost accounting cannot drift
+/// between them.
+pub(crate) fn eval_assigned<T>(
+    queries: &[SelectionQuery],
+    shard: &pitract_relation::indexed::IndexedRelation,
+    assigned: &[usize],
+    eval: impl Fn(&pitract_relation::indexed::IndexedRelation, &SelectionQuery, &Meter) -> T,
+) -> WorkerResults<T> {
+    let meter = Meter::new();
+    assigned
+        .iter()
+        .map(|&qi| {
+            meter.take();
+            let out = eval(shard, &queries[qi], &meter);
+            (qi, out, meter.take())
+        })
+        .collect()
+}
+
+/// Run `eval_shard` for every shard that any query routes to, one scoped
+/// thread per such shard. `eval_shard(s, assigned)` must evaluate the
+/// assigned query indices against shard `s` (acquiring whatever access it
+/// needs — a plain borrow for [`ShardedRelation`], a read lock for the
+/// live layer) and return one `(query index, result, metered steps)`
+/// triple per assigned query, in ascending query order.
+///
+/// Returns, per query, the shard results in the same order as
+/// `routed[qi]`. A worker that panics does **not** abort the caller: the
+/// panic is contained to the batch and reported as
+/// [`EngineError::WorkerPanicked`] (one poisoned query must not take down
+/// a serving process that multiplexes many clients).
+pub(crate) fn fan_out<T: Send>(
+    shard_count: usize,
+    routed: &[Vec<usize>],
+    eval_shard: impl Fn(usize, &[usize]) -> WorkerResults<T> + Sync,
+) -> Result<Vec<Vec<(T, u64)>>, EngineError> {
+    // Invert the routing into per-shard work lists.
+    let mut work: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (qi, shards) in routed.iter().enumerate() {
+        for &s in shards {
+            work[s].push(qi);
+        }
+    }
+    let eval_shard = &eval_shard;
+    // One worker per shard with work (shards no query routes to cost
+    // nothing, not even a thread spawn); each worker answers its whole
+    // slice with a thread-local meter per query.
+    let per_shard_results: Result<Vec<(usize, WorkerResults<T>)>, EngineError> =
+        std::thread::scope(|scope| {
+            let handles: Vec<(usize, _)> = work
+                .iter()
+                .enumerate()
+                .filter(|(_, assigned)| !assigned.is_empty())
+                .map(|(s, assigned)| (s, scope.spawn(move || (s, eval_shard(s, assigned)))))
+                .collect();
+            // Join *every* handle even after a failure: leaving a panicked
+            // handle unjoined would make the scope itself re-panic on exit,
+            // defeating the containment.
+            let mut results = Vec::with_capacity(handles.len());
+            let mut panicked: Option<usize> = None;
+            for (s, handle) in handles {
+                match handle.join() {
+                    Ok(r) => results.push(r),
+                    Err(_) => {
+                        panicked.get_or_insert(s);
+                    }
+                }
+            }
+            match panicked {
+                Some(shard) => Err(EngineError::WorkerPanicked { shard }),
+                None => Ok(results),
+            }
+        });
+    // Re-assemble per query, preserving routed shard order: workers
+    // were spawned in ascending shard order and, within a shard,
+    // results are in work-list (ascending query) order.
+    let mut merged: Vec<Vec<(T, u64)>> = routed
+        .iter()
+        .map(|shards| Vec::with_capacity(shards.len()))
+        .collect();
+    for (s, results) in per_shard_results? {
+        for (qi, out, steps) in results {
+            debug_assert!(routed[qi].contains(&s));
+            merged[qi].push((out, steps));
+        }
+    }
+    Ok(merged)
+}
+
+/// Aggregate plans, routing and per-shard meters into the batch report
+/// (shared with the live serving layer).
+pub(crate) fn report_from<T>(
     plans: Vec<QueryPlan>,
     routed: &[Vec<usize>],
     merged: &[Vec<(T, u64)>],
@@ -405,5 +466,34 @@ mod tests {
         let got = QueryBatch::new([]).execute(&sr).unwrap();
         assert!(got.answers.is_empty());
         assert_eq!(got.report.total_steps, 0);
+    }
+
+    /// Regression: a panicking shard worker used to abort the whole
+    /// caller through `.expect("shard worker panicked")` — one poisoned
+    /// query could take down a serving process. The join error is now
+    /// caught and surfaced as a typed `EngineError::WorkerPanicked`.
+    #[test]
+    fn worker_panic_is_contained_and_typed() {
+        // Quiet the panic message the worker thread would print: the
+        // panic here is the fixture, not a failure.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let routed = vec![vec![0], vec![1], vec![0, 2]];
+        let got = fan_out::<bool>(3, &routed, |s, assigned| {
+            if s == 2 {
+                panic!("poisoned query");
+            }
+            assigned.iter().map(|&qi| (qi, true, 1)).collect()
+        });
+        std::panic::set_hook(prev_hook);
+        assert_eq!(got.unwrap_err(), EngineError::WorkerPanicked { shard: 2 });
+
+        // Healthy workers still fan out and merge.
+        let got = fan_out::<bool>(3, &routed, |_, assigned| {
+            assigned.iter().map(|&qi| (qi, true, 1)).collect()
+        })
+        .unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[2].len(), 2, "query 2 routed to shards 0 and 2");
     }
 }

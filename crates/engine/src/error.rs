@@ -7,7 +7,7 @@
 //! the typed replacement — it implements [`std::error::Error`] so it can
 //! sit inside other error enums as a `source()`.
 
-use pitract_relation::ColType;
+use pitract_relation::{ColType, IndexedError};
 use std::fmt;
 
 /// Everything that can go wrong building, updating, or querying the
@@ -42,9 +42,9 @@ pub enum EngineError {
         /// The shard-key column's declared type.
         expected: ColType,
     },
-    /// A failure reported by the underlying relation layer (schema
-    /// validation, index construction).
-    Relation(String),
+    /// A typed failure reported by the underlying indexed-relation layer
+    /// (schema validation, index construction or reconstruction).
+    Indexed(IndexedError),
     /// A query in a batch failed validation against the schema.
     InvalidQuery {
         /// Position of the query in the batch.
@@ -55,6 +55,29 @@ pub enum EngineError {
     /// Reconstructed parts (e.g. from a persisted snapshot) were mutually
     /// inconsistent.
     InconsistentSnapshot(String),
+    /// A shard worker panicked during batch fan-out. The failure is
+    /// contained to the batch that triggered it: the caller gets this
+    /// typed error instead of the panic unwinding through the serving
+    /// process.
+    WorkerPanicked {
+        /// The shard whose worker panicked.
+        shard: usize,
+    },
+    /// Replaying an update log produced a different global row id than
+    /// the one the log recorded — the snapshot and the log do not belong
+    /// to the same history.
+    ReplayGidMismatch {
+        /// The global id the log entry recorded at write time.
+        expected: usize,
+        /// The global id replay actually produced.
+        found: usize,
+    },
+    /// Replaying a logged delete found no live row under the recorded
+    /// global id.
+    ReplayMissingRow {
+        /// The global id the log entry names.
+        gid: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -79,16 +102,39 @@ impl fmt::Display for EngineError {
                 f,
                 "range split {position} does not have the shard-key column's type {expected:?}"
             ),
-            EngineError::Relation(msg) => write!(f, "{msg}"),
+            EngineError::Indexed(e) => write!(f, "{e}"),
             EngineError::InvalidQuery { index, reason } => write!(f, "query {index}: {reason}"),
             EngineError::InconsistentSnapshot(msg) => {
                 write!(f, "inconsistent snapshot parts: {msg}")
+            }
+            EngineError::WorkerPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked during batch fan-out")
+            }
+            EngineError::ReplayGidMismatch { expected, found } => write!(
+                f,
+                "log replay produced global id {found}, log recorded {expected}"
+            ),
+            EngineError::ReplayMissingRow { gid } => {
+                write!(f, "log replay: no live row under global id {gid}")
             }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Indexed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IndexedError> for EngineError {
+    fn from(e: IndexedError) -> Self {
+        EngineError::Indexed(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -122,11 +168,35 @@ mod tests {
             reason: "no such column".into(),
         };
         assert_eq!(q.to_string(), "query 0: no such column");
+        assert_eq!(
+            EngineError::WorkerPanicked { shard: 3 }.to_string(),
+            "shard 3 worker panicked during batch fan-out"
+        );
+        let r = EngineError::ReplayGidMismatch {
+            expected: 7,
+            found: 9,
+        };
+        assert!(
+            r.to_string().contains('7') && r.to_string().contains('9'),
+            "{r}"
+        );
+        assert!(EngineError::ReplayMissingRow { gid: 4 }
+            .to_string()
+            .contains("global id 4"));
     }
 
     #[test]
     fn is_a_std_error() {
         fn takes_error(_: &dyn std::error::Error) {}
         takes_error(&EngineError::NoShards);
+    }
+
+    #[test]
+    fn indexed_errors_convert_and_chain() {
+        use std::error::Error as _;
+        let e: EngineError = IndexedError::ColumnOutOfRange { col: 9, arity: 2 }.into();
+        assert!(matches!(e, EngineError::Indexed(_)), "{e}");
+        assert!(e.source().is_some(), "wrapped error is the source");
+        assert_eq!(e.to_string(), "cannot index column 9: schema has arity 2");
     }
 }

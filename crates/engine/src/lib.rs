@@ -20,6 +20,13 @@
 //!   its slice with a thread-local meter; Boolean or row-id results are
 //!   merged and the per-query meters are aggregated into a
 //!   [`batch::BatchReport`] cost report.
+//! * [`live::LiveRelation`] — the concurrent serving tier: per-shard
+//!   read/write locks so batches read-lock only the shards they route to
+//!   while updates write-lock only the one shard a key routes to, with
+//!   `|CHANGED|`-bounded maintenance accounting
+//!   ([`pitract_incremental::bounded::UpdateRecord`]) and a replayable
+//!   [`live::UpdateLog`] enabling checkpoint + recover through
+//!   `pitract-store`.
 //! * [`error::EngineError`] — the typed failure surface of the builders
 //!   and executors, so callers (including the `pitract-store` snapshot
 //!   layer) can match on failure classes instead of parsing prose.
@@ -33,10 +40,12 @@
 
 pub mod batch;
 pub mod error;
+pub mod live;
 pub mod planner;
 pub mod shard;
 
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
 pub use error::EngineError;
+pub use live::{LiveRelation, UpdateEntry, UpdateLog};
 pub use planner::{AccessPath, Planner, QueryPlan};
 pub use shard::{ShardBy, ShardedRelation};

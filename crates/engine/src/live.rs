@@ -1,0 +1,811 @@
+//! Concurrent live serving: queries answered *while* updates land.
+//!
+//! [`crate::shard::ShardedRelation`] parallelizes query answering but
+//! serializes the whole workload around `&mut self`: every insert or
+//! delete needs exclusive access to the entire relation, so a live
+//! deployment would stall all readers for every writer. [`LiveRelation`]
+//! is the serving wrapper that removes that seam:
+//!
+//! * **Per-shard read/write locks.** Each shard is an
+//!   [`IndexedRelation`] behind its own `RwLock`. Batch fan-out takes a
+//!   *read* lock on only the shards a query routes to, so queries on
+//!   different shards — and any number of queries on the same shard —
+//!   proceed concurrently. An update takes a *write* lock on only the one
+//!   shard its key routes to (the pinned FNV-1a routing of
+//!   [`crate::shard::ShardedRelation::shard_of`], so lock scope never
+//!   moves); the other `S - 1` shards keep serving.
+//! * **Global ids behind their own lock.** The global-id and location
+//!   maps live in a separate `RwLock`, acquired after the shard lock
+//!   (one fixed order, so the layer cannot deadlock). Per-shard
+//!   local→global maps are append-only, which lets readers translate
+//!   row ids *after* releasing the shard lock.
+//! * **`|CHANGED|`-bounded maintenance accounting.** Every applied update
+//!   pushes a [`pitract_incremental::bounded::UpdateRecord`] reporting
+//!   `(|ΔD|, |ΔO|, work)` — Section 4(7)'s contract that maintenance is
+//!   charged against the change, not `|D|` (up to the B⁺-tree's O(log n)
+//!   descent, which the record reports honestly). The aggregated
+//!   [`BoundednessReport`] is available from the serving node at any
+//!   time.
+//! * **Checkpoint + replayable update log.** Every applied update is
+//!   also appended to an in-memory [`UpdateLog`]. [`LiveRelation::freeze`]
+//!   atomically exports the current state as a [`ShardedRelation`] (for
+//!   the `pitract-store` snapshot layer) together with the log position
+//!   it covers; replaying the remaining suffix onto the loaded snapshot
+//!   ([`LiveRelation::replay`]) reproduces the live state bit-identically
+//!   — same answers *and* same global row ids.
+//!
+//! Consistency model: each individual query sees, per shard, some state
+//! that actually existed (updates are atomic per shard); a multi-shard
+//! query may observe different shards at slightly different instants.
+//! That is exactly the read-committed level a partitioned serving tier
+//! provides; the ROADMAP lists MVCC snapshot reads as a follow-on.
+
+use crate::batch::{
+    eval_assigned, fan_out, report_from, route_batch, BatchAnswers, BatchRows, QueryBatch,
+};
+use crate::error::EngineError;
+use crate::shard::{relevant_shards_for, route_shard, ShardBy, ShardedRelation};
+use pitract_core::cost::{log2_floor, Meter};
+use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
+use pitract_relation::indexed::IndexedRelation;
+use pitract_relation::{IndexedError, Relation, Schema, SelectionQuery, Value};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// One replayable update, as recorded by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateEntry {
+    /// A row inserted under a specific global id.
+    Insert {
+        /// The global row id the insert was assigned.
+        gid: usize,
+        /// The inserted tuple.
+        row: Vec<Value>,
+    },
+    /// A delete of a live global id.
+    Delete {
+        /// The deleted global row id.
+        gid: usize,
+    },
+}
+
+/// An ordered, replayable log of updates applied to a [`LiveRelation`]
+/// since its last checkpoint.
+///
+/// Entries are appended inside the global-id critical section, so log
+/// order equals global-id assignment order even under concurrent writers
+/// — which is what makes replay deterministic: applying the entries in
+/// order onto the checkpoint state reassigns exactly the logged ids.
+/// The log is truncated on checkpoint ([`LiveRelation::freeze`] marks
+/// the covered prefix). `pitract-store` can persist a log as its own
+/// catalog entry kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateLog {
+    entries: Vec<UpdateEntry>,
+}
+
+impl UpdateLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log from pre-recorded entries (the store's decode path).
+    pub fn from_entries(entries: Vec<UpdateEntry>) -> Self {
+        UpdateLog { entries }
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, entry: UpdateEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of logged entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, oldest first.
+    pub fn entries(&self) -> &[UpdateEntry] {
+        &self.entries
+    }
+
+    /// Drop the first `n` entries (they are covered by a checkpoint).
+    pub fn drain_prefix(&mut self, n: usize) {
+        self.entries.drain(..n.min(self.entries.len()));
+    }
+}
+
+/// The pending update log plus the absolute position of its first
+/// entry. `base` counts the entries already truncated by confirmed
+/// checkpoints, so a checkpoint mark from [`LiveRelation::freeze`] is an
+/// absolute log position — two racing checkpoints can each confirm
+/// without the second one draining entries its snapshot never covered
+/// (a count-based truncation had exactly that bug).
+#[derive(Debug, Default)]
+struct LogState {
+    base: usize,
+    log: UpdateLog,
+}
+
+/// The global-id bookkeeping, guarded by one lock separate from the
+/// shard locks.
+#[derive(Debug)]
+struct IdMaps {
+    /// Per shard: local row id → global row id. Append-only.
+    global_ids: Vec<Vec<usize>>,
+    /// Global row id → (shard, local id); tombstoned on delete.
+    locations: Vec<Option<(usize, usize)>>,
+    live: usize,
+}
+
+/// A concurrently servable, incrementally maintained, checkpointable
+/// relation — the live tier over [`ShardedRelation`]. See the module
+/// docs for the locking design.
+#[derive(Debug)]
+pub struct LiveRelation {
+    schema: Schema,
+    shard_by: ShardBy,
+    indexed_cols: Vec<usize>,
+    shards: Vec<RwLock<IndexedRelation>>,
+    ids: RwLock<IdMaps>,
+    /// Updates since the last checkpoint, in global-id order, with the
+    /// absolute position of the oldest pending entry.
+    log: Mutex<LogState>,
+    /// One record per applied update, in the same order as the log.
+    maintenance: Mutex<BoundednessReport>,
+}
+
+/// The maintenance cost record for one routed update: `|ΔD| = 1` (one
+/// tuple), `|ΔO| = 1 + k` (the tuple plus one posting edit per indexed
+/// column), and work `1 + k·⌈log₂ n_s⌉` for the per-index B⁺-tree
+/// descents on the routed shard of `n_s` rows. Deterministic in the
+/// shard's pre-update size, so a replayed update reproduces the record
+/// exactly.
+fn maintenance_record(indexed_cols: usize, shard_len_before: usize) -> UpdateRecord {
+    let descent = u64::from(log2_floor(shard_len_before.max(2) as u64)).max(1);
+    UpdateRecord {
+        delta_input: 1,
+        delta_output: 1 + indexed_cols as u64,
+        work: 1 + indexed_cols as u64 * descent,
+    }
+}
+
+impl LiveRelation {
+    /// Build from a relation: partition into `shard_count` shards and
+    /// index `cols` on each, exactly like
+    /// [`ShardedRelation::build`], then wrap for live serving.
+    pub fn build(
+        relation: &Relation,
+        shard_by: ShardBy,
+        shard_count: usize,
+        cols: &[usize],
+    ) -> Result<Self, EngineError> {
+        Ok(Self::from_sharded(ShardedRelation::build(
+            relation,
+            shard_by,
+            shard_count,
+            cols,
+        )?))
+    }
+
+    /// Wrap an existing [`ShardedRelation`] (e.g. one loaded from a
+    /// snapshot) for live serving. Starts with an empty update log and an
+    /// empty maintenance report.
+    pub fn from_sharded(relation: ShardedRelation) -> Self {
+        let (schema, shard_by, shards, global_ids, locations) = relation.into_parts();
+        let indexed_cols = shards[0].indexed_columns();
+        let live = locations.iter().flatten().count();
+        LiveRelation {
+            schema,
+            shard_by,
+            indexed_cols,
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            ids: RwLock::new(IdMaps {
+                global_ids,
+                locations,
+                live,
+            }),
+            log: Mutex::new(LogState::default()),
+            maintenance: Mutex::new(BoundednessReport::new()),
+        }
+    }
+
+    /// Schema of the logical relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The partitioning function.
+    pub fn shard_by(&self) -> &ShardBy {
+        &self.shard_by
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which columns are indexed on every shard.
+    pub fn indexed_columns(&self) -> &[usize] {
+        &self.indexed_cols
+    }
+
+    /// Total live tuples.
+    pub fn len(&self) -> usize {
+        self.read_ids().live
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total row slots ever assigned (live + tombstones) across all
+    /// shards — what the planner estimates scans against.
+    pub fn slot_count(&self) -> usize {
+        self.shards.iter().map(|s| read_lock(s).slot_count()).sum()
+    }
+
+    // --- lock helpers ------------------------------------------------------
+    //
+    // Lock poisoning is deliberately ignored (`into_inner`): every
+    // critical section below upholds the structure invariants before any
+    // call that could panic, and a serving tier must keep answering after
+    // one worker died mid-request. The one fixed acquisition order —
+    // shard locks (ascending), then `ids`, then `log`/`maintenance` —
+    // makes deadlock impossible.
+
+    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, IndexedRelation> {
+        read_lock(&self.shards[s])
+    }
+
+    fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, IndexedRelation> {
+        self.shards[s]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read_ids(&self) -> RwLockReadGuard<'_, IdMaps> {
+        self.ids.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_ids(&self) -> RwLockWriteGuard<'_, IdMaps> {
+        self.ids.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_log(&self) -> MutexGuard<'_, LogState> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_maintenance(&self) -> MutexGuard<'_, BoundednessReport> {
+        self.maintenance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // --- updates -----------------------------------------------------------
+
+    /// Insert a tuple, write-locking only the shard its key routes to.
+    /// Returns the stable global row id. Concurrent queries on other
+    /// shards are unaffected; queries on the routed shard wait only for
+    /// the O(log n) index maintenance.
+    pub fn insert(&self, row: Vec<Value>) -> Result<usize, EngineError> {
+        self.schema
+            .admits(&row)
+            .map_err(|e| EngineError::Indexed(IndexedError::RowRejected(e)))?;
+        let shard = route_shard(&self.shard_by, self.shards.len(), &row[self.shard_by.col()]);
+        let mut guard = self.write_shard(shard);
+        let len_before = guard.len();
+        let local = guard.insert(row.clone()).map_err(EngineError::Indexed)?;
+        // The id maps are updated while the shard lock is still held so
+        // `global_ids[shard]` stays aligned with the shard's local ids,
+        // and the log/record appends happen inside the gid critical
+        // section so log order equals gid order (replay determinism).
+        let mut ids = self.write_ids();
+        let gid = ids.locations.len();
+        debug_assert_eq!(local, ids.global_ids[shard].len());
+        ids.global_ids[shard].push(gid);
+        ids.locations.push(Some((shard, local)));
+        ids.live += 1;
+        self.lock_log().log.push(UpdateEntry::Insert { gid, row });
+        self.lock_maintenance()
+            .push(maintenance_record(self.indexed_cols.len(), len_before));
+        Ok(gid)
+    }
+
+    /// Delete by global row id, write-locking only the owning shard.
+    /// Returns the removed tuple, or `None` if the id was already deleted
+    /// or never assigned (including a concurrent delete that won the
+    /// race).
+    pub fn delete(&self, gid: usize) -> Option<Vec<Value>> {
+        // Find the owning shard first (ids read lock, released), then
+        // re-acquire in the canonical shard → ids order. A location is
+        // written once and only ever transitions Some → None, so if it is
+        // still live after re-locking it is the same (shard, local).
+        let (shard, local) = {
+            let ids = self.read_ids();
+            (*ids.locations.get(gid)?)?
+        };
+        let mut guard = self.write_shard(shard);
+        let mut ids = self.write_ids();
+        ids.locations[gid]?; // a concurrent delete may have won the race
+        ids.locations[gid] = None;
+        ids.live -= 1;
+        let len_before = guard.len();
+        let row = guard
+            .delete(local)
+            .expect("location map and shard agree on live rows");
+        self.lock_log().log.push(UpdateEntry::Delete { gid });
+        self.lock_maintenance()
+            .push(maintenance_record(self.indexed_cols.len(), len_before));
+        Some(row)
+    }
+
+    // --- queries -----------------------------------------------------------
+
+    /// The live tuple under a global row id (cloned out of the shard so
+    /// no lock outlives the call).
+    pub fn row(&self, gid: usize) -> Option<Vec<Value>> {
+        let (shard, local) = {
+            let ids = self.read_ids();
+            (*ids.locations.get(gid)?)?
+        };
+        self.read_shard(shard).row(local).map(<[Value]>::to_vec)
+    }
+
+    /// Boolean answer, read-locking only the relevant shards (in turn).
+    pub fn answer(&self, q: &SelectionQuery) -> bool {
+        let meter = Meter::new();
+        relevant_shards_for(&self.shard_by, self.shards.len(), q)
+            .into_iter()
+            .any(|s| self.read_shard(s).answer_metered(q, &meter))
+    }
+
+    /// Global ids (ascending) of all live rows matching `q`, read-locking
+    /// only the relevant shards.
+    pub fn matching_ids(&self, q: &SelectionQuery) -> Vec<usize> {
+        let meter = Meter::new();
+        let locals: Vec<(usize, Vec<usize>)> =
+            relevant_shards_for(&self.shard_by, self.shards.len(), q)
+                .into_iter()
+                .map(|s| (s, self.read_shard(s).matching_ids_metered(q, &meter)))
+                .collect();
+        // Translation happens after the shard locks are released: the
+        // local→global maps are append-only, and every local id seen
+        // above was mapped before its row became visible.
+        let ids = self.read_ids();
+        let mut out: Vec<usize> = locals
+            .into_iter()
+            .flat_map(|(s, ls)| {
+                let map = &ids.global_ids[s];
+                ls.into_iter().map(|l| map[l]).collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Answer a whole [`QueryBatch`], fanning out across shards on scoped
+    /// threads exactly like [`QueryBatch::execute`] — but each worker
+    /// takes its shard's *read* lock, so the batch runs concurrently with
+    /// other batches and with writers touching other shards.
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchAnswers, EngineError> {
+        let (plans, routed) = self.route(batch.queries())?;
+        let merged = fan_out(self.shards.len(), &routed, |s, assigned| {
+            eval_assigned(
+                batch.queries(),
+                &self.read_shard(s),
+                assigned,
+                |sh, q, m| sh.answer_metered(q, m),
+            )
+        })?;
+        let mut answers = vec![false; batch.len()];
+        for (qi, per_shard) in merged.iter().enumerate() {
+            answers[qi] = per_shard.iter().any(|(hit, _)| *hit);
+        }
+        Ok(BatchAnswers {
+            answers,
+            report: report_from(plans, &routed, &merged),
+        })
+    }
+
+    /// Enumerate matching global row ids for a whole batch under
+    /// per-shard read locks (the row-id mode of [`Self::execute`]).
+    pub fn execute_rows(&self, batch: &QueryBatch) -> Result<BatchRows, EngineError> {
+        let (plans, routed) = self.route(batch.queries())?;
+        let merged = fan_out(self.shards.len(), &routed, |s, assigned| {
+            eval_assigned(
+                batch.queries(),
+                &self.read_shard(s),
+                assigned,
+                |sh, q, m| sh.matching_ids_metered(q, m),
+            )
+        })?;
+        let ids = self.read_ids();
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); batch.len()];
+        for (qi, per_shard) in merged.iter().enumerate() {
+            for ((locals, _), &shard) in per_shard.iter().zip(&routed[qi]) {
+                let map = &ids.global_ids[shard];
+                rows[qi].extend(locals.iter().map(|&l| map[l]));
+            }
+            rows[qi].sort_unstable();
+        }
+        drop(ids);
+        Ok(BatchRows {
+            rows,
+            report: report_from(plans, &routed, &merged),
+        })
+    }
+
+    /// Validate, plan, and shard-route a query slice (the live twin of
+    /// the batch executor's routing, sharing the same helpers).
+    fn route(
+        &self,
+        queries: &[SelectionQuery],
+    ) -> Result<(Vec<crate::planner::QueryPlan>, Vec<Vec<usize>>), EngineError> {
+        route_batch(
+            queries,
+            &self.schema,
+            &self.indexed_cols,
+            self.slot_count(),
+            &self.shard_by,
+            self.shards.len(),
+        )
+    }
+
+    // --- maintenance accounting -------------------------------------------
+
+    /// The `|CHANGED|` accounting of every update applied since this
+    /// relation was wrapped (or recovered): one
+    /// [`UpdateRecord`] per insert/delete, in apply order.
+    pub fn boundedness_report(&self) -> BoundednessReport {
+        self.lock_maintenance().clone()
+    }
+
+    // --- checkpoint & recovery --------------------------------------------
+
+    /// Updates applied since the last confirmed checkpoint, oldest
+    /// first.
+    pub fn pending_log(&self) -> UpdateLog {
+        self.lock_log().log.clone()
+    }
+
+    /// Atomically export the current state as a [`ShardedRelation`]
+    /// together with the **absolute** log position it covers (entries
+    /// ever logged, including already-truncated ones).
+    ///
+    /// All shard locks are held (read) only while the shards are cloned,
+    /// so the returned state is a true point-in-time snapshot — every
+    /// update is either fully inside it or fully after the returned mark
+    /// — but writers resume as soon as the copy exists; the O(n)
+    /// reassembly validation runs on the private clone afterwards. The
+    /// log is *not* truncated here — call [`Self::confirm_checkpoint`]
+    /// with the mark once the snapshot is durably persisted, so a failed
+    /// save never loses replayability.
+    pub fn freeze(&self) -> (ShardedRelation, usize) {
+        let (schema, shard_by, shards, global_ids, locations, covered) = {
+            let guards: Vec<RwLockReadGuard<'_, IndexedRelation>> =
+                self.shards.iter().map(read_lock).collect();
+            let ids = self.read_ids();
+            let log = self.lock_log();
+            let covered = log.base + log.log.len();
+            (
+                self.schema.clone(),
+                self.shard_by.clone(),
+                guards.iter().map(|g| (**g).clone()).collect::<Vec<_>>(),
+                ids.global_ids.clone(),
+                ids.locations.clone(),
+                covered,
+            )
+            // All guards drop here: writers proceed while we validate.
+        };
+        let state = ShardedRelation::from_parts(schema, shard_by, shards, global_ids, locations)
+            .expect("live state upholds the sharded invariants");
+        (state, covered)
+    }
+
+    /// Export the current state alone (a freeze whose log position the
+    /// caller does not need).
+    pub fn to_sharded(&self) -> ShardedRelation {
+        self.freeze().0
+    }
+
+    /// Truncate every log entry at or before the absolute position
+    /// `covered` once its snapshot has been durably persisted (the
+    /// second half of a checkpoint; `covered` comes from
+    /// [`Self::freeze`]). Positions are absolute, so two checkpoints
+    /// confirming in any order each truncate only what their own
+    /// snapshot covers — never a racing checkpoint's uncovered suffix.
+    pub fn confirm_checkpoint(&self, covered: usize) {
+        let mut state = self.lock_log();
+        let drain = covered.saturating_sub(state.base).min(state.log.len());
+        state.log.drain_prefix(drain);
+        state.base += drain;
+    }
+
+    /// Replay a log onto this relation (typically fresh from a
+    /// snapshot): re-applies every entry in order and verifies each
+    /// insert reproduces the logged global id. On success the relation's
+    /// state — answers *and* global row ids — equals the state the log
+    /// was recorded from.
+    pub fn replay(&self, log: &UpdateLog) -> Result<usize, EngineError> {
+        for entry in log.entries() {
+            match entry {
+                UpdateEntry::Insert { gid, row } => {
+                    let got = self.insert(row.clone())?;
+                    if got != *gid {
+                        return Err(EngineError::ReplayGidMismatch {
+                            expected: *gid,
+                            found: got,
+                        });
+                    }
+                }
+                UpdateEntry::Delete { gid } => {
+                    self.delete(*gid)
+                        .ok_or(EngineError::ReplayMissingRow { gid: *gid })?;
+                }
+            }
+        }
+        Ok(log.len())
+    }
+}
+
+fn read_lock(lock: &RwLock<IndexedRelation>) -> RwLockReadGuard<'_, IndexedRelation> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_relation::ColType;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColType::Int), ("city", ColType::Str)])
+    }
+
+    fn relation(n: i64) -> Relation {
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
+            .collect();
+        Relation::from_rows(schema(), rows).unwrap()
+    }
+
+    fn live(n: i64, shards: usize) -> LiveRelation {
+        LiveRelation::build(&relation(n), ShardBy::Hash { col: 0 }, shards, &[0, 1]).unwrap()
+    }
+
+    #[test]
+    fn serves_like_a_sharded_relation() {
+        let rel = relation(200);
+        let lr = live(200, 4);
+        for q in [
+            SelectionQuery::point(0, 123i64),
+            SelectionQuery::point(0, 999i64),
+            SelectionQuery::point(1, "city7"),
+            SelectionQuery::range_closed(0, 40i64, 55i64),
+            SelectionQuery::and(
+                SelectionQuery::point(1, "city3"),
+                SelectionQuery::range_closed(0, 100i64, 160i64),
+            ),
+        ] {
+            assert_eq!(lr.answer(&q), rel.eval_scan(&q), "{q:?}");
+        }
+        assert_eq!(lr.len(), 200);
+        assert_eq!(
+            lr.matching_ids(&SelectionQuery::point(1, "city2"))[..2],
+            [2, 12]
+        );
+    }
+
+    #[test]
+    fn updates_through_shared_reference() {
+        let lr = live(20, 4);
+        let gid = lr.insert(vec![Value::Int(100), Value::str("new")]).unwrap();
+        assert_eq!(gid, 20);
+        assert_eq!(lr.row(gid).unwrap()[1], Value::str("new"));
+        assert!(lr.answer(&SelectionQuery::point(0, 100i64)));
+
+        let removed = lr.delete(5).expect("gid 5 live");
+        assert_eq!(removed[0], Value::Int(5));
+        assert!(lr.delete(5).is_none(), "double delete is a no-op");
+        assert!(!lr.answer(&SelectionQuery::point(0, 5i64)));
+        assert_eq!(lr.len(), 20);
+        assert!(lr.row(5).is_none());
+        assert_eq!(lr.row(6).unwrap()[0], Value::Int(6));
+    }
+
+    #[test]
+    fn batches_execute_under_read_locks() {
+        let rel = relation(300);
+        let lr = live(300, 4);
+        let batch = QueryBatch::new((0..40i64).map(|k| match k % 2 {
+            0 => SelectionQuery::point(0, k * 9),
+            _ => SelectionQuery::range_closed(0, k * 5, k * 5 + 12),
+        }));
+        let got = lr.execute(&batch).unwrap();
+        for (q, &ans) in batch.queries().iter().zip(&got.answers) {
+            assert_eq!(ans, rel.eval_scan(q), "{q:?}");
+        }
+        assert!(got.report.total_steps > 0);
+        let rows = lr.execute_rows(&batch).unwrap();
+        for (q, ids) in batch.queries().iter().zip(&rows.rows) {
+            assert_eq!(ids.len(), rel.count_where(q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn update_log_records_in_gid_order() {
+        let lr = live(4, 2);
+        let g1 = lr.insert(vec![Value::Int(50), Value::str("a")]).unwrap();
+        lr.delete(0).unwrap();
+        let g2 = lr.insert(vec![Value::Int(51), Value::str("b")]).unwrap();
+        let log = lr.pending_log();
+        assert_eq!(log.len(), 3);
+        assert!(matches!(log.entries()[0], UpdateEntry::Insert { gid, .. } if gid == g1));
+        assert!(matches!(log.entries()[1], UpdateEntry::Delete { gid } if gid == 0));
+        assert!(matches!(log.entries()[2], UpdateEntry::Insert { gid, .. } if gid == g2));
+    }
+
+    #[test]
+    fn freeze_replay_reproduces_state_and_ids() {
+        let lr = live(50, 3);
+        lr.delete(7);
+        lr.insert(vec![Value::Int(500), Value::str("mid")]).unwrap();
+
+        // Checkpoint: freeze the state, confirm, then keep writing.
+        let (state, covered) = lr.freeze();
+        lr.confirm_checkpoint(covered);
+        lr.insert(vec![Value::Int(501), Value::str("late")])
+            .unwrap();
+        lr.delete(3);
+
+        // Recover: wrap the frozen state, replay the pending suffix.
+        let recovered = LiveRelation::from_sharded(state);
+        recovered.replay(&lr.pending_log()).unwrap();
+
+        assert_eq!(recovered.len(), lr.len());
+        for gid in 0..53 {
+            assert_eq!(recovered.row(gid), lr.row(gid), "gid {gid}");
+        }
+        for q in [
+            SelectionQuery::point(0, 500i64),
+            SelectionQuery::point(0, 501i64),
+            SelectionQuery::point(0, 3i64),
+            SelectionQuery::range_closed(0, 0i64, 600i64),
+        ] {
+            assert_eq!(recovered.matching_ids(&q), lr.matching_ids(&q), "{q:?}");
+        }
+    }
+
+    /// Regression: `confirm_checkpoint` used to truncate by *count*, so
+    /// two checkpoints racing on the same state would each drain one
+    /// prefix — the second one swallowing entries its snapshot never
+    /// covered. Marks are absolute log positions now: confirming the
+    /// same mark twice is idempotent and never touches newer entries.
+    #[test]
+    fn racing_checkpoint_confirms_never_drop_uncovered_entries() {
+        let lr = live(4, 2);
+        lr.insert(vec![Value::Int(50), Value::str("a")]).unwrap();
+        lr.insert(vec![Value::Int(51), Value::str("b")]).unwrap();
+        // Two concurrent checkpoints freeze the same state.
+        let (_s1, m1) = lr.freeze();
+        let (_s2, m2) = lr.freeze();
+        assert_eq!(m1, m2, "same state, same absolute mark");
+        // A post-freeze update covered by neither snapshot.
+        lr.insert(vec![Value::Int(52), Value::str("c")]).unwrap();
+        lr.confirm_checkpoint(m1);
+        lr.confirm_checkpoint(m2); // second confirm must be a no-op
+        assert_eq!(
+            lr.pending_log().len(),
+            1,
+            "the uncovered entry survives both confirms"
+        );
+        assert!(matches!(
+            lr.pending_log().entries()[0],
+            UpdateEntry::Insert { gid: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn replay_rejects_histories_that_do_not_match() {
+        let lr = live(10, 2);
+        // A log recorded against a different state: gid 99 was never live.
+        let log = UpdateLog::from_entries(vec![UpdateEntry::Delete { gid: 99 }]);
+        assert_eq!(
+            lr.replay(&log).unwrap_err(),
+            EngineError::ReplayMissingRow { gid: 99 }
+        );
+        // An insert logged under a gid the replay cannot reproduce.
+        let log = UpdateLog::from_entries(vec![UpdateEntry::Insert {
+            gid: 77,
+            row: vec![Value::Int(1), Value::str("x")],
+        }]);
+        assert_eq!(
+            lr.replay(&log).unwrap_err(),
+            EngineError::ReplayGidMismatch {
+                expected: 77,
+                found: 10
+            }
+        );
+    }
+
+    #[test]
+    fn maintenance_is_changed_bounded_up_to_the_descent() {
+        let lr = live(0, 2);
+        for i in 0..200i64 {
+            lr.insert(vec![Value::Int(i), Value::str("x")]).unwrap();
+        }
+        for gid in (0..200).step_by(2) {
+            lr.delete(gid).unwrap();
+        }
+        let report = lr.boundedness_report();
+        assert_eq!(report.len(), 300, "one record per applied update");
+        assert_eq!(report.total_changed(), 300 * 4, "|ΔD|=1, |ΔO|=3 each");
+        // Bounded by |CHANGED| times the B⁺-tree descent factor.
+        let c = f64::from(log2_floor(200).max(1));
+        assert!(
+            report.is_per_update_bounded(c),
+            "worst {}",
+            report.worst_ratio()
+        );
+        // And decidedly not free: the work is real.
+        assert!(report.total_work() > 0);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected_typed() {
+        let lr = live(5, 2);
+        let err = lr.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Indexed(IndexedError::RowRejected(_))),
+            "{err}"
+        );
+        assert_eq!(lr.len(), 5, "nothing was applied");
+        assert!(lr.pending_log().is_empty(), "nothing was logged");
+    }
+
+    #[test]
+    fn concurrent_inserts_assign_unique_gids() {
+        let lr = live(0, 4);
+        let gids: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let lr = &lr;
+                    scope.spawn(move || {
+                        (0..50i64)
+                            .map(|i| {
+                                lr.insert(vec![
+                                    Value::Int(t * 1000 + i),
+                                    Value::str(format!("w{t}")),
+                                ])
+                                .unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = gids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200, "no gid assigned twice");
+        assert_eq!(lr.len(), 200);
+        // The log replays to the same state.
+        let fresh =
+            LiveRelation::build(&relation(0), ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+        fresh.replay(&lr.pending_log()).unwrap();
+        assert_eq!(fresh.len(), 200);
+        for gid in 0..200 {
+            assert_eq!(fresh.row(gid), lr.row(gid), "gid {gid}");
+        }
+    }
+}

@@ -66,16 +66,23 @@ pub struct QueryPlan {
 pub struct Planner;
 
 impl Planner {
-    /// Plan `q` against a relation of `rows` live tuples with B⁺-trees on
-    /// `indexed_cols`.
+    /// Plan `q` against a relation of `slots` row slots (live rows *plus*
+    /// tombstones) with B⁺-trees on `indexed_cols`.
     ///
     /// The policy mirrors the executor exactly: an indexed point
     /// (sub)query beats an indexed range (sub)query beats a scan, and a
     /// conjunction drives through its first indexed point conjunct,
     /// falling back to its first indexed range conjunct.
-    pub fn plan(indexed_cols: &[usize], rows: usize, q: &SelectionQuery) -> QueryPlan {
-        let descent = 2 * u64::from(log2_floor(rows.max(2) as u64)).max(1);
-        let candidates = (rows as u64 / 16).max(1);
+    ///
+    /// Scans are estimated against the **slot count**, not the live-row
+    /// count: the executor's scan walks every slot including tombstones,
+    /// so after heavy churn (many deletes) a live-count estimate was an
+    /// undercount — metered steps exceeded the estimate and scan vs index
+    /// paths could be mis-ranked. Callers thread `slot_count()` through
+    /// here (see `ShardedRelation::slot_count`).
+    pub fn plan(indexed_cols: &[usize], slots: usize, q: &SelectionQuery) -> QueryPlan {
+        let descent = 2 * u64::from(log2_floor(slots.max(2) as u64)).max(1);
+        let candidates = (slots as u64 / 16).max(1);
         let indexed = |col: &usize| indexed_cols.contains(col);
         match q {
             SelectionQuery::Point { col, .. } if indexed(col) => QueryPlan {
@@ -105,13 +112,13 @@ impl Planner {
                     }
                     _ => QueryPlan {
                         path: AccessPath::FullScan,
-                        est_steps: rows as u64,
+                        est_steps: slots as u64,
                     },
                 }
             }
             _ => QueryPlan {
                 path: AccessPath::FullScan,
-                est_steps: rows as u64,
+                est_steps: slots as u64,
             },
         }
     }
@@ -203,7 +210,7 @@ mod tests {
             SelectionQuery::point(1, "absent"),
         ];
         for q in &queries {
-            let plan = Planner::plan(&ir.indexed_columns(), ir.len(), q);
+            let plan = Planner::plan(&ir.indexed_columns(), ir.slot_count(), q);
             meter.take();
             ir.answer_metered(q, &meter);
             let steps = meter.take();
@@ -219,5 +226,49 @@ mod tests {
                 ),
             }
         }
+    }
+
+    /// Regression: the full-scan estimate used the live-row count, but the
+    /// executor's scan walks every slot including tombstones. On a heavily
+    /// churned relation the metered steps then exceeded the estimate
+    /// (estimate 100, actual 1000 below), which could mis-rank scan vs
+    /// index paths. Planning against slot count restores the invariant
+    /// that a scan's metered cost never exceeds its estimate.
+    #[test]
+    fn scan_plan_covers_metered_cost_on_churned_relation() {
+        let n = 1000i64;
+        let schema = Schema::new(&[("id", ColType::Int), ("tag", ColType::Str)]);
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("t{}", i % 8))])
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        let mut ir = IndexedRelation::build(&rel, &[0]).unwrap();
+        // Heavy churn: delete 90% of the rows; slots stay at 1000.
+        for id in 0..(n as usize) {
+            if id % 10 != 0 {
+                ir.delete(id);
+            }
+        }
+        assert_eq!(ir.len(), 100);
+        assert_eq!(ir.slot_count(), 1000);
+
+        // Unindexed-column point query: a full scan on both plan and meter.
+        let q = SelectionQuery::point(1, "absent");
+        let plan = Planner::plan(&ir.indexed_columns(), ir.slot_count(), &q);
+        assert_eq!(plan.path, AccessPath::FullScan);
+        let meter = Meter::new();
+        ir.answer_metered(&q, &meter);
+        let steps = meter.take();
+        assert_eq!(steps, 1000, "the scan walks every slot, tombstones too");
+        assert!(
+            plan.est_steps >= steps,
+            "estimate {} must cover the metered scan cost {steps}",
+            plan.est_steps
+        );
+
+        // Same agreement on the enumeration path.
+        ir.matching_ids_metered(&q, &meter);
+        let steps = meter.take();
+        assert!(plan.est_steps >= steps, "enumeration scan {steps} covered");
     }
 }

@@ -11,7 +11,7 @@ use crate::error::EngineError;
 use pitract_core::cost::Meter;
 use pitract_core::hash::Fnv64;
 use pitract_relation::indexed::IndexedRelation;
-use pitract_relation::{Relation, Schema, SelectionQuery, Value};
+use pitract_relation::{IndexedError, Relation, Schema, SelectionQuery, Value};
 use std::ops::Bound;
 
 /// The pinned shard-routing hash: FNV-1a 64 over the value's canonical
@@ -36,9 +36,10 @@ fn shard_hash(value: &Value) -> u64 {
 
 /// The one routing function: which of `shard_count` shards a shard-key
 /// `value` belongs to under `shard_by`. Shared by
-/// [`ShardedRelation::shard_of`] and the [`ShardedRelation::from_parts`]
-/// membership validation so the two can never diverge.
-fn route_shard(shard_by: &ShardBy, shard_count: usize, value: &Value) -> usize {
+/// [`ShardedRelation::shard_of`], the [`ShardedRelation::from_parts`]
+/// membership validation, and the live serving layer
+/// ([`crate::live::LiveRelation`]) so none of them can diverge.
+pub(crate) fn route_shard(shard_by: &ShardBy, shard_count: usize, value: &Value) -> usize {
     match shard_by {
         ShardBy::Hash { .. } => (shard_hash(value) % shard_count as u64) as usize,
         ShardBy::Range { splits, .. } => splits.partition_point(|s| s <= value),
@@ -103,7 +104,7 @@ impl ShardedRelation {
         let shards = (0..shard_count)
             .map(|_| IndexedRelation::build(&empty, cols))
             .collect::<Result<Vec<_>, _>>()
-            .map_err(EngineError::Relation)?;
+            .map_err(EngineError::Indexed)?;
         let mut sharded = ShardedRelation {
             schema: relation.schema().clone(),
             shard_by,
@@ -143,6 +144,14 @@ impl ShardedRelation {
         self.live
     }
 
+    /// Total row slots ever assigned across all shards — live rows plus
+    /// tombstones. This is what a full scan must walk, so the planner
+    /// estimates scans against it (estimating against [`Self::len`] under-
+    /// counted after heavy churn and mis-ranked scan vs index paths).
+    pub fn slot_count(&self) -> usize {
+        self.shards.iter().map(IndexedRelation::slot_count).sum()
+    }
+
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
         self.live == 0
@@ -169,11 +178,13 @@ impl ShardedRelation {
     /// Insert a tuple, routing it to its shard and maintaining that
     /// shard's indexes. Returns the stable global row id.
     pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, EngineError> {
-        self.schema.admits(&row).map_err(EngineError::Relation)?;
+        self.schema
+            .admits(&row)
+            .map_err(|e| EngineError::Indexed(IndexedError::RowRejected(e)))?;
         let shard = self.shard_of(&row[self.shard_by.col()]);
         let local = self.shards[shard]
             .insert(row)
-            .map_err(EngineError::Relation)?;
+            .map_err(EngineError::Indexed)?;
         let gid = self.locations.len();
         debug_assert_eq!(local, self.global_ids[shard].len());
         self.global_ids[shard].push(gid);
@@ -216,35 +227,7 @@ impl ShardedRelation {
     /// always a superset of the shards with matches — routing can prune,
     /// never drop answers.
     pub fn relevant_shards(&self, q: &SelectionQuery) -> Vec<usize> {
-        let s = self.shards.len();
-        let mut mask = vec![true; s];
-        for conjunct in q.conjuncts() {
-            match conjunct {
-                SelectionQuery::Point { col, value } if *col == self.shard_by.col() => {
-                    let keep = self.shard_of(value);
-                    for (i, m) in mask.iter_mut().enumerate() {
-                        *m &= i == keep;
-                    }
-                }
-                SelectionQuery::Range { col, lo, hi } if *col == self.shard_by.col() => {
-                    if let ShardBy::Range { .. } = self.shard_by {
-                        let first = match lo {
-                            Bound::Included(v) | Bound::Excluded(v) => self.shard_of(v),
-                            Bound::Unbounded => 0,
-                        };
-                        let last = match hi {
-                            Bound::Included(v) | Bound::Excluded(v) => self.shard_of(v),
-                            Bound::Unbounded => s - 1,
-                        };
-                        for (i, m) in mask.iter_mut().enumerate() {
-                            *m &= first <= i && i <= last;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        (0..s).filter(|&i| mask[i]).collect()
+        relevant_shards_for(&self.shard_by, self.shards.len(), q)
     }
 
     /// Boolean answer, probing only the relevant shards sequentially.
@@ -382,11 +365,76 @@ impl ShardedRelation {
             live,
         })
     }
+
+    /// Decompose into owned parts — the exact inverse of
+    /// [`Self::from_parts`]. Used by the live serving layer
+    /// ([`crate::live::LiveRelation`]) to take ownership of the shards so
+    /// each can sit behind its own lock.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Schema,
+        ShardBy,
+        Vec<IndexedRelation>,
+        Vec<Vec<usize>>,
+        Vec<Option<(usize, usize)>>,
+    ) {
+        (
+            self.schema,
+            self.shard_by,
+            self.shards,
+            self.global_ids,
+            self.locations,
+        )
+    }
 }
 
-/// The build-time partitioning checks, shared by [`ShardedRelation::build`]
-/// and [`ShardedRelation::from_parts`].
-fn validate_shard_by(
+/// The routing-prune computation behind [`ShardedRelation::relevant_shards`],
+/// shared with the live serving layer ([`crate::live::LiveRelation`]) so the
+/// locked and unlocked paths can never prune differently.
+pub(crate) fn relevant_shards_for(
+    shard_by: &ShardBy,
+    shard_count: usize,
+    q: &SelectionQuery,
+) -> Vec<usize> {
+    let mut mask = vec![true; shard_count];
+    for conjunct in q.conjuncts() {
+        match conjunct {
+            SelectionQuery::Point { col, value } if *col == shard_by.col() => {
+                let keep = route_shard(shard_by, shard_count, value);
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m &= i == keep;
+                }
+            }
+            SelectionQuery::Range { col, lo, hi } if *col == shard_by.col() => {
+                if let ShardBy::Range { .. } = shard_by {
+                    let first = match lo {
+                        Bound::Included(v) | Bound::Excluded(v) => {
+                            route_shard(shard_by, shard_count, v)
+                        }
+                        Bound::Unbounded => 0,
+                    };
+                    let last = match hi {
+                        Bound::Included(v) | Bound::Excluded(v) => {
+                            route_shard(shard_by, shard_count, v)
+                        }
+                        Bound::Unbounded => shard_count - 1,
+                    };
+                    for (i, m) in mask.iter_mut().enumerate() {
+                        *m &= first <= i && i <= last;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (0..shard_count).filter(|&i| mask[i]).collect()
+}
+
+/// The build-time partitioning checks, shared by [`ShardedRelation::build`],
+/// [`ShardedRelation::from_parts`], and [`crate::live::LiveRelation`].
+pub(crate) fn validate_shard_by(
     schema: &Schema,
     shard_by: &ShardBy,
     shard_count: usize,

@@ -48,6 +48,7 @@ enum Node<K, V> {
 /// A B⁺-tree mapping ordered keys to values. Unique keys: inserting an
 /// existing key replaces its value (relations index row ids per key via
 /// multi-value payloads at a higher layer).
+#[derive(Clone)]
 pub struct BPlusTree<K, V> {
     nodes: Vec<Node<K, V>>,
     free_slots: Vec<usize>,

@@ -23,14 +23,122 @@ use crate::value::Value;
 use pitract_core::cost::Meter;
 use pitract_index::bptree::BPlusTree;
 use std::collections::HashMap;
+use std::fmt;
 use std::ops::Bound;
 
 /// One persisted secondary index: the column it covers plus its
 /// ascending `(key, posting list)` entries.
 pub type IndexEntries = (usize, Vec<(Value, Vec<usize>)>);
 
+/// Everything that can go wrong building, updating, or reassembling an
+/// [`IndexedRelation`].
+///
+/// `build`, `insert`, and `from_parts` used to return `Result<_, String>`
+/// while every layer above (the engine's [`ShardedRelation`] and the
+/// store's snapshot loader) had typed errors — so the bottom of the
+/// build/insert path forced everything back into prose. Each failure
+/// class is now a distinct variant with `From` conversions upward
+/// (`EngineError::Indexed`, `StoreError::Indexed`), so callers can match
+/// instead of parsing strings.
+///
+/// [`ShardedRelation`]: https://docs.rs/pitract-engine
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexedError {
+    /// An index was requested on a column the schema does not have.
+    ColumnOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// The schema's arity.
+        arity: usize,
+    },
+    /// A row failed schema validation (arity or column-type mismatch).
+    RowRejected(String),
+    /// `from_parts`: a column appears twice in the supplied indexes.
+    DuplicateIndex {
+        /// The duplicated column.
+        col: usize,
+    },
+    /// `from_parts`: index keys were not strictly ascending.
+    KeysNotAscending {
+        /// The index's column.
+        col: usize,
+    },
+    /// `from_parts`: an index key carried an empty posting list (live keys
+    /// must post at least one row).
+    EmptyPosting {
+        /// The index's column.
+        col: usize,
+        /// Display form of the offending key.
+        key: String,
+    },
+    /// `from_parts`: a posting list's row ids were not strictly ascending.
+    PostingNotAscending {
+        /// The index's column.
+        col: usize,
+        /// Display form of the offending key.
+        key: String,
+    },
+    /// `from_parts`: a posting points at a row that is dead, out of range,
+    /// or does not hold the posted key.
+    DanglingPosting {
+        /// The index's column.
+        col: usize,
+        /// The offending row id.
+        id: usize,
+    },
+    /// `from_parts`: an index does not post exactly the live rows.
+    PostingCountMismatch {
+        /// The index's column.
+        col: usize,
+        /// Rows posted by the index.
+        posted: usize,
+        /// Live rows in the relation.
+        live: usize,
+    },
+}
+
+impl fmt::Display for IndexedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexedError::ColumnOutOfRange { col, arity } => {
+                write!(f, "cannot index column {col}: schema has arity {arity}")
+            }
+            IndexedError::RowRejected(why) => write!(f, "row rejected by schema: {why}"),
+            IndexedError::DuplicateIndex { col } => {
+                write!(f, "duplicate index on column {col}")
+            }
+            IndexedError::KeysNotAscending { col } => {
+                write!(f, "index on column {col}: keys not strictly ascending")
+            }
+            IndexedError::EmptyPosting { col, key } => {
+                write!(f, "index on column {col}: empty posting for {key}")
+            }
+            IndexedError::PostingNotAscending { col, key } => {
+                write!(
+                    f,
+                    "index on column {col}: posting ids for {key} not strictly ascending"
+                )
+            }
+            IndexedError::DanglingPosting { col, id } => {
+                write!(
+                    f,
+                    "index on column {col}: posting id {id} does not hold the posted key"
+                )
+            }
+            IndexedError::PostingCountMismatch { col, posted, live } => {
+                write!(
+                    f,
+                    "index on column {col} posts {posted} rows, relation has {live} live"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexedError {}
+
 /// A relation plus B⁺-tree secondary indexes on selected columns.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IndexedRelation {
     schema: Schema,
     /// Tombstone row storage: deletes never shift surviving row ids, so
@@ -47,12 +155,10 @@ impl IndexedRelation {
     /// Every entry of `cols` must name a column of the schema; an
     /// out-of-range column is reported as an error instead of panicking
     /// during index maintenance.
-    pub fn build(relation: &Relation, cols: &[usize]) -> Result<Self, String> {
+    pub fn build(relation: &Relation, cols: &[usize]) -> Result<Self, IndexedError> {
         let arity = relation.schema().arity();
         if let Some(&bad) = cols.iter().find(|&&c| c >= arity) {
-            return Err(format!(
-                "cannot index column {bad}: schema has arity {arity}"
-            ));
+            return Err(IndexedError::ColumnOutOfRange { col: bad, arity });
         }
         let mut ir = IndexedRelation {
             schema: relation.schema().clone(),
@@ -89,8 +195,10 @@ impl IndexedRelation {
     }
 
     /// Insert a tuple, maintaining every index. Returns the row id.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, String> {
-        self.schema.admits(&row)?;
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, IndexedError> {
+        self.schema
+            .admits(&row)
+            .map_err(IndexedError::RowRejected)?;
         let id = self.rows.len();
         for (&col, tree) in &mut self.indexes {
             let key = row[col].clone();
@@ -238,8 +346,11 @@ impl IndexedRelation {
             .iter()
             .enumerate()
             .filter_map(|(id, slot)| {
-                let row = slot.as_ref()?;
+                // Tombstoned slots are walked too — that is real work the
+                // scan performs, so the meter charges it (and the planner
+                // estimates scans against slot count, not live count).
                 meter.tick();
+                let row = slot.as_ref()?;
                 q.matches(row).then_some(id)
             })
             .collect()
@@ -303,10 +414,14 @@ impl IndexedRelation {
     }
 
     fn scan_metered(&self, q: &SelectionQuery, meter: &Meter) -> bool {
-        for row in self.rows.iter().flatten() {
+        for slot in &self.rows {
+            // Every slot visited costs a step, tombstones included (the
+            // scan cannot skip them without an index).
             meter.tick();
-            if q.matches(row) {
-                return true;
+            if let Some(row) = slot {
+                if q.matches(row) {
+                    return true;
+                }
             }
         }
         false
@@ -354,33 +469,33 @@ impl IndexedRelation {
         schema: Schema,
         slots: Vec<Option<Vec<Value>>>,
         indexes: Vec<IndexEntries>,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, IndexedError> {
         for row in slots.iter().flatten() {
-            schema.admits(row)?;
+            schema.admits(row).map_err(IndexedError::RowRejected)?;
         }
         let live = slots.iter().flatten().count();
         let arity = schema.arity();
         let mut trees = HashMap::with_capacity(indexes.len());
         for (col, entries) in indexes {
             if col >= arity {
-                return Err(format!(
-                    "cannot index column {col}: schema has arity {arity}"
-                ));
+                return Err(IndexedError::ColumnOutOfRange { col, arity });
             }
             if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
-                return Err(format!(
-                    "index on column {col}: keys not strictly ascending"
-                ));
+                return Err(IndexedError::KeysNotAscending { col });
             }
             let mut posted = 0usize;
             for (key, posting) in &entries {
                 if posting.is_empty() {
-                    return Err(format!("index on column {col}: empty posting for {key}"));
+                    return Err(IndexedError::EmptyPosting {
+                        col,
+                        key: key.to_string(),
+                    });
                 }
                 if posting.windows(2).any(|w| w[0] >= w[1]) {
-                    return Err(format!(
-                        "index on column {col}: posting ids for {key} not strictly ascending"
-                    ));
+                    return Err(IndexedError::PostingNotAscending {
+                        col,
+                        key: key.to_string(),
+                    });
                 }
                 for &id in posting {
                     let lives = slots
@@ -388,9 +503,7 @@ impl IndexedRelation {
                         .and_then(|slot| slot.as_ref())
                         .is_some_and(|row| &row[col] == key);
                     if !lives {
-                        return Err(format!(
-                            "index on column {col}: posting id {id} does not hold key {key}"
-                        ));
+                        return Err(IndexedError::DanglingPosting { col, id });
                     }
                 }
                 posted += posting.len();
@@ -399,12 +512,10 @@ impl IndexedRelation {
             // + every posting pointing at a live row with its key + the
             // counts matching: the postings are exactly the live rows.
             if posted != live {
-                return Err(format!(
-                    "index on column {col} posts {posted} rows, relation has {live} live"
-                ));
+                return Err(IndexedError::PostingCountMismatch { col, posted, live });
             }
             if trees.insert(col, BPlusTree::bulk_load(entries)).is_some() {
-                return Err(format!("duplicate index on column {col}"));
+                return Err(IndexedError::DuplicateIndex { col });
             }
         }
         Ok(IndexedRelation {
@@ -570,16 +681,63 @@ mod tests {
     #[test]
     fn build_rejects_out_of_range_index_columns() {
         // Regression: this used to panic with index-out-of-bounds inside
-        // insert's index maintenance instead of reporting the bad column.
+        // insert's index maintenance instead of reporting the bad column —
+        // and later reported it as a bare `String` instead of a typed
+        // error callers can match on.
         let rel = big_relation(10);
-        let err = IndexedRelation::build(&rel, &[2]).unwrap_err();
-        assert!(err.contains("column 2"), "unhelpful error: {err}");
-        let err = IndexedRelation::build(&rel, &[0, 99]).unwrap_err();
-        assert!(err.contains("column 99"), "unhelpful error: {err}");
+        assert_eq!(
+            IndexedRelation::build(&rel, &[2]).unwrap_err(),
+            IndexedError::ColumnOutOfRange { col: 2, arity: 2 }
+        );
+        assert_eq!(
+            IndexedRelation::build(&rel, &[0, 99]).unwrap_err(),
+            IndexedError::ColumnOutOfRange { col: 99, arity: 2 }
+        );
         assert!(
             IndexedRelation::build(&rel, &[]).is_ok(),
             "no indexes is fine"
         );
+    }
+
+    #[test]
+    fn errors_are_typed_and_std() {
+        // Regression (stringly-typed error path): build/insert/from_parts
+        // all return `IndexedError` now, a real `std::error::Error` with
+        // distinct, specific Display per failure class.
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&IndexedError::KeysNotAscending { col: 1 });
+
+        let mut ir = IndexedRelation::build(&big_relation(5), &[0]).unwrap();
+        let err = ir.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, IndexedError::RowRejected(_)), "{err}");
+
+        let cases = [
+            IndexedError::ColumnOutOfRange { col: 9, arity: 2 }.to_string(),
+            IndexedError::RowRejected("arity".into()).to_string(),
+            IndexedError::DuplicateIndex { col: 1 }.to_string(),
+            IndexedError::KeysNotAscending { col: 1 }.to_string(),
+            IndexedError::EmptyPosting {
+                col: 1,
+                key: "k".into(),
+            }
+            .to_string(),
+            IndexedError::PostingNotAscending {
+                col: 1,
+                key: "k".into(),
+            }
+            .to_string(),
+            IndexedError::DanglingPosting { col: 1, id: 7 }.to_string(),
+            IndexedError::PostingCountMismatch {
+                col: 1,
+                posted: 3,
+                live: 5,
+            }
+            .to_string(),
+        ];
+        let mut distinct = cases.to_vec();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), cases.len(), "every variant is distinct");
     }
 
     #[test]
@@ -731,26 +889,38 @@ mod tests {
 
         // Index column out of range.
         let bad = vec![(5usize, Vec::new())];
-        assert!(
-            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad)
-                .unwrap_err()
-                .contains("column 5")
+        assert_eq!(
+            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).unwrap_err(),
+            IndexedError::ColumnOutOfRange { col: 5, arity: 2 }
         );
 
         // Posting pointing at a dead/mismatched row.
         let mut bad = indexes.clone();
         bad[0].1[0].1 = vec![9999];
-        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+        assert_eq!(
+            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).unwrap_err(),
+            IndexedError::DanglingPosting { col: 0, id: 9999 }
+        );
 
         // Keys out of order.
         let mut bad = indexes.clone();
         bad[0].1.swap(0, 1);
-        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+        assert_eq!(
+            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).unwrap_err(),
+            IndexedError::KeysNotAscending { col: 0 }
+        );
 
         // A posting silently dropped (index incomplete).
         let mut bad = indexes.clone();
         bad[0].1.remove(3);
-        assert!(IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).is_err());
+        assert_eq!(
+            IndexedRelation::from_parts(schema.clone(), slots.clone(), bad).unwrap_err(),
+            IndexedError::PostingCountMismatch {
+                col: 0,
+                posted: 9,
+                live: 10,
+            }
+        );
 
         // The unmodified export still loads.
         assert!(IndexedRelation::from_parts(schema, slots, indexes).is_ok());

@@ -31,6 +31,7 @@ pub mod schema;
 pub mod value;
 pub mod views;
 
+pub use indexed::{IndexedError, IndexedRelation};
 pub use query::SelectionQuery;
 pub use relation::Relation;
 pub use schema::{ColType, Schema};

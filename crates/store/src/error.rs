@@ -10,6 +10,7 @@
 
 use crate::snapshot::SnapshotKind;
 use pitract_engine::EngineError;
+use pitract_relation::IndexedError;
 use std::fmt;
 
 /// Everything that can go wrong saving or loading a snapshot.
@@ -51,6 +52,9 @@ pub enum StoreError {
     /// The decoded parts were rejected by the engine's reconstruction
     /// validation.
     Engine(EngineError),
+    /// The decoded parts were rejected by the indexed-relation layer's
+    /// reconstruction validation (dangling postings, key order, …).
+    Indexed(IndexedError),
     /// A catalog snapshot name that could escape the catalog directory or
     /// collide with its bookkeeping (empty, path separators, dots).
     InvalidName(String),
@@ -78,6 +82,7 @@ impl fmt::Display for StoreError {
                 write!(f, "snapshot holds a {found}, expected a {expected}")
             }
             StoreError::Engine(e) => write!(f, "snapshot rejected by engine: {e}"),
+            StoreError::Indexed(e) => write!(f, "snapshot rejected by indexed relation: {e}"),
             StoreError::InvalidName(name) => {
                 write!(
                     f,
@@ -93,8 +98,15 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Engine(e) => Some(e),
+            StoreError::Indexed(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<IndexedError> for StoreError {
+    fn from(e: IndexedError) -> Self {
+        StoreError::Indexed(e)
     }
 }
 
@@ -130,6 +142,7 @@ mod tests {
                 expected: SnapshotKind::IndexedRelation,
                 found: SnapshotKind::HopLabels,
             },
+            StoreError::Indexed(IndexedError::KeysNotAscending { col: 0 }),
             StoreError::InvalidName("../etc".into()),
         ];
         let mut msgs: Vec<String> = cases.iter().map(|e| e.to_string()).collect();
@@ -142,6 +155,8 @@ mod tests {
     fn sources_chain_through_wrapped_errors() {
         use std::error::Error as _;
         let e = StoreError::Engine(EngineError::NoShards);
+        assert!(e.source().is_some());
+        let e = StoreError::Indexed(IndexedError::KeysNotAscending { col: 0 });
         assert!(e.source().is_some());
         let e = StoreError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(e.source().is_some());

@@ -21,6 +21,11 @@
 //!   never a panic or an unbounded allocation.
 //! * [`catalog::SnapshotCatalog`] — named snapshots in a directory with
 //!   atomic (temp-file + rename) replacement: list, save, load, remove.
+//! * [`live::LiveCheckpoint`] — checkpoint/recover for the live serving
+//!   tier: `checkpoint` freezes a [`pitract_engine::LiveRelation`] into
+//!   the catalog and truncates its update log; `recover` loads the
+//!   snapshot and replays the log, reproducing the live state
+//!   bit-identically (answers and global row ids).
 //!
 //! The correctness contract, enforced by unit, integration, and property
 //! tests: for every persisted structure, `load(save(x))` answers every
@@ -58,8 +63,10 @@
 pub mod catalog;
 pub mod codec;
 pub mod error;
+pub mod live;
 pub mod snapshot;
 
 pub use catalog::SnapshotCatalog;
 pub use error::StoreError;
+pub use live::LiveCheckpoint;
 pub use snapshot::{Snapshot, SnapshotKind, FORMAT_VERSION, MAGIC};

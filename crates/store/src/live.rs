@@ -1,0 +1,163 @@
+//! Checkpoint and recovery for the live serving tier.
+//!
+//! A [`LiveRelation`] accumulates updates in a replayable in-memory
+//! [`UpdateLog`]; this module gives it crash-consistent persistence on
+//! top of the snapshot catalog:
+//!
+//! * [`LiveCheckpoint::checkpoint`] atomically freezes the live state
+//!   (all shard locks held for the export, so the snapshot is a true
+//!   point in time), writes it through [`SnapshotCatalog`] (temp-file +
+//!   rename, so a crash mid-save never corrupts the previous
+//!   checkpoint), and only then truncates the covered log prefix — a
+//!   failed save loses nothing.
+//! * [`LiveCheckpoint::recover`] is the inverse: load the named
+//!   snapshot, wrap it for serving, and replay a log of the updates that
+//!   landed after the checkpoint. Replay verifies that every insert
+//!   reproduces its logged global id, so recovery is bit-identical to
+//!   the lost live state — same answers *and* same row ids — or fails
+//!   typed, never silently diverges.
+//!
+//! The log itself can be persisted too ([`Snapshot::Log`] /
+//! [`crate::snapshot::SnapshotKind::UpdateLog`]): a deployment that saves
+//! the pending log after each update (or batch of updates) can recover
+//! everything; one that only checkpoints recovers to the last
+//! checkpoint.
+
+use crate::catalog::SnapshotCatalog;
+use crate::error::StoreError;
+use crate::snapshot::Snapshot;
+use pitract_engine::{LiveRelation, UpdateLog};
+use std::path::PathBuf;
+
+/// Checkpoint/recover operations connecting [`LiveRelation`] to the
+/// snapshot catalog. Implemented (only) for [`LiveRelation`]; a trait so
+/// the engine crate stays independent of the store crate.
+pub trait LiveCheckpoint: Sized {
+    /// Freeze the live state, persist it under `name`, and truncate the
+    /// update log to the entries not covered by the snapshot. Returns the
+    /// snapshot's file path.
+    fn checkpoint(&self, catalog: &SnapshotCatalog, name: &str) -> Result<PathBuf, StoreError>;
+
+    /// Load the snapshot saved under `name`, wrap it for live serving,
+    /// and replay `log` (the updates recorded after that checkpoint)
+    /// onto it. The result is bit-identical to the state the log was
+    /// recorded from.
+    fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError>;
+}
+
+impl LiveCheckpoint for LiveRelation {
+    fn checkpoint(&self, catalog: &SnapshotCatalog, name: &str) -> Result<PathBuf, StoreError> {
+        let (state, covered) = self.freeze();
+        let path = catalog.save(name, &Snapshot::Sharded(state))?;
+        // Truncate only after the save succeeded: a failed write keeps
+        // every entry replayable against the previous checkpoint.
+        self.confirm_checkpoint(covered);
+        Ok(path)
+    }
+
+    fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError> {
+        let state = catalog.load(name)?.into_sharded()?;
+        let live = LiveRelation::from_sharded(state);
+        live.replay(log).map_err(StoreError::Engine)?;
+        Ok(live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_engine::ShardBy;
+    use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+    use std::path::PathBuf;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pitract-live-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn live(n: i64) -> LiveRelation {
+        let schema = Schema::new(&[("id", ColType::Int), ("city", ColType::Str)]);
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i), Value::str(format!("city{}", i % 10))])
+            .collect();
+        let rel = Relation::from_rows(schema, rows).unwrap();
+        LiveRelation::build(&rel, ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_then_recover_is_bit_identical() {
+        let dir = fresh_dir("roundtrip");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let lr = live(60);
+        lr.delete(10).unwrap();
+        lr.insert(vec![Value::Int(600), Value::str("pre")]).unwrap();
+
+        lr.checkpoint(&catalog, "orders").unwrap();
+        assert!(lr.pending_log().is_empty(), "log truncated on checkpoint");
+
+        // Post-checkpoint traffic, covered only by the pending log.
+        lr.insert(vec![Value::Int(601), Value::str("post")])
+            .unwrap();
+        lr.delete(20).unwrap();
+
+        let recovered = LiveRelation::recover(&catalog, "orders", &lr.pending_log()).unwrap();
+        assert_eq!(recovered.len(), lr.len());
+        for gid in 0..62 {
+            assert_eq!(recovered.row(gid), lr.row(gid), "gid {gid}");
+        }
+        for q in [
+            SelectionQuery::point(0, 600i64),
+            SelectionQuery::point(0, 601i64),
+            SelectionQuery::point(0, 20i64),
+            SelectionQuery::range_closed(0, 0i64, 700i64),
+        ] {
+            assert_eq!(recovered.matching_ids(&q), lr.matching_ids(&q), "{q:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn update_log_persists_as_its_own_catalog_entry() {
+        use crate::snapshot::SnapshotKind;
+        let dir = fresh_dir("logkind");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let lr = live(10);
+        lr.insert(vec![Value::Int(77), Value::str("w")]).unwrap();
+        lr.delete(3).unwrap();
+
+        let log = lr.pending_log();
+        catalog.save("wal", &Snapshot::Log(log.clone())).unwrap();
+        assert_eq!(catalog.kind_of("wal").unwrap(), SnapshotKind::UpdateLog);
+        let loaded = catalog.load("wal").unwrap().into_log().unwrap();
+        assert_eq!(loaded, log, "codec roundtrips the log exactly");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_with_foreign_log_fails_typed() {
+        let dir = fresh_dir("foreignlog");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let lr = live(10);
+        lr.checkpoint(&catalog, "base").unwrap();
+
+        // A log recorded against some other history.
+        let other = live(50);
+        other.delete(40).unwrap();
+        let err = LiveRelation::recover(&catalog, "base", &other.pending_log()).unwrap_err();
+        assert!(matches!(err, StoreError::Engine(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_checkpoint_keeps_the_log() {
+        let dir = fresh_dir("failsave");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let lr = live(5);
+        lr.insert(vec![Value::Int(50), Value::str("kept")]).unwrap();
+        let err = lr.checkpoint(&catalog, "../escape").unwrap_err();
+        assert!(matches!(err, StoreError::InvalidName(_)), "{err}");
+        assert_eq!(lr.pending_log().len(), 1, "nothing truncated on failure");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

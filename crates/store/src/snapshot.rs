@@ -23,6 +23,7 @@
 //! | `IndexedRelation` | schema (1), row slots incl. tombstones (2), per-column index postings (3) |
 //! | `ShardedRelation` | schema (1), shard_by (4), per-shard bodies (5), global-id maps (6), locations (7) |
 //! | `HopLabels` | `L_out` (8), `L_in` (9), hub ranks (10) |
+//! | `UpdateLog` | logged insert/delete entries (11) |
 //!
 //! Readers locate sections by tag, so a future version may append new
 //! sections without breaking old payload parsing — but any change to an
@@ -37,7 +38,7 @@
 use crate::codec::{Reader, Writer};
 use crate::error::StoreError;
 use pitract_core::hash::fnv1a64;
-use pitract_engine::{ShardBy, ShardedRelation};
+use pitract_engine::{ShardBy, ShardedRelation, UpdateEntry, UpdateLog};
 use pitract_graph::hop::HopLabels;
 use pitract_relation::indexed::{IndexEntries, IndexedRelation};
 use pitract_relation::{Schema, Value};
@@ -60,6 +61,7 @@ const SEC_LOCATIONS: u32 = 7;
 const SEC_LOUT: u32 = 8;
 const SEC_LIN: u32 = 9;
 const SEC_RANK: u32 = 10;
+const SEC_LOG: u32 = 11;
 
 /// Which preprocessed structure a snapshot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,10 @@ pub enum SnapshotKind {
     ShardedRelation,
     /// [`pitract_graph::hop::HopLabels`].
     HopLabels,
+    /// A [`pitract_engine::UpdateLog`] — the updates applied to a live
+    /// relation since its last checkpoint, persisted so recovery can
+    /// replay them onto the checkpoint snapshot.
+    UpdateLog,
 }
 
 impl SnapshotKind {
@@ -78,6 +84,7 @@ impl SnapshotKind {
             SnapshotKind::IndexedRelation => 1,
             SnapshotKind::ShardedRelation => 2,
             SnapshotKind::HopLabels => 3,
+            SnapshotKind::UpdateLog => 4,
         }
     }
 
@@ -86,6 +93,7 @@ impl SnapshotKind {
             1 => Ok(SnapshotKind::IndexedRelation),
             2 => Ok(SnapshotKind::ShardedRelation),
             3 => Ok(SnapshotKind::HopLabels),
+            4 => Ok(SnapshotKind::UpdateLog),
             other => Err(StoreError::UnknownKind(other)),
         }
     }
@@ -97,6 +105,7 @@ impl fmt::Display for SnapshotKind {
             SnapshotKind::IndexedRelation => write!(f, "IndexedRelation"),
             SnapshotKind::ShardedRelation => write!(f, "ShardedRelation"),
             SnapshotKind::HopLabels => write!(f, "HopLabels"),
+            SnapshotKind::UpdateLog => write!(f, "UpdateLog"),
         }
     }
 }
@@ -110,6 +119,8 @@ pub enum Snapshot {
     Sharded(ShardedRelation),
     /// Pruned 2-hop reachability labels.
     Hop(HopLabels),
+    /// A live relation's replayable update log.
+    Log(UpdateLog),
 }
 
 impl From<IndexedRelation> for Snapshot {
@@ -130,6 +141,12 @@ impl From<HopLabels> for Snapshot {
     }
 }
 
+impl From<UpdateLog> for Snapshot {
+    fn from(log: UpdateLog) -> Self {
+        Snapshot::Log(log)
+    }
+}
+
 impl Snapshot {
     /// Which structure this snapshot holds.
     pub fn kind(&self) -> SnapshotKind {
@@ -137,6 +154,7 @@ impl Snapshot {
             Snapshot::Indexed(_) => SnapshotKind::IndexedRelation,
             Snapshot::Sharded(_) => SnapshotKind::ShardedRelation,
             Snapshot::Hop(_) => SnapshotKind::HopLabels,
+            Snapshot::Log(_) => SnapshotKind::UpdateLog,
         }
     }
 
@@ -173,6 +191,17 @@ impl Snapshot {
         }
     }
 
+    /// Unwrap an [`UpdateLog`], or report the kind actually stored.
+    pub fn into_log(self) -> Result<UpdateLog, StoreError> {
+        match self {
+            Snapshot::Log(log) => Ok(log),
+            other => Err(StoreError::WrongKind {
+                expected: SnapshotKind::UpdateLog,
+                found: other.kind(),
+            }),
+        }
+    }
+
     /// Serialize to the snapshot byte format (deterministic: equal
     /// structures produce equal bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -180,6 +209,7 @@ impl Snapshot {
             Snapshot::Indexed(ir) => encode_indexed_sections(ir),
             Snapshot::Sharded(sr) => encode_sharded_sections(sr),
             Snapshot::Hop(h) => encode_hop_sections(h),
+            Snapshot::Log(log) => encode_log_sections(log),
         };
         let mut w = Writer::new();
         w.raw(&MAGIC);
@@ -289,7 +319,7 @@ impl Snapshot {
                     let indexes = read_indexes(&mut shards_r)?;
                     shards.push(
                         IndexedRelation::from_parts(schema.clone(), slots, indexes)
-                            .map_err(StoreError::Corrupt)?,
+                            .map_err(StoreError::Indexed)?,
                     );
                 }
                 if !shards_r.is_exhausted() {
@@ -316,6 +346,10 @@ impl Snapshot {
                 HopLabels::from_parts(lout, lin, rank)
                     .map(Snapshot::Hop)
                     .map_err(|e| StoreError::Corrupt(e.to_string()))
+            }
+            SnapshotKind::UpdateLog => {
+                let entries = finish(section(SEC_LOG)?, read_log_entries)?;
+                Ok(Snapshot::Log(UpdateLog::from_entries(entries)))
             }
         }
     }
@@ -472,7 +506,7 @@ fn decode_indexed(
 ) -> Result<IndexedRelation, StoreError> {
     let slots = finish(rows, read_slots)?;
     let index_entries = finish(indexes, read_indexes)?;
-    IndexedRelation::from_parts(schema, slots, index_entries).map_err(StoreError::Corrupt)
+    IndexedRelation::from_parts(schema, slots, index_entries).map_err(StoreError::Indexed)
 }
 
 fn encode_sharded_sections(sr: &ShardedRelation) -> Vec<(u32, Vec<u8>)> {
@@ -580,6 +614,39 @@ fn encode_hop_sections(h: &HopLabels) -> Vec<(u32, Vec<u8>)> {
 fn read_label_lists(r: &mut Reader<'_>) -> Result<Vec<Vec<u32>>, StoreError> {
     let n = r.count(8)?;
     (0..n).map(|_| r.u32_seq()).collect()
+}
+
+fn encode_log_sections(log: &UpdateLog) -> Vec<(u32, Vec<u8>)> {
+    let mut w = Writer::new();
+    w.usize(log.len());
+    for entry in log.entries() {
+        match entry {
+            UpdateEntry::Insert { gid, row } => {
+                w.u8(0);
+                w.usize(*gid);
+                w.row(row);
+            }
+            UpdateEntry::Delete { gid } => {
+                w.u8(1);
+                w.usize(*gid);
+            }
+        }
+    }
+    vec![(SEC_LOG, w.into_bytes())]
+}
+
+fn read_log_entries(r: &mut Reader<'_>) -> Result<Vec<UpdateEntry>, StoreError> {
+    let n = r.count(2)?;
+    (0..n)
+        .map(|_| match r.u8()? {
+            0 => Ok(UpdateEntry::Insert {
+                gid: r.usize()?,
+                row: r.row()?,
+            }),
+            1 => Ok(UpdateEntry::Delete { gid: r.usize()? }),
+            tag => Err(StoreError::Corrupt(format!("bad log entry tag {tag}"))),
+        })
+        .collect()
 }
 
 #[cfg(test)]

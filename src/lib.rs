@@ -16,8 +16,8 @@
 //! | [`index`] | B⁺-trees, sorted/hash indexes, RMQ and LCA structures |
 //! | [`graph`] | breadth-depth search, reachability indexes, SCC, query-preserving compression, generators |
 //! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
-//! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution |
-//! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts |
+//! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution, live serving under concurrent updates |
+//! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts, live checkpoint/recover |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
@@ -97,6 +97,43 @@
 //! assert!(warm.answer(&SelectionQuery::point(0, 999i64)));
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
+//!
+//! ## Live serving
+//!
+//! A production tier answers queries *while* updates land. A
+//! [`LiveRelation`](crate::engine::live::LiveRelation) puts each shard
+//! behind its own read/write lock: batch fan-out takes read locks on only
+//! the shards a query routes to, and an insert/delete write-locks only
+//! the one shard its key routes to, so writers never stall the rest of
+//! the fleet. Every update is `|CHANGED|`-accounted (Section 4(7)) and
+//! appended to a replayable update log; `checkpoint` persists the state
+//! through the snapshot catalog and `recover` replays the log on top —
+//! bit-identical answers and row ids.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//!
+//! // Updates go through a shared reference — no `&mut`, no global lock.
+//! let gid = live.insert(vec![Value::Int(5_000)]).unwrap();
+//! live.delete(3).unwrap();
+//!
+//! // Queries and whole batches serve concurrently with those updates.
+//! assert!(live.answer(&SelectionQuery::point(0, 5_000i64)));
+//! let batch = QueryBatch::new((0..50i64).map(|k| SelectionQuery::point(0, k * 17)));
+//! let answers = live.execute(&batch).unwrap();
+//! assert_eq!(answers.answers.len(), 50);
+//!
+//! // Maintenance was |CHANGED|-accounted, and the update log can
+//! // checkpoint/recover through the store's `LiveCheckpoint` trait.
+//! assert_eq!(live.boundedness_report().len(), 2);
+//! assert_eq!(live.pending_log().len(), 2);
+//! # let _ = gid;
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -124,16 +161,18 @@ pub mod prelude {
     pub use pitract_core::scheme::Scheme;
     pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
     pub use pitract_engine::error::EngineError;
+    pub use pitract_engine::live::{LiveRelation, UpdateEntry, UpdateLog};
     pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
     pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
     pub use pitract_graph::compress::CompressedReach;
     pub use pitract_graph::reach::ReachIndex;
     pub use pitract_graph::Graph;
+    pub use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
     pub use pitract_index::bptree::BPlusTree;
     pub use pitract_index::sorted::SortedIndex;
-    pub use pitract_relation::indexed::IndexedRelation;
+    pub use pitract_relation::indexed::{IndexedError, IndexedRelation};
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
-    pub use pitract_store::{Snapshot, SnapshotCatalog, SnapshotKind, StoreError};
+    pub use pitract_store::{LiveCheckpoint, Snapshot, SnapshotCatalog, SnapshotKind, StoreError};
 }

@@ -84,6 +84,7 @@ fn every_example_file_has_a_smoke_test() {
     let covered = [
         "array_analytics",
         "bds_order",
+        "live_serving",
         "log_analytics",
         "persistent_serving",
         "quickstart",
@@ -99,4 +100,9 @@ fn every_example_file_has_a_smoke_test() {
 #[test]
 fn example_persistent_serving_runs() {
     run_example("persistent_serving");
+}
+
+#[test]
+fn example_live_serving_runs() {
+    run_example("live_serving");
 }

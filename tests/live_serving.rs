@@ -1,0 +1,355 @@
+//! Integration suite for the live serving tier: concurrent writers +
+//! query batches verified against a single-threaded oracle, recovery
+//! (checkpoint + log replay) bit-identical to the live state, and a
+//! churn property test interleaving every operation against a
+//! `Vec`-backed model.
+
+use pi_tractable::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+fn schema() -> Schema {
+    Schema::new(&[("id", ColType::Int), ("grp", ColType::Str)])
+}
+
+fn base_relation(n: i64) -> Relation {
+    let rows = (0..n)
+        .map(|i| vec![Value::Int(i), Value::str(format!("grp{}", i % 16))])
+        .collect();
+    Relation::from_rows(schema(), rows).unwrap()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pitract-live-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Queries over the stable key region `[0, n)` — writers only ever touch
+/// keys `>= n`, so these answers are invariant under the churn and the
+/// cold scan oracle stays valid throughout.
+fn stable_batch(n: i64) -> QueryBatch {
+    QueryBatch::new((0..96i64).map(|k| match k % 3 {
+        0 => SelectionQuery::point(0, (k * 37) % n),
+        1 => SelectionQuery::range_closed(0, (k * 11) % n, (k * 11) % n + 25),
+        _ => SelectionQuery::and(
+            SelectionQuery::point(1, format!("grp{}", k % 16).as_str()),
+            SelectionQuery::range_closed(0, (k * 7) % n, (k * 7) % n + 200),
+        ),
+    }))
+}
+
+/// Queries answered during concurrent writes match the single-threaded
+/// oracle, and the complete update log replays onto the base state to a
+/// relation bit-identical with the live one — even though the updates
+/// were issued by racing writers.
+#[test]
+fn concurrent_writers_and_batches_match_oracle() {
+    let n = 4_000i64;
+    let base = base_relation(n);
+    let live = LiveRelation::build(&base, ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+    let batch = stable_batch(n);
+    let oracle: Vec<bool> = batch.queries().iter().map(|q| base.eval_scan(q)).collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Four writers churn a disjoint volatile region: insert, then
+        // delete every other insert, so tombstones accumulate too.
+        let writers: Vec<_> = (0..4i64)
+            .map(|w| {
+                let live = &live;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut round = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = n + w * 1_000_000 + round;
+                        let gid = live
+                            .insert(vec![Value::Int(key), Value::str("hot")])
+                            .unwrap();
+                        if round % 2 == 0 {
+                            live.delete(gid).unwrap();
+                        }
+                        round += 1;
+                    }
+                })
+            })
+            .collect();
+
+        // Two reader threads serve batches the whole time.
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let live = &live;
+                let batch = &batch;
+                let oracle = &oracle;
+                let base = &base;
+                scope.spawn(move || {
+                    for round in 0..15 {
+                        let got = live.execute(batch).unwrap();
+                        assert_eq!(&got.answers, oracle, "round {round} diverged");
+                        let rows = live.execute_rows(batch).unwrap();
+                        for (q, ids) in batch.queries().iter().zip(&rows.rows) {
+                            assert!(ids.len() >= base.count_where(q), "{q:?} lost stable rows");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    });
+
+    // Replaying the full interleaved log onto the base state reproduces
+    // the exact live state: same length, same rows under the same gids.
+    let log = live.pending_log();
+    assert!(!log.is_empty(), "the writers actually wrote");
+    let replayed = LiveRelation::build(&base, ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+    replayed.replay(&log).unwrap();
+    assert_eq!(replayed.len(), live.len());
+    let total_gids = n as usize + log.len(); // upper bound on assigned gids
+    for gid in 0..total_gids {
+        assert_eq!(replayed.row(gid), live.row(gid), "gid {gid}");
+    }
+
+    // The maintenance of every one of those updates was |CHANGED|-
+    // accounted and stays bounded up to the B⁺-tree descent factor.
+    let report = live.boundedness_report();
+    assert_eq!(report.len(), log.len(), "one record per logged update");
+    assert!(
+        report.is_amortized_bounded(64.0),
+        "worst {}",
+        report.worst_ratio()
+    );
+}
+
+/// `recover()` = snapshot load + log replay is bit-identical to the live
+/// state: same Boolean answers, same global row ids, same row contents
+/// under every gid ever assigned.
+#[test]
+fn recover_after_checkpoint_equals_live() {
+    let n = 2_000i64;
+    let dir = fresh_dir("recover");
+    let catalog = SnapshotCatalog::open(&dir).unwrap();
+    let live =
+        LiveRelation::build(&base_relation(n), ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+
+    // Pre-checkpoint churn.
+    for i in 0..200i64 {
+        live.insert(vec![Value::Int(n + i), Value::str("pre")])
+            .unwrap();
+    }
+    for gid in (0..150).step_by(3) {
+        live.delete(gid).unwrap();
+    }
+    let records_at_checkpoint = live.boundedness_report().len();
+    live.checkpoint(&catalog, "state").unwrap();
+    assert!(
+        live.pending_log().is_empty(),
+        "checkpoint truncates the log"
+    );
+
+    // Post-checkpoint churn, captured only by the pending log.
+    for i in 0..80i64 {
+        live.insert(vec![Value::Int(n + 500 + i), Value::str("post")])
+            .unwrap();
+    }
+    for gid in (500..560).step_by(2) {
+        live.delete(gid).unwrap();
+    }
+
+    let recovered = LiveRelation::recover(&catalog, "state", &live.pending_log()).unwrap();
+
+    // Bit-identical: length, every gid's row, answers and row-id sets.
+    assert_eq!(recovered.len(), live.len());
+    for gid in 0..(n as usize + 280) {
+        assert_eq!(recovered.row(gid), live.row(gid), "gid {gid}");
+    }
+    let probes = QueryBatch::new(vec![
+        SelectionQuery::point(0, 0i64),
+        SelectionQuery::point(0, n + 510),
+        SelectionQuery::range_closed(0, 400i64, 600i64),
+        SelectionQuery::point(1, "grp3"),
+        SelectionQuery::and(
+            SelectionQuery::point(1, "grp5"),
+            SelectionQuery::range_closed(0, 0i64, 1_000i64),
+        ),
+    ]);
+    let a = live.execute_rows(&probes).unwrap();
+    let b = recovered.execute_rows(&probes).unwrap();
+    assert_eq!(a.rows, b.rows, "global row ids identical after recovery");
+
+    // Replay reproduced the maintenance records of the replayed suffix
+    // exactly (they are deterministic in the pre-update shard state).
+    let live_records = live.boundedness_report();
+    let suffix = &live_records.records()[records_at_checkpoint..];
+    assert_eq!(recovered.boundedness_report().records(), suffix);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A checkpoint taken *while* writers and readers are running is a
+/// consistent point-in-time snapshot: recovering from it plus the
+/// post-join pending log equals the final live state.
+#[test]
+fn checkpoint_under_concurrent_traffic_recovers_consistently() {
+    let n = 2_000i64;
+    let dir = fresh_dir("midflight");
+    let catalog = SnapshotCatalog::open(&dir).unwrap();
+    let base = base_relation(n);
+    let live = LiveRelation::build(&base, ShardBy::Hash { col: 0 }, 4, &[0, 1]).unwrap();
+    let batch = stable_batch(n);
+    let oracle: Vec<bool> = batch.queries().iter().map(|q| base.eval_scan(q)).collect();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..3i64)
+            .map(|w| {
+                let live = &live;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut round = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let gid = live
+                            .insert(vec![
+                                Value::Int(n + w * 1_000_000 + round),
+                                Value::str("hot"),
+                            ])
+                            .unwrap();
+                        if round % 3 == 0 {
+                            live.delete(gid).unwrap();
+                        }
+                        round += 1;
+                    }
+                })
+            })
+            .collect();
+
+        // Serve, checkpoint mid-flight, serve some more.
+        for _ in 0..3 {
+            assert_eq!(live.execute(&batch).unwrap().answers, oracle);
+        }
+        live.checkpoint(&catalog, "midflight").unwrap();
+        for _ in 0..3 {
+            assert_eq!(live.execute(&batch).unwrap().answers, oracle);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    });
+
+    let recovered = LiveRelation::recover(&catalog, "midflight", &live.pending_log()).unwrap();
+    assert_eq!(recovered.len(), live.len());
+    let upper = n as usize + 3_000_000 + 100_000;
+    for q in [
+        SelectionQuery::point(0, 17i64),
+        SelectionQuery::range_closed(0, 0i64, n + 50),
+        SelectionQuery::range_closed(0, n, upper as i64),
+    ] {
+        assert_eq!(recovered.matching_ids(&q), live.matching_ids(&q), "{q:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    /// Churn property: a random interleaving of insert / delete /
+    /// checkpoint / recover / query on a `LiveRelation` agrees with a
+    /// `Vec`-backed oracle on answers, global row ids, and boundedness
+    /// records. Ops are applied to whichever instance is "current" —
+    /// after a recover, the *recovered* node becomes current, so the
+    /// property also proves recovery is a seamless continuation point.
+    #[test]
+    fn live_churn_matches_vec_oracle(
+        seed_rows in 0i64..12,
+        ops in prop::collection::vec((0u8..5, 0i64..64, 0usize..96), 0..60)
+    ) {
+        let dir = fresh_dir("churn");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let mut live = LiveRelation::build(
+            &base_relation(seed_rows),
+            ShardBy::Hash { col: 0 },
+            3,
+            &[0, 1],
+        )
+        .unwrap();
+        // The oracle: gid -> slot, exactly the logical id space.
+        let mut model: Vec<Option<Vec<Value>>> = (0..seed_rows)
+            .map(|i| Some(vec![Value::Int(i), Value::str(format!("grp{}", i % 16))]))
+            .collect();
+        let mut checkpointed = false;
+
+        for (op, key, pick) in ops {
+            match op {
+                // Insert: the live gid must equal the model's next slot.
+                0 => {
+                    let row = vec![Value::Int(key), Value::str(format!("grp{}", key % 16))];
+                    let gid = live.insert(row.clone()).unwrap();
+                    prop_assert_eq!(gid, model.len(), "gids assigned densely in order");
+                    model.push(Some(row));
+                }
+                // Delete: any slot, live or tombstoned — results agree.
+                1 if !model.is_empty() => {
+                    let gid = pick % model.len();
+                    let expect = model[gid].take();
+                    prop_assert_eq!(live.delete(gid), expect, "delete gid {}", gid);
+                }
+                // Checkpoint: persists and truncates the pending log.
+                2 => {
+                    live.checkpoint(&catalog, "churn").unwrap();
+                    prop_assert!(live.pending_log().is_empty());
+                    checkpointed = true;
+                }
+                // Recover: replaces the current node; must be identical.
+                3 if checkpointed => {
+                    let pending = live.pending_log();
+                    let before = live.boundedness_report();
+                    let recovered =
+                        LiveRelation::recover(&catalog, "churn", &pending).unwrap();
+                    prop_assert_eq!(recovered.len(), live.len());
+                    // Replay reproduced the suffix's maintenance records.
+                    let suffix = &before.records()[before.len() - pending.len()..];
+                    let recovered_report = recovered.boundedness_report();
+                    prop_assert_eq!(recovered_report.records(), suffix);
+                    live = recovered;
+                }
+                // Query: answers and global row ids against the model.
+                _ => {
+                    let q = SelectionQuery::point(0, key);
+                    let expect_ids: Vec<usize> = model
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(gid, slot)| {
+                            slot.as_ref()
+                                .filter(|row| row[0] == Value::Int(key))
+                                .map(|_| gid)
+                        })
+                        .collect();
+                    prop_assert_eq!(live.answer(&q), !expect_ids.is_empty(), "{:?}", &q);
+                    prop_assert_eq!(live.matching_ids(&q), expect_ids, "{:?}", &q);
+                }
+            }
+            prop_assert_eq!(
+                live.len(),
+                model.iter().flatten().count(),
+                "live count tracks the model"
+            );
+        }
+
+        // Final sweep: every gid agrees, and the maintenance accounting
+        // covered every applied update since the last recover/build.
+        for (gid, slot) in model.iter().enumerate() {
+            prop_assert_eq!(&live.row(gid), slot, "gid {}", gid);
+        }
+        prop_assert!(live.boundedness_report().is_amortized_bounded(64.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
