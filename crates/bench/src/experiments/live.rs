@@ -98,7 +98,7 @@ pub fn live_throughput_sweep(n: i64, writer_counts: &[usize], reps: usize) -> Ve
                                     .expect("valid row");
                                 applied += 1;
                                 if round % 2 == 0 {
-                                    live.delete(gid).expect("just inserted");
+                                    live.delete(gid).unwrap().expect("just inserted");
                                     applied += 1;
                                 }
                                 round += 1;

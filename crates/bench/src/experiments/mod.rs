@@ -1,4 +1,4 @@
-//! The seventeen experiments (see DESIGN.md §4 for the full index).
+//! The eighteen experiments (see DESIGN.md §4 for the full index).
 //!
 //! Conventions shared by all experiments:
 //!
@@ -16,6 +16,7 @@ mod graphs;
 mod indexing;
 mod live;
 mod store;
+mod wal;
 
 pub use dynamics::{run_e10, run_e11, run_e12, run_e13, run_e14};
 pub use engine::{run_e15, shard_throughput_sweep, ShardSample, BATCH_QUERIES};
@@ -23,3 +24,7 @@ pub use graphs::{run_e06, run_e07, run_e08, run_e09};
 pub use indexing::{run_e01, run_e02, run_e03, run_e04, run_e05};
 pub use live::{live_throughput_sweep, run_e17, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};
+pub use wal::{
+    run_e18, wal_recovery_sweep, wal_throughput_sweep, WalRecoverySample, WalThroughputSample,
+    WAL_SHARDS, WAL_WRITERS,
+};

@@ -38,5 +38,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e15", run_e15),
         ("e16", run_e16),
         ("e17", run_e17),
+        ("e18", run_e18),
     ]
 }

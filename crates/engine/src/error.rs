@@ -78,6 +78,16 @@ pub enum EngineError {
         /// The global id the log entry names.
         gid: usize,
     },
+    /// The installed durable write-ahead sink ([`crate::live::WalSink`])
+    /// rejected a stage or failed a commit. After a failed *stage* the
+    /// update was not applied; after a failed *commit* it is applied and
+    /// staged but its durability is unconfirmed. The message carries the
+    /// sink's own diagnosis (typically an I/O error rendered by the WAL
+    /// layer, which this crate does not depend on).
+    WalSink {
+        /// What the sink reported.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -116,6 +126,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::ReplayMissingRow { gid } => {
                 write!(f, "log replay: no live row under global id {gid}")
+            }
+            EngineError::WalSink { message } => {
+                write!(f, "write-ahead sink failed: {message}")
             }
         }
     }

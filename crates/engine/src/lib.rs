@@ -46,6 +46,6 @@ pub mod shard;
 
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
 pub use error::EngineError;
-pub use live::{LiveRelation, UpdateEntry, UpdateLog};
+pub use live::{LiveRelation, UpdateEntry, UpdateLog, WalSink};
 pub use planner::{AccessPath, Planner, QueryPlan};
 pub use shard::{ShardBy, ShardedRelation};

@@ -49,7 +49,40 @@ use pitract_core::cost::{log2_floor, Meter};
 use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
 use pitract_relation::indexed::IndexedRelation;
 use pitract_relation::{IndexedError, Relation, Schema, SelectionQuery, Value};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A durable write-ahead sink for the update stream of a
+/// [`LiveRelation`].
+///
+/// Installed with [`LiveRelation::set_wal_sink`], the sink sees every
+/// update in two phases mirroring how real logs group-commit:
+///
+/// 1. [`WalSink::stage`] runs **inside the global-id critical section**,
+///    before the update becomes visible to any reader. Because the
+///    critical section serializes all writers, staged records land in the
+///    sink in exactly global-id order — the property that makes a
+///    persisted log replayable ([`LiveRelation::replay`] verifies every
+///    insert reproduces its logged id). A failed stage aborts the update
+///    before anything was applied: the caller gets the error and the
+///    relation is untouched.
+/// 2. [`WalSink::commit`] runs **after every lock is released**, with the
+///    ticket `stage` returned. It blocks until the staged record is
+///    durable, so a slow `fsync` never stalls the shard or the id maps —
+///    concurrent committers can share one flush (group commit). If
+///    `commit` fails the update *was* applied in memory and *is* staged
+///    in the sink (memory and log agree); only its durability is
+///    unconfirmed, which the caller learns from the returned error.
+pub trait WalSink: Send + Sync + std::fmt::Debug {
+    /// Stage one update record. Called inside the gid critical section;
+    /// must be fast (no fsync unless the sink explicitly trades
+    /// throughput for simplicity). Returns a ticket for [`Self::commit`].
+    fn stage(&self, entry: &UpdateEntry) -> Result<u64, EngineError>;
+
+    /// Block until the record behind `ticket` is durable. Called outside
+    /// all locks.
+    fn commit(&self, ticket: u64) -> Result<(), EngineError>;
+}
 
 /// One replayable update, as recorded by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +151,108 @@ impl UpdateLog {
     pub fn drain_prefix(&mut self, n: usize) {
         self.entries.drain(..n.min(self.entries.len()));
     }
+
+    /// One past the highest global id this log's inserts assign — the
+    /// position the id allocator must reach after a replay, even when
+    /// [`Self::compact`] cancelled the trailing inserts (recovery pairs
+    /// this with [`LiveRelation::burn_gids_to`], so a recovered node
+    /// assigns *future* ids exactly like the crashed node would have).
+    /// `None` when the log holds no inserts.
+    pub fn next_gid_watermark(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                UpdateEntry::Insert { gid, .. } => Some(gid + 1),
+                UpdateEntry::Delete { .. } => None,
+            })
+            .max()
+    }
+
+    /// Cancel insert+delete pairs: an [`UpdateEntry::Insert`] whose
+    /// global id is deleted *later in the same log* contributes nothing
+    /// to the final state, so both entries are dropped. Survivors keep
+    /// their relative order, which keeps the compacted log replayable
+    /// ([`LiveRelation::replay_compacted`] burns the cancelled ids so
+    /// every surviving insert still lands on its recorded gid).
+    ///
+    /// One refinement keeps compaction lossless under composition: the
+    /// cancelled pair with the **highest** global id is retained unless
+    /// some surviving insert carries a higher id. A trailing run of
+    /// pairs would otherwise leave no entry recording how far the id
+    /// allocator had advanced, and a node recovered from the compacted
+    /// log would reassign those ids — diverging from the history on the
+    /// *next* insert. Keeping the one watermark-bearing pair (at most
+    /// two extra entries, whatever the churn) pins the allocator
+    /// exactly.
+    ///
+    /// Deletes of rows that pre-date the log (their insert lives in the
+    /// checkpoint, not here) always survive. The result's length is
+    /// bounded by the *net* change of the logged history plus one pair,
+    /// which is what bounds recovery work under churn: a million inserts
+    /// each followed by their delete compact to a single pair.
+    pub fn compact(&self) -> UpdateLog {
+        let mut cancelled = vec![false; self.entries.len()];
+        let mut open_inserts: HashMap<usize, usize> = HashMap::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            match entry {
+                UpdateEntry::Insert { gid, .. } => {
+                    open_inserts.insert(*gid, i);
+                }
+                UpdateEntry::Delete { gid } => {
+                    if let Some(at) = open_inserts.remove(gid) {
+                        cancelled[at] = true;
+                        cancelled[i] = true;
+                    }
+                }
+            }
+        }
+        // The watermark rule: if the highest inserted gid belongs to a
+        // cancelled pair, resurrect that pair so the compacted log still
+        // records how far the allocator went.
+        let max_surviving = self
+            .entries
+            .iter()
+            .zip(&cancelled)
+            .filter(|(_, &dead)| !dead)
+            .filter_map(|(e, _)| match e {
+                UpdateEntry::Insert { gid, .. } => Some(*gid),
+                UpdateEntry::Delete { .. } => None,
+            })
+            .max();
+        let max_cancelled = self
+            .entries
+            .iter()
+            .zip(&cancelled)
+            .filter(|(_, &dead)| dead)
+            .filter_map(|(e, _)| match e {
+                UpdateEntry::Insert { gid, .. } => Some(*gid),
+                UpdateEntry::Delete { .. } => None,
+            })
+            .max();
+        if let Some(watermark_gid) = max_cancelled {
+            if max_surviving.is_none_or(|s| s < watermark_gid) {
+                for (i, entry) in self.entries.iter().enumerate() {
+                    match entry {
+                        UpdateEntry::Insert { gid, .. } | UpdateEntry::Delete { gid }
+                            if *gid == watermark_gid =>
+                        {
+                            cancelled[i] = false;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        UpdateLog {
+            entries: self
+                .entries
+                .iter()
+                .zip(&cancelled)
+                .filter(|(_, &dead)| !dead)
+                .map(|(e, _)| e.clone())
+                .collect(),
+        }
+    }
 }
 
 /// The pending update log plus the absolute position of its first
@@ -158,6 +293,9 @@ pub struct LiveRelation {
     log: Mutex<LogState>,
     /// One record per applied update, in the same order as the log.
     maintenance: Mutex<BoundednessReport>,
+    /// Optional durable write-ahead sink; staged inside the gid critical
+    /// section so sink order ≡ log order ≡ gid order.
+    sink: Option<Arc<dyn WalSink>>,
 }
 
 /// The maintenance cost record for one routed update: `|ΔD| = 1` (one
@@ -212,7 +350,24 @@ impl LiveRelation {
             }),
             log: Mutex::new(LogState::default()),
             maintenance: Mutex::new(BoundednessReport::new()),
+            sink: None,
         }
+    }
+
+    /// Install (or remove) a durable write-ahead sink. Every subsequent
+    /// insert/delete is staged to the sink inside the gid critical
+    /// section and committed after the locks drop — see [`WalSink`] for
+    /// the exact contract. Takes `&mut self` so a sink can only be
+    /// swapped while no concurrent writer can race the transition
+    /// (typically right after construction or recovery, before the
+    /// relation is shared).
+    pub fn set_wal_sink(&mut self, sink: Option<Arc<dyn WalSink>>) {
+        self.sink = sink;
+    }
+
+    /// Is a durable write-ahead sink installed?
+    pub fn has_wal_sink(&self) -> bool {
+        self.sink.is_some()
     }
 
     /// Schema of the logical relation.
@@ -294,56 +449,95 @@ impl LiveRelation {
     /// Returns the stable global row id. Concurrent queries on other
     /// shards are unaffected; queries on the routed shard wait only for
     /// the O(log n) index maintenance.
+    ///
+    /// With a [`WalSink`] installed the record is staged to the sink
+    /// before the insert becomes visible (a failed stage applies
+    /// nothing) and committed durable after the locks drop; a commit
+    /// failure means the insert *is* applied and staged but its
+    /// durability is unconfirmed.
     pub fn insert(&self, row: Vec<Value>) -> Result<usize, EngineError> {
         self.schema
             .admits(&row)
             .map_err(|e| EngineError::Indexed(IndexedError::RowRejected(e)))?;
         let shard = route_shard(&self.shard_by, self.shards.len(), &row[self.shard_by.col()]);
-        let mut guard = self.write_shard(shard);
-        let len_before = guard.len();
-        let local = guard.insert(row.clone()).map_err(EngineError::Indexed)?;
-        // The id maps are updated while the shard lock is still held so
-        // `global_ids[shard]` stays aligned with the shard's local ids,
-        // and the log/record appends happen inside the gid critical
-        // section so log order equals gid order (replay determinism).
-        let mut ids = self.write_ids();
-        let gid = ids.locations.len();
-        debug_assert_eq!(local, ids.global_ids[shard].len());
-        ids.global_ids[shard].push(gid);
-        ids.locations.push(Some((shard, local)));
-        ids.live += 1;
-        self.lock_log().log.push(UpdateEntry::Insert { gid, row });
-        self.lock_maintenance()
-            .push(maintenance_record(self.indexed_cols.len(), len_before));
+        let (gid, ticket) = {
+            let mut guard = self.write_shard(shard);
+            let len_before = guard.len();
+            // The id maps are updated while the shard lock is still held
+            // so `global_ids[shard]` stays aligned with the shard's local
+            // ids, and the sink/log/record appends happen inside the gid
+            // critical section so WAL order equals log order equals gid
+            // order (replay determinism).
+            let mut ids = self.write_ids();
+            let gid = ids.locations.len();
+            let ticket = match &self.sink {
+                // Staged before anything is applied: a rejected stage
+                // leaves the relation untouched.
+                Some(sink) => Some(sink.stage(&UpdateEntry::Insert {
+                    gid,
+                    row: row.clone(),
+                })?),
+                None => None,
+            };
+            let local = guard.insert(row.clone()).map_err(EngineError::Indexed)?;
+            debug_assert_eq!(local, ids.global_ids[shard].len());
+            ids.global_ids[shard].push(gid);
+            ids.locations.push(Some((shard, local)));
+            ids.live += 1;
+            self.lock_log().log.push(UpdateEntry::Insert { gid, row });
+            self.lock_maintenance()
+                .push(maintenance_record(self.indexed_cols.len(), len_before));
+            (gid, ticket)
+        };
+        if let (Some(sink), Some(ticket)) = (&self.sink, ticket) {
+            sink.commit(ticket)?;
+        }
         Ok(gid)
     }
 
     /// Delete by global row id, write-locking only the owning shard.
-    /// Returns the removed tuple, or `None` if the id was already deleted
-    /// or never assigned (including a concurrent delete that won the
-    /// race).
-    pub fn delete(&self, gid: usize) -> Option<Vec<Value>> {
+    /// Returns the removed tuple, or `Ok(None)` if the id was already
+    /// deleted or never assigned (including a concurrent delete that won
+    /// the race). An `Err` is only possible with a [`WalSink`]
+    /// installed, with the same staged/commit semantics as
+    /// [`Self::insert`].
+    pub fn delete(&self, gid: usize) -> Result<Option<Vec<Value>>, EngineError> {
         // Find the owning shard first (ids read lock, released), then
         // re-acquire in the canonical shard → ids order. A location is
         // written once and only ever transitions Some → None, so if it is
         // still live after re-locking it is the same (shard, local).
-        let (shard, local) = {
+        let Some((shard, local)) = ({
             let ids = self.read_ids();
-            (*ids.locations.get(gid)?)?
+            ids.locations.get(gid).copied().flatten()
+        }) else {
+            return Ok(None);
         };
-        let mut guard = self.write_shard(shard);
-        let mut ids = self.write_ids();
-        ids.locations[gid]?; // a concurrent delete may have won the race
-        ids.locations[gid] = None;
-        ids.live -= 1;
-        let len_before = guard.len();
-        let row = guard
-            .delete(local)
-            .expect("location map and shard agree on live rows");
-        self.lock_log().log.push(UpdateEntry::Delete { gid });
-        self.lock_maintenance()
-            .push(maintenance_record(self.indexed_cols.len(), len_before));
-        Some(row)
+        let (row, ticket) = {
+            let mut guard = self.write_shard(shard);
+            let mut ids = self.write_ids();
+            if ids.locations[gid].is_none() {
+                // A concurrent delete won the race.
+                return Ok(None);
+            }
+            let ticket = match &self.sink {
+                Some(sink) => Some(sink.stage(&UpdateEntry::Delete { gid })?),
+                None => None,
+            };
+            ids.locations[gid] = None;
+            ids.live -= 1;
+            let len_before = guard.len();
+            let row = guard
+                .delete(local)
+                .expect("location map and shard agree on live rows");
+            self.lock_log().log.push(UpdateEntry::Delete { gid });
+            self.lock_maintenance()
+                .push(maintenance_record(self.indexed_cols.len(), len_before));
+            (row, ticket)
+        };
+        if let (Some(sink), Some(ticket)) = (&self.sink, ticket) {
+            sink.commit(ticket)?;
+        }
+        Ok(Some(row))
     }
 
     // --- queries -----------------------------------------------------------
@@ -534,9 +728,51 @@ impl LiveRelation {
     /// state — answers *and* global row ids — equals the state the log
     /// was recorded from.
     pub fn replay(&self, log: &UpdateLog) -> Result<usize, EngineError> {
+        self.replay_inner(log, false)
+    }
+
+    /// Replay a log produced by [`UpdateLog::compact`]: like
+    /// [`Self::replay`], except that a *forward gap* in the global-id
+    /// sequence — the ids of an insert+delete pair the compaction
+    /// cancelled — is burned as permanent tombstones, so every surviving
+    /// insert still lands on exactly its recorded gid. Burned ids are
+    /// indistinguishable from deleted ones (both read back as `None`),
+    /// which is what makes compacted and uncompacted replay produce the
+    /// same answers and the same live global row ids.
+    ///
+    /// A *backward* id (an insert recording a gid this relation already
+    /// assigned) is still rejected typed: compaction only ever removes
+    /// entries, so it can explain missing ids, never reused ones.
+    pub fn replay_compacted(&self, log: &UpdateLog) -> Result<usize, EngineError> {
+        self.replay_inner(log, true)
+    }
+
+    /// Advance the global-id allocator to `next_gid` without inserting:
+    /// the skipped ids are burned as permanent tombstones (they read
+    /// back as deleted). No-op if the allocator is already there.
+    ///
+    /// Recovery calls this with [`UpdateLog::next_gid_watermark`] after
+    /// replaying a compacted log: a *trailing* insert+delete pair leaves
+    /// no surviving entry to carry its ids, yet the crashed node had
+    /// assigned them — burning keeps the recovered node's future id
+    /// assignments bit-identical to the history the log records.
+    pub fn burn_gids_to(&self, next_gid: usize) {
+        let mut ids = self.write_ids();
+        while ids.locations.len() < next_gid {
+            ids.locations.push(None);
+        }
+    }
+
+    fn replay_inner(&self, log: &UpdateLog, burn_gaps: bool) -> Result<usize, EngineError> {
         for entry in log.entries() {
             match entry {
                 UpdateEntry::Insert { gid, row } => {
+                    if burn_gaps {
+                        let mut ids = self.write_ids();
+                        while ids.locations.len() < *gid {
+                            ids.locations.push(None);
+                        }
+                    }
                     let got = self.insert(row.clone())?;
                     if got != *gid {
                         return Err(EngineError::ReplayGidMismatch {
@@ -546,7 +782,7 @@ impl LiveRelation {
                     }
                 }
                 UpdateEntry::Delete { gid } => {
-                    self.delete(*gid)
+                    self.delete(*gid)?
                         .ok_or(EngineError::ReplayMissingRow { gid: *gid })?;
                 }
             }
@@ -610,9 +846,9 @@ mod tests {
         assert_eq!(lr.row(gid).unwrap()[1], Value::str("new"));
         assert!(lr.answer(&SelectionQuery::point(0, 100i64)));
 
-        let removed = lr.delete(5).expect("gid 5 live");
+        let removed = lr.delete(5).unwrap().expect("gid 5 live");
         assert_eq!(removed[0], Value::Int(5));
-        assert!(lr.delete(5).is_none(), "double delete is a no-op");
+        assert!(lr.delete(5).unwrap().is_none(), "double delete is a no-op");
         assert!(!lr.answer(&SelectionQuery::point(0, 5i64)));
         assert_eq!(lr.len(), 20);
         assert!(lr.row(5).is_none());
@@ -642,7 +878,7 @@ mod tests {
     fn update_log_records_in_gid_order() {
         let lr = live(4, 2);
         let g1 = lr.insert(vec![Value::Int(50), Value::str("a")]).unwrap();
-        lr.delete(0).unwrap();
+        lr.delete(0).unwrap().unwrap();
         let g2 = lr.insert(vec![Value::Int(51), Value::str("b")]).unwrap();
         let log = lr.pending_log();
         assert_eq!(log.len(), 3);
@@ -654,7 +890,7 @@ mod tests {
     #[test]
     fn freeze_replay_reproduces_state_and_ids() {
         let lr = live(50, 3);
-        lr.delete(7);
+        lr.delete(7).unwrap();
         lr.insert(vec![Value::Int(500), Value::str("mid")]).unwrap();
 
         // Checkpoint: freeze the state, confirm, then keep writing.
@@ -662,7 +898,7 @@ mod tests {
         lr.confirm_checkpoint(covered);
         lr.insert(vec![Value::Int(501), Value::str("late")])
             .unwrap();
-        lr.delete(3);
+        lr.delete(3).unwrap();
 
         // Recover: wrap the frozen state, replay the pending suffix.
         let recovered = LiveRelation::from_sharded(state);
@@ -741,7 +977,7 @@ mod tests {
             lr.insert(vec![Value::Int(i), Value::str("x")]).unwrap();
         }
         for gid in (0..200).step_by(2) {
-            lr.delete(gid).unwrap();
+            lr.delete(gid).unwrap().unwrap();
         }
         let report = lr.boundedness_report();
         assert_eq!(report.len(), 300, "one record per applied update");
@@ -807,5 +1043,218 @@ mod tests {
         for gid in 0..200 {
             assert_eq!(fresh.row(gid), lr.row(gid), "gid {gid}");
         }
+    }
+
+    #[test]
+    fn compact_cancels_pairs_and_keeps_survivor_order() {
+        let lr = live(3, 2);
+        let a = lr.insert(vec![Value::Int(100), Value::str("a")]).unwrap();
+        let b = lr.insert(vec![Value::Int(101), Value::str("b")]).unwrap();
+        lr.delete(0).unwrap().unwrap(); // pre-log row: delete must survive
+        lr.delete(a).unwrap().unwrap(); // cancels with a's insert
+        let c = lr.insert(vec![Value::Int(102), Value::str("c")]).unwrap();
+        let compacted = lr.pending_log().compact();
+        assert_eq!(
+            compacted.entries(),
+            &[
+                UpdateEntry::Insert {
+                    gid: b,
+                    row: vec![Value::Int(101), Value::str("b")]
+                },
+                UpdateEntry::Delete { gid: 0 },
+                UpdateEntry::Insert {
+                    gid: c,
+                    row: vec![Value::Int(102), Value::str("c")]
+                },
+            ],
+            "pair (insert {a}, delete {a}) cancelled, survivors in order"
+        );
+        // A fully cancelling history compacts to the single
+        // watermark-bearing pair: the highest-gid pair survives so a
+        // recovery still advances the id allocator to where the history
+        // left it (19 insert+delete pairs vanish; one stays).
+        let lr = live(0, 2);
+        for i in 0..20i64 {
+            let gid = lr.insert(vec![Value::Int(i), Value::str("x")]).unwrap();
+            lr.delete(gid).unwrap().unwrap();
+        }
+        assert_eq!(lr.pending_log().len(), 40);
+        let compacted = lr.pending_log().compact();
+        assert_eq!(
+            compacted.entries(),
+            &[
+                UpdateEntry::Insert {
+                    gid: 19,
+                    row: vec![Value::Int(19), Value::str("x")]
+                },
+                UpdateEntry::Delete { gid: 19 },
+            ],
+            "only the watermark pair survives total churn"
+        );
+        assert_eq!(compacted.next_gid_watermark(), Some(20));
+        // Replaying the compacted log reproduces the allocator exactly:
+        // the next insert gets the same gid the original node would give.
+        let replayed = live(0, 2);
+        replayed.replay_compacted(&compacted).unwrap();
+        assert_eq!(
+            replayed
+                .insert(vec![Value::Int(9), Value::str("y")])
+                .unwrap(),
+            lr.insert(vec![Value::Int(9), Value::str("y")]).unwrap(),
+            "future gid assignment is preserved through compaction"
+        );
+    }
+
+    #[test]
+    fn compacted_replay_matches_uncompacted_on_answers_and_gids() {
+        // A churny history with pairs scattered through it.
+        let lr = live(10, 3);
+        let mut hot = Vec::new();
+        for i in 0..30i64 {
+            let gid = lr
+                .insert(vec![Value::Int(500 + i), Value::str("hot")])
+                .unwrap();
+            if i % 3 != 0 {
+                hot.push(gid);
+            }
+        }
+        for gid in [10, 13, 16, 19, 22, 25] {
+            if !hot.contains(&gid) {
+                lr.delete(gid).unwrap();
+            }
+        }
+        lr.delete(4).unwrap().unwrap(); // pre-log delete survives compaction
+        let log = lr.pending_log();
+        let compacted = log.compact();
+        assert!(compacted.len() < log.len(), "something was cancelled");
+
+        let plain = live(10, 3);
+        plain.replay(&log).unwrap();
+        let short = live(10, 3);
+        short.replay_compacted(&compacted).unwrap();
+
+        assert_eq!(plain.len(), short.len());
+        for gid in 0..45 {
+            assert_eq!(plain.row(gid), short.row(gid), "gid {gid}");
+        }
+        for q in [
+            SelectionQuery::range_closed(0, 0i64, 600i64),
+            SelectionQuery::point(1, "hot"),
+            SelectionQuery::point(0, 4i64),
+        ] {
+            assert_eq!(plain.matching_ids(&q), short.matching_ids(&q), "{q:?}");
+        }
+        // Replay work was bounded by the net change, not the history.
+        assert_eq!(short.boundedness_report().len(), compacted.len());
+    }
+
+    #[test]
+    fn strict_replay_still_rejects_gid_gaps() {
+        let lr = live(5, 2);
+        let log = UpdateLog::from_entries(vec![UpdateEntry::Insert {
+            gid: 9,
+            row: vec![Value::Int(1), Value::str("x")],
+        }]);
+        assert_eq!(
+            lr.replay(&log).unwrap_err(),
+            EngineError::ReplayGidMismatch {
+                expected: 9,
+                found: 5
+            }
+        );
+        // The tolerant twin burns the gap instead…
+        let lr = live(5, 2);
+        lr.replay_compacted(&log).unwrap();
+        assert_eq!(lr.row(9).unwrap()[0], Value::Int(1));
+        assert!(lr.row(7).is_none(), "burned ids read as deleted");
+        // …but still rejects an id that runs backwards.
+        let lr = live(5, 2);
+        let log = UpdateLog::from_entries(vec![UpdateEntry::Insert {
+            gid: 2,
+            row: vec![Value::Int(1), Value::str("x")],
+        }]);
+        assert_eq!(
+            lr.replay_compacted(&log).unwrap_err(),
+            EngineError::ReplayGidMismatch {
+                expected: 2,
+                found: 5
+            }
+        );
+    }
+
+    /// A sink that records the staged stream, for asserting the hook's
+    /// ordering contract without any real I/O.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        staged: Mutex<Vec<UpdateEntry>>,
+        committed: Mutex<Vec<u64>>,
+        fail_stage: std::sync::atomic::AtomicBool,
+    }
+
+    impl WalSink for RecordingSink {
+        fn stage(&self, entry: &UpdateEntry) -> Result<u64, EngineError> {
+            if self.fail_stage.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(EngineError::WalSink {
+                    message: "disk full".into(),
+                });
+            }
+            let mut staged = self.staged.lock().unwrap();
+            staged.push(entry.clone());
+            Ok(staged.len() as u64 - 1)
+        }
+
+        fn commit(&self, ticket: u64) -> Result<(), EngineError> {
+            self.committed.lock().unwrap().push(ticket);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn wal_sink_stages_in_gid_order_even_under_racing_writers() {
+        let sink = Arc::new(RecordingSink::default());
+        let mut lr = live(0, 4);
+        lr.set_wal_sink(Some(sink.clone() as Arc<dyn WalSink>));
+        assert!(lr.has_wal_sink());
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let lr = &lr;
+                scope.spawn(move || {
+                    for i in 0..40i64 {
+                        let gid = lr
+                            .insert(vec![Value::Int(t * 1000 + i), Value::str("w")])
+                            .unwrap();
+                        if i % 2 == 0 {
+                            lr.delete(gid).unwrap().unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // The staged stream is exactly the update log: same entries, same
+        // order — the invariant a durable WAL replays by.
+        let staged = sink.staged.lock().unwrap();
+        assert_eq!(staged.as_slice(), lr.pending_log().entries());
+        assert_eq!(
+            sink.committed.lock().unwrap().len(),
+            staged.len(),
+            "every staged record was committed"
+        );
+    }
+
+    #[test]
+    fn failed_stage_applies_and_logs_nothing() {
+        let sink = Arc::new(RecordingSink::default());
+        let mut lr = live(3, 2);
+        lr.set_wal_sink(Some(sink.clone() as Arc<dyn WalSink>));
+        sink.fail_stage
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        let err = lr.insert(vec![Value::Int(9), Value::str("x")]).unwrap_err();
+        assert!(matches!(err, EngineError::WalSink { .. }), "{err}");
+        let err = lr.delete(0).unwrap_err();
+        assert!(matches!(err, EngineError::WalSink { .. }), "{err}");
+        assert_eq!(lr.len(), 3, "nothing applied");
+        assert!(lr.pending_log().is_empty(), "nothing logged");
+        assert_eq!(lr.row(0).unwrap()[0], Value::Int(0), "row 0 still live");
+        assert!(sink.committed.lock().unwrap().is_empty());
     }
 }

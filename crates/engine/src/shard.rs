@@ -77,7 +77,7 @@ impl ShardBy {
 
 /// A relation hash/range-partitioned across `S` independently indexed
 /// shards, with global row ids stable under deletes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardedRelation {
     schema: Schema,
     shard_by: ShardBy,

@@ -22,6 +22,7 @@
 //! drives random and truncated inputs through the whole load path.)
 
 use crate::error::StoreError;
+use pitract_engine::UpdateEntry;
 use pitract_relation::{ColType, Schema, Value};
 
 /// An append-only little-endian byte writer.
@@ -150,6 +151,23 @@ impl Writer {
         self.usize(seq.len());
         for &v in seq {
             self.u32(v);
+        }
+    }
+
+    /// Write one tagged [`UpdateEntry`] (0 = insert with gid + row,
+    /// 1 = delete with gid) — the encoding shared by the snapshot's
+    /// update-log section and the `pitract-wal` segment payloads.
+    pub fn update_entry(&mut self, entry: &UpdateEntry) {
+        match entry {
+            UpdateEntry::Insert { gid, row } => {
+                self.u8(0);
+                self.usize(*gid);
+                self.row(row);
+            }
+            UpdateEntry::Delete { gid } => {
+                self.u8(1);
+                self.usize(*gid);
+            }
         }
     }
 }
@@ -296,6 +314,19 @@ impl<'a> Reader<'a> {
     pub fn u32_seq(&mut self) -> Result<Vec<u32>, StoreError> {
         let n = self.count(4)?;
         (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Read one tagged [`UpdateEntry`] (the inverse of
+    /// [`Writer::update_entry`]).
+    pub fn update_entry(&mut self) -> Result<UpdateEntry, StoreError> {
+        match self.u8()? {
+            0 => Ok(UpdateEntry::Insert {
+                gid: self.usize()?,
+                row: self.row()?,
+            }),
+            1 => Ok(UpdateEntry::Delete { gid: self.usize()? }),
+            tag => Err(StoreError::Corrupt(format!("bad log entry tag {tag}"))),
+        }
     }
 }
 

@@ -69,4 +69,4 @@ pub mod snapshot;
 pub use catalog::SnapshotCatalog;
 pub use error::StoreError;
 pub use live::LiveCheckpoint;
-pub use snapshot::{Snapshot, SnapshotKind, FORMAT_VERSION, MAGIC};
+pub use snapshot::{fsync_dir, write_atomic, Snapshot, SnapshotKind, FORMAT_VERSION, MAGIC};

@@ -40,8 +40,11 @@ pub trait LiveCheckpoint: Sized {
 
     /// Load the snapshot saved under `name`, wrap it for live serving,
     /// and replay `log` (the updates recorded after that checkpoint)
-    /// onto it. The result is bit-identical to the state the log was
-    /// recorded from.
+    /// onto it — after [`UpdateLog::compact`]ing it, so recovery work is
+    /// bounded by the *net* change, not the churn: insert+delete pairs
+    /// are cancelled and their ids burned as tombstones. The result is
+    /// bit-identical to the state the log was recorded from — same
+    /// answers, same live global row ids.
     fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError>;
 }
 
@@ -58,7 +61,14 @@ impl LiveCheckpoint for LiveRelation {
     fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError> {
         let state = catalog.load(name)?.into_sharded()?;
         let live = LiveRelation::from_sharded(state);
-        live.replay(log).map_err(StoreError::Engine)?;
+        live.replay_compacted(&log.compact())
+            .map_err(StoreError::Engine)?;
+        // Trailing cancelled pairs leave no entry to carry their ids;
+        // burn up to the original log's watermark so future inserts get
+        // the same gids the lost node would have assigned.
+        if let Some(watermark) = log.next_gid_watermark() {
+            live.burn_gids_to(watermark);
+        }
         Ok(live)
     }
 }
@@ -90,7 +100,7 @@ mod tests {
         let dir = fresh_dir("roundtrip");
         let catalog = SnapshotCatalog::open(&dir).unwrap();
         let lr = live(60);
-        lr.delete(10).unwrap();
+        lr.delete(10).unwrap().unwrap();
         lr.insert(vec![Value::Int(600), Value::str("pre")]).unwrap();
 
         lr.checkpoint(&catalog, "orders").unwrap();
@@ -99,7 +109,7 @@ mod tests {
         // Post-checkpoint traffic, covered only by the pending log.
         lr.insert(vec![Value::Int(601), Value::str("post")])
             .unwrap();
-        lr.delete(20).unwrap();
+        lr.delete(20).unwrap().unwrap();
 
         let recovered = LiveRelation::recover(&catalog, "orders", &lr.pending_log()).unwrap();
         assert_eq!(recovered.len(), lr.len());
@@ -124,7 +134,7 @@ mod tests {
         let catalog = SnapshotCatalog::open(&dir).unwrap();
         let lr = live(10);
         lr.insert(vec![Value::Int(77), Value::str("w")]).unwrap();
-        lr.delete(3).unwrap();
+        lr.delete(3).unwrap().unwrap();
 
         let log = lr.pending_log();
         catalog.save("wal", &Snapshot::Log(log.clone())).unwrap();
@@ -143,9 +153,52 @@ mod tests {
 
         // A log recorded against some other history.
         let other = live(50);
-        other.delete(40).unwrap();
+        other.delete(40).unwrap().unwrap();
         let err = LiveRelation::recover(&catalog, "base", &other.pending_log()).unwrap_err();
         assert!(matches!(err, StoreError::Engine(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Recovery compacts the pending log before replaying: an
+    /// insert+delete pair in the suffix is never re-applied, yet the
+    /// recovered node is still bit-identical on answers and row ids.
+    #[test]
+    fn recover_compacts_churn_to_net_change() {
+        let dir = fresh_dir("compactrec");
+        let catalog = SnapshotCatalog::open(&dir).unwrap();
+        let lr = live(20);
+        lr.checkpoint(&catalog, "base").unwrap();
+        // Churn: 30 insert+delete pairs and 2 surviving updates.
+        for i in 0..30i64 {
+            let gid = lr
+                .insert(vec![Value::Int(900 + i), Value::str("churn")])
+                .unwrap();
+            lr.delete(gid).unwrap().unwrap();
+        }
+        lr.insert(vec![Value::Int(777), Value::str("kept")])
+            .unwrap();
+        lr.delete(5).unwrap().unwrap();
+        let pending = lr.pending_log();
+        assert_eq!(pending.len(), 62);
+
+        let recovered = LiveRelation::recover(&catalog, "base", &pending).unwrap();
+        assert_eq!(
+            recovered.boundedness_report().len(),
+            2,
+            "only the net change was replayed"
+        );
+        assert_eq!(recovered.len(), lr.len());
+        for gid in 0..55 {
+            assert_eq!(recovered.row(gid), lr.row(gid), "gid {gid}");
+        }
+        for q in [
+            SelectionQuery::point(0, 777i64),
+            SelectionQuery::point(0, 5i64),
+            SelectionQuery::point(1, "churn"),
+            SelectionQuery::range_closed(0, 0i64, 1_000i64),
+        ] {
+            assert_eq!(recovered.matching_ids(&q), lr.matching_ids(&q), "{q:?}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -62,6 +62,7 @@ const SEC_LOUT: u32 = 8;
 const SEC_LIN: u32 = 9;
 const SEC_RANK: u32 = 10;
 const SEC_LOG: u32 = 11;
+const SEC_WAL_MARK: u32 = 12;
 
 /// Which preprocessed structure a snapshot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,12 @@ pub enum SnapshotKind {
     /// relation since its last checkpoint, persisted so recovery can
     /// replay them onto the checkpoint snapshot.
     UpdateLog,
+    /// A live checkpoint: a [`pitract_engine::ShardedRelation`] state
+    /// *plus* the write-ahead-log position it covers, persisted as one
+    /// atomic file so the state and its WAL mark can never be observed
+    /// out of sync (a crash between "snapshot saved" and "mark updated"
+    /// was exactly the window a two-file scheme would leave open).
+    LiveCheckpoint,
 }
 
 impl SnapshotKind {
@@ -85,6 +92,7 @@ impl SnapshotKind {
             SnapshotKind::ShardedRelation => 2,
             SnapshotKind::HopLabels => 3,
             SnapshotKind::UpdateLog => 4,
+            SnapshotKind::LiveCheckpoint => 5,
         }
     }
 
@@ -94,6 +102,7 @@ impl SnapshotKind {
             2 => Ok(SnapshotKind::ShardedRelation),
             3 => Ok(SnapshotKind::HopLabels),
             4 => Ok(SnapshotKind::UpdateLog),
+            5 => Ok(SnapshotKind::LiveCheckpoint),
             other => Err(StoreError::UnknownKind(other)),
         }
     }
@@ -106,6 +115,7 @@ impl fmt::Display for SnapshotKind {
             SnapshotKind::ShardedRelation => write!(f, "ShardedRelation"),
             SnapshotKind::HopLabels => write!(f, "HopLabels"),
             SnapshotKind::UpdateLog => write!(f, "UpdateLog"),
+            SnapshotKind::LiveCheckpoint => write!(f, "LiveCheckpoint"),
         }
     }
 }
@@ -121,6 +131,16 @@ pub enum Snapshot {
     Hop(HopLabels),
     /// A live relation's replayable update log.
     Log(UpdateLog),
+    /// A live checkpoint: a frozen sharded state together with the WAL
+    /// position it covers — `wal_lsn` is the log sequence number of the
+    /// first record *not* contained in `state`, i.e. where recovery must
+    /// start replaying the write-ahead log.
+    Checkpoint {
+        /// The frozen point-in-time state.
+        state: ShardedRelation,
+        /// LSN of the first WAL record not covered by `state`.
+        wal_lsn: u64,
+    },
 }
 
 impl From<IndexedRelation> for Snapshot {
@@ -155,6 +175,7 @@ impl Snapshot {
             Snapshot::Sharded(_) => SnapshotKind::ShardedRelation,
             Snapshot::Hop(_) => SnapshotKind::HopLabels,
             Snapshot::Log(_) => SnapshotKind::UpdateLog,
+            Snapshot::Checkpoint { .. } => SnapshotKind::LiveCheckpoint,
         }
     }
 
@@ -202,6 +223,18 @@ impl Snapshot {
         }
     }
 
+    /// Unwrap a live checkpoint into `(state, wal_lsn)`, or report the
+    /// kind actually stored.
+    pub fn into_checkpoint(self) -> Result<(ShardedRelation, u64), StoreError> {
+        match self {
+            Snapshot::Checkpoint { state, wal_lsn } => Ok((state, wal_lsn)),
+            other => Err(StoreError::WrongKind {
+                expected: SnapshotKind::LiveCheckpoint,
+                found: other.kind(),
+            }),
+        }
+    }
+
     /// Serialize to the snapshot byte format (deterministic: equal
     /// structures produce equal bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -210,6 +243,13 @@ impl Snapshot {
             Snapshot::Sharded(sr) => encode_sharded_sections(sr),
             Snapshot::Hop(h) => encode_hop_sections(h),
             Snapshot::Log(log) => encode_log_sections(log),
+            Snapshot::Checkpoint { state, wal_lsn } => {
+                let mut sections = encode_sharded_sections(state);
+                let mut mark = Writer::new();
+                mark.u64(*wal_lsn);
+                sections.push((SEC_WAL_MARK, mark.into_bytes()));
+                sections
+            }
         };
         let mut w = Writer::new();
         w.raw(&MAGIC);
@@ -306,38 +346,11 @@ impl Snapshot {
                 decode_indexed(schema, section(SEC_ROWS)?, section(SEC_INDEXES)?)
                     .map(Snapshot::Indexed)
             }
-            SnapshotKind::ShardedRelation => {
-                let schema = finish(section(SEC_SCHEMA)?, Reader::schema)?;
-                let shard_by = finish(section(SEC_SHARD_BY)?, read_shard_by)?;
-                let mut shards_r = section(SEC_SHARDS)?;
-                let shard_count = shards_r.count(2)?;
-                let mut shards = Vec::with_capacity(shard_count);
-                for _ in 0..shard_count {
-                    // Per-shard body: the same rows + indexes encoding as
-                    // a standalone IndexedRelation, sharing one schema.
-                    let slots = read_slots(&mut shards_r)?;
-                    let indexes = read_indexes(&mut shards_r)?;
-                    shards.push(
-                        IndexedRelation::from_parts(schema.clone(), slots, indexes)
-                            .map_err(StoreError::Indexed)?,
-                    );
-                }
-                if !shards_r.is_exhausted() {
-                    return Err(StoreError::Corrupt("trailing bytes in shards".into()));
-                }
-                let mut gids_r = section(SEC_GLOBAL_IDS)?;
-                let g_count = gids_r.count(8)?;
-                let mut global_ids = Vec::with_capacity(g_count);
-                for _ in 0..g_count {
-                    global_ids.push(gids_r.usize_seq()?);
-                }
-                if !gids_r.is_exhausted() {
-                    return Err(StoreError::Corrupt("trailing bytes in global ids".into()));
-                }
-                let locations = finish(section(SEC_LOCATIONS)?, read_locations)?;
-                let sr =
-                    ShardedRelation::from_parts(schema, shard_by, shards, global_ids, locations)?;
-                Ok(Snapshot::Sharded(sr))
+            SnapshotKind::ShardedRelation => decode_sharded(&section).map(Snapshot::Sharded),
+            SnapshotKind::LiveCheckpoint => {
+                let state = decode_sharded(&section)?;
+                let wal_lsn = finish(section(SEC_WAL_MARK)?, Reader::u64)?;
+                Ok(Snapshot::Checkpoint { state, wal_lsn })
             }
             SnapshotKind::HopLabels => {
                 let lout = finish(section(SEC_LOUT)?, read_label_lists)?;
@@ -391,15 +404,22 @@ pub fn peek_kind(header: &[u8]) -> Result<SnapshotKind, StoreError> {
 }
 
 /// Atomic file replacement: write to a uniquely named `.tmp` sibling,
-/// fsync it, then rename over the destination (atomic on POSIX
-/// filesystems). The fsync before the rename matters: without it the
-/// rename's metadata change can hit disk before the temp file's *data*
-/// does, and a power loss in that window would replace a good snapshot
-/// with a truncated one. The temp name carries the pid and a process-
-/// wide counter so concurrent saves of the same snapshot name write
-/// disjoint files and the last rename wins with a complete file —
+/// fsync it, rename over the destination (atomic on POSIX filesystems),
+/// then fsync the parent directory. Both fsyncs matter: without the
+/// file fsync the rename's metadata change can hit disk before the temp
+/// file's *data* does, and a power loss in that window would replace a
+/// good snapshot with a truncated one; without the [`fsync_dir`] the
+/// *directory entry* created by the rename can be lost, so a crash
+/// after "save returned Ok" could silently roll the file back to its
+/// previous version (or to nothing). The temp name carries the pid and
+/// a process-wide counter so concurrent saves of the same snapshot name
+/// write disjoint files and the last rename wins with a complete file —
 /// never an interleaving.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+///
+/// Public because `pitract-wal` reuses it for compacted segment
+/// replacement; the error type stays [`StoreError::Io`] for callers to
+/// wrap.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     use std::io::Write as _;
     use std::sync::atomic::{AtomicU64, Ordering};
     static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -416,13 +436,20 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> 
     f.sync_all().map_err(cleanup)?;
     drop(f);
     std::fs::rename(&tmp, path).map_err(cleanup)?;
-    // Best-effort directory sync so the rename itself is durable too.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        fsync_dir(dir)?;
     }
     Ok(())
+}
+
+/// Fsync a directory so a just-created, renamed, or removed entry in it
+/// is durable. A no-op-looking but load-bearing step on POSIX systems:
+/// file data reaches disk via the file's own fsync, while the *name*
+/// lives in the directory, which has its own write-back cache. Failures
+/// propagate — a durability layer that shrugs off a failed sync is
+/// lying about its contract.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
 }
 
 /// Run `read` on a section reader and require it to consume the whole
@@ -569,6 +596,45 @@ fn encode_sharded_sections(sr: &ShardedRelation) -> Vec<(u32, Vec<u8>)> {
     ]
 }
 
+/// Decode a `ShardedRelation` from its sections, located by `section` —
+/// shared by the plain `ShardedRelation` kind and the `LiveCheckpoint`
+/// kind (which carries the same state plus a WAL mark).
+fn decode_sharded<'a>(
+    section: &impl Fn(u32) -> Result<Reader<'a>, StoreError>,
+) -> Result<ShardedRelation, StoreError> {
+    let schema = finish(section(SEC_SCHEMA)?, Reader::schema)?;
+    let shard_by = finish(section(SEC_SHARD_BY)?, read_shard_by)?;
+    let mut shards_r = section(SEC_SHARDS)?;
+    let shard_count = shards_r.count(2)?;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        // Per-shard body: the same rows + indexes encoding as a
+        // standalone IndexedRelation, sharing one schema.
+        let slots = read_slots(&mut shards_r)?;
+        let indexes = read_indexes(&mut shards_r)?;
+        shards.push(
+            IndexedRelation::from_parts(schema.clone(), slots, indexes)
+                .map_err(StoreError::Indexed)?,
+        );
+    }
+    if !shards_r.is_exhausted() {
+        return Err(StoreError::Corrupt("trailing bytes in shards".into()));
+    }
+    let mut gids_r = section(SEC_GLOBAL_IDS)?;
+    let g_count = gids_r.count(8)?;
+    let mut global_ids = Vec::with_capacity(g_count);
+    for _ in 0..g_count {
+        global_ids.push(gids_r.usize_seq()?);
+    }
+    if !gids_r.is_exhausted() {
+        return Err(StoreError::Corrupt("trailing bytes in global ids".into()));
+    }
+    let locations = finish(section(SEC_LOCATIONS)?, read_locations)?;
+    Ok(ShardedRelation::from_parts(
+        schema, shard_by, shards, global_ids, locations,
+    )?)
+}
+
 fn read_shard_by(r: &mut Reader<'_>) -> Result<ShardBy, StoreError> {
     match r.u8()? {
         0 => Ok(ShardBy::Hash { col: r.usize()? }),
@@ -620,33 +686,14 @@ fn encode_log_sections(log: &UpdateLog) -> Vec<(u32, Vec<u8>)> {
     let mut w = Writer::new();
     w.usize(log.len());
     for entry in log.entries() {
-        match entry {
-            UpdateEntry::Insert { gid, row } => {
-                w.u8(0);
-                w.usize(*gid);
-                w.row(row);
-            }
-            UpdateEntry::Delete { gid } => {
-                w.u8(1);
-                w.usize(*gid);
-            }
-        }
+        w.update_entry(entry);
     }
     vec![(SEC_LOG, w.into_bytes())]
 }
 
 fn read_log_entries(r: &mut Reader<'_>) -> Result<Vec<UpdateEntry>, StoreError> {
     let n = r.count(2)?;
-    (0..n)
-        .map(|_| match r.u8()? {
-            0 => Ok(UpdateEntry::Insert {
-                gid: r.usize()?,
-                row: r.row()?,
-            }),
-            1 => Ok(UpdateEntry::Delete { gid: r.usize()? }),
-            tag => Err(StoreError::Corrupt(format!("bad log entry tag {tag}"))),
-        })
-        .collect()
+    (0..n).map(|_| r.update_entry()).collect()
 }
 
 #[cfg(test)]
@@ -739,6 +786,46 @@ mod tests {
                 assert_eq!(loaded.query(u, v), labels.query(u, v), "({u},{v})");
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_state_and_wal_mark() {
+        let mut sr =
+            ShardedRelation::build(&relation(80), ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap();
+        sr.delete(12);
+        let bytes = Snapshot::Checkpoint {
+            state: sr,
+            wal_lsn: 123_456_789,
+        }
+        .to_bytes();
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.kind(), SnapshotKind::LiveCheckpoint);
+        assert_eq!(
+            peek_kind(&bytes[..12]).unwrap(),
+            SnapshotKind::LiveCheckpoint
+        );
+        let (state, wal_lsn) = snap.into_checkpoint().unwrap();
+        assert_eq!(wal_lsn, 123_456_789, "the mark travels with the state");
+        assert_eq!(state.len(), 79);
+        assert!(state.row(12).is_none());
+        assert!(state.answer(&SelectionQuery::point(0, 42i64)));
+        // The wrong-kind unwraps stay typed in both directions.
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            snap.into_sharded(),
+            Err(StoreError::WrongKind {
+                expected: SnapshotKind::ShardedRelation,
+                found: SnapshotKind::LiveCheckpoint,
+            })
+        ));
+        let ir = IndexedRelation::build(&relation(5), &[0]).unwrap();
+        assert!(matches!(
+            Snapshot::Indexed(ir).into_checkpoint(),
+            Err(StoreError::WrongKind {
+                expected: SnapshotKind::LiveCheckpoint,
+                found: SnapshotKind::IndexedRelation,
+            })
+        ));
     }
 
     #[test]

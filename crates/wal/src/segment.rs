@@ -1,0 +1,509 @@
+//! The on-disk segment format and its total scanner.
+//!
+//! # Layout (format version 1)
+//!
+//! A WAL is a directory of segment files named `<base-lsn>.seg` (the
+//! base LSN zero-padded to 20 digits so lexicographic order equals
+//! numeric order). Each segment is:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  ---------------------------------------------------
+//! 0       8     magic tag, the ASCII bytes "PITRWSEG"
+//! 8       2     format version, u16 LE (currently 1)
+//! 10      8     base LSN, u64 LE (first sequence number this segment
+//!               may hold; must match the file name)
+//! 18      ...   records, back to back
+//! ```
+//!
+//! and each record is:
+//!
+//! ```text
+//! size  field
+//! ----  ------------------------------------------------------------
+//! 4     payload length n, u32 LE
+//! 8     LSN, u64 LE (strictly increasing; gaps allowed — compaction
+//!       removes records but never renumbers survivors)
+//! n     payload (an UpdateEntry in the pitract-store codec)
+//! 8     FNV-1a-64 checksum over the preceding 12 + n bytes, u64 LE
+//! ```
+//!
+//! The checksum covers the length and LSN fields too, so a corrupted
+//! frame cannot masquerade as a short valid record.
+//!
+//! # Torn tails vs. corruption
+//!
+//! [`scan_segment`] distinguishes the two failure shapes a segment can
+//! have, because they demand opposite reactions:
+//!
+//! * a **torn tail** — the *last* segment ends before a record's declared
+//!   frame is complete. That is the unavoidable residue of a crash
+//!   mid-append: the record was never confirmed, so the scanner reports
+//!   the clean prefix and the writer truncates the tail. Never an error.
+//! * **corruption** — a fully framed record whose checksum does not
+//!   match, a sequence number running backwards, or a *closed* segment
+//!   ending mid-record. No crash produces these (appends only ever
+//!   truncate the tail of the newest segment); they mean the disk or an
+//!   operator damaged the log, and recovery must say so typed rather
+//!   than replay a prefix that silently diverges from history.
+
+use crate::error::WalError;
+use pitract_core::hash::fnv1a64;
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic tag opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"PITRWSEG";
+
+/// The segment format version this binary writes and the only one it
+/// reads.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// File extension of WAL segments.
+pub const SEGMENT_EXT: &str = "seg";
+
+/// Bytes of the segment header (magic + version + base LSN).
+pub const SEGMENT_HEADER_LEN: usize = 8 + 2 + 8;
+
+/// Fixed bytes per record around the payload (length + LSN + checksum).
+pub const RECORD_OVERHEAD: usize = 4 + 8 + 8;
+
+/// Encode a segment header for `base_lsn`.
+pub fn segment_header(base_lsn: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN);
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&base_lsn.to_le_bytes());
+    bytes
+}
+
+/// The canonical file name of the segment based at `base_lsn`.
+pub fn segment_file_name(base_lsn: u64) -> String {
+    format!("{base_lsn:020}.{SEGMENT_EXT}")
+}
+
+/// Parse a segment file name back to its base LSN (`None` for foreign
+/// files, which directory scans skip).
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{SEGMENT_EXT}"))?;
+    if stem.len() != 20 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// Encode one record: length + LSN + payload + checksum.
+pub fn encode_record(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&lsn.to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// One scanned segment: every complete, validated record plus where the
+/// clean prefix ends.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Base LSN from the header.
+    pub base_lsn: u64,
+    /// `(lsn, payload)` of every valid record, in order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of the valid prefix (header + complete records). A
+    /// writer resuming this segment truncates the file here.
+    pub clean_len: u64,
+    /// Bytes past the clean prefix — nonzero only for a torn tail in the
+    /// last segment.
+    pub torn_bytes: u64,
+}
+
+/// Scan one segment's bytes. `last` marks the newest segment of the
+/// directory — the only one allowed a torn tail; `name` labels errors.
+pub fn scan_segment(
+    bytes: &[u8],
+    name_base: u64,
+    last: bool,
+    name: &str,
+) -> Result<SegmentScan, WalError> {
+    let corrupt = |offset: usize, reason: String| WalError::Corrupt {
+        segment: name.to_string(),
+        offset: offset as u64,
+        reason,
+    };
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        if last {
+            // A crash while the header itself was being written: nothing
+            // in this segment was ever confirmed.
+            return Ok(SegmentScan {
+                base_lsn: name_base,
+                records: Vec::new(),
+                clean_len: 0,
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        return Err(corrupt(0, "closed segment shorter than its header".into()));
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(WalError::NotASegment {
+            path: name.to_string(),
+        });
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version != SEGMENT_VERSION {
+        return Err(WalError::VersionMismatch {
+            found: version,
+            expected: SEGMENT_VERSION,
+        });
+    }
+    let base_lsn = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    if base_lsn != name_base {
+        return Err(corrupt(
+            10,
+            format!("header base lsn {base_lsn} does not match file name base {name_base}"),
+        ));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN;
+    let mut expected = base_lsn;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(SegmentScan {
+                base_lsn,
+                records,
+                clean_len: pos as u64,
+                torn_bytes: 0,
+            });
+        }
+        // Is the full frame present? Anything short of it is a torn tail
+        // (tolerated in the last segment) — truncation can cut anywhere,
+        // including inside the length field itself.
+        let frame_len = if remaining >= 4 {
+            let n = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            n.checked_add(RECORD_OVERHEAD)
+        } else {
+            None
+        };
+        let complete = frame_len.is_some_and(|f| f <= remaining);
+        if !complete {
+            if last {
+                return Ok(SegmentScan {
+                    base_lsn,
+                    records,
+                    clean_len: pos as u64,
+                    torn_bytes: remaining as u64,
+                });
+            }
+            return Err(corrupt(pos, "closed segment ends mid-record".into()));
+        }
+        let frame_len = frame_len.expect("checked complete");
+        let body = &bytes[pos..pos + frame_len - 8];
+        let stored = u64::from_le_bytes(
+            bytes[pos + frame_len - 8..pos + frame_len]
+                .try_into()
+                .unwrap(),
+        );
+        if fnv1a64(body) != stored {
+            // A complete frame with a bad checksum is bit rot, not a
+            // crash: truncation can only ever shorten the file.
+            return Err(corrupt(pos, "record checksum mismatch".into()));
+        }
+        let lsn = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        if lsn < expected {
+            return Err(corrupt(
+                pos,
+                format!("lsn {lsn} runs backwards (expected at least {expected})"),
+            ));
+        }
+        records.push((lsn, body[12..].to_vec()));
+        expected = lsn + 1;
+        pos += frame_len;
+    }
+}
+
+/// One segment file of a directory scan, with its validated contents.
+#[derive(Debug)]
+pub struct ScannedSegment {
+    /// Path of the segment file.
+    pub path: PathBuf,
+    /// Base LSN (from header and file name, verified equal).
+    pub base_lsn: u64,
+    /// `(lsn, payload)` of every valid record, in order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Total bytes currently in the file.
+    pub file_len: u64,
+    /// Byte length of the valid prefix.
+    pub clean_len: u64,
+}
+
+/// A whole-directory scan: every segment validated, ordered by base LSN.
+#[derive(Debug)]
+pub struct DirScan {
+    /// The segments, ascending by base LSN. The last one is the active
+    /// (append) segment.
+    pub segments: Vec<ScannedSegment>,
+    /// The sequence number the next append must use.
+    pub next_lsn: u64,
+    /// Torn bytes found past the last segment's clean prefix (0 when the
+    /// shutdown was clean).
+    pub torn_bytes: u64,
+}
+
+impl DirScan {
+    /// All `(lsn, payload)` records across segments, in LSN order.
+    pub fn records(&self) -> impl Iterator<Item = &(u64, Vec<u8>)> {
+        self.segments.iter().flat_map(|s| s.records.iter())
+    }
+}
+
+/// Scan a WAL directory: locate the segment files, validate each, check
+/// cross-segment LSN monotonicity. Foreign files (wrong extension, wrong
+/// name shape, leftover `.tmp` from an interrupted compaction) are
+/// ignored. A missing directory scans as empty.
+pub fn scan_dir(dir: &Path) -> Result<DirScan, WalError> {
+    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let path = entry?.path();
+                if let Some(base) = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(parse_segment_file_name)
+                {
+                    files.push((base, path));
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(WalError::Io(e)),
+    }
+    files.sort();
+
+    let mut segments = Vec::with_capacity(files.len());
+    let mut next_lsn = 0u64;
+    let mut torn_bytes = 0u64;
+    let count = files.len();
+    for (i, (base, path)) in files.into_iter().enumerate() {
+        let last = i + 1 == count;
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        if base < next_lsn {
+            return Err(WalError::Corrupt {
+                segment: name.to_string(),
+                offset: 0,
+                reason: format!("segment base {base} overlaps the previous segment's records"),
+            });
+        }
+        let bytes = std::fs::read(&path)?;
+        let scan = scan_segment(&bytes, base, last, name)?;
+        next_lsn = scan
+            .records
+            .last()
+            .map(|(lsn, _)| lsn + 1)
+            .unwrap_or(base)
+            .max(next_lsn);
+        if last {
+            torn_bytes = scan.torn_bytes;
+        }
+        segments.push(ScannedSegment {
+            path,
+            base_lsn: base,
+            records: scan.records,
+            file_len: bytes.len() as u64,
+            clean_len: scan.clean_len,
+        });
+    }
+    Ok(DirScan {
+        segments,
+        next_lsn,
+        torn_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment_bytes(base: u64, payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = segment_header(base);
+        for (i, p) in payloads.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(base + i as u64, p));
+        }
+        bytes
+    }
+
+    #[test]
+    fn names_roundtrip_and_sort_numerically() {
+        assert_eq!(segment_file_name(0), "00000000000000000000.seg");
+        assert_eq!(segment_file_name(42), "00000000000000000042.seg");
+        assert_eq!(
+            parse_segment_file_name(&segment_file_name(123_456)),
+            Some(123_456)
+        );
+        assert_eq!(parse_segment_file_name("foo.seg"), None);
+        assert_eq!(parse_segment_file_name("00000000000000000042.tmp"), None);
+        assert_eq!(
+            parse_segment_file_name("42.seg"),
+            None,
+            "unpadded is foreign"
+        );
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+
+    #[test]
+    fn clean_segment_scans_completely() {
+        let bytes = segment_bytes(7, &[b"alpha", b"", b"gamma-longer-payload"]);
+        let scan = scan_segment(&bytes, 7, true, "t").unwrap();
+        assert_eq!(scan.base_lsn, 7);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.clean_len, bytes.len() as u64);
+        assert_eq!(
+            scan.records,
+            vec![
+                (7, b"alpha".to_vec()),
+                (8, b"".to_vec()),
+                (9, b"gamma-longer-payload".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn every_truncation_of_the_last_segment_yields_the_complete_prefix() {
+        let payloads: [&[u8]; 3] = [b"first", b"second-record", b"x"];
+        let bytes = segment_bytes(0, &payloads);
+        // Record boundaries, to know which prefix each cut should keep.
+        let mut boundaries = vec![SEGMENT_HEADER_LEN];
+        for p in payloads {
+            boundaries.push(boundaries.last().unwrap() + RECORD_OVERHEAD + p.len());
+        }
+        for cut in 0..=bytes.len() {
+            let scan = scan_segment(&bytes[..cut], 0, true, "t").unwrap();
+            if cut < SEGMENT_HEADER_LEN {
+                assert_eq!(scan.records.len(), 0, "cut at {cut}");
+                assert_eq!(scan.clean_len, 0, "cut at {cut}");
+                assert_eq!(scan.torn_bytes as usize, cut, "cut at {cut}");
+                continue;
+            }
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), complete, "cut at {cut}");
+            assert_eq!(
+                scan.clean_len as usize, boundaries[complete],
+                "clean prefix at cut {cut}"
+            );
+            assert_eq!(
+                scan.torn_bytes as usize,
+                cut - boundaries[complete],
+                "torn bytes at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_segments_reject_torn_tails_typed() {
+        let bytes = segment_bytes(0, &[b"first", b"second"]);
+        let cut = bytes.len() - 3;
+        let err = scan_segment(&bytes[..cut], 0, false, "00.seg").unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+        // Shorter than the header is corrupt too (for a closed segment).
+        let err = scan_segment(&bytes[..10], 0, false, "00.seg").unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn bitflips_are_corrupt_not_torn() {
+        let bytes = segment_bytes(0, &[b"payload-one", b"payload-two"]);
+        // Flip one payload byte of the *first* record: a complete frame
+        // with a bad checksum, even though a valid record follows.
+        let mut flipped = bytes.clone();
+        flipped[SEGMENT_HEADER_LEN + 13] ^= 0xFF;
+        let err = scan_segment(&flipped, 0, true, "t").unwrap_err();
+        assert!(
+            matches!(err, WalError::Corrupt { ref reason, .. } if reason.contains("checksum")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn header_validation_is_typed() {
+        let good = segment_bytes(3, &[b"x"]);
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            scan_segment(&bad_magic, 3, true, "t"),
+            Err(WalError::NotASegment { .. })
+        ));
+        let mut bumped = good.clone();
+        bumped[8..10].copy_from_slice(&2u16.to_le_bytes());
+        assert!(matches!(
+            scan_segment(&bumped, 3, true, "t"),
+            Err(WalError::VersionMismatch {
+                found: 2,
+                expected: SEGMENT_VERSION
+            })
+        ));
+        // Header base and name base must agree.
+        assert!(matches!(
+            scan_segment(&good, 4, true, "t"),
+            Err(WalError::Corrupt { .. })
+        ));
+        // A partial header in the last segment is a torn birth, not an error.
+        let scan = scan_segment(&good[..5], 3, true, "t").unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.clean_len, 0);
+        assert_eq!(scan.torn_bytes, 5);
+    }
+
+    #[test]
+    fn lsn_gaps_are_fine_but_backwards_is_corrupt() {
+        // Gaps are what compaction leaves behind.
+        let mut bytes = segment_header(5);
+        bytes.extend_from_slice(&encode_record(5, b"a"));
+        bytes.extend_from_slice(&encode_record(9, b"b"));
+        bytes.extend_from_slice(&encode_record(10, b"c"));
+        let scan = scan_segment(&bytes, 5, true, "t").unwrap();
+        assert_eq!(scan.records.len(), 3);
+        // Running backwards can only be damage.
+        let mut bytes = segment_header(5);
+        bytes.extend_from_slice(&encode_record(6, b"a"));
+        bytes.extend_from_slice(&encode_record(6, b"b"));
+        let err = scan_segment(&bytes, 5, true, "t").unwrap_err();
+        assert!(
+            matches!(err, WalError::Corrupt { ref reason, .. } if reason.contains("backwards")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dir_scan_orders_segments_and_ignores_foreign_files() {
+        let dir = std::env::temp_dir().join(format!("pitract-walseg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(segment_file_name(0)),
+            segment_bytes(0, &[b"a", b"b"]),
+        )
+        .unwrap();
+        std::fs::write(dir.join(segment_file_name(2)), segment_bytes(2, &[b"c"])).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"not a segment").unwrap();
+        std::fs::write(dir.join("0.seg.tmp"), b"crashed compactor").unwrap();
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.segments.len(), 2);
+        assert_eq!(scan.next_lsn, 3);
+        assert_eq!(scan.torn_bytes, 0);
+        let lsns: Vec<u64> = scan.records().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![0, 1, 2]);
+        // Overlapping bases across files are corrupt.
+        std::fs::write(dir.join(segment_file_name(1)), segment_bytes(1, &[b"x"])).unwrap();
+        assert!(matches!(scan_dir(&dir), Err(WalError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_scans_empty() {
+        let scan = scan_dir(Path::new("/nonexistent/definitely/not/here")).unwrap();
+        assert!(scan.segments.is_empty());
+        assert_eq!(scan.next_lsn, 0);
+    }
+}

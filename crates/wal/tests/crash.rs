@@ -1,0 +1,160 @@
+//! Crash-injection property tests: recovery is total and exact.
+//!
+//! The crash model of an append-only log is truncation — a crash while
+//! appending leaves some prefix of the bytes the writer issued. These
+//! properties drive that model hard: write N records, cut the segment
+//! file at an arbitrary byte offset, and require recovery to return
+//! **exactly** the records whose frames fit entirely inside the cut —
+//! no more (half-written records were never confirmed), no fewer (every
+//! confirmed record survives), and never a panic. A second property
+//! feeds arbitrary garbage and bit-flips through the same path and
+//! requires a typed result.
+
+use pitract_engine::UpdateEntry;
+use pitract_relation::Value;
+use pitract_wal::segment::{segment_file_name, RECORD_OVERHEAD, SEGMENT_HEADER_LEN};
+use pitract_wal::{SyncPolicy, WalConfig, WalReader, WalWriter};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pitract-wal-crash-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic entry stream from generated ops: inserts take the next
+/// gid; deletes target an earlier gid (so the stream is a plausible
+/// history, though recovery must not care).
+fn entries_from_ops(ops: &[(u8, i64)]) -> Vec<UpdateEntry> {
+    let mut entries = Vec::with_capacity(ops.len());
+    let mut next_gid = 0usize;
+    for &(op, key) in ops {
+        if op % 4 == 0 && next_gid > 0 {
+            entries.push(UpdateEntry::Delete {
+                gid: key as usize % next_gid,
+            });
+        } else {
+            entries.push(UpdateEntry::Insert {
+                gid: next_gid,
+                row: vec![Value::Int(key), Value::str(format!("k{key}"))],
+            });
+            next_gid += 1;
+        }
+    }
+    entries
+}
+
+fn payload_len(entry: &UpdateEntry) -> usize {
+    let mut w = pitract_store::codec::Writer::new();
+    w.update_entry(entry);
+    w.len()
+}
+
+proptest! {
+    /// For every byte offset a crash can cut a segment at, recovery
+    /// returns exactly the prefix of complete records.
+    #[test]
+    fn truncated_segment_recovers_exactly_the_complete_prefix(
+        ops in prop::collection::vec((0u8..8, 0i64..1_000), 1..25),
+        cut_seed in 0usize..1_000_000
+    ) {
+        let entries = entries_from_ops(&ops);
+        let dir = fresh_dir("cut");
+        let wal = WalWriter::open(
+            &dir,
+            WalConfig { segment_bytes: u64::MAX, sync: SyncPolicy::Never },
+        ).unwrap();
+        for e in &entries {
+            wal.append_entry(e).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Frame boundaries, recomputed independently of the scanner.
+        let mut boundaries = vec![SEGMENT_HEADER_LEN];
+        for e in &entries {
+            boundaries.push(boundaries.last().unwrap() + RECORD_OVERHEAD + payload_len(e));
+        }
+        let path = dir.join(segment_file_name(0));
+        let full = std::fs::read(&path).unwrap();
+        prop_assert_eq!(full.len(), *boundaries.last().unwrap());
+
+        let cut = cut_seed % (full.len() + 1);
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let reader = WalReader::open(&dir).unwrap();
+        let complete = boundaries.iter().filter(|&&b| b <= cut.max(SEGMENT_HEADER_LEN)).count()
+            .saturating_sub(1);
+        let complete = if cut < SEGMENT_HEADER_LEN { 0 } else { complete };
+        prop_assert_eq!(reader.len(), complete, "cut at {} of {}", cut, full.len());
+        let got: Vec<UpdateEntry> = reader.records().iter().map(|r| r.entry.clone()).collect();
+        prop_assert_eq!(&got[..], &entries[..complete]);
+        prop_assert_eq!(reader.next_lsn(), complete as u64);
+        prop_assert_eq!(
+            reader.torn_bytes() > 0,
+            cut != 0 && !boundaries.contains(&cut),
+            "torn flag at cut {}", cut
+        );
+
+        // And a writer reopening the same directory heals the tail: the
+        // next append is confirmed record number `complete`.
+        let wal = WalWriter::open(
+            &dir,
+            WalConfig { segment_bytes: u64::MAX, sync: SyncPolicy::Never },
+        ).unwrap();
+        prop_assert_eq!(wal.next_lsn(), complete as u64);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Arbitrary damage — random bytes, or a bit flip anywhere in a real
+    /// segment — never panics: reading yields Ok (with a possibly
+    /// shorter record set, if the damage hides in the torn tail) or a
+    /// typed error.
+    #[test]
+    fn damaged_segments_never_panic(
+        ops in prop::collection::vec((0u8..8, 0i64..1_000), 1..15),
+        flip_at in 0usize..1_000_000,
+        garbage in prop::collection::vec(0u8..=255, 0..80)
+    ) {
+        // Bit flip in a real segment.
+        let entries = entries_from_ops(&ops);
+        let dir = fresh_dir("flip");
+        let wal = WalWriter::open(
+            &dir,
+            WalConfig { segment_bytes: u64::MAX, sync: SyncPolicy::Never },
+        ).unwrap();
+        for e in &entries {
+            wal.append_entry(e).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let path = dir.join(segment_file_name(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let result = WalReader::open(&dir);
+        if let Ok(reader) = &result {
+            // Damage that still parses must have hidden in the tail (or
+            // not changed the meaning of any complete record's frame) —
+            // in no case may more records appear than were written.
+            prop_assert!(reader.len() <= entries.len());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Pure garbage under a segment name.
+        let dir = fresh_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(segment_file_name(0)), &garbage).unwrap();
+        let _ = WalReader::open(&dir); // Ok(empty/torn) or typed error; no panic
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

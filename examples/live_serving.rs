@@ -73,7 +73,7 @@ fn main() {
                             .expect("valid row");
                         applied += 1;
                         if round % 2 == 0 {
-                            live.delete(gid).expect("just inserted");
+                            live.delete(gid).unwrap().expect("just inserted");
                             applied += 1;
                         }
                         round += 1;
@@ -130,7 +130,7 @@ fn main() {
     let post_gid = live
         .insert(vec![Value::Int(n * 10), Value::str("post-checkpoint")])
         .expect("valid row");
-    live.delete(7).expect("gid 7 live");
+    live.delete(7).unwrap().expect("gid 7 live");
     println!(
         "post-checkpoint traffic: 1 insert (gid {post_gid}), 1 delete; pending log = {} entries",
         live.pending_log().len()

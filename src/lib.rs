@@ -18,6 +18,7 @@
 //! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
 //! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution, live serving under concurrent updates |
 //! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts, live checkpoint/recover |
+//! | [`wal`] | durable write-ahead log: fsync'd checksummed segments, group commit, torn-tail recovery, compaction, crash-consistent durable serving |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
@@ -134,6 +135,46 @@
 //! assert_eq!(live.pending_log().len(), 2);
 //! # let _ = gid;
 //! ```
+//!
+//! ## Durability
+//!
+//! Between checkpoints, a live node's updates exist only in memory — a
+//! crash window the [`wal`] crate closes. A
+//! [`DurableLiveRelation`](crate::wal::DurableLiveRelation) stages every
+//! update into an fsync'd, checksummed write-ahead log *before* it
+//! becomes visible (inside the engine's global-id critical section, so
+//! log order equals id order even under racing writers) and recovers
+//! after a crash by loading the last checkpoint and replaying the
+//! compacted WAL tail — bit-identical answers and row ids, with a torn
+//! tail (the residue of a crash mid-append) truncated, never an error.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//! # let root = std::env::temp_dir().join(format!("pitract-facade-wal-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&root);
+//! let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+//!
+//! // Go durable: bootstrap checkpoint + write-ahead log.
+//! let node = DurableLiveRelation::create(
+//!     live, &catalog, "orders", root.join("wal"), WalConfig::default(),
+//! ).unwrap();
+//! node.insert(vec![Value::Int(5_000)]).unwrap();
+//! node.delete(3).unwrap();
+//! drop(node); // crash at any instant…
+//!
+//! // …and nothing confirmed is lost.
+//! let recovered = DurableLiveRelation::recover(
+//!     &catalog, "orders", root.join("wal"), WalConfig::default(),
+//! ).unwrap();
+//! assert!(recovered.answer(&SelectionQuery::point(0, 5_000i64)));
+//! assert!(recovered.row(3).is_none());
+//! # std::fs::remove_dir_all(&root).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -149,6 +190,7 @@ pub use pitract_pram as pram;
 pub use pitract_reductions as reductions;
 pub use pitract_relation as relation;
 pub use pitract_store as store;
+pub use pitract_wal as wal;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -161,7 +203,7 @@ pub mod prelude {
     pub use pitract_core::scheme::Scheme;
     pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
     pub use pitract_engine::error::EngineError;
-    pub use pitract_engine::live::{LiveRelation, UpdateEntry, UpdateLog};
+    pub use pitract_engine::live::{LiveRelation, UpdateEntry, UpdateLog, WalSink};
     pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
     pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
@@ -175,4 +217,8 @@ pub mod prelude {
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
     pub use pitract_store::{LiveCheckpoint, Snapshot, SnapshotCatalog, SnapshotKind, StoreError};
+    pub use pitract_wal::{
+        CompactionReport, Compactor, DurableLiveRelation, SyncPolicy, WalConfig, WalError,
+        WalReader, WalWriter,
+    };
 }

@@ -84,6 +84,7 @@ fn every_example_file_has_a_smoke_test() {
     let covered = [
         "array_analytics",
         "bds_order",
+        "durable_serving",
         "live_serving",
         "log_analytics",
         "persistent_serving",
@@ -105,4 +106,9 @@ fn example_persistent_serving_runs() {
 #[test]
 fn example_live_serving_runs() {
     run_example("live_serving");
+}
+
+#[test]
+fn example_durable_serving_runs() {
+    run_example("durable_serving");
 }
