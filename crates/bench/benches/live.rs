@@ -3,7 +3,7 @@
 //!
 //! Besides the criterion group, every run (including the CI `--test`
 //! smoke) serializes the writer-count → batch-throughput curve to
-//! `BENCH_live.json` (default `target/BENCH_live.json` in the workspace
+//! `BENCH_live.json` (default `BENCH_live.json` in the repository
 //! root; override with the `BENCH_LIVE_JSON` env var), next to
 //! `BENCH_engine.json` and `BENCH_store.json`, so future PRs can diff
 //! how much concurrent write traffic costs the serving path.
@@ -60,7 +60,7 @@ fn emit_bench_live_json(c: &mut Criterion) {
     // the uncontended path.
     let samples = live_throughput_sweep(ROWS, &WRITER_COUNTS, 1);
     let path = std::env::var("BENCH_LIVE_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_live.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live.json").to_string()
     });
     match write_json(&path, &samples) {
         Ok(()) => println!("BENCH_live.json written to {path}"),

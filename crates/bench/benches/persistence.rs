@@ -3,7 +3,7 @@
 //!
 //! Besides the criterion groups, every run (including the CI `--test`
 //! smoke) serializes the size → (cold build, snapshot load) curve to
-//! `BENCH_store.json` (default `target/BENCH_store.json` in the
+//! `BENCH_store.json` (default `BENCH_store.json` in the
 //! workspace root; override with the `BENCH_STORE_JSON` env var), next
 //! to the engine's `BENCH_engine.json`, so future PRs can diff both the
 //! serving and the warm-start trajectories.
@@ -57,7 +57,7 @@ fn emit_bench_store_json(c: &mut Criterion) {
     // criterion groups above carry the statistically sampled numbers.
     let samples = store_warmstart_sweep(&SIZES, 1);
     let path = std::env::var("BENCH_STORE_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_store.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json").to_string()
     });
     match write_json(&path, &samples) {
         Ok(()) => println!("BENCH_store.json written to {path}"),

@@ -1,0 +1,103 @@
+//! Wall-clock benchmarks for the pooled executor, plus the
+//! machine-readable perf artifact.
+//!
+//! Besides the criterion group, every run (including the CI `--test`
+//! smoke) serializes the shard-count → scoped-vs-pooled throughput
+//! comparison to `BENCH_pool.json` (default `BENCH_pool.json` in the
+//! repository root; override with the `BENCH_POOL_JSON` env var), next
+//! to the engine/store/live/wal artifacts, so future PRs can diff what
+//! the persistent worker pool buys over per-batch thread spawning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::experiments::{pool_scaling_sweep, PoolSample, POOL_BATCH_QUERIES};
+use pitract_engine::batch::QueryBatch;
+use pitract_engine::shard::{ShardBy, ShardedRelation};
+use pitract_engine::PooledExecutor;
+use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+use std::hint::black_box;
+use std::io::Write as _;
+use std::sync::Arc;
+
+const ROWS: i64 = 1 << 16;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Criterion group: one mixed batch through a warm pooled executor at
+/// each shard count (worker spin-up is paid once, outside the timer —
+/// that is the pool's whole point).
+fn bench_pooled_batch(c: &mut Criterion) {
+    let schema = Schema::new(&[("id", ColType::Int), ("grp", ColType::Str)]);
+    let rows: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int(i), Value::str(format!("grp{}", i % 64))])
+        .collect();
+    let rel = Relation::from_rows(schema, rows).expect("valid rows");
+    let batch = QueryBatch::new((0..256i64).map(|k| match k % 3 {
+        0 => SelectionQuery::point(0, (k * 997) % ROWS),
+        1 => {
+            let lo = (k * 641) % ROWS;
+            SelectionQuery::range_closed(0, lo, lo + 200)
+        }
+        _ => SelectionQuery::and(
+            SelectionQuery::point(1, format!("grp{}", k % 64).as_str()),
+            SelectionQuery::range_closed(0, (k * 331) % ROWS, (k * 331) % ROWS + 2_000),
+        ),
+    }));
+
+    let mut group = c.benchmark_group("e19_pooled_batch");
+    for &shards in &SHARD_COUNTS {
+        let sharded = Arc::new(
+            ShardedRelation::build(&rel, ShardBy::Hash { col: 0 }, shards, &[0, 1])
+                .expect("valid sharding spec"),
+        );
+        let exec = PooledExecutor::with_default_pool(sharded);
+        group.bench_with_input(BenchmarkId::new("mixed_batch", shards), &shards, |b, _| {
+            b.iter(|| black_box(&exec).execute(black_box(&batch)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Measure the scoped-vs-pooled sweep once and write the JSON artifact.
+fn emit_bench_pool_json(c: &mut Criterion) {
+    // Best-of-3 per executor per shard count: cheap enough for the
+    // `--test` smoke, stable enough that the scaling curve isn't one
+    // scheduler hiccup.
+    let samples = pool_scaling_sweep(ROWS, &SHARD_COUNTS, 3);
+    let path = std::env::var("BENCH_POOL_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json").to_string()
+    });
+    match write_json(&path, &samples) {
+        Ok(()) => println!("BENCH_pool.json written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    // Keep the shim's "ran at least one benchmark" accounting honest.
+    c.bench_function("e19_emit_json", |b| b.iter(|| samples.len()));
+}
+
+fn write_json(path: &str, samples: &[PoolSample]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"pooled-executor-throughput\",")?;
+    writeln!(f, "  \"rows\": {ROWS},")?;
+    writeln!(f, "  \"batch_queries\": {POOL_BATCH_QUERIES},")?;
+    writeln!(f, "  \"available_parallelism\": {cores},")?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"shards\": {}, \"workers\": {}, \"scoped_seconds\": {:.6}, \
+             \"scoped_qps\": {:.1}, \"pooled_seconds\": {:.6}, \"pooled_qps\": {:.1}}}{comma}",
+            s.shards, s.workers, s.scoped_seconds, s.scoped_qps, s.pooled_seconds, s.pooled_qps
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+criterion_group!(benches, bench_pooled_batch, emit_bench_pool_json);
+criterion_main!(benches);

@@ -3,8 +3,8 @@
 //!
 //! Besides the criterion groups, every run (including the CI `--test`
 //! smoke) serializes the shard-count → batch-throughput curve to
-//! `BENCH_engine.json` (default `target/BENCH_engine.json` in the
-//! workspace root; override with the `BENCH_ENGINE_JSON` env var), so
+//! `BENCH_engine.json` (default `BENCH_engine.json` in the
+//! repository root; override with the `BENCH_ENGINE_JSON` env var), so
 //! future PRs have a perf trajectory to diff against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -54,11 +54,7 @@ fn emit_bench_engine_json(c: &mut Criterion) {
     // statistically sampled numbers).
     let samples = shard_throughput_sweep(ROWS, &SHARD_COUNTS, 1);
     let path = std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../target/BENCH_engine.json"
-        )
-        .to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
     });
     match write_json(&path, &samples) {
         Ok(()) => println!("BENCH_engine.json written to {path}"),

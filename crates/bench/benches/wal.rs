@@ -3,11 +3,13 @@
 //!
 //! Besides the criterion group, every run (including the CI `--test`
 //! smoke) serializes two curves to `BENCH_wal.json` (default
-//! `target/BENCH_wal.json` in the workspace root; override with the
-//! `BENCH_WAL_JSON` env var), next to the engine/store/live artifacts:
+//! `BENCH_wal.json` in the repository root, where it is committed as
+//! the perf trajectory; override with the `BENCH_WAL_JSON` env var),
+//! next to the engine/store/live artifacts:
 //!
 //! * update throughput under each durability mode (no WAL,
-//!   fsync-per-record, group commit, OS-buffered);
+//!   fsync-per-record, group commit, batched group commit via
+//!   `apply_batch`, OS-buffered);
 //! * recovery time vs log length, raw replay vs compacted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -73,7 +75,7 @@ fn emit_bench_wal_json(c: &mut Criterion) {
     let throughput = wal_throughput_sweep(ROWS, PER_WRITER);
     let recovery = wal_recovery_sweep(ROWS, &RECOVERY_LENS, 1);
     let path = std::env::var("BENCH_WAL_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_wal.json").to_string()
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json").to_string()
     });
     match write_json(&path, &throughput, &recovery) {
         Ok(()) => println!("BENCH_wal.json written to {path}"),

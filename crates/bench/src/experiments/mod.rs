@@ -1,4 +1,4 @@
-//! The eighteen experiments (see DESIGN.md §4 for the full index).
+//! The nineteen experiments (see DESIGN.md §4 for the full index).
 //!
 //! Conventions shared by all experiments:
 //!
@@ -15,6 +15,7 @@ mod engine;
 mod graphs;
 mod indexing;
 mod live;
+mod pool;
 mod store;
 mod wal;
 
@@ -23,8 +24,9 @@ pub use engine::{run_e15, shard_throughput_sweep, ShardSample, BATCH_QUERIES};
 pub use graphs::{run_e06, run_e07, run_e08, run_e09};
 pub use indexing::{run_e01, run_e02, run_e03, run_e04, run_e05};
 pub use live::{live_throughput_sweep, run_e17, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS};
+pub use pool::{pool_scaling_sweep, run_e19, PoolSample, POOL_BATCH_QUERIES};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};
 pub use wal::{
     run_e18, wal_recovery_sweep, wal_throughput_sweep, WalRecoverySample, WalThroughputSample,
-    WAL_SHARDS, WAL_WRITERS,
+    WAL_BATCH_OPS, WAL_SHARDS, WAL_WRITERS,
 };

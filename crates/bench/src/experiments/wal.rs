@@ -8,10 +8,12 @@
 //!    in-memory `LiveRelation`), fsync-per-record
 //!    ([`SyncPolicy::Always`] — the naive contract), group commit
 //!    ([`SyncPolicy::GroupCommit`] — concurrent committers share one
-//!    flush), and OS-buffered ([`SyncPolicy::Never`]). Each mode runs
-//!    the same multi-writer insert/delete workload, and every durable
-//!    run's WAL is recovered and verified row-for-row against the live
-//!    node before its number is reported.
+//!    flush), batched group commit
+//!    ([`LiveRelation::apply_batch`] — many records staged per commit,
+//!    one fsync per batch), and OS-buffered ([`SyncPolicy::Never`]).
+//!    Each mode runs the same multi-writer insert/delete workload, and
+//!    every durable run's WAL is recovered and verified row-for-row
+//!    against the live node before its number is reported.
 //! 2. **Recovery time.** How does crash-recovery scale with log length,
 //!    and how much does compaction bound it? A churn-heavy history
 //!    (every insert soon deleted) is recovered twice — from the raw log
@@ -23,6 +25,7 @@
 use crate::table::{fmt_u64, Table};
 use pitract_engine::live::LiveRelation;
 use pitract_engine::shard::ShardBy;
+use pitract_engine::{Applied, UpdateOp};
 use pitract_relation::{ColType, Relation, Schema, Value};
 use pitract_store::SnapshotCatalog;
 use pitract_wal::{Compactor, DurableLiveRelation, SyncPolicy, WalConfig, WalReader};
@@ -35,6 +38,10 @@ pub const WAL_SHARDS: usize = 4;
 
 /// Concurrent writer threads in the throughput sweep.
 pub const WAL_WRITERS: usize = 4;
+
+/// Ops per [`LiveRelation::apply_batch`] call in the batched
+/// group-commit mode.
+pub const WAL_BATCH_OPS: usize = 128;
 
 /// One measured point of the durability-cost sweep.
 #[derive(Debug, Clone)]
@@ -112,6 +119,54 @@ fn churn(node: &LiveRelation, n: i64, per_writer: i64) -> u64 {
     })
 }
 
+/// The same workload as [`churn`] — same writers, same rows, same
+/// delete pattern — but applied in [`WAL_BATCH_OPS`]-sized
+/// [`LiveRelation::apply_batch`] runs: each run stages every record and
+/// fsyncs once at the end, so the fsync count drops from one per
+/// commit-group to one per batch.
+fn churn_batched(node: &LiveRelation, n: i64, per_writer: i64) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WAL_WRITERS as i64)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut applied = 0u64;
+                    let mut i = 0i64;
+                    while i < per_writer {
+                        let take = (WAL_BATCH_OPS as i64).min(per_writer - i);
+                        let inserts: Vec<UpdateOp> = (0..take)
+                            .map(|j| {
+                                UpdateOp::Insert(vec![
+                                    Value::Int(n + w * 1_000_000 + i + j),
+                                    Value::str("hot"),
+                                ])
+                            })
+                            .collect();
+                        let inserted = node.apply_batch(inserts).expect("batched inserts");
+                        applied += take as u64;
+                        // Deletes need the gids the inserts got, so they
+                        // ride in a second batch: same every-other-row
+                        // pattern as the per-record workload.
+                        let deletes: Vec<UpdateOp> = inserted
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| (i + *j as i64) % 2 == 0)
+                            .map(|(_, a)| match a {
+                                Applied::Inserted(gid) => UpdateOp::Delete(*gid),
+                                Applied::Deleted(_) => unreachable!("insert batch"),
+                            })
+                            .collect();
+                        applied += deletes.len() as u64;
+                        node.apply_batch(deletes).expect("batched deletes");
+                        i += take;
+                    }
+                    applied
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
 /// Measure the same multi-writer update workload under each durability
 /// mode. Every WAL-backed run is recovered and verified against its
 /// live node before the number is reported.
@@ -130,10 +185,11 @@ pub fn wal_throughput_sweep(n: i64, per_writer: i64) -> Vec<WalThroughputSample>
         updates_per_second: updates as f64 / seconds,
     });
 
-    for (mode, sync) in [
-        ("fsync per record", SyncPolicy::Always),
-        ("group commit", SyncPolicy::GroupCommit),
-        ("OS-buffered", SyncPolicy::Never),
+    for (mode, sync, batched) in [
+        ("fsync per record", SyncPolicy::Always, false),
+        ("group commit", SyncPolicy::GroupCommit, false),
+        ("group commit (batched)", SyncPolicy::GroupCommit, true),
+        ("OS-buffered", SyncPolicy::Never, false),
     ] {
         let root = fresh_dir("thru");
         let catalog = SnapshotCatalog::open(root.join("snaps")).expect("catalog dir");
@@ -146,7 +202,11 @@ pub fn wal_throughput_sweep(n: i64, per_writer: i64) -> Vec<WalThroughputSample>
             DurableLiveRelation::create(base_live(n), &catalog, "bench", &wal_dir, config.clone())
                 .expect("fresh durable node");
         let t0 = Instant::now();
-        let updates = churn(&node, n, per_writer);
+        let updates = if batched {
+            churn_batched(&node, n, per_writer)
+        } else {
+            churn(&node, n, per_writer)
+        };
         node.wal().sync().expect("final flush");
         let seconds = t0.elapsed().as_secs_f64().max(1e-12);
 
@@ -304,8 +364,9 @@ pub fn run_e18() -> Table {
         ]);
     }
 
-    let group = &throughput[2];
     let always = &throughput[1];
+    let group = &throughput[2];
+    let batched = &throughput[3];
     let last = recovery.last().expect("non-empty sweep");
     Table {
         id: "E18",
@@ -323,10 +384,12 @@ pub fn run_e18() -> Table {
         .to_vec(),
         rows,
         verdict: format!(
-            "group commit sustained {} updates/s vs {} with fsync-per-record; compaction cut a \
-             {}-entry log's replay to {} entries — every recovered node verified row-identical",
+            "group commit sustained {} updates/s vs {} with fsync-per-record ({} batched via \
+             apply_batch); compaction cut a {}-entry log's replay to {} entries — every \
+             recovered node verified row-identical",
             group.updates_per_second as u64,
             always.updates_per_second as u64,
+            batched.updates_per_second as u64,
             fmt_u64(last.log_len as u64),
             fmt_u64(last.compacted_replayed as u64),
         ),
@@ -340,11 +403,15 @@ mod tests {
     #[test]
     fn throughput_sweep_covers_all_modes_and_verifies() {
         let samples = wal_throughput_sweep(400, 20);
-        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.len(), 5);
         assert_eq!(samples[0].mode, "no WAL (in-memory)");
+        assert_eq!(samples[3].mode, "group commit (batched)");
         for s in &samples {
             assert!(s.updates_per_second > 0.0, "{}", s.mode);
-            assert_eq!(s.updates, (20 + 10) * WAL_WRITERS as u64);
+            // The batched mode applies the exact same update count —
+            // same rows, same every-other-row deletes — as the
+            // per-record modes; only the commit cadence differs.
+            assert_eq!(s.updates, (20 + 10) * WAL_WRITERS as u64, "{}", s.mode);
         }
     }
 

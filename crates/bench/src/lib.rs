@@ -39,5 +39,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e16", run_e16),
         ("e17", run_e17),
         ("e18", run_e18),
+        ("e19", run_e19),
     ]
 }

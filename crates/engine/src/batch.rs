@@ -20,16 +20,29 @@ use crate::planner::{Planner, QueryPlan};
 use crate::shard::{relevant_shards_for, ShardBy, ShardedRelation};
 use pitract_core::cost::Meter;
 use pitract_relation::{Schema, SelectionQuery};
+use std::sync::Arc;
 
 /// A batch of Boolean selection queries to serve together.
+///
+/// The queries live behind an `Arc` so that submitting the batch to a
+/// persistent [`crate::pool::PooledExecutor`] — whose workers outlive
+/// the borrow — shares them by reference count instead of cloning the
+/// whole batch per shard.
 #[derive(Debug, Clone)]
 pub struct QueryBatch {
-    queries: Vec<SelectionQuery>,
+    queries: Arc<[SelectionQuery]>,
 }
 
 /// One shard worker's output: `(query index, result, metered steps)` per
-/// assigned query, in ascending query order.
-type WorkerResults<T> = Vec<(usize, T, u64)>;
+/// assigned query, in ascending query order. The worker-side currency
+/// shared by the scoped fan-out and the persistent
+/// [`crate::pool::PooledExecutor`].
+pub type WorkerResults<T> = Vec<(usize, T, u64)>;
+
+/// The merge-side currency: per query, one `(shard, result, steps)`
+/// triple for every shard the query routed to. Both executors return
+/// this shape so they share the merge and report code.
+pub type MergedResults<T> = Vec<Vec<(usize, T, u64)>>;
 
 /// Per-query accounting in a batch report.
 #[derive(Debug, Clone)]
@@ -112,6 +125,13 @@ impl QueryBatch {
         &self.queries
     }
 
+    /// The shared handle to the queries — what the pooled executor ships
+    /// to workers (jobs must be `'static`, so they hold a count, not a
+    /// borrow).
+    pub(crate) fn queries_shared(&self) -> Arc<[SelectionQuery]> {
+        Arc::clone(&self.queries)
+    }
+
     /// Number of queries in the batch.
     pub fn len(&self) -> usize {
         self.queries.len()
@@ -138,7 +158,7 @@ impl QueryBatch {
         })?;
         let mut answers = vec![false; self.queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
-            answers[qi] = per_shard.iter().any(|(hit, _)| *hit);
+            answers[qi] = per_shard.iter().any(|(_, hit, _)| *hit);
         }
         Ok(BatchAnswers {
             answers,
@@ -160,8 +180,12 @@ impl QueryBatch {
         })?;
         let mut rows: Vec<Vec<usize>> = vec![Vec::new(); self.queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
-            for ((locals, _), &shard) in per_shard.iter().zip(&routed[qi]) {
-                rows[qi].extend(locals.iter().map(|&l| relation.global_id(shard, l)));
+            // The shard id is carried in the merged triple itself — never
+            // inferred from the *position* within `routed[qi]`, which
+            // would silently mistranslate local ids if routing ever
+            // returned shards out of ascending order.
+            for (shard, locals, _) in per_shard {
+                rows[qi].extend(locals.iter().map(|&l| relation.global_id(*shard, l)));
             }
             rows[qi].sort_unstable();
         }
@@ -243,16 +267,20 @@ pub(crate) fn eval_assigned<T>(
 /// live layer) and return one `(query index, result, metered steps)`
 /// triple per assigned query, in ascending query order.
 ///
-/// Returns, per query, the shard results in the same order as
-/// `routed[qi]`. A worker that panics does **not** abort the caller: the
-/// panic is contained to the batch and reported as
+/// Returns, per query, one `(shard, result, steps)` triple for every
+/// shard the query routed to. The shard id is carried **explicitly** in
+/// each triple: downstream merges (global-id translation in particular)
+/// must never pair results with `routed[qi]` by position, because
+/// nothing in the routing contract promises an ascending — or any
+/// particular — shard order. A worker that panics does **not** abort the
+/// caller: the panic is contained to the batch and reported as
 /// [`EngineError::WorkerPanicked`] (one poisoned query must not take down
 /// a serving process that multiplexes many clients).
 pub(crate) fn fan_out<T: Send>(
     shard_count: usize,
     routed: &[Vec<usize>],
     eval_shard: impl Fn(usize, &[usize]) -> WorkerResults<T> + Sync,
-) -> Result<Vec<Vec<(T, u64)>>, EngineError> {
+) -> Result<MergedResults<T>, EngineError> {
     // Invert the routing into per-shard work lists.
     let mut work: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
     for (qi, shards) in routed.iter().enumerate() {
@@ -290,28 +318,29 @@ pub(crate) fn fan_out<T: Send>(
                 None => Ok(results),
             }
         });
-    // Re-assemble per query, preserving routed shard order: workers
-    // were spawned in ascending shard order and, within a shard,
-    // results are in work-list (ascending query) order.
-    let mut merged: Vec<Vec<(T, u64)>> = routed
+    // Re-assemble per query. Workers were spawned in ascending shard
+    // order and, within a shard, results are in work-list (ascending
+    // query) order — but consumers must rely on the carried shard id,
+    // not this incidental ordering.
+    let mut merged: Vec<Vec<(usize, T, u64)>> = routed
         .iter()
         .map(|shards| Vec::with_capacity(shards.len()))
         .collect();
     for (s, results) in per_shard_results? {
         for (qi, out, steps) in results {
             debug_assert!(routed[qi].contains(&s));
-            merged[qi].push((out, steps));
+            merged[qi].push((s, out, steps));
         }
     }
     Ok(merged)
 }
 
 /// Aggregate plans, routing and per-shard meters into the batch report
-/// (shared with the live serving layer).
+/// (shared with the live serving layer and the pooled executor).
 pub(crate) fn report_from<T>(
     plans: Vec<QueryPlan>,
     routed: &[Vec<usize>],
-    merged: &[Vec<(T, u64)>],
+    merged: &[Vec<(usize, T, u64)>],
 ) -> BatchReport {
     let per_query: Vec<QueryCost> = plans
         .into_iter()
@@ -319,7 +348,7 @@ pub(crate) fn report_from<T>(
         .zip(merged)
         .map(|((plan, shards), results)| QueryCost {
             plan,
-            steps: results.iter().map(|(_, s)| s).sum(),
+            steps: results.iter().map(|(_, _, s)| s).sum(),
             shards_probed: shards.len(),
         })
         .collect();
@@ -495,5 +524,39 @@ mod tests {
         .unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(got[2].len(), 2, "query 2 routed to shards 0 and 2");
+    }
+
+    /// Regression: `execute_rows` used to pair each per-shard result
+    /// with `routed[qi]` by *position*, which translates local row ids
+    /// through the wrong shard's id map whenever the routed shard list
+    /// is not ascending — an invariant nothing in `relevant_shards_for`
+    /// pins. The merge now carries the shard id in the triple itself.
+    /// This drives `fan_out` with a deliberately descending routed list
+    /// and checks the translation against both orderings.
+    #[test]
+    fn merge_carries_shard_ids_so_routed_order_cannot_mistranslate() {
+        // Shard 0 owns global ids 100.., shard 1 owns 200.. — a
+        // positional zip against descending routing would swap them.
+        let global_id = |shard: usize, local: usize| (shard + 1) * 100 + local;
+        for routed in [vec![vec![1usize, 0]], vec![vec![0usize, 1]]] {
+            let merged = fan_out::<Vec<usize>>(2, &routed, |s, assigned| {
+                // Every shard reports local ids [0, s + 1).
+                assigned
+                    .iter()
+                    .map(|&qi| (qi, (0..=s).collect(), 1))
+                    .collect()
+            })
+            .unwrap();
+            let mut rows: Vec<usize> = merged[0]
+                .iter()
+                .flat_map(|(s, locals, _)| locals.iter().map(|&l| global_id(*s, l)))
+                .collect();
+            rows.sort_unstable();
+            assert_eq!(
+                rows,
+                vec![100, 200, 201],
+                "translation must follow the carried shard id, routed={routed:?}"
+            );
+        }
     }
 }

@@ -26,7 +26,12 @@
 //!   `|CHANGED|`-bounded maintenance accounting
 //!   ([`pitract_incremental::bounded::UpdateRecord`]) and a replayable
 //!   [`live::UpdateLog`] enabling checkpoint + recover through
-//!   `pitract-store`.
+//!   `pitract-store`. [`live::LiveRelation::apply_batch`] applies a run
+//!   of updates with one WAL commit for the whole batch.
+//! * [`pool::PooledExecutor`] — the persistent serving session: a sized
+//!   worker pool spawned once, batches submitted as per-shard work items
+//!   over a channel, an admission gate capping in-flight batches, and
+//!   the same panic containment and metering as the scoped executor.
 //! * [`error::EngineError`] — the typed failure surface of the builders
 //!   and executors, so callers (including the `pitract-store` snapshot
 //!   layer) can match on failure classes instead of parsing prose.
@@ -42,10 +47,12 @@ pub mod batch;
 pub mod error;
 pub mod live;
 pub mod planner;
+pub mod pool;
 pub mod shard;
 
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
 pub use error::EngineError;
-pub use live::{LiveRelation, UpdateEntry, UpdateLog, WalSink};
+pub use live::{Applied, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, WalSink};
 pub use planner::{AccessPath, Planner, QueryPlan};
+pub use pool::{BatchServe, PoolConfig, PooledExecutor, WorkerPool};
 pub use shard::{ShardBy, ShardedRelation};

@@ -80,7 +80,11 @@ pub trait WalSink: Send + Sync + std::fmt::Debug {
     fn stage(&self, entry: &UpdateEntry) -> Result<u64, EngineError>;
 
     /// Block until the record behind `ticket` is durable. Called outside
-    /// all locks.
+    /// all locks. Tickets are handed out in staging order and a commit
+    /// must cover every record staged before its ticket as well (a WAL
+    /// flush is a prefix flush) — the property
+    /// [`LiveRelation::apply_batch`] relies on to make a whole batch
+    /// durable with one commit of the last ticket.
     fn commit(&self, ticket: u64) -> Result<(), EngineError>;
 }
 
@@ -99,6 +103,26 @@ pub enum UpdateEntry {
         /// The deleted global row id.
         gid: usize,
     },
+}
+
+/// One update in a [`LiveRelation::apply_batch`] request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a tuple (the batch twin of [`LiveRelation::insert`]).
+    Insert(Vec<Value>),
+    /// Delete a live global row id (the batch twin of
+    /// [`LiveRelation::delete`]).
+    Delete(usize),
+}
+
+/// The per-op outcome of a [`LiveRelation::apply_batch`], in op order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Applied {
+    /// The global row id an insert was assigned.
+    Inserted(usize),
+    /// The removed tuple, or `None` if the id was already gone (same
+    /// no-op semantics as [`LiveRelation::delete`]).
+    Deleted(Option<Vec<Value>>),
 }
 
 /// An ordered, replayable log of updates applied to a [`LiveRelation`]
@@ -456,6 +480,16 @@ impl LiveRelation {
     /// failure means the insert *is* applied and staged but its
     /// durability is unconfirmed.
     pub fn insert(&self, row: Vec<Value>) -> Result<usize, EngineError> {
+        let (gid, ticket) = self.insert_staged(row)?;
+        self.commit_ticket(ticket)?;
+        Ok(gid)
+    }
+
+    /// The staged half of [`Self::insert`]: apply the insert and stage
+    /// it to the sink, but leave the sink commit (the possible fsync
+    /// wait) to the caller — [`Self::apply_batch`] commits once for a
+    /// whole run of staged ops.
+    fn insert_staged(&self, row: Vec<Value>) -> Result<(usize, Option<u64>), EngineError> {
         self.schema
             .admits(&row)
             .map_err(|e| EngineError::Indexed(IndexedError::RowRejected(e)))?;
@@ -489,10 +523,7 @@ impl LiveRelation {
                 .push(maintenance_record(self.indexed_cols.len(), len_before));
             (gid, ticket)
         };
-        if let (Some(sink), Some(ticket)) = (&self.sink, ticket) {
-            sink.commit(ticket)?;
-        }
-        Ok(gid)
+        Ok((gid, ticket))
     }
 
     /// Delete by global row id, write-locking only the owning shard.
@@ -502,6 +533,13 @@ impl LiveRelation {
     /// installed, with the same staged/commit semantics as
     /// [`Self::insert`].
     pub fn delete(&self, gid: usize) -> Result<Option<Vec<Value>>, EngineError> {
+        let (row, ticket) = self.delete_staged(gid)?;
+        self.commit_ticket(ticket)?;
+        Ok(row)
+    }
+
+    /// The staged half of [`Self::delete`] — see [`Self::insert_staged`].
+    fn delete_staged(&self, gid: usize) -> Result<(Option<Vec<Value>>, Option<u64>), EngineError> {
         // Find the owning shard first (ids read lock, released), then
         // re-acquire in the canonical shard → ids order. A location is
         // written once and only ever transitions Some → None, so if it is
@@ -510,14 +548,14 @@ impl LiveRelation {
             let ids = self.read_ids();
             ids.locations.get(gid).copied().flatten()
         }) else {
-            return Ok(None);
+            return Ok((None, None));
         };
         let (row, ticket) = {
             let mut guard = self.write_shard(shard);
             let mut ids = self.write_ids();
             if ids.locations[gid].is_none() {
                 // A concurrent delete won the race.
-                return Ok(None);
+                return Ok((None, None));
             }
             let ticket = match &self.sink {
                 Some(sink) => Some(sink.stage(&UpdateEntry::Delete { gid })?),
@@ -534,10 +572,70 @@ impl LiveRelation {
                 .push(maintenance_record(self.indexed_cols.len(), len_before));
             (row, ticket)
         };
+        Ok((Some(row), ticket))
+    }
+
+    /// Commit one staged sink ticket, outside all locks.
+    fn commit_ticket(&self, ticket: Option<u64>) -> Result<(), EngineError> {
         if let (Some(sink), Some(ticket)) = (&self.sink, ticket) {
             sink.commit(ticket)?;
         }
-        Ok(Some(row))
+        Ok(())
+    }
+
+    /// Apply a run of updates with **one sink commit for the whole
+    /// batch**: every op is applied and staged exactly like
+    /// [`Self::insert`] / [`Self::delete`] (same locking, same gid ≡ log
+    /// ≡ WAL order, same `|CHANGED|` accounting), but only the *last*
+    /// staged ticket is committed — under a group-commit WAL that is one
+    /// fsync covering every record in the batch, instead of one fsync
+    /// race per op. Sink tickets are monotone and a commit covers every
+    /// record staged before it (the [`WalSink`] contract), so committing
+    /// the last ticket makes the whole batch durable.
+    ///
+    /// Returns one [`Applied`] per op, in op order. Ops are applied
+    /// sequentially from the calling thread; concurrent writers may
+    /// interleave *between* (not inside) the individual ops, exactly as
+    /// they could between individual `insert`/`delete` calls.
+    ///
+    /// On a mid-batch failure (schema rejection, failed stage) the
+    /// already-applied prefix stays applied — the same contract as
+    /// issuing the ops one by one — and its staged records are committed
+    /// durable before the error returns, so no confirmed-in-memory op is
+    /// left with unconfirmed durability silently.
+    pub fn apply_batch(
+        &self,
+        ops: impl IntoIterator<Item = UpdateOp>,
+    ) -> Result<Vec<Applied>, EngineError> {
+        let mut applied = Vec::new();
+        let mut last_ticket = None;
+        for op in ops {
+            let staged = match op {
+                UpdateOp::Insert(row) => self
+                    .insert_staged(row)
+                    .map(|(gid, t)| (Applied::Inserted(gid), t)),
+                UpdateOp::Delete(gid) => self
+                    .delete_staged(gid)
+                    .map(|(row, t)| (Applied::Deleted(row), t)),
+            };
+            match staged {
+                Ok((outcome, ticket)) => {
+                    if ticket.is_some() {
+                        last_ticket = ticket;
+                    }
+                    applied.push(outcome);
+                }
+                Err(e) => {
+                    // Flush the applied prefix before surfacing the
+                    // error; its durability failure (if any) would
+                    // otherwise be unreported.
+                    self.commit_ticket(last_ticket)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.commit_ticket(last_ticket)?;
+        Ok(applied)
     }
 
     // --- queries -----------------------------------------------------------
@@ -600,7 +698,7 @@ impl LiveRelation {
         })?;
         let mut answers = vec![false; batch.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
-            answers[qi] = per_shard.iter().any(|(hit, _)| *hit);
+            answers[qi] = per_shard.iter().any(|(_, hit, _)| *hit);
         }
         Ok(BatchAnswers {
             answers,
@@ -623,8 +721,10 @@ impl LiveRelation {
         let ids = self.read_ids();
         let mut rows: Vec<Vec<usize>> = vec![Vec::new(); batch.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
-            for ((locals, _), &shard) in per_shard.iter().zip(&routed[qi]) {
-                let map = &ids.global_ids[shard];
+            // Translate through the shard id carried in each triple —
+            // never the position within `routed[qi]` (see `fan_out`).
+            for (shard, locals, _) in per_shard {
+                let map = &ids.global_ids[*shard];
                 rows[qi].extend(locals.iter().map(|&l| map[l]));
             }
             rows[qi].sort_unstable();
@@ -637,8 +737,9 @@ impl LiveRelation {
     }
 
     /// Validate, plan, and shard-route a query slice (the live twin of
-    /// the batch executor's routing, sharing the same helpers).
-    fn route(
+    /// the batch executor's routing, sharing the same helpers; also the
+    /// routing the pooled executor uses).
+    pub(crate) fn route(
         &self,
         queries: &[SelectionQuery],
     ) -> Result<(Vec<crate::planner::QueryPlan>, Vec<Vec<usize>>), EngineError> {
@@ -650,6 +751,43 @@ impl LiveRelation {
             &self.shard_by,
             self.shards.len(),
         )
+    }
+
+    /// Translate shard-local row ids to global ids under the ids read
+    /// lock. Safe after the shard lock has been released: the per-shard
+    /// local→global maps are append-only, and every local id handed in
+    /// was mapped before its row became visible.
+    pub(crate) fn globalize(&self, shard: usize, locals: &[usize]) -> Vec<usize> {
+        let ids = self.read_ids();
+        let map = &ids.global_ids[shard];
+        locals.iter().map(|&l| map[l]).collect()
+    }
+
+    /// Evaluate Boolean answers for one shard's assigned slice of a
+    /// query batch under the shard's read lock (the pooled executor's
+    /// per-shard work item).
+    pub(crate) fn eval_bool_shard(
+        &self,
+        shard: usize,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> crate::batch::WorkerResults<bool> {
+        eval_assigned(queries, &self.read_shard(shard), assigned, |sh, q, m| {
+            sh.answer_metered(q, m)
+        })
+    }
+
+    /// Evaluate matching local row ids for one shard's assigned slice
+    /// under the shard's read lock.
+    pub(crate) fn eval_rows_shard(
+        &self,
+        shard: usize,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> crate::batch::WorkerResults<Vec<usize>> {
+        eval_assigned(queries, &self.read_shard(shard), assigned, |sh, q, m| {
+            sh.matching_ids_metered(q, m)
+        })
     }
 
     // --- maintenance accounting -------------------------------------------
@@ -1238,6 +1376,74 @@ mod tests {
             sink.committed.lock().unwrap().len(),
             staged.len(),
             "every staged record was committed"
+        );
+    }
+
+    #[test]
+    fn apply_batch_matches_singleton_ops_and_commits_once() {
+        let sink = Arc::new(RecordingSink::default());
+        let mut lr = live(10, 3);
+        lr.set_wal_sink(Some(sink.clone() as Arc<dyn WalSink>));
+        let applied = lr
+            .apply_batch([
+                UpdateOp::Insert(vec![Value::Int(500), Value::str("a")]),
+                UpdateOp::Insert(vec![Value::Int(501), Value::str("b")]),
+                UpdateOp::Delete(3),
+                UpdateOp::Delete(999), // unknown gid: a no-op, not an error
+                UpdateOp::Delete(10),  // the row the first op inserted
+            ])
+            .unwrap();
+        assert_eq!(applied.len(), 5);
+        assert_eq!(applied[0], Applied::Inserted(10));
+        assert_eq!(applied[1], Applied::Inserted(11));
+        assert!(matches!(&applied[2], Applied::Deleted(Some(row)) if row[0] == Value::Int(3)));
+        assert_eq!(applied[3], Applied::Deleted(None));
+        assert!(matches!(&applied[4], Applied::Deleted(Some(row)) if row[0] == Value::Int(500)));
+        // Same state as the singleton APIs would leave.
+        assert_eq!(lr.len(), 10);
+        assert!(lr.answer(&SelectionQuery::point(0, 501i64)));
+        assert!(!lr.answer(&SelectionQuery::point(0, 3i64)));
+        // The no-op delete staged nothing; the four real ops staged in
+        // op order and were covered by exactly ONE commit — the whole
+        // point of the batch API.
+        assert_eq!(sink.staged.lock().unwrap().len(), 4);
+        assert_eq!(
+            sink.committed.lock().unwrap().as_slice(),
+            &[3],
+            "one commit, of the last staged ticket"
+        );
+        // The log replays to the same state (batching changes commit
+        // cadence, never history).
+        let fresh = live(10, 3);
+        fresh.replay(&lr.pending_log()).unwrap();
+        for gid in 0..12 {
+            assert_eq!(fresh.row(gid), lr.row(gid), "gid {gid}");
+        }
+    }
+
+    #[test]
+    fn apply_batch_failure_keeps_and_commits_the_prefix() {
+        let sink = Arc::new(RecordingSink::default());
+        let mut lr = live(5, 2);
+        lr.set_wal_sink(Some(sink.clone() as Arc<dyn WalSink>));
+        let err = lr
+            .apply_batch([
+                UpdateOp::Insert(vec![Value::Int(100), Value::str("ok")]),
+                UpdateOp::Insert(vec![Value::Int(1)]), // wrong arity: rejected
+                UpdateOp::Insert(vec![Value::Int(101), Value::str("never")]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Indexed(_)), "{err}");
+        assert_eq!(lr.len(), 6, "the prefix op stays applied");
+        assert!(lr.answer(&SelectionQuery::point(0, 100i64)));
+        assert!(
+            !lr.answer(&SelectionQuery::point(0, 101i64)),
+            "suffix never ran"
+        );
+        assert_eq!(
+            sink.committed.lock().unwrap().as_slice(),
+            &[0],
+            "the applied prefix was committed durable before the error"
         );
     }
 

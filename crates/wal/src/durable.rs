@@ -28,7 +28,10 @@ use crate::compactor::{CompactionReport, Compactor};
 use crate::error::WalError;
 use crate::reader::WalReader;
 use crate::writer::{WalConfig, WalWriter};
-use pitract_engine::{EngineError, LiveRelation, UpdateEntry, WalSink};
+use pitract_engine::batch::WorkerResults;
+use pitract_engine::planner::QueryPlan;
+use pitract_engine::{BatchServe, EngineError, LiveRelation, UpdateEntry, WalSink};
+use pitract_relation::SelectionQuery;
 use pitract_store::{Snapshot, SnapshotCatalog};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -225,6 +228,47 @@ impl DurableLiveRelation {
     }
 }
 
+/// Serve a durable node from a persistent
+/// [`pitract_engine::PooledExecutor`] exactly like its inner live
+/// relation: every method delegates, so an
+/// `Arc<DurableLiveRelation>` drops straight into a pooled serving
+/// session while updates (including [`LiveRelation::apply_batch`] — one
+/// WAL fsync per batch) keep flowing through the WAL sink.
+impl BatchServe for DurableLiveRelation {
+    fn route(
+        &self,
+        queries: &[SelectionQuery],
+    ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), EngineError> {
+        BatchServe::route(&self.live, queries)
+    }
+
+    fn shard_count(&self) -> usize {
+        BatchServe::shard_count(&self.live)
+    }
+
+    fn eval_bool(
+        &self,
+        shard: usize,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> WorkerResults<bool> {
+        self.live.eval_bool(shard, queries, assigned)
+    }
+
+    fn eval_rows(
+        &self,
+        shard: usize,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> WorkerResults<Vec<usize>> {
+        self.live.eval_rows(shard, queries, assigned)
+    }
+
+    fn global_ids(&self, shard: usize, locals: &[usize]) -> Vec<usize> {
+        self.live.global_ids(shard, locals)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +411,76 @@ mod tests {
             SelectionQuery::range_closed(0, 0i64, 500i64),
         ] {
             assert_eq!(before.matching_ids(&q), after.matching_ids(&q), "{q:?}");
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn apply_batch_commits_once_is_durable_and_recovers() {
+        use pitract_engine::{Applied, UpdateOp};
+        let root = fresh_dir("batchapply");
+        let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+        let wal_dir = root.join("wal");
+        let node =
+            DurableLiveRelation::create(live(20), &catalog, "node", &wal_dir, config()).unwrap();
+        let applied = node
+            .apply_batch((0..50i64).map(|i| {
+                if i % 5 == 4 {
+                    UpdateOp::Delete(i as usize)
+                } else {
+                    UpdateOp::Insert(vec![Value::Int(700 + i), Value::str("batch")])
+                }
+            }))
+            .unwrap();
+        assert_eq!(applied.len(), 50);
+        assert!(matches!(applied[0], Applied::Inserted(20)));
+        // The whole batch is durable on return: under group commit the
+        // single trailing commit's fsync covered every staged record.
+        assert_eq!(node.wal().durable_lsn(), 50);
+        let expected: Vec<Option<Vec<Value>>> = (0..65).map(|gid| node.row(gid)).collect();
+        drop(node);
+        let recovered = DurableLiveRelation::recover(&catalog, "node", &wal_dir, config()).unwrap();
+        for (gid, expect) in expected.iter().enumerate() {
+            assert_eq!(&recovered.row(gid), expect, "gid {gid}");
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn pooled_executor_serves_a_durable_node() {
+        use pitract_engine::{PoolConfig, PooledExecutor, QueryBatch};
+        let root = fresh_dir("pooled");
+        let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+        let node = Arc::new(
+            DurableLiveRelation::create(live(100), &catalog, "node", root.join("wal"), config())
+                .unwrap(),
+        );
+        let exec = PooledExecutor::new(
+            Arc::clone(&node),
+            PoolConfig {
+                workers: 2,
+                max_inflight: 2,
+            },
+        );
+        let batch = QueryBatch::new((0..30i64).map(|k| SelectionQuery::point(0, k * 3)));
+        // Queries on the pool interleave with durable updates.
+        std::thread::scope(|scope| {
+            let writer = Arc::clone(&node);
+            scope.spawn(move || {
+                for i in 0..40i64 {
+                    writer
+                        .insert(vec![Value::Int(5_000 + i), Value::str("w")])
+                        .unwrap();
+                }
+            });
+            for _ in 0..10 {
+                let got = exec.execute(&batch).unwrap();
+                assert!(got.answers.iter().all(|&a| a), "stable region hits");
+            }
+        });
+        let rows = exec.execute_rows(&batch).unwrap();
+        for (k, ids) in rows.rows.iter().enumerate() {
+            assert_eq!(ids, &vec![k * 3], "gid of key {}", k * 3);
         }
         std::fs::remove_dir_all(&root).unwrap();
     }

@@ -15,10 +15,11 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// When the writer flushes records to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
-    /// `fsync` inside every [`WalWriter::append_entry`]. The simplest
-    /// durability contract — the append *returns* durable — and the
-    /// slowest: one disk flush per record, serialized with the caller's
-    /// critical section.
+    /// `fsync` before every [`WalWriter::append_entry`] returns. The
+    /// simplest durability contract — the append *returns* durable —
+    /// and the slowest: one disk flush per record. The flush runs
+    /// *outside* the writer state lock (an internal commit), so
+    /// concurrent stagers are not serialized behind each other's disk.
     Always,
     /// `fsync` in [`WalWriter::commit`], after the caller has released
     /// its locks. Concurrent committers share flushes: the first one to
@@ -69,15 +70,23 @@ struct WriterState {
     /// writer refuses all further appends; the partial frame then reads
     /// as an ordinary torn tail on the next recovery.
     poisoned: bool,
+    /// The active segment has reached [`WalConfig::segment_bytes`];
+    /// rotation is owed. Appends only *set* this flag — the three-fsync
+    /// rotation itself runs deferred, on the next `commit`/`sync`,
+    /// outside the callers' critical sections (see
+    /// [`WalWriter::finish_rotation`]).
+    rotation_due: bool,
 }
 
 /// The durable append side of a write-ahead log: an exclusive,
 /// shared-reference (`&self`) writer over a directory of segments.
 ///
 /// * **Appends** go to the active (newest) segment; once it exceeds
-///   [`WalConfig::segment_bytes`] it is flushed and a fresh segment is
-///   created (its directory entry fsync'd — a rotation the directory
-///   forgot would orphan every later record).
+///   [`WalConfig::segment_bytes`] a rotation is *owed* and settled on
+///   the next `commit`/`sync` — outside callers' critical sections —
+///   flushing the closing segment complete and creating a fresh one
+///   (its directory entry fsync'd — a rotation the directory forgot
+///   would orphan every later record).
 /// * **Opening** an existing directory recovers the write position:
 ///   segments are validated, a torn tail left by a crash is truncated
 ///   away, and the next append continues the LSN sequence exactly where
@@ -90,6 +99,10 @@ pub struct WalWriter {
     dir: PathBuf,
     config: WalConfig,
     state: Mutex<WriterState>,
+    /// Serializes rotations so exactly one committer performs the
+    /// deferred segment switch; acquired strictly before `state` (the
+    /// one fixed order — never the other way around).
+    rotation: Mutex<()>,
 }
 
 impl WalWriter {
@@ -153,19 +166,23 @@ impl WalWriter {
                 create_segment(&dir, next_lsn)?
             }
         };
+        let active_bytes = active_len(&scan);
         let writer = WalWriter {
-            dir,
-            config,
+            rotation: Mutex::new(()),
             state: Mutex::new(WriterState {
                 file,
-                active_bytes: active_len(&scan),
+                active_bytes,
                 next_lsn,
                 // Everything that survived the scan is already on disk;
                 // whether it is *synced* is unknowable after a restart,
                 // so count only what we flush ourselves.
                 durable_next: 0,
                 poisoned: false,
+                // A recovered segment may already be over the threshold.
+                rotation_due: active_bytes >= config.segment_bytes,
             }),
+            dir,
+            config,
         };
         Ok((writer, scan))
     }
@@ -210,31 +227,42 @@ impl WalWriter {
     /// then the segment's tail, which the next recovery truncates like
     /// any other crash residue.
     pub fn append_payload(&self, payload: &[u8]) -> Result<u64, WalError> {
-        let mut state = self.lock();
-        if state.poisoned {
-            return Err(WalError::Poisoned);
-        }
-        let lsn = state.next_lsn;
-        let record = encode_record(lsn, payload);
-        if let Err(e) = state.file.write_all(&record) {
-            // Erase whatever partial frame made it out; a record that
-            // errored was never confirmed, and burying its bytes under
-            // later successful appends would corrupt the whole segment.
-            let clean = state.active_bytes;
-            let healed = state.file.set_len(clean).is_ok() && state.file.seek_end().is_ok();
-            if !healed {
-                state.poisoned = true;
+        let lsn = {
+            let mut state = self.lock();
+            if state.poisoned {
+                return Err(WalError::Poisoned);
             }
-            return Err(e.into());
-        }
-        state.next_lsn += 1;
-        state.active_bytes += record.len() as u64;
+            let lsn = state.next_lsn;
+            let record = encode_record(lsn, payload);
+            if let Err(e) = state.file.write_all(&record) {
+                // Erase whatever partial frame made it out; a record that
+                // errored was never confirmed, and burying its bytes under
+                // later successful appends would corrupt the whole segment.
+                let clean = state.active_bytes;
+                let healed = state.file.set_len(clean).is_ok() && state.file.seek_end().is_ok();
+                if !healed {
+                    state.poisoned = true;
+                }
+                return Err(e.into());
+            }
+            state.next_lsn += 1;
+            state.active_bytes += record.len() as u64;
+            if state.active_bytes >= self.config.segment_bytes {
+                // Owe a rotation, but never pay it here: the append path
+                // runs inside callers' critical sections (for the engine
+                // sink, the gid critical section), and rotation costs
+                // three fsyncs. The next commit/sync settles the debt
+                // outside every caller lock.
+                state.rotation_due = true;
+            }
+            lsn
+        };
         if matches!(self.config.sync, SyncPolicy::Always) {
-            state.file.sync_data()?;
-            state.durable_next = state.next_lsn;
-        }
-        if state.active_bytes >= self.config.segment_bytes {
-            self.rotate(&mut state)?;
+            // Durable-on-return, but via the commit path: the flush (and
+            // any owed rotation) happens outside the state lock, so
+            // concurrent stagers queue behind a mutex-protected memory
+            // write, not behind each other's disk.
+            self.commit(lsn)?;
         }
         Ok(lsn)
     }
@@ -245,59 +273,92 @@ impl WalWriter {
     /// fsync; under [`SyncPolicy::Never`] this returns immediately (the
     /// caller opted out of per-update durability).
     pub fn commit(&self, lsn: u64) -> Result<(), WalError> {
-        if matches!(self.config.sync, SyncPolicy::Never) {
-            return Ok(());
-        }
-        // Clone the handle under the lock, flush outside it: a slow disk
-        // must not block concurrent appends (they only need the mutex).
-        let (file, target) = {
-            let state = self.lock();
-            if state.durable_next > lsn {
-                return Ok(());
+        if !matches!(self.config.sync, SyncPolicy::Never) {
+            // Clone the handle under the lock, flush outside it: a slow
+            // disk must not block concurrent appends (they only need
+            // the mutex).
+            let flush = {
+                let state = self.lock();
+                if state.durable_next > lsn {
+                    None
+                } else {
+                    Some((state.file.try_clone()?, state.next_lsn))
+                }
+            };
+            if let Some((file, target)) = flush {
+                file.sync_data()?;
+                let mut state = self.lock();
+                state.durable_next = state.durable_next.max(target);
             }
-            (state.file.try_clone()?, state.next_lsn)
-        };
-        file.sync_data()?;
-        let mut state = self.lock();
-        state.durable_next = state.durable_next.max(target);
-        Ok(())
+        }
+        // Settle any owed rotation — under every policy, including
+        // `Never`: rotation is what seals closed segments complete, and
+        // deferring it forever would grow the active segment unboundedly.
+        self.finish_rotation()
     }
 
     /// Flush everything appended so far; returns the durable frontier
     /// (the LSN after the last flushed record).
     pub fn sync(&self) -> Result<u64, WalError> {
-        let mut state = self.lock();
-        state.file.sync_data()?;
-        state.durable_next = state.next_lsn;
-        Ok(state.durable_next)
+        let (file, target) = {
+            let state = self.lock();
+            (state.file.try_clone()?, state.next_lsn)
+        };
+        file.sync_data()?;
+        let durable = {
+            let mut state = self.lock();
+            state.durable_next = state.durable_next.max(target);
+            state.durable_next
+        };
+        self.finish_rotation()?;
+        Ok(durable)
     }
 
     /// Flush and rotate to a fresh segment regardless of size — closing
     /// the current segment so a following [`crate::Compactor`] pass may
     /// rewrite it.
     pub fn rotate_now(&self) -> Result<(), WalError> {
-        let mut state = self.lock();
-        self.rotate(&mut state)
+        self.lock().rotation_due = true;
+        self.finish_rotation()
     }
 
-    fn rotate(&self, state: &mut WriterState) -> Result<(), WalError> {
-        // The closing segment must be complete on disk before the new
-        // one exists, whatever the sync policy: scan treats every
-        // non-last segment as crash-free.
-        //
-        // Known trade-off: when the size threshold trips inside
-        // `append_payload`, these flushes (close + new header + dir) run
-        // in the caller's context — for the engine sink, inside the gid
-        // critical section. That is one three-fsync stall per
-        // `segment_bytes` of log (~80k updates at the default 4 MiB),
-        // amortized to noise; moving rotation out of the append path
-        // without reopening a crash window (the closing segment must be
-        // durable before the new one accepts records) is a ROADMAP
-        // follow-on.
+    /// Perform a deferred rotation, if one is owed. The closing segment
+    /// must be complete on disk before the new one exists, whatever the
+    /// sync policy: scan treats every non-last segment as crash-free.
+    /// The bulk of that seal (the closing segment's data) is flushed
+    /// through a cloned handle *outside* the state lock; only the
+    /// sliver appended between that flush and the switch — plus the new
+    /// segment's header + directory entry — is paid under the lock.
+    fn finish_rotation(&self) -> Result<(), WalError> {
+        // Cheap racing check before taking the rotation lock.
+        if !self.lock().rotation_due {
+            return Ok(());
+        }
+        let _turn = self.rotation.lock().unwrap_or_else(PoisonError::into_inner);
+        // Pre-seal: flush the closing segment's bulk without the state
+        // lock, so concurrent appends keep staging while the disk works.
+        let pre = {
+            let state = self.lock();
+            if !state.rotation_due {
+                // Another committer already rotated while we waited.
+                return Ok(());
+            }
+            state.file.try_clone()?
+        };
+        pre.sync_data()?;
+        // The switch: seal the sliver appended since the pre-flush and
+        // install the fresh segment. If creating the segment fails the
+        // flag stays set — appends continue into the old segment and the
+        // next commit retries the rotation.
+        let mut state = self.lock();
+        if !state.rotation_due {
+            return Ok(());
+        }
         state.file.sync_data()?;
         state.durable_next = state.next_lsn;
         state.file = create_segment(&self.dir, state.next_lsn)?;
         state.active_bytes = SEGMENT_HEADER_LEN as u64;
+        state.rotation_due = false;
         Ok(())
     }
 
@@ -398,7 +459,10 @@ mod tests {
         };
         let wal = WalWriter::open(&dir, config).unwrap();
         for i in 0..50 {
-            wal.append_entry(&insert(i, i as i64)).unwrap();
+            let lsn = wal.append_entry(&insert(i, i as i64)).unwrap();
+            // Rotation is deferred out of the append path: commit (a
+            // no-flush call under `Never`) is where the debt settles.
+            wal.commit(lsn).unwrap();
         }
         let scan = scan_dir(&dir).unwrap();
         assert!(scan.segments.len() > 2, "tiny segments rotated");
@@ -407,6 +471,75 @@ mod tests {
         assert_eq!(lsns, (0..50).collect::<Vec<_>>());
         // Every closed segment scans strictly (scan_dir already enforces
         // it; this asserts the writer really did leave them complete).
+        for seg in &scan.segments {
+            assert_eq!(seg.clean_len, seg.file_len, "{:?}", seg.path);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The rotation-deferral contract itself: the size threshold
+    /// tripping inside an append must NOT rotate inline (the append
+    /// path runs inside callers' critical sections); the next commit —
+    /// or an explicit sync — settles it, whatever the policy.
+    #[test]
+    fn rotation_is_deferred_from_append_to_commit() {
+        let dir = fresh_dir("deferred");
+        let config = WalConfig {
+            segment_bytes: 64,
+            sync: SyncPolicy::Never,
+        };
+        let wal = WalWriter::open(&dir, config).unwrap();
+        // Blow well past the threshold with appends alone.
+        let mut last = 0;
+        for i in 0..10 {
+            last = wal.append_entry(&insert(i, i as i64)).unwrap();
+        }
+        assert_eq!(
+            scan_dir(&dir).unwrap().segments.len(),
+            1,
+            "appends only owe a rotation, they never pay it"
+        );
+        wal.commit(last).unwrap();
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.segments.len(), 2, "commit settled the owed rotation");
+        assert_eq!(scan.next_lsn, 10, "no record lost across the deferral");
+        // The closed segment is complete.
+        assert_eq!(scan.segments[0].clean_len, scan.segments[0].file_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Group commit under concurrent stagers drives the deferred
+    /// rotation from many racing committers at once — exactly one wins
+    /// each owed rotation, every record survives, every closed segment
+    /// is complete.
+    #[test]
+    fn racing_committers_rotate_exactly_once_per_debt() {
+        let dir = fresh_dir("race-rotate");
+        let config = WalConfig {
+            segment_bytes: 256,
+            sync: SyncPolicy::GroupCommit,
+        };
+        let wal = WalWriter::open(&dir, config).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let lsn = wal.append_entry(&insert((t * 50 + i) as usize, 1)).unwrap();
+                        wal.commit(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        let scan = scan_dir(&dir).unwrap();
+        assert_eq!(scan.next_lsn, 200);
+        assert!(scan.segments.len() > 2, "rotations happened under racing");
+        let lsns: Vec<u64> = scan.records().map(|(l, _)| *l).collect();
+        assert_eq!(
+            lsns,
+            (0..200).collect::<Vec<_>>(),
+            "no record lost or reordered"
+        );
         for seg in &scan.segments {
             assert_eq!(seg.clean_len, seg.file_len, "{:?}", seg.path);
         }

@@ -16,7 +16,7 @@
 //! | [`index`] | B⁺-trees, sorted/hash indexes, RMQ and LCA structures |
 //! | [`graph`] | breadth-depth search, reachability indexes, SCC, query-preserving compression, generators |
 //! | [`relation`] | typed relations, selection query classes, indexed evaluation, materialized views |
-//! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread batch execution, live serving under concurrent updates |
+//! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread and pooled batch execution, live serving under concurrent updates |
 //! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts, live checkpoint/recover |
 //! | [`wal`] | durable write-ahead log: fsync'd checksummed segments, group commit, torn-tail recovery, compaction, crash-consistent durable serving |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
@@ -136,6 +136,51 @@
 //! # let _ = gid;
 //! ```
 //!
+//! ## The executor: a serving session, not a query
+//!
+//! `QueryBatch::execute` spawns scoped threads per batch — fine for a
+//! one-off, but a serving tier answers batches continuously. A
+//! [`PooledExecutor`](crate::engine::pool::PooledExecutor) spawns a
+//! sized worker pool once per session, submits each batch as per-shard
+//! work items over a channel, and caps concurrently admitted batches
+//! with an admission gate; a worker panic is returned as a typed error
+//! without poisoning the pool. Any serving target works — a
+//! `ShardedRelation`, a `LiveRelation`, or a durable node — via the
+//! [`BatchServe`](crate::engine::pool::BatchServe) trait. On the write
+//! side, [`LiveRelation::apply_batch`](crate::engine::live::LiveRelation::apply_batch)
+//! applies a run of updates with a single WAL commit (one fsync per
+//! batch instead of per record).
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//!
+//! // One pool for the whole serving session.
+//! let exec = PooledExecutor::new(
+//!     Arc::new(live),
+//!     PoolConfig { workers: 2, max_inflight: 4 },
+//! );
+//!
+//! // Batched writes: one commit covers the whole run.
+//! let applied = exec.relation().apply_batch(vec![
+//!     UpdateOp::Insert(vec![Value::Int(5_000)]),
+//!     UpdateOp::Insert(vec![Value::Int(5_001)]),
+//!     UpdateOp::Delete(3),
+//! ]).unwrap();
+//! assert!(matches!(applied[0], Applied::Inserted(1_000)));
+//!
+//! // Batches stream through the standing workers.
+//! let batch = QueryBatch::new((0..50i64).map(|k| SelectionQuery::point(0, k * 17)));
+//! let answers = exec.execute(&batch).unwrap();
+//! assert_eq!(answers.answers.len(), 50);
+//! assert!(exec.execute_rows(&batch).unwrap().rows[0] == vec![0]);
+//! ```
+//!
 //! ## Durability
 //!
 //! Between checkpoints, a live node's updates exist only in memory — a
@@ -203,8 +248,11 @@ pub mod prelude {
     pub use pitract_core::scheme::Scheme;
     pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
     pub use pitract_engine::error::EngineError;
-    pub use pitract_engine::live::{LiveRelation, UpdateEntry, UpdateLog, WalSink};
+    pub use pitract_engine::live::{
+        Applied, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, WalSink,
+    };
     pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
+    pub use pitract_engine::pool::{BatchServe, PoolConfig, PooledExecutor, WorkerPool};
     pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
     pub use pitract_graph::compress::CompressedReach;

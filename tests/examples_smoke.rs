@@ -88,6 +88,7 @@ fn every_example_file_has_a_smoke_test() {
         "live_serving",
         "log_analytics",
         "persistent_serving",
+        "pool_serving",
         "quickstart",
         "sharded_serving",
         "social_network",
@@ -111,4 +112,9 @@ fn example_live_serving_runs() {
 #[test]
 fn example_durable_serving_runs() {
     run_example("durable_serving");
+}
+
+#[test]
+fn example_pool_serving_runs() {
+    run_example("pool_serving");
 }
