@@ -1,4 +1,4 @@
-//! The nineteen experiments (see DESIGN.md §4 for the full index).
+//! The twenty experiments (see DESIGN.md §4 for the full index).
 //!
 //! Conventions shared by all experiments:
 //!
@@ -15,6 +15,7 @@ mod engine;
 mod graphs;
 mod indexing;
 mod live;
+mod mvcc;
 mod pool;
 mod store;
 mod wal;
@@ -24,6 +25,9 @@ pub use engine::{run_e15, shard_throughput_sweep, ShardSample, BATCH_QUERIES};
 pub use graphs::{run_e06, run_e07, run_e08, run_e09};
 pub use indexing::{run_e01, run_e02, run_e03, run_e04, run_e05};
 pub use live::{live_throughput_sweep, run_e17, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS};
+pub use mvcc::{
+    mvcc_serving_sweep, run_e20, MvccSample, MVCC_BATCH_QUERIES, MVCC_SHARDS, MVCC_WRITERS,
+};
 pub use pool::{pool_scaling_sweep, run_e19, PoolSample, POOL_BATCH_QUERIES};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};
 pub use wal::{

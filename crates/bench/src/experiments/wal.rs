@@ -278,7 +278,7 @@ pub fn wal_recovery_sweep(n: i64, log_lens: &[usize], reps: usize) -> Vec<WalRec
             let mut raw_len = 0usize;
             for _ in 0..reps.max(1) {
                 let t0 = Instant::now();
-                let (state, mark) = catalog
+                let (state, mark, _epoch) = catalog
                     .load("bench")
                     .expect("checkpoint")
                     .into_checkpoint()

@@ -40,5 +40,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e17", run_e17),
         ("e18", run_e18),
         ("e19", run_e19),
+        ("e20", run_e20),
     ]
 }

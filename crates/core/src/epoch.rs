@@ -1,0 +1,113 @@
+//! Epochs: the logical clock behind MVCC snapshot reads.
+//!
+//! The paper's Π-tractability contract is stated against *one* database
+//! instance `D`: preprocessing produces `Π(D)` and every query is
+//! answered against that instance. A live serving tier that applies
+//! updates while queries run needs a way to say *which* instance a
+//! query was answered against — otherwise a multi-shard query can
+//! observe shard 0 before an update and shard 1 after it, an instance
+//! that never existed.
+//!
+//! An [`Epoch`] is that instance name: a monotonically increasing
+//! logical timestamp, bumped exactly once per applied update. A reader
+//! that *pins* an epoch `E` is answered against the state produced by
+//! exactly the first `E` updates (counted from the relation's birth),
+//! no matter how many writers land during evaluation. The engine crate
+//! implements the pinning and copy-on-write version retention; this
+//! type is the shared currency every layer (engine, WAL, store,
+//! benches) speaks.
+
+use std::fmt;
+
+/// A monotonically increasing logical timestamp naming one database
+/// instance of a live relation.
+///
+/// Epoch `E` names the state after exactly `E` applied updates. The
+/// special value [`Epoch::LATEST`] means "whatever is current when the
+/// read happens" — the read-committed baseline, with no snapshot pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The epoch before any update: a freshly built relation.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The sentinel "read whatever is current" epoch. Never produced by
+    /// the epoch clock (the clock would need `u64::MAX` updates);
+    /// resolving a read at `LATEST` always lands on the current version
+    /// without consulting the version ring.
+    pub const LATEST: Epoch = Epoch(u64::MAX);
+
+    /// An epoch from its raw clock value.
+    pub const fn new(value: u64) -> Self {
+        Epoch(value)
+    }
+
+    /// The raw clock value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch after one more update.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Epoch(self.0 + 1)
+    }
+
+    /// Is this the [`Epoch::LATEST`] sentinel (no snapshot pin)?
+    pub const fn is_latest(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl From<u64> for Epoch {
+    fn from(value: u64) -> Self {
+        Epoch(value)
+    }
+}
+
+impl From<Epoch> for u64 {
+    fn from(e: Epoch) -> Self {
+        e.0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_latest() {
+            write!(f, "e@latest")
+        } else {
+            write!(f, "e{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_the_clock() {
+        assert!(Epoch::ZERO < Epoch::new(1));
+        assert!(Epoch::new(1) < Epoch::new(2));
+        assert!(Epoch::new(u64::MAX - 1) < Epoch::LATEST);
+        assert_eq!(Epoch::ZERO.next(), Epoch::new(1));
+        assert_eq!(Epoch::default(), Epoch::ZERO);
+    }
+
+    #[test]
+    fn latest_is_a_sentinel() {
+        assert!(Epoch::LATEST.is_latest());
+        assert!(!Epoch::new(7).is_latest());
+        assert_eq!(Epoch::LATEST.to_string(), "e@latest");
+        assert_eq!(Epoch::new(42).to_string(), "e42");
+    }
+
+    #[test]
+    fn round_trips_through_u64() {
+        let e = Epoch::new(123);
+        assert_eq!(u64::from(e), 123);
+        assert_eq!(Epoch::from(123u64), e);
+        assert_eq!(e.get(), 123);
+    }
+}

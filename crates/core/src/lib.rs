@@ -53,6 +53,7 @@
 
 pub mod cost;
 pub mod encode;
+pub mod epoch;
 pub mod factor;
 pub mod fit;
 pub mod hash;
@@ -66,6 +67,7 @@ pub mod search;
 pub mod prelude {
     pub use crate::cost::{CostClass, Meter};
     pub use crate::encode::{Encode, Encoded};
+    pub use crate::epoch::Epoch;
     pub use crate::factor::{Factorization, FnFactorization};
     pub use crate::fit::{best_fit, FitModel, Sample};
     pub use crate::lang::{FnPairLanguage, PairLanguage};

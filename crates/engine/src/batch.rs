@@ -19,8 +19,10 @@ use crate::error::EngineError;
 use crate::planner::{Planner, QueryPlan};
 use crate::shard::{relevant_shards_for, ShardBy, ShardedRelation};
 use pitract_core::cost::Meter;
+use pitract_core::epoch::Epoch;
 use pitract_relation::{Schema, SelectionQuery};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A batch of Boolean selection queries to serve together.
 ///
@@ -63,6 +65,15 @@ pub struct BatchReport {
     /// Total metered steps across the whole batch (all queries, all
     /// shards).
     pub total_steps: u64,
+    /// The epoch the whole batch was pinned to — the one database
+    /// instance every answer is exact against. `None` when the target
+    /// has no epoch clock ([`ShardedRelation`] is immutable while
+    /// served) or the batch ran read-committed.
+    pub epoch: Option<Epoch>,
+    /// How long the batch waited at the pooled executor's admission
+    /// gate before running. `None` on the scoped (non-pooled) path,
+    /// which has no gate.
+    pub admission_wait: Option<Duration>,
 }
 
 /// Boolean answers plus the cost report.
@@ -356,6 +367,8 @@ pub(crate) fn report_from<T>(
     BatchReport {
         per_query,
         total_steps,
+        epoch: None,
+        admission_wait: None,
     }
 }
 

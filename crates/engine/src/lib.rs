@@ -27,11 +27,19 @@
 //!   ([`pitract_incremental::bounded::UpdateRecord`]) and a replayable
 //!   [`live::UpdateLog`] enabling checkpoint + recover through
 //!   `pitract-store`. [`live::LiveRelation::apply_batch`] applies a run
-//!   of updates with one WAL commit for the whole batch.
+//!   of updates with one WAL commit for the whole batch. Reads are
+//!   MVCC: every applied update bumps a monotonic
+//!   [`pitract_core::epoch::Epoch`], a batch pins one epoch and sees
+//!   exactly that database instance across all its shards
+//!   ([`live::EpochPin`]), and writers copy-on-write superseded shard
+//!   versions instead of blocking or being blocked
+//!   ([`live::VersionStats`] accounts the retained memory).
 //! * [`pool::PooledExecutor`] — the persistent serving session: a sized
 //!   worker pool spawned once, batches submitted as per-shard work items
-//!   over a channel, an admission gate capping in-flight batches, and
-//!   the same panic containment and metering as the scoped executor.
+//!   over a channel, an admission gate capping in-flight batches
+//!   (queue depth and gate waits surfaced in [`pool::PoolStats`]), one
+//!   pinned epoch per batch, and the same panic containment and
+//!   metering as the scoped executor.
 //! * [`error::EngineError`] — the typed failure surface of the builders
 //!   and executors, so callers (including the `pitract-store` snapshot
 //!   layer) can match on failure classes instead of parsing prose.
@@ -52,7 +60,10 @@ pub mod shard;
 
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
 pub use error::EngineError;
-pub use live::{Applied, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, WalSink};
+pub use live::{
+    Applied, EpochPin, Frozen, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, VersionStats,
+    WalSink,
+};
 pub use planner::{AccessPath, Planner, QueryPlan};
-pub use pool::{BatchServe, PoolConfig, PooledExecutor, WorkerPool};
+pub use pool::{BatchServe, PoolConfig, PoolStats, PooledExecutor, WorkerPool};
 pub use shard::{ShardBy, ShardedRelation};

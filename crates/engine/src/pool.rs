@@ -39,11 +39,14 @@ use crate::error::EngineError;
 use crate::live::LiveRelation;
 use crate::planner::QueryPlan;
 use crate::shard::ShardedRelation;
+use pitract_core::epoch::Epoch;
 use pitract_relation::SelectionQuery;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Sizing and admission tuning for a [`WorkerPool`].
 #[derive(Debug, Clone, Default)]
@@ -86,24 +89,62 @@ impl PoolConfig {
 /// collector — never borrows, so submitters and workers are decoupled.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// The counting gate that caps in-flight batches.
+/// A point-in-time summary of a serving session's pool: sizing, load,
+/// and how much batches have had to wait at the admission gate
+/// ([`PooledExecutor::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// The in-flight batch cap.
+    pub max_inflight: usize,
+    /// Batches currently admitted (running or merging).
+    pub inflight: usize,
+    /// Per-shard jobs submitted to the queue and not yet picked up by a
+    /// worker — the queue depth.
+    pub queued_jobs: usize,
+    /// Batches admitted over the session's lifetime.
+    pub batches_admitted: u64,
+    /// How many of those found the gate full and had to wait.
+    pub admission_waits: u64,
+    /// Total time batches spent blocked at the admission gate.
+    pub total_admission_wait: Duration,
+}
+
+/// The counting gate that caps in-flight batches, plus its wait
+/// accounting.
 #[derive(Debug)]
 struct Admission {
     cap: usize,
     inflight: Mutex<usize>,
     freed: Condvar,
+    admitted: AtomicU64,
+    waits: AtomicU64,
+    wait_nanos: AtomicU64,
 }
 
 impl Admission {
-    fn acquire(&self) {
+    /// Take one slot, blocking while the gate is full. Returns how long
+    /// the caller waited (zero on the uncontended fast path).
+    fn acquire(&self) -> Duration {
         let mut inflight = lock(&self.inflight);
-        while *inflight >= self.cap {
-            inflight = self
-                .freed
-                .wait(inflight)
-                .unwrap_or_else(PoisonError::into_inner);
+        let mut waited = Duration::ZERO;
+        if *inflight >= self.cap {
+            let start = Instant::now();
+            while *inflight >= self.cap {
+                inflight = self
+                    .freed
+                    .wait(inflight)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            waited = start.elapsed();
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            self.wait_nanos
+                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
         }
         *inflight += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        waited
     }
 
     fn release(&self) {
@@ -131,6 +172,8 @@ pub struct WorkerPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     admission: Arc<Admission>,
+    /// Jobs submitted and not yet dequeued by a worker.
+    queued: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
@@ -140,12 +183,14 @@ impl WorkerPool {
         let max_inflight = config.resolved_inflight(workers);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let queued = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("pitract-pool-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(&receiver, &queued))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -156,7 +201,11 @@ impl WorkerPool {
                 cap: max_inflight,
                 inflight: Mutex::new(0),
                 freed: Condvar::new(),
+                admitted: AtomicU64::new(0),
+                waits: AtomicU64::new(0),
+                wait_nanos: AtomicU64::new(0),
             }),
+            queued,
         }
     }
 
@@ -170,13 +219,30 @@ impl WorkerPool {
         self.admission.cap
     }
 
-    /// Block until an admission slot frees, then take one.
-    fn admit(&self) -> AdmissionSlot<'_> {
-        self.admission.acquire();
-        AdmissionSlot(&self.admission)
+    /// A point-in-time load and wait summary.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers.len(),
+            max_inflight: self.admission.cap,
+            inflight: *lock(&self.admission.inflight),
+            queued_jobs: self.queued.load(Ordering::Relaxed),
+            batches_admitted: self.admission.admitted.load(Ordering::Relaxed),
+            admission_waits: self.admission.waits.load(Ordering::Relaxed),
+            total_admission_wait: Duration::from_nanos(
+                self.admission.wait_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Block until an admission slot frees, then take one. Returns the
+    /// RAII slot and how long the gate held the caller.
+    fn admit(&self) -> (AdmissionSlot<'_>, Duration) {
+        let waited = self.admission.acquire();
+        (AdmissionSlot(&self.admission), waited)
     }
 
     fn submit(&self, job: Job) {
+        self.queued.fetch_add(1, Ordering::Relaxed);
         self.sender
             .as_ref()
             .expect("pool sender lives until drop")
@@ -201,7 +267,7 @@ impl Drop for WorkerPool {
 /// [`PooledExecutor::run`]), but a defensive `catch_unwind` here keeps a
 /// worker alive even if a job's bookkeeping itself panicked — one
 /// poisoned batch must never shrink the pool.
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicUsize) {
     loop {
         // Hold the receiver lock only for the dequeue, never while
         // running the job.
@@ -209,6 +275,7 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return,
         };
+        queued.fetch_sub(1, Ordering::Relaxed);
         let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
@@ -287,6 +354,13 @@ impl<T> Collector<T> {
 /// `global_ids` translates after shard evaluation (for a live relation,
 /// under its ids lock — local→global maps are append-only, so
 /// translation after the shard lock drops is race-free).
+///
+/// Relations that version their state additionally expose an epoch pin:
+/// the executor calls [`BatchServe::pin_epoch`] once per batch before
+/// any shard job runs, passes the pinned epoch to every `eval_*` call,
+/// and releases it with [`BatchServe::unpin_epoch`] when the batch's
+/// results have merged. Immutable relations keep the defaults (no pin,
+/// evaluation ignores `at`).
 pub trait BatchServe: Send + Sync {
     /// Validate, plan, and shard-route a query slice.
     fn route(
@@ -297,18 +371,32 @@ pub trait BatchServe: Send + Sync {
     /// Number of shards.
     fn shard_count(&self) -> usize;
 
-    /// Boolean answers for one shard's assigned queries.
+    /// Pin the relation's current epoch for one batch, or `None` for
+    /// relations with no version history. A returned epoch MUST be
+    /// balanced by exactly one [`BatchServe::unpin_epoch`].
+    fn pin_epoch(&self) -> Option<Epoch> {
+        None
+    }
+
+    /// Release a pin taken by [`BatchServe::pin_epoch`].
+    fn unpin_epoch(&self, _epoch: Epoch) {}
+
+    /// Boolean answers for one shard's assigned queries, evaluated at
+    /// epoch `at` ([`Epoch::LATEST`] = current state).
     fn eval_bool(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<bool>;
 
-    /// Matching shard-local row ids for one shard's assigned queries.
+    /// Matching shard-local row ids for one shard's assigned queries,
+    /// evaluated at epoch `at`.
     fn eval_rows(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<Vec<usize>>;
@@ -339,6 +427,7 @@ impl BatchServe for ShardedRelation {
     fn eval_bool(
         &self,
         shard: usize,
+        _at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<bool> {
@@ -350,6 +439,7 @@ impl BatchServe for ShardedRelation {
     fn eval_rows(
         &self,
         shard: usize,
+        _at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<Vec<usize>> {
@@ -375,26 +465,68 @@ impl BatchServe for LiveRelation {
         LiveRelation::shard_count(self)
     }
 
+    fn pin_epoch(&self) -> Option<Epoch> {
+        Some(self.register_pin())
+    }
+
+    fn unpin_epoch(&self, epoch: Epoch) {
+        self.release_pin(epoch);
+    }
+
     fn eval_bool(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<bool> {
-        self.eval_bool_shard(shard, queries, assigned)
+        self.eval_bool_shard(shard, at, queries, assigned)
     }
 
     fn eval_rows(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<Vec<usize>> {
-        self.eval_rows_shard(shard, queries, assigned)
+        self.eval_rows_shard(shard, at, queries, assigned)
     }
 
     fn global_ids(&self, shard: usize, locals: &[usize]) -> Vec<usize> {
         self.globalize(shard, locals)
+    }
+}
+
+/// RAII epoch pin for one batch: taken after admission, released when
+/// the batch's results have merged — on every path, including errors
+/// and worker panics.
+struct PinGuard<'a, R: BatchServe + ?Sized> {
+    relation: &'a R,
+    epoch: Option<Epoch>,
+}
+
+impl<'a, R: BatchServe + ?Sized> PinGuard<'a, R> {
+    fn pin(relation: &'a R) -> Self {
+        PinGuard {
+            relation,
+            epoch: relation.pin_epoch(),
+        }
+    }
+
+    /// The epoch shard jobs evaluate at: the pinned one, or the
+    /// [`Epoch::LATEST`] read-committed sentinel when the relation does
+    /// not version.
+    fn at(&self) -> Epoch {
+        self.epoch.unwrap_or(Epoch::LATEST)
+    }
+}
+
+impl<R: BatchServe + ?Sized> Drop for PinGuard<'_, R> {
+    fn drop(&mut self) {
+        if let Some(epoch) = self.epoch {
+            self.relation.unpin_epoch(epoch);
+        }
     }
 }
 
@@ -443,32 +575,60 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
         &self.pool
     }
 
+    /// A point-in-time pool summary: sizing, load, and cumulative
+    /// admission-gate waits.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Answer every query in the batch on the pool — the persistent
     /// twin of [`QueryBatch::execute`], same answers, same report.
+    ///
+    /// For a versioned relation the whole batch is answered at one
+    /// pinned epoch, recorded in [`crate::batch::BatchReport::epoch`]:
+    /// every shard job sees the same database instance even while
+    /// writers land mid-batch.
     pub fn execute(&self, batch: &QueryBatch) -> Result<BatchAnswers, EngineError> {
         let queries = batch.queries_shared();
         let (plans, routed) = self.relation.route(&queries)?;
-        let merged = self.run(&queries, &routed, |relation, shard, queries, assigned| {
-            relation.eval_bool(shard, queries, assigned)
-        })?;
+        // Admission strictly before the pin: a batch waiting at the
+        // gate must not force writers to retain versions for it.
+        let (_slot, waited) = self.pool.admit();
+        let pin = PinGuard::pin(self.relation.as_ref());
+        let at = pin.at();
+        let merged = self.run(
+            &queries,
+            &routed,
+            move |relation, shard, queries, assigned| {
+                relation.eval_bool(shard, at, queries, assigned)
+            },
+        )?;
         let mut answers = vec![false; queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
             answers[qi] = per_shard.iter().any(|(_, hit, _)| *hit);
         }
-        Ok(BatchAnswers {
-            answers,
-            report: report_from(plans, &routed, &merged),
-        })
+        let mut report = report_from(plans, &routed, &merged);
+        report.epoch = pin.epoch;
+        report.admission_wait = Some(waited);
+        Ok(BatchAnswers { answers, report })
     }
 
     /// Enumerate matching global row ids for every query on the pool —
-    /// the persistent twin of [`QueryBatch::execute_rows`].
+    /// the persistent twin of [`QueryBatch::execute_rows`], answered at
+    /// one pinned epoch like [`Self::execute`].
     pub fn execute_rows(&self, batch: &QueryBatch) -> Result<BatchRows, EngineError> {
         let queries = batch.queries_shared();
         let (plans, routed) = self.relation.route(&queries)?;
-        let merged = self.run(&queries, &routed, |relation, shard, queries, assigned| {
-            relation.eval_rows(shard, queries, assigned)
-        })?;
+        let (_slot, waited) = self.pool.admit();
+        let pin = PinGuard::pin(self.relation.as_ref());
+        let at = pin.at();
+        let merged = self.run(
+            &queries,
+            &routed,
+            move |relation, shard, queries, assigned| {
+                relation.eval_rows(shard, at, queries, assigned)
+            },
+        )?;
         let mut rows: Vec<Vec<usize>> = vec![Vec::new(); queries.len()];
         for (qi, per_shard) in merged.iter().enumerate() {
             for (shard, locals, _) in per_shard {
@@ -476,17 +636,18 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
             }
             rows[qi].sort_unstable();
         }
-        Ok(BatchRows {
-            rows,
-            report: report_from(plans, &routed, &merged),
-        })
+        let mut report = report_from(plans, &routed, &merged);
+        report.epoch = pin.epoch;
+        report.admission_wait = Some(waited);
+        Ok(BatchRows { rows, report })
     }
 
     /// Submit one batch's per-shard work items and wait for the merge:
-    /// admission gate, routing inversion, one job per touched shard,
-    /// rendezvous at the collector. Returns the same
-    /// per-query `(shard, result, steps)` shape as the scoped
-    /// `fan_out`, so both executors share the merge and report code.
+    /// routing inversion, one job per touched shard, rendezvous at the
+    /// collector. The caller holds the admission slot and the epoch pin
+    /// for the batch. Returns the same per-query `(shard, result,
+    /// steps)` shape as the scoped `fan_out`, so both executors share
+    /// the merge and report code.
     fn run<T, F>(
         &self,
         queries: &Arc<[SelectionQuery]>,
@@ -511,9 +672,6 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
             .filter(|(_, assigned)| !assigned.is_empty())
             .collect();
 
-        // One admission slot per batch, held until the merge below —
-        // released even on the panic path by the RAII guard.
-        let _slot = self.pool.admit();
         let collector = Arc::new(Collector::new(work.len()));
         let eval = Arc::new(eval);
         for (slot, (shard, assigned)) in work.into_iter().enumerate() {
@@ -689,6 +847,7 @@ mod tests {
         fn eval_bool(
             &self,
             shard: usize,
+            _at: Epoch,
             _queries: &[SelectionQuery],
             assigned: &[usize],
         ) -> WorkerResults<bool> {
@@ -705,6 +864,7 @@ mod tests {
         fn eval_rows(
             &self,
             _shard: usize,
+            _at: Epoch,
             _queries: &[SelectionQuery],
             assigned: &[usize],
         ) -> WorkerResults<Vec<usize>> {
@@ -852,6 +1012,80 @@ mod tests {
             )]))
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidQuery { index: 0, .. }));
+    }
+
+    #[test]
+    fn pool_stats_count_admissions_and_gate_waits() {
+        let mut probe = Probe::new(1);
+        probe.delay = std::time::Duration::from_millis(2);
+        let exec = Arc::new(PooledExecutor::new(
+            Arc::new(probe),
+            PoolConfig {
+                workers: 2,
+                max_inflight: 1,
+            },
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let exec = Arc::clone(&exec);
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        exec.execute(&one_query_batch()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = exec.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.max_inflight, 1);
+        assert_eq!(stats.batches_admitted, 12);
+        assert_eq!(stats.inflight, 0, "every slot released");
+        assert_eq!(stats.queued_jobs, 0, "every job drained");
+        assert!(
+            stats.admission_waits > 0,
+            "4 submitters racing a 1-slot gate must have waited at least once"
+        );
+        assert!(stats.total_admission_wait > Duration::ZERO);
+        // Per-batch wait is also surfaced in the report.
+        let got = exec.execute(&one_query_batch()).unwrap();
+        assert_eq!(got.report.admission_wait, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn pooled_batches_pin_one_epoch_and_release_it() {
+        let lr = Arc::new(
+            LiveRelation::build(&relation(50), ShardBy::Hash { col: 0 }, 2, &[0, 1]).unwrap(),
+        );
+        let exec = PooledExecutor::with_default_pool(Arc::clone(&lr));
+        let batch = QueryBatch::new([pitract_relation::SelectionQuery::point(0, 5i64)]);
+
+        let got = exec.execute(&batch).unwrap();
+        assert_eq!(
+            got.report.epoch,
+            Some(Epoch::ZERO),
+            "fresh build is epoch 0"
+        );
+        lr.insert(vec![Value::Int(1000), Value::str("w")]).unwrap();
+        lr.insert(vec![Value::Int(1001), Value::str("w")]).unwrap();
+        let got = exec.execute_rows(&batch).unwrap();
+        assert_eq!(
+            got.report.epoch,
+            Some(Epoch::new(2)),
+            "epoch counts applied updates"
+        );
+
+        // Pins are balanced: nothing left registered, nothing retained.
+        let stats = lr.version_stats();
+        assert_eq!(stats.pins, 0, "executor released every batch pin");
+        assert_eq!(stats.retained_versions, 0);
+
+        // The immutable sharded path reports no epoch (read-committed).
+        let sr = Arc::new(
+            ShardedRelation::build(&relation(50), ShardBy::Hash { col: 0 }, 2, &[0, 1]).unwrap(),
+        );
+        let exec = PooledExecutor::with_default_pool(sr);
+        let got = exec.execute(&batch).unwrap();
+        assert_eq!(got.report.epoch, None);
     }
 
     #[test]

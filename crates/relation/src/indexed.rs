@@ -413,6 +413,59 @@ impl IndexedRelation {
         self.answer_metered(q, &Meter::new())
     }
 
+    /// [`Self::answer_metered`] restricted to rows with id `< bound` —
+    /// the visibility horizon of a snapshot reader: row ids are
+    /// assigned in insertion order and never reused, so "the relation
+    /// before a run of appends" is exactly the id prefix below the
+    /// first appended id. Routes through the same access paths and
+    /// short-circuits on the first *visible* witness; posting lists are
+    /// ascending, so a point probe checks one id instead of walking the
+    /// posting. `usize::MAX` makes every row visible.
+    pub fn answer_metered_below(&self, q: &SelectionQuery, meter: &Meter, bound: usize) -> bool {
+        match q {
+            SelectionQuery::Point { col, value } => match self.indexes.get(col) {
+                Some(tree) => tree
+                    .get_metered(value, meter)
+                    .is_some_and(|posting| posting.first().is_some_and(|&id| id < bound)),
+                None => self.scan_metered_below(q, meter, bound),
+            },
+            SelectionQuery::Range { col, lo, hi } => match self.indexes.get(col) {
+                Some(tree) => {
+                    meter.add(tree_descent_cost(tree));
+                    tree.range(as_ref_bound(lo), as_ref_bound(hi))
+                        .any(|(_, posting)| {
+                            meter.tick();
+                            posting.first().is_some_and(|&id| id < bound)
+                        })
+                }
+                None => self.scan_metered_below(q, meter, bound),
+            },
+            SelectionQuery::And(_, _) => match self.driving_conjunct(&q.conjuncts()) {
+                Some(driving) => self
+                    .driving_candidates(driving, meter)
+                    .into_iter()
+                    .take_while(|&id| id < bound)
+                    .any(|id| {
+                        meter.tick();
+                        self.rows[id].as_ref().is_some_and(|row| q.matches(row))
+                    }),
+                None => self.scan_metered_below(q, meter, bound),
+            },
+        }
+    }
+
+    fn scan_metered_below(&self, q: &SelectionQuery, meter: &Meter, bound: usize) -> bool {
+        for slot in self.rows.iter().take(bound) {
+            meter.tick();
+            if let Some(row) = slot {
+                if q.matches(row) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     fn scan_metered(&self, q: &SelectionQuery, meter: &Meter) -> bool {
         for slot in &self.rows {
             // Every slot visited costs a step, tombstones included (the

@@ -23,9 +23,10 @@
 //!   atomic (temp-file + rename) replacement: list, save, load, remove.
 //! * [`live::LiveCheckpoint`] — checkpoint/recover for the live serving
 //!   tier: `checkpoint` freezes a [`pitract_engine::LiveRelation`] into
-//!   the catalog and truncates its update log; `recover` loads the
-//!   snapshot and replays the log, reproducing the live state
-//!   bit-identically (answers and global row ids).
+//!   the catalog (with the cut's MVCC epoch) and truncates its update
+//!   log; `recover` loads the snapshot and replays the log, reproducing
+//!   the live state bit-identically (answers and global row ids) and
+//!   resuming the epoch clock, summarized in a typed [`live::Recovered`].
 //!
 //! The correctness contract, enforced by unit, integration, and property
 //! tests: for every persisted structure, `load(save(x))` answers every
@@ -68,5 +69,5 @@ pub mod snapshot;
 
 pub use catalog::SnapshotCatalog;
 pub use error::StoreError;
-pub use live::LiveCheckpoint;
+pub use live::{LiveCheckpoint, Recovered};
 pub use snapshot::{fsync_dir, write_atomic, Snapshot, SnapshotKind, FORMAT_VERSION, MAGIC};

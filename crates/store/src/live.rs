@@ -26,16 +26,34 @@
 use crate::catalog::SnapshotCatalog;
 use crate::error::StoreError;
 use crate::snapshot::Snapshot;
+use pitract_core::epoch::Epoch;
 use pitract_engine::{LiveRelation, UpdateLog};
 use std::path::PathBuf;
+
+/// What [`LiveCheckpoint::recover`] reconstructed: where the recovered
+/// node's clocks resumed and how much replay it took to get there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovered {
+    /// The epoch clock after recovery — the checkpoint's cut epoch plus
+    /// one tick per logged update, exactly where the lost node's clock
+    /// stood. The next applied update is stamped `epoch + 1`.
+    pub epoch: Epoch,
+    /// The checkpoint's WAL mark, when the checkpoint was written by a
+    /// WAL-attached node (`None` for in-memory-log checkpoints).
+    pub lsn: Option<u64>,
+    /// Updates actually replayed — the *compacted* net change, not the
+    /// logged churn.
+    pub replayed: usize,
+}
 
 /// Checkpoint/recover operations connecting [`LiveRelation`] to the
 /// snapshot catalog. Implemented (only) for [`LiveRelation`]; a trait so
 /// the engine crate stays independent of the store crate.
 pub trait LiveCheckpoint: Sized {
-    /// Freeze the live state, persist it under `name`, and truncate the
-    /// update log to the entries not covered by the snapshot. Returns the
-    /// snapshot's file path.
+    /// Freeze the live state, persist it under `name` (together with the
+    /// cut's MVCC epoch, so recovery resumes the epoch clock exactly),
+    /// and truncate the update log to the entries not covered by the
+    /// snapshot. Returns the snapshot's file path.
     fn checkpoint(&self, catalog: &SnapshotCatalog, name: &str) -> Result<PathBuf, StoreError>;
 
     /// Load the snapshot saved under `name`, wrap it for live serving,
@@ -44,24 +62,47 @@ pub trait LiveCheckpoint: Sized {
     /// bounded by the *net* change, not the churn: insert+delete pairs
     /// are cancelled and their ids burned as tombstones. The result is
     /// bit-identical to the state the log was recorded from — same
-    /// answers, same live global row ids.
-    fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError>;
+    /// answers, same live global row ids, same epoch clock (summarized
+    /// in the returned [`Recovered`]). Accepts both the current
+    /// `LiveCheckpoint` snapshot kind and plain `ShardedRelation`
+    /// snapshots written before epochs existed (cut epoch 0).
+    fn recover(
+        catalog: &SnapshotCatalog,
+        name: &str,
+        log: &UpdateLog,
+    ) -> Result<(Self, Recovered), StoreError>;
 }
 
 impl LiveCheckpoint for LiveRelation {
     fn checkpoint(&self, catalog: &SnapshotCatalog, name: &str) -> Result<PathBuf, StoreError> {
-        let (state, covered) = self.freeze();
-        let path = catalog.save(name, &Snapshot::Sharded(state))?;
+        let frozen = self.freeze();
+        let path = catalog.save(
+            name,
+            &Snapshot::Checkpoint {
+                state: frozen.state,
+                wal_lsn: 0,
+                epoch: frozen.epoch,
+            },
+        )?;
         // Truncate only after the save succeeded: a failed write keeps
         // every entry replayable against the previous checkpoint.
-        self.confirm_checkpoint(covered);
+        self.confirm_checkpoint(frozen.covered);
         Ok(path)
     }
 
-    fn recover(catalog: &SnapshotCatalog, name: &str, log: &UpdateLog) -> Result<Self, StoreError> {
-        let state = catalog.load(name)?.into_sharded()?;
+    fn recover(
+        catalog: &SnapshotCatalog,
+        name: &str,
+        log: &UpdateLog,
+    ) -> Result<(Self, Recovered), StoreError> {
+        let (state, wal_lsn, cut) = match catalog.load(name)? {
+            // Pre-epoch deployments checkpointed the bare sharded state.
+            Snapshot::Sharded(state) => (state, 0, Epoch::ZERO),
+            other => other.into_checkpoint()?,
+        };
         let live = LiveRelation::from_sharded(state);
-        live.replay_compacted(&log.compact())
+        let compacted = log.compact();
+        live.replay_compacted(&compacted)
             .map_err(StoreError::Engine)?;
         // Trailing cancelled pairs leave no entry to carry their ids;
         // burn up to the original log's watermark so future inserts get
@@ -69,7 +110,20 @@ impl LiveCheckpoint for LiveRelation {
         if let Some(watermark) = log.next_gid_watermark() {
             live.burn_gids_to(watermark);
         }
-        Ok(live)
+        // The epoch clock counts *applied* updates of the original
+        // history, not surviving log entries. A log captured from a live
+        // node carries that clock as `end_epoch` (it survives compaction
+        // and truncation); `cut + len` is the fallback for logs decoded
+        // from files written before epochs existed, whose end defaults
+        // to the bare entry count.
+        let epoch = Epoch::new((cut.get() + log.len() as u64).max(log.end_epoch().get()));
+        live.advance_epoch_to(epoch);
+        let summary = Recovered {
+            epoch,
+            lsn: (wal_lsn > 0).then_some(wal_lsn),
+            replayed: compacted.len(),
+        };
+        Ok((live, summary))
     }
 }
 
@@ -111,7 +165,16 @@ mod tests {
             .unwrap();
         lr.delete(20).unwrap().unwrap();
 
-        let recovered = LiveRelation::recover(&catalog, "orders", &lr.pending_log()).unwrap();
+        let (recovered, summary) =
+            LiveRelation::recover(&catalog, "orders", &lr.pending_log()).unwrap();
+        assert_eq!(
+            summary.epoch,
+            lr.current_epoch(),
+            "the epoch clock resumes exactly where the lost node's stood"
+        );
+        assert_eq!(recovered.current_epoch(), lr.current_epoch());
+        assert_eq!(summary.lsn, None, "no WAL attached");
+        assert_eq!(summary.replayed, 2);
         assert_eq!(recovered.len(), lr.len());
         for gid in 0..62 {
             assert_eq!(recovered.row(gid), lr.row(gid), "gid {gid}");
@@ -181,11 +244,17 @@ mod tests {
         let pending = lr.pending_log();
         assert_eq!(pending.len(), 62);
 
-        let recovered = LiveRelation::recover(&catalog, "base", &pending).unwrap();
+        let (recovered, summary) = LiveRelation::recover(&catalog, "base", &pending).unwrap();
         assert_eq!(
             recovered.boundedness_report().len(),
             2,
             "only the net change was replayed"
+        );
+        assert_eq!(summary.replayed, 2);
+        assert_eq!(
+            recovered.current_epoch(),
+            lr.current_epoch(),
+            "compaction must not slow the epoch clock"
         );
         assert_eq!(recovered.len(), lr.len());
         for gid in 0..55 {

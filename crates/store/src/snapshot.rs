@@ -24,9 +24,12 @@
 //! | `ShardedRelation` | schema (1), shard_by (4), per-shard bodies (5), global-id maps (6), locations (7) |
 //! | `HopLabels` | `L_out` (8), `L_in` (9), hub ranks (10) |
 //! | `UpdateLog` | logged insert/delete entries (11) |
+//! | `LiveCheckpoint` | the `ShardedRelation` sections, WAL mark (12), cut epoch (13) |
 //!
 //! Readers locate sections by tag, so a future version may append new
-//! sections without breaking old payload parsing — but any change to an
+//! sections without breaking old payload parsing — the cut-epoch
+//! section (13) is exactly such an append: files written before it
+//! existed load with epoch 0. Any change to an
 //! existing section's encoding must bump the format version, which this
 //! reader rejects with [`StoreError::VersionMismatch`]. Corruption is
 //! caught in layers: the checksum rejects bit rot and truncation, the
@@ -37,6 +40,7 @@
 
 use crate::codec::{Reader, Writer};
 use crate::error::StoreError;
+use pitract_core::epoch::Epoch;
 use pitract_core::hash::fnv1a64;
 use pitract_engine::{ShardBy, ShardedRelation, UpdateEntry, UpdateLog};
 use pitract_graph::hop::HopLabels;
@@ -63,6 +67,7 @@ const SEC_LIN: u32 = 9;
 const SEC_RANK: u32 = 10;
 const SEC_LOG: u32 = 11;
 const SEC_WAL_MARK: u32 = 12;
+const SEC_EPOCH: u32 = 13;
 
 /// Which preprocessed structure a snapshot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +145,11 @@ pub enum Snapshot {
         state: ShardedRelation,
         /// LSN of the first WAL record not covered by `state`.
         wal_lsn: u64,
+        /// The MVCC epoch of the cut — the live relation's epoch clock
+        /// at the instant `state` was frozen, persisted so recovery can
+        /// resume the clock exactly. Files written before the epoch
+        /// section existed load as [`Epoch::ZERO`].
+        epoch: Epoch,
     },
 }
 
@@ -223,11 +233,15 @@ impl Snapshot {
         }
     }
 
-    /// Unwrap a live checkpoint into `(state, wal_lsn)`, or report the
-    /// kind actually stored.
-    pub fn into_checkpoint(self) -> Result<(ShardedRelation, u64), StoreError> {
+    /// Unwrap a live checkpoint into `(state, wal_lsn, epoch)`, or
+    /// report the kind actually stored.
+    pub fn into_checkpoint(self) -> Result<(ShardedRelation, u64, Epoch), StoreError> {
         match self {
-            Snapshot::Checkpoint { state, wal_lsn } => Ok((state, wal_lsn)),
+            Snapshot::Checkpoint {
+                state,
+                wal_lsn,
+                epoch,
+            } => Ok((state, wal_lsn, epoch)),
             other => Err(StoreError::WrongKind {
                 expected: SnapshotKind::LiveCheckpoint,
                 found: other.kind(),
@@ -243,11 +257,18 @@ impl Snapshot {
             Snapshot::Sharded(sr) => encode_sharded_sections(sr),
             Snapshot::Hop(h) => encode_hop_sections(h),
             Snapshot::Log(log) => encode_log_sections(log),
-            Snapshot::Checkpoint { state, wal_lsn } => {
+            Snapshot::Checkpoint {
+                state,
+                wal_lsn,
+                epoch,
+            } => {
                 let mut sections = encode_sharded_sections(state);
                 let mut mark = Writer::new();
                 mark.u64(*wal_lsn);
                 sections.push((SEC_WAL_MARK, mark.into_bytes()));
+                let mut cut = Writer::new();
+                cut.u64(epoch.get());
+                sections.push((SEC_EPOCH, cut.into_bytes()));
                 sections
             }
         };
@@ -350,7 +371,17 @@ impl Snapshot {
             SnapshotKind::LiveCheckpoint => {
                 let state = decode_sharded(&section)?;
                 let wal_lsn = finish(section(SEC_WAL_MARK)?, Reader::u64)?;
-                Ok(Snapshot::Checkpoint { state, wal_lsn })
+                // The epoch section was appended to the format later;
+                // checkpoints written before it carry an implicit 0.
+                let epoch = match located.iter().find(|(t, _)| *t == SEC_EPOCH) {
+                    Some((_, s)) => Epoch::new(finish(Reader::new(s), Reader::u64)?),
+                    None => Epoch::ZERO,
+                };
+                Ok(Snapshot::Checkpoint {
+                    state,
+                    wal_lsn,
+                    epoch,
+                })
             }
             SnapshotKind::HopLabels => {
                 let lout = finish(section(SEC_LOUT)?, read_label_lists)?;
@@ -362,7 +393,18 @@ impl Snapshot {
             }
             SnapshotKind::UpdateLog => {
                 let entries = finish(section(SEC_LOG)?, read_log_entries)?;
-                Ok(Snapshot::Log(UpdateLog::from_entries(entries)))
+                // Logs written before epochs existed carry no end-epoch
+                // section; their end defaults to the entry count (a
+                // fresh-history log).
+                Ok(Snapshot::Log(
+                    match located.iter().find(|(t, _)| *t == SEC_EPOCH) {
+                        Some((_, s)) => UpdateLog::from_entries_ending(
+                            entries,
+                            Epoch::new(finish(Reader::new(s), Reader::u64)?),
+                        ),
+                        None => UpdateLog::from_entries(entries),
+                    },
+                ))
             }
         }
     }
@@ -688,7 +730,9 @@ fn encode_log_sections(log: &UpdateLog) -> Vec<(u32, Vec<u8>)> {
     for entry in log.entries() {
         w.update_entry(entry);
     }
-    vec![(SEC_LOG, w.into_bytes())]
+    let mut end = Writer::new();
+    end.u64(log.end_epoch().get());
+    vec![(SEC_LOG, w.into_bytes()), (SEC_EPOCH, end.into_bytes())]
 }
 
 fn read_log_entries(r: &mut Reader<'_>) -> Result<Vec<UpdateEntry>, StoreError> {
@@ -789,13 +833,14 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_roundtrip_preserves_state_and_wal_mark() {
+    fn checkpoint_roundtrip_preserves_state_wal_mark_and_epoch() {
         let mut sr =
             ShardedRelation::build(&relation(80), ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap();
         sr.delete(12);
         let bytes = Snapshot::Checkpoint {
             state: sr,
             wal_lsn: 123_456_789,
+            epoch: Epoch::new(777),
         }
         .to_bytes();
         let snap = Snapshot::from_bytes(&bytes).unwrap();
@@ -804,8 +849,9 @@ mod tests {
             peek_kind(&bytes[..12]).unwrap(),
             SnapshotKind::LiveCheckpoint
         );
-        let (state, wal_lsn) = snap.into_checkpoint().unwrap();
+        let (state, wal_lsn, epoch) = snap.into_checkpoint().unwrap();
         assert_eq!(wal_lsn, 123_456_789, "the mark travels with the state");
+        assert_eq!(epoch, Epoch::new(777), "the cut epoch travels too");
         assert_eq!(state.len(), 79);
         assert!(state.row(12).is_none());
         assert!(state.answer(&SelectionQuery::point(0, 42i64)));
@@ -826,6 +872,42 @@ mod tests {
                 found: SnapshotKind::IndexedRelation,
             })
         ));
+    }
+
+    #[test]
+    fn checkpoint_without_epoch_section_loads_as_epoch_zero() {
+        // Hand-assemble a pre-epoch checkpoint file: the sharded
+        // sections plus the WAL mark, with no SEC_EPOCH — exactly what
+        // this binary wrote before the epoch section existed.
+        let sr =
+            ShardedRelation::build(&relation(20), ShardBy::Hash { col: 0 }, 2, &[0, 1]).unwrap();
+        let mut sections = encode_sharded_sections(&sr);
+        let mut mark = Writer::new();
+        mark.u64(9);
+        sections.push((SEC_WAL_MARK, mark.into_bytes()));
+        let mut w = Writer::new();
+        w.raw(&MAGIC);
+        w.u16(FORMAT_VERSION);
+        w.u16(SnapshotKind::LiveCheckpoint.code());
+        w.u32(sections.len() as u32);
+        for (tag, payload) in &sections {
+            w.u32(*tag);
+            w.u64(payload.len() as u64);
+        }
+        for (_, payload) in &sections {
+            w.raw(payload);
+        }
+        let mut bytes = w.into_bytes();
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let (state, wal_lsn, epoch) = Snapshot::from_bytes(&bytes)
+            .unwrap()
+            .into_checkpoint()
+            .unwrap();
+        assert_eq!(wal_lsn, 9);
+        assert_eq!(epoch, Epoch::ZERO, "legacy files default to epoch 0");
+        assert_eq!(state.len(), 20);
     }
 
     #[test]

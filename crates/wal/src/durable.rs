@@ -11,28 +11,35 @@
 //! there is no instant at which a crash can observe a state without its
 //! mark, which is the classic lost-update window of two-file schemes.
 //!
-//! # The LSN ↔ log-position dictionary
+//! # The LSN ↔ log-position ↔ epoch dictionary
 //!
 //! The engine's in-memory [`pitract_engine::UpdateLog`] counts absolute
 //! positions from the moment the relation was wrapped; the WAL counts
-//! LSNs from the beginning of (durable) time. Because the sink appends
-//! exactly one WAL record per logged entry, the two advance in
-//! lockstep: `lsn = wal_base + position`, where `wal_base` is fixed at
-//! wrap time. A freeze's covered position therefore translates directly
-//! into the checkpoint's WAL mark, and recovery inverts the mapping:
-//! load the checkpoint, replay the WAL tail at-or-after the mark
-//! (compacted, so replay work is bounded by net change), and resume
-//! appending at the recovered LSN.
+//! LSNs from the beginning of (durable) time; the MVCC epoch clock
+//! counts applied updates from the relation's birth. Because the sink
+//! appends exactly one WAL record per logged entry and every applied
+//! update ticks the epoch once, all three advance in lockstep:
+//! `lsn = wal_base + position` and `epoch = epoch_base + position`,
+//! where both bases are fixed at wrap time. A freeze's cut epoch
+//! therefore translates directly into the checkpoint's WAL mark
+//! ([`DurableLiveRelation::lsn_of_epoch`]), and recovery inverts the
+//! mapping: load the checkpoint, replay the WAL tail at-or-after the
+//! mark (compacted, so replay work is bounded by net change), resume
+//! appending at the recovered LSN, and advance the epoch clock to the
+//! cut epoch plus one tick per tail record — so the recovered node
+//! stamps its next update with the same epoch the crashed node would
+//! have ([`DurableLiveRelation::recovery_summary`]).
 
 use crate::compactor::{CompactionReport, Compactor};
 use crate::error::WalError;
 use crate::reader::WalReader;
 use crate::writer::{WalConfig, WalWriter};
+use pitract_core::epoch::Epoch;
 use pitract_engine::batch::WorkerResults;
 use pitract_engine::planner::QueryPlan;
 use pitract_engine::{BatchServe, EngineError, LiveRelation, UpdateEntry, WalSink};
 use pitract_relation::SelectionQuery;
-use pitract_store::{Snapshot, SnapshotCatalog};
+use pitract_store::{Recovered, Snapshot, SnapshotCatalog};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,9 +88,15 @@ pub struct DurableLiveRelation {
     wal: Arc<WalWriter>,
     /// WAL LSN corresponding to the live relation's log position 0.
     wal_base: u64,
+    /// Epoch-clock value at the live relation's log position 0 — the
+    /// other half of the epoch ↔ LSN dictionary.
+    epoch_base: u64,
     /// The latest durably confirmed checkpoint mark (what compaction may
     /// drop below).
     last_mark: AtomicU64,
+    /// What [`Self::recover`] reconstructed; `None` on a fresh
+    /// [`Self::create`].
+    recovered: Option<Recovered>,
 }
 
 impl std::ops::Deref for DurableLiveRelation {
@@ -116,21 +129,24 @@ impl DurableLiveRelation {
         // Anything already in the directory (a reused path) is below the
         // bootstrap mark and therefore dead: the checkpoint covers it.
         let mark = wal.next_lsn();
-        let (state, covered) = live.freeze();
+        let frozen = live.freeze();
         catalog.save(
             name,
             &Snapshot::Checkpoint {
-                state,
+                state: frozen.state,
                 wal_lsn: mark,
+                epoch: frozen.epoch,
             },
         )?;
-        live.confirm_checkpoint(covered);
+        live.confirm_checkpoint(frozen.covered);
         live.set_wal_sink(Some(Arc::new(WalWriterSink::new(wal.clone()))));
         Ok(DurableLiveRelation {
             live,
             wal,
             wal_base: mark,
+            epoch_base: frozen.epoch.get(),
             last_mark: AtomicU64::new(mark),
+            recovered: None,
         })
     }
 
@@ -147,7 +163,7 @@ impl DurableLiveRelation {
         config: WalConfig,
     ) -> Result<Self, WalError> {
         let wal_dir = wal_dir.into();
-        let (state, mark) = catalog.load(name)?.into_checkpoint()?;
+        let (state, mark, cut) = catalog.load(name)?.into_checkpoint()?;
         // One directory scan serves both sides: the writer truncates the
         // torn tail and takes its append position from it, the reader
         // decodes its records for replay — the log is read and
@@ -169,12 +185,28 @@ impl DurableLiveRelation {
         // whose WAL records all sit below next_lsn — so position len
         // maps to the next fresh LSN, pinning the dictionary.
         let wal_base = wal.next_lsn() - compacted.len() as u64;
+        // The epoch clock ticked once per *tail record* on the crashed
+        // node, while the compacted replay ticked it only
+        // `compacted.len()` times — advance the difference so the next
+        // update is stamped with the same epoch the crashed node would
+        // have used. (A compacted WAL undercounts dropped churn; the
+        // clock stays consistent with this node's own dictionary.)
+        let epoch_end = Epoch::new(cut.get() + tail.len() as u64);
+        live.advance_epoch_to(epoch_end);
+        let epoch_base = epoch_end.get() - compacted.len() as u64;
         live.set_wal_sink(Some(Arc::new(WalWriterSink::new(wal.clone()))));
+        let recovered = Recovered {
+            epoch: epoch_end,
+            lsn: Some(wal.next_lsn()),
+            replayed: compacted.len(),
+        };
         Ok(DurableLiveRelation {
             live,
             wal,
             wal_base,
+            epoch_base,
             last_mark: AtomicU64::new(mark),
+            recovered: Some(recovered),
         })
     }
 
@@ -193,6 +225,28 @@ impl DurableLiveRelation {
         self.last_mark.load(Ordering::SeqCst)
     }
 
+    /// What [`Self::recover`] reconstructed — the resumed epoch clock,
+    /// the next LSN, and how many updates the compacted replay applied.
+    /// `None` for a node born via [`Self::create`].
+    pub fn recovery_summary(&self) -> Option<Recovered> {
+        self.recovered
+    }
+
+    /// LSN of the first WAL record *not* covered by `epoch`: the
+    /// epoch ↔ LSN dictionary. Meaningful for epochs at or after this
+    /// node's wrap/recovery point (`epoch_base`); earlier epochs clamp
+    /// to the WAL base.
+    pub fn lsn_of_epoch(&self, epoch: Epoch) -> u64 {
+        self.wal_base + epoch.get().saturating_sub(self.epoch_base)
+    }
+
+    /// The epoch whose state covers exactly the WAL records below
+    /// `lsn` — the inverse of [`Self::lsn_of_epoch`]. LSNs below the WAL
+    /// base clamp to the base epoch.
+    pub fn epoch_of_lsn(&self, lsn: u64) -> Epoch {
+        Epoch::new(self.epoch_base + lsn.saturating_sub(self.wal_base))
+    }
+
     /// Checkpoint: freeze the live state, persist it with its WAL mark
     /// as one atomic snapshot, then truncate the in-memory log. After
     /// this returns, [`Self::compact_wal`] may drop every WAL record
@@ -202,16 +256,20 @@ impl DurableLiveRelation {
         // in the log *before* the snapshot supersedes it — an unsynced
         // suffix must never be the only copy of a confirmed update.
         self.wal.sync()?;
-        let (state, covered) = self.live.freeze();
-        let mark = self.wal_base + covered as u64;
+        let frozen = self.live.freeze();
+        // Both halves of the dictionary name the same cut: the covered
+        // log position and the cut epoch map to one WAL mark.
+        let mark = self.wal_base + frozen.covered as u64;
+        debug_assert_eq!(mark, self.lsn_of_epoch(frozen.epoch));
         let path = catalog.save(
             name,
             &Snapshot::Checkpoint {
-                state,
+                state: frozen.state,
                 wal_lsn: mark,
+                epoch: frozen.epoch,
             },
         )?;
-        self.live.confirm_checkpoint(covered);
+        self.live.confirm_checkpoint(frozen.covered);
         self.last_mark.fetch_max(mark, Ordering::SeqCst);
         Ok(path)
     }
@@ -246,22 +304,32 @@ impl BatchServe for DurableLiveRelation {
         BatchServe::shard_count(&self.live)
     }
 
+    fn pin_epoch(&self) -> Option<Epoch> {
+        BatchServe::pin_epoch(&self.live)
+    }
+
+    fn unpin_epoch(&self, epoch: Epoch) {
+        BatchServe::unpin_epoch(&self.live, epoch);
+    }
+
     fn eval_bool(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<bool> {
-        self.live.eval_bool(shard, queries, assigned)
+        self.live.eval_bool(shard, at, queries, assigned)
     }
 
     fn eval_rows(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> WorkerResults<Vec<usize>> {
-        self.live.eval_rows(shard, queries, assigned)
+        self.live.eval_rows(shard, at, queries, assigned)
     }
 
     fn global_ids(&self, shard: usize, locals: &[usize]) -> Vec<usize> {

@@ -137,9 +137,15 @@ fn main() {
     );
 
     let t2 = Instant::now();
-    let recovered = LiveRelation::recover(&catalog, "live-orders", &live.pending_log())
+    let (recovered, summary) = LiveRelation::recover(&catalog, "live-orders", &live.pending_log())
         .expect("snapshot load + log replay");
-    println!("recovered = snapshot + replay  [{:.2?}]", t2.elapsed());
+    println!(
+        "recovered = snapshot + replay  [{:.2?}]  (epoch clock resumed at {}, {} entries replayed)",
+        t2.elapsed(),
+        summary.epoch,
+        summary.replayed
+    );
+    assert_eq!(recovered.current_epoch(), live.current_epoch());
 
     assert_eq!(recovered.len(), live.len());
     let probes = QueryBatch::new(vec![

@@ -136,6 +136,51 @@
 //! # let _ = gid;
 //! ```
 //!
+//! ## Consistent reads: one epoch-stamped cut per batch
+//!
+//! Per-shard locking alone leaves a batch *read-committed*: each shard
+//! answers at whatever state it holds when the fan-out reaches it, so a
+//! racing writer can make one batch observe half an update. Every write
+//! therefore ticks a global [`Epoch`](crate::core::epoch::Epoch) clock,
+//! and a batch pins the clock once ([`LiveRelation::pin`](crate::engine::live::LiveRelation::pin) /
+//! [`EpochPin`](crate::engine::live::EpochPin)) and evaluates every
+//! shard *at* that epoch — one consistent cut, recorded in
+//! [`BatchReport::epoch`](crate::engine::batch::BatchReport::epoch).
+//! Writers are never blocked by a pin: they push O(1) undo records onto
+//! a per-shard ring and move on, readers roll the few post-pin writes
+//! back at evaluation time, and the rings trim to the oldest live pin's
+//! watermark ([`VersionStats`](crate::engine::live::VersionStats) counts
+//! what is currently retained). Checkpoints persist the cut's epoch and
+//! recovery resumes the clock exactly, so an epoch names the same
+//! database state across restarts.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//!
+//! // Pin a cut, then update: the writer is not blocked, the clock
+//! // advances past the pin, and the undo ring retains what the pinned
+//! // reader still needs.
+//! let before = live.current_epoch();
+//! let pin = live.pin();
+//! live.insert(vec![Value::Int(5_000)]).unwrap();
+//! assert!(live.current_epoch() > before);
+//! assert!(live.version_stats().retained_versions > 0);
+//!
+//! // Releasing the pin reclaims the retained undo records.
+//! drop(pin);
+//! assert_eq!(live.version_stats().retained_versions, 0);
+//!
+//! // Every batch pins its own cut automatically and reports it.
+//! let batch = QueryBatch::new((0..50i64).map(|k| SelectionQuery::point(0, k * 17)));
+//! let result = live.execute(&batch).unwrap();
+//! assert_eq!(result.report.epoch, Some(live.current_epoch()));
+//! ```
+//!
 //! ## The executor: a serving session, not a query
 //!
 //! `QueryBatch::execute` spawns scoped threads per batch — fine for a
@@ -240,6 +285,7 @@ pub use pitract_wal as wal;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use pitract_core::cost::{CostClass, Meter};
+    pub use pitract_core::epoch::Epoch;
     pub use pitract_core::factor::{Factorization, FnFactorization};
     pub use pitract_core::fit::{best_fit, FitModel, Sample};
     pub use pitract_core::lang::{FnPairLanguage, PairLanguage};
@@ -249,10 +295,11 @@ pub mod prelude {
     pub use pitract_engine::batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch};
     pub use pitract_engine::error::EngineError;
     pub use pitract_engine::live::{
-        Applied, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, WalSink,
+        Applied, EpochPin, Frozen, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, VersionStats,
+        WalSink,
     };
     pub use pitract_engine::planner::{AccessPath, Planner, QueryPlan};
-    pub use pitract_engine::pool::{BatchServe, PoolConfig, PooledExecutor, WorkerPool};
+    pub use pitract_engine::pool::{BatchServe, PoolConfig, PoolStats, PooledExecutor, WorkerPool};
     pub use pitract_engine::shard::{ShardBy, ShardedRelation};
     pub use pitract_graph::bds::{bds_order, BdsIndex};
     pub use pitract_graph::compress::CompressedReach;
@@ -264,7 +311,9 @@ pub mod prelude {
     pub use pitract_relation::indexed::{IndexedError, IndexedRelation};
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
-    pub use pitract_store::{LiveCheckpoint, Snapshot, SnapshotCatalog, SnapshotKind, StoreError};
+    pub use pitract_store::{
+        LiveCheckpoint, Recovered, Snapshot, SnapshotCatalog, SnapshotKind, StoreError,
+    };
     pub use pitract_wal::{
         CompactionReport, Compactor, DurableLiveRelation, SyncPolicy, WalConfig, WalError,
         WalReader, WalWriter,

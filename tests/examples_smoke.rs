@@ -87,6 +87,7 @@ fn every_example_file_has_a_smoke_test() {
         "durable_serving",
         "live_serving",
         "log_analytics",
+        "mvcc_serving",
         "persistent_serving",
         "pool_serving",
         "quickstart",
@@ -117,4 +118,9 @@ fn example_durable_serving_runs() {
 #[test]
 fn example_pool_serving_runs() {
     run_example("pool_serving");
+}
+
+#[test]
+fn example_mvcc_serving_runs() {
+    run_example("mvcc_serving");
 }

@@ -167,9 +167,13 @@ fn recover_after_checkpoint_equals_live() {
         live.delete(gid).unwrap().unwrap();
     }
 
-    let recovered = LiveRelation::recover(&catalog, "state", &live.pending_log()).unwrap();
+    let (recovered, summary) =
+        LiveRelation::recover(&catalog, "state", &live.pending_log()).unwrap();
 
-    // Bit-identical: length, every gid's row, answers and row-id sets.
+    // Bit-identical: length, every gid's row, answers and row-id sets —
+    // and the epoch clock resumed exactly where the live node's stands.
+    assert_eq!(summary.epoch, live.current_epoch());
+    assert_eq!(recovered.current_epoch(), live.current_epoch());
     assert_eq!(recovered.len(), live.len());
     for gid in 0..(n as usize + 280) {
         assert_eq!(recovered.row(gid), live.row(gid), "gid {gid}");
@@ -247,8 +251,10 @@ fn checkpoint_under_concurrent_traffic_recovers_consistently() {
         }
     });
 
-    let recovered = LiveRelation::recover(&catalog, "midflight", &live.pending_log()).unwrap();
+    let (recovered, _summary) =
+        LiveRelation::recover(&catalog, "midflight", &live.pending_log()).unwrap();
     assert_eq!(recovered.len(), live.len());
+    assert_eq!(recovered.current_epoch(), live.current_epoch());
     let upper = n as usize + 3_000_000 + 100_000;
     for q in [
         SelectionQuery::point(0, 17i64),
@@ -258,6 +264,138 @@ fn checkpoint_under_concurrent_traffic_recovers_consistently() {
         assert_eq!(recovered.matching_ids(&q), live.matching_ids(&q), "{q:?}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The epoch clock survives checkpoint → recover exactly: the recovered
+/// node stamps its next update with the same epoch the original would
+/// have, so epoch-pinned reads mean the same instant before and after a
+/// restart.
+#[test]
+fn recovery_resumes_the_epoch_clock() {
+    let dir = fresh_dir("epochclock");
+    let catalog = SnapshotCatalog::open(&dir).unwrap();
+    let live =
+        LiveRelation::build(&base_relation(100), ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap();
+    assert_eq!(live.current_epoch(), Epoch::ZERO);
+    for i in 0..10i64 {
+        live.insert(vec![Value::Int(1_000 + i), Value::str("pre")])
+            .unwrap();
+    }
+    assert_eq!(live.current_epoch(), Epoch::new(10), "one tick per update");
+    live.checkpoint(&catalog, "clock").unwrap();
+    assert_eq!(
+        live.current_epoch(),
+        Epoch::new(10),
+        "checkpointing is not an update"
+    );
+    for i in 0..5i64 {
+        live.insert(vec![Value::Int(2_000 + i), Value::str("post")])
+            .unwrap();
+    }
+
+    let (recovered, summary) =
+        LiveRelation::recover(&catalog, "clock", &live.pending_log()).unwrap();
+    assert_eq!(summary.epoch, Epoch::new(15));
+    assert_eq!(recovered.current_epoch(), Epoch::new(15));
+
+    // Both nodes stamp the next update identically.
+    live.insert(vec![Value::Int(3_000), Value::str("next")])
+        .unwrap();
+    recovered
+        .insert(vec![Value::Int(3_000), Value::str("next")])
+        .unwrap();
+    assert_eq!(recovered.current_epoch(), live.current_epoch());
+    assert_eq!(recovered.current_epoch(), Epoch::new(16));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Reconstruct the exact database instance a pinned batch saw: epoch `E`
+/// names the state produced by the first `E` logged updates, so replaying
+/// that prefix onto a fresh build must reproduce the batch's row-id sets
+/// bit-identically.
+fn epoch_prefix_oracle(
+    base: &Relation,
+    shards: usize,
+    log: &UpdateLog,
+    epoch: Epoch,
+) -> LiveRelation {
+    let prefix = UpdateLog::from_entries(log.entries()[..epoch.get() as usize].to_vec());
+    let oracle = LiveRelation::build(base, ShardBy::Hash { col: 0 }, shards, &[0, 1]).unwrap();
+    oracle.replay(&prefix).unwrap();
+    oracle
+}
+
+proptest! {
+    /// MVCC consistency under churn: cross-shard batches served through
+    /// the pooled executor while a writer races them are answered at one
+    /// pinned epoch — reconstructing the state at exactly that epoch
+    /// (base + log prefix of length E) reproduces every batch's row-id
+    /// sets (and therefore its COUNTs) bit-identically. A read-committed
+    /// executor could interleave shard reads with the writer and observe
+    /// an instance that never existed; the pin makes that impossible.
+    #[test]
+    fn pinned_batches_match_the_epoch_prefix_oracle(
+        seed_rows in 8i64..48,
+        ops in prop::collection::vec((any::<bool>(), 0i64..64), 16..80),
+    ) {
+        let shards = 3;
+        let base = base_relation(seed_rows);
+        let live = std::sync::Arc::new(
+            LiveRelation::build(&base, ShardBy::Hash { col: 0 }, shards, &[0, 1]).unwrap(),
+        );
+        let exec = PooledExecutor::with_default_pool(std::sync::Arc::clone(&live));
+        // Cross-shard queries over the *whole* keyspace, volatile region
+        // included — a torn (multi-instance) read would change these
+        // row-id sets, so exact equality is the consistency proof.
+        let batch = QueryBatch::new(vec![
+            SelectionQuery::range_closed(0, 0i64, 100_000i64),
+            SelectionQuery::point(1, "hot"),
+            SelectionQuery::range_closed(0, seed_rows, 100_000i64),
+            SelectionQuery::and(
+                SelectionQuery::point(1, "hot"),
+                SelectionQuery::range_closed(0, 0i64, 100_000i64),
+            ),
+        ]);
+
+        let mut observed: Vec<(Epoch, Vec<Vec<usize>>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let writer_live = std::sync::Arc::clone(&live);
+            let writer_ops = ops.clone();
+            let writer = scope.spawn(move || {
+                for (insert, key) in writer_ops {
+                    if insert {
+                        writer_live
+                            .insert(vec![Value::Int(10_000 + key), Value::str("hot")])
+                            .unwrap();
+                    } else {
+                        // Delete whatever gid the key picks; a miss on an
+                        // already-dead slot applies (and logs) nothing.
+                        let _ = writer_live.delete(key as usize % (seed_rows as usize + 8));
+                    }
+                }
+            });
+            for _ in 0..6 {
+                let got = exec.execute_rows(&batch).unwrap();
+                observed.push((got.report.epoch.unwrap(), got.rows));
+            }
+            writer.join().unwrap();
+        });
+
+        // Every batch matches the oracle at its own pinned epoch.
+        let log = live.pending_log();
+        for (epoch, rows) in &observed {
+            prop_assert!(epoch.get() as usize <= log.len());
+            let oracle = epoch_prefix_oracle(&base, shards, &log, *epoch);
+            let expect = oracle.execute_rows(&batch).unwrap();
+            prop_assert_eq!(&expect.rows, rows, "at pinned epoch {}", epoch);
+        }
+
+        // Pins were all released and superseded versions reclaimed.
+        let stats = live.version_stats();
+        prop_assert_eq!(stats.pins, 0);
+        prop_assert_eq!(stats.retained_versions, 0);
+        prop_assert_eq!(stats.current_epoch, live.current_epoch());
+    }
 }
 
 proptest! {
@@ -311,9 +449,10 @@ proptest! {
                 // Recover: replaces the current node; must be identical.
                 3 if checkpointed => {
                     let pending = live.pending_log();
-                    let recovered =
+                    let (recovered, summary) =
                         LiveRelation::recover(&catalog, "churn", &pending).unwrap();
                     prop_assert_eq!(recovered.len(), live.len());
+                    prop_assert_eq!(summary.epoch, live.current_epoch());
                     // Recovery replays the *compacted* pending log: one
                     // maintenance record per surviving entry (work may
                     // differ from the original history's — a cancelled

@@ -97,20 +97,22 @@ impl BatchServe for PanicOnShard {
     fn eval_bool(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> Vec<(usize, bool, u64)> {
         assert_ne!(shard, self.poison, "injected shard failure");
-        self.inner.eval_bool(shard, queries, assigned)
+        self.inner.eval_bool(shard, at, queries, assigned)
     }
 
     fn eval_rows(
         &self,
         shard: usize,
+        at: Epoch,
         queries: &[SelectionQuery],
         assigned: &[usize],
     ) -> Vec<(usize, Vec<usize>, u64)> {
-        self.inner.eval_rows(shard, queries, assigned)
+        self.inner.eval_rows(shard, at, queries, assigned)
     }
 
     fn global_ids(&self, shard: usize, locals: &[usize]) -> Vec<usize> {

@@ -157,7 +157,7 @@ fn every_truncation_point_recovers_the_confirmed_prefix() {
     }
     assert_eq!(offset, active_bytes.len(), "extent math spans the file");
 
-    let (state, state_mark) = catalog.load("node").unwrap().into_checkpoint().unwrap();
+    let (state, state_mark, _epoch) = catalog.load("node").unwrap().into_checkpoint().unwrap();
     assert_eq!(state_mark, mark);
 
     let pristine = root.join("wal-pristine");
