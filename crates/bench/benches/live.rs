@@ -9,6 +9,7 @@
 //! how much concurrent write traffic costs the serving path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
 use pitract_bench::experiments::{
     live_throughput_sweep, LiveSample, LIVE_BATCH_QUERIES, LIVE_SHARDS,
 };
@@ -17,7 +18,6 @@ use pitract_engine::live::LiveRelation;
 use pitract_engine::shard::ShardBy;
 use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
 use std::hint::black_box;
-use std::io::Write as _;
 
 const ROWS: i64 = 1 << 16;
 const WRITER_COUNTS: [usize; 3] = [0, 1, 4];
@@ -71,34 +71,27 @@ fn emit_bench_live_json(c: &mut Criterion) {
 }
 
 fn write_json(path: &str, samples: &[LiveSample]) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"live-serving-throughput\",")?;
-    writeln!(f, "  \"rows\": {ROWS},")?;
-    writeln!(f, "  \"shards\": {LIVE_SHARDS},")?;
-    writeln!(f, "  \"batch_queries\": {LIVE_BATCH_QUERIES},")?;
-    writeln!(f, "  \"available_parallelism\": {cores},")?;
-    writeln!(f, "  \"results\": [")?;
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 < samples.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"writers\": {}, \"batch_seconds\": {:.6}, \"queries_per_second\": {:.1}, \
-             \"updates_per_second\": {:.1}, \"worst_maintenance_ratio\": {:.2}}}{comma}",
-            s.writers,
-            s.batch_seconds,
-            s.queries_per_second,
-            s.updates_per_second,
-            s.worst_maintenance_ratio
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let results: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("writers", s.writers)
+                .set("batch_seconds", rounded(s.batch_seconds, 6))
+                .set("queries_per_second", rounded(s.queries_per_second, 1))
+                .set("updates_per_second", rounded(s.updates_per_second, 1))
+                .set(
+                    "worst_maintenance_ratio",
+                    rounded(s.worst_maintenance_ratio, 2),
+                )
+        })
+        .collect();
+    let doc = experiment("live-serving-throughput")
+        .set("rows", ROWS)
+        .set("shards", LIVE_SHARDS)
+        .set("batch_queries", LIVE_BATCH_QUERIES)
+        .set("available_parallelism", available_parallelism())
+        .set("results", results);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_live_batch, emit_bench_live_json);

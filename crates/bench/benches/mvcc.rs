@@ -9,6 +9,7 @@
 //! diff what one consistent cut per batch costs over unpinned reads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
 use pitract_bench::experiments::{
     mvcc_serving_sweep, MvccSample, MVCC_BATCH_QUERIES, MVCC_SHARDS, MVCC_WRITERS,
 };
@@ -18,7 +19,6 @@ use pitract_engine::shard::ShardBy;
 use pitract_engine::PooledExecutor;
 use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
 use std::hint::black_box;
-use std::io::Write as _;
 use std::sync::Arc;
 
 const ROWS: i64 = 1 << 15;
@@ -82,45 +82,38 @@ fn emit_bench_mvcc_json(c: &mut Criterion) {
 }
 
 fn write_json(path: &str, samples: &[MvccSample]) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(
-        f,
-        "  \"experiment\": \"mvcc-epoch-pinned-vs-read-committed\","
-    )?;
-    writeln!(f, "  \"rows\": {ROWS},")?;
-    writeln!(f, "  \"shards\": {MVCC_SHARDS},")?;
-    writeln!(f, "  \"batch_queries\": {MVCC_BATCH_QUERIES},")?;
-    writeln!(f, "  \"available_parallelism\": {cores},")?;
-    writeln!(f, "  \"results\": [")?;
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 < samples.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"writers\": {}, \"pinned_p50_seconds\": {:.6}, \
-             \"pinned_p99_seconds\": {:.6}, \"pinned_qps\": {:.1}, \
-             \"read_committed_p50_seconds\": {:.6}, \"read_committed_p99_seconds\": {:.6}, \
-             \"read_committed_qps\": {:.1}, \"pinned_over_rc\": {:.3}, \
-             \"max_retained_versions\": {}, \"max_retained_slots\": {}}}{comma}",
-            s.writers,
-            s.pinned_p50_seconds,
-            s.pinned_p99_seconds,
-            s.pinned_qps,
-            s.read_committed_p50_seconds,
-            s.read_committed_p99_seconds,
-            s.read_committed_qps,
-            s.pinned_p50_seconds / s.read_committed_p50_seconds,
-            s.max_retained_versions,
-            s.max_retained_slots
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let results: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("writers", s.writers)
+                .set("pinned_p50_seconds", rounded(s.pinned_p50_seconds, 6))
+                .set("pinned_p99_seconds", rounded(s.pinned_p99_seconds, 6))
+                .set("pinned_qps", rounded(s.pinned_qps, 1))
+                .set(
+                    "read_committed_p50_seconds",
+                    rounded(s.read_committed_p50_seconds, 6),
+                )
+                .set(
+                    "read_committed_p99_seconds",
+                    rounded(s.read_committed_p99_seconds, 6),
+                )
+                .set("read_committed_qps", rounded(s.read_committed_qps, 1))
+                .set(
+                    "pinned_over_rc",
+                    rounded(s.pinned_p50_seconds / s.read_committed_p50_seconds, 3),
+                )
+                .set("max_retained_versions", s.max_retained_versions)
+                .set("max_retained_slots", s.max_retained_slots)
+        })
+        .collect();
+    let doc = experiment("mvcc-epoch-pinned-vs-read-committed")
+        .set("rows", ROWS)
+        .set("shards", MVCC_SHARDS)
+        .set("batch_queries", MVCC_BATCH_QUERIES)
+        .set("available_parallelism", available_parallelism())
+        .set("results", results);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_mvcc_paths, emit_bench_mvcc_json);

@@ -9,12 +9,12 @@
 //! serving and the warm-start trajectories.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{experiment, rounded, write_artifact};
 use pitract_bench::experiments::{store_warmstart_sweep, StoreSample, STORE_SHARDS};
 use pitract_engine::shard::{ShardBy, ShardedRelation};
 use pitract_relation::{ColType, Relation, Schema, Value};
 use pitract_store::Snapshot;
 use std::hint::black_box;
-use std::io::Write as _;
 
 const SIZES: [i64; 3] = [1 << 13, 1 << 15, 1 << 16];
 
@@ -68,25 +68,21 @@ fn emit_bench_store_json(c: &mut Criterion) {
 }
 
 fn write_json(path: &str, samples: &[StoreSample]) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"snapshot-warmstart\",")?;
-    writeln!(f, "  \"shards\": {STORE_SHARDS},")?;
-    writeln!(f, "  \"results\": [")?;
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 < samples.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"rows\": {}, \"file_bytes\": {}, \"build_seconds\": {:.6}, \"load_seconds\": {:.6}, \"speedup\": {:.2}}}{comma}",
-            s.rows, s.file_bytes, s.build_seconds, s.load_seconds, s.speedup()
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let results: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("rows", s.rows)
+                .set("file_bytes", s.file_bytes)
+                .set("build_seconds", rounded(s.build_seconds, 6))
+                .set("load_seconds", rounded(s.load_seconds, 6))
+                .set("speedup", rounded(s.speedup(), 2))
+        })
+        .collect();
+    let doc = experiment("snapshot-warmstart")
+        .set("shards", STORE_SHARDS)
+        .set("results", results);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_build_vs_load, emit_bench_store_json);

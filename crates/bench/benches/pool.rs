@@ -9,13 +9,13 @@
 //! the persistent worker pool buys over per-batch thread spawning.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
 use pitract_bench::experiments::{pool_scaling_sweep, PoolSample, POOL_BATCH_QUERIES};
 use pitract_engine::batch::QueryBatch;
 use pitract_engine::shard::{ShardBy, ShardedRelation};
 use pitract_engine::PooledExecutor;
 use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
 use std::hint::black_box;
-use std::io::Write as _;
 use std::sync::Arc;
 
 const ROWS: i64 = 1 << 16;
@@ -74,29 +74,24 @@ fn emit_bench_pool_json(c: &mut Criterion) {
 }
 
 fn write_json(path: &str, samples: &[PoolSample]) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"pooled-executor-throughput\",")?;
-    writeln!(f, "  \"rows\": {ROWS},")?;
-    writeln!(f, "  \"batch_queries\": {POOL_BATCH_QUERIES},")?;
-    writeln!(f, "  \"available_parallelism\": {cores},")?;
-    writeln!(f, "  \"results\": [")?;
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 < samples.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"shards\": {}, \"workers\": {}, \"scoped_seconds\": {:.6}, \
-             \"scoped_qps\": {:.1}, \"pooled_seconds\": {:.6}, \"pooled_qps\": {:.1}}}{comma}",
-            s.shards, s.workers, s.scoped_seconds, s.scoped_qps, s.pooled_seconds, s.pooled_qps
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let results: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("shards", s.shards)
+                .set("workers", s.workers)
+                .set("scoped_seconds", rounded(s.scoped_seconds, 6))
+                .set("scoped_qps", rounded(s.scoped_qps, 1))
+                .set("pooled_seconds", rounded(s.pooled_seconds, 6))
+                .set("pooled_qps", rounded(s.pooled_qps, 1))
+        })
+        .collect();
+    let doc = experiment("pooled-executor-throughput")
+        .set("rows", ROWS)
+        .set("batch_queries", POOL_BATCH_QUERIES)
+        .set("available_parallelism", available_parallelism())
+        .set("results", results);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_pooled_batch, emit_bench_pool_json);

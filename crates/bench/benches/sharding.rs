@@ -8,12 +8,12 @@
 //! future PRs have a perf trajectory to diff against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
 use pitract_bench::experiments::{shard_throughput_sweep, ShardSample, BATCH_QUERIES};
 use pitract_engine::batch::QueryBatch;
 use pitract_engine::shard::{ShardBy, ShardedRelation};
 use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
 use std::hint::black_box;
-use std::io::Write as _;
 
 const ROWS: i64 = 1 << 16;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -65,28 +65,22 @@ fn emit_bench_engine_json(c: &mut Criterion) {
 }
 
 fn write_json(path: &str, samples: &[ShardSample]) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"sharded-batch-throughput\",")?;
-    writeln!(f, "  \"rows\": {ROWS},")?;
-    writeln!(f, "  \"batch_queries\": {BATCH_QUERIES},")?;
-    writeln!(f, "  \"available_parallelism\": {cores},")?;
-    writeln!(f, "  \"results\": [")?;
-    for (i, s) in samples.iter().enumerate() {
-        let comma = if i + 1 < samples.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"shards\": {}, \"batch_seconds\": {:.6}, \"queries_per_second\": {:.1}, \"total_steps\": {}}}{comma}",
-            s.shards, s.batch_seconds, s.queries_per_second, s.total_steps
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let results: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("shards", s.shards)
+                .set("batch_seconds", rounded(s.batch_seconds, 6))
+                .set("queries_per_second", rounded(s.queries_per_second, 1))
+                .set("total_steps", s.total_steps)
+        })
+        .collect();
+    let doc = experiment("sharded-batch-throughput")
+        .set("rows", ROWS)
+        .set("batch_queries", BATCH_QUERIES)
+        .set("available_parallelism", available_parallelism())
+        .set("results", results);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_batch_across_shards, emit_bench_engine_json);

@@ -13,6 +13,7 @@
 //! * recovery time vs log length, raw replay vs compacted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
 use pitract_bench::experiments::{
     wal_recovery_sweep, wal_throughput_sweep, WalRecoverySample, WalThroughputSample, WAL_SHARDS,
     WAL_WRITERS,
@@ -22,7 +23,6 @@ use pitract_relation::{ColType, Relation, Schema, Value};
 use pitract_store::SnapshotCatalog;
 use pitract_wal::{DurableLiveRelation, SyncPolicy, WalConfig};
 use std::hint::black_box;
-use std::io::Write as _;
 
 const ROWS: i64 = 4_000;
 const PER_WRITER: i64 = 150;
@@ -90,41 +90,35 @@ fn write_json(
     throughput: &[WalThroughputSample],
     recovery: &[WalRecoverySample],
 ) -> std::io::Result<()> {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"experiment\": \"wal-durability\",")?;
-    writeln!(f, "  \"rows\": {ROWS},")?;
-    writeln!(f, "  \"shards\": {WAL_SHARDS},")?;
-    writeln!(f, "  \"writers\": {WAL_WRITERS},")?;
-    writeln!(f, "  \"available_parallelism\": {cores},")?;
-    writeln!(f, "  \"throughput\": [")?;
-    for (i, s) in throughput.iter().enumerate() {
-        let comma = if i + 1 < throughput.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"mode\": \"{}\", \"updates\": {}, \"seconds\": {:.6}, \
-             \"updates_per_second\": {:.1}}}{comma}",
-            s.mode, s.updates, s.seconds, s.updates_per_second
-        )?;
-    }
-    writeln!(f, "  ],")?;
-    writeln!(f, "  \"recovery\": [")?;
-    for (i, s) in recovery.iter().enumerate() {
-        let comma = if i + 1 < recovery.len() { "," } else { "" };
-        writeln!(
-            f,
-            "    {{\"log_len\": {}, \"raw_replayed\": {}, \"raw_seconds\": {:.6}, \
-             \"compacted_replayed\": {}, \"compacted_seconds\": {:.6}}}{comma}",
-            s.log_len, s.raw_replayed, s.raw_seconds, s.compacted_replayed, s.compacted_seconds
-        )?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let throughput: Vec<_> = throughput
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("mode", s.mode)
+                .set("updates", s.updates)
+                .set("seconds", rounded(s.seconds, 6))
+                .set("updates_per_second", rounded(s.updates_per_second, 1))
+        })
+        .collect();
+    let recovery: Vec<_> = recovery
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("log_len", s.log_len)
+                .set("raw_replayed", s.raw_replayed)
+                .set("raw_seconds", rounded(s.raw_seconds, 6))
+                .set("compacted_replayed", s.compacted_replayed)
+                .set("compacted_seconds", rounded(s.compacted_seconds, 6))
+        })
+        .collect();
+    let doc = experiment("wal-durability")
+        .set("rows", ROWS)
+        .set("shards", WAL_SHARDS)
+        .set("writers", WAL_WRITERS)
+        .set("available_parallelism", available_parallelism())
+        .set("throughput", throughput)
+        .set("recovery", recovery);
+    write_artifact(path, &doc)
 }
 
 criterion_group!(benches, bench_wal_update, emit_bench_wal_json);

@@ -1,0 +1,75 @@
+//! Shared writer for the committed `BENCH_*.json` perf artifacts.
+//!
+//! Every bench target used to hand-roll its JSON with `writeln!`
+//! escapes; they now all build a [`Json`] document and render it
+//! through the observability crate's total encoder, so the artifact
+//! format is defined — and golden-tested — in exactly one place.
+
+use pitract_obs::Json;
+use std::io::Write as _;
+
+/// Round `value` to `decimals` places. The artifacts commit the same
+/// rounded figures the hand-rolled `{:.6}`/`{:.1}` writers did, not
+/// full-precision float noise that churns every diff.
+pub fn rounded(value: f64, decimals: u32) -> f64 {
+    let scale = 10f64.powi(decimals as i32);
+    (value * scale).round() / scale
+}
+
+/// Start an artifact document: `{"experiment": name}`, the first key of
+/// every `BENCH_*.json`.
+pub fn experiment(name: &str) -> Json {
+    Json::obj().set("experiment", name)
+}
+
+/// The host's available parallelism, recorded so a perf diff across
+/// machines is legible.
+pub fn available_parallelism() -> u64 {
+    std::thread::available_parallelism().map_or(1, |p| p.get()) as u64
+}
+
+/// Render `doc` (pretty-printed, trailing newline) to `path`, creating
+/// parent directories as needed.
+pub fn write_artifact(path: &str, doc: &Json) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(doc.render_pretty().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden output: the exact bytes a bench artifact serializes to.
+    /// Every `BENCH_*.json` writer routes through this encoder, so this
+    /// one test pins the format for all of them.
+    #[test]
+    fn artifact_encoding_is_pinned() {
+        let doc = experiment("sample-sweep").set("rows", 65536u64).set(
+            "results",
+            vec![
+                Json::obj()
+                    .set("shards", 1u64)
+                    .set("seconds", rounded(0.123456789, 6))
+                    .set("qps", rounded(1234.5678, 1)),
+                Json::obj()
+                    .set("shards", 2u64)
+                    .set("seconds", rounded(0.05, 6))
+                    .set("qps", rounded(2000.0, 1)),
+            ],
+        );
+        let golden = "{\n  \"experiment\": \"sample-sweep\",\n  \"rows\": 65536,\n  \"results\": [\n    {\n      \"shards\": 1,\n      \"seconds\": 0.123457,\n      \"qps\": 1234.6\n    },\n    {\n      \"shards\": 2,\n      \"seconds\": 0.05,\n      \"qps\": 2000.0\n    }\n  ]\n}\n";
+        assert_eq!(doc.render_pretty(), golden);
+        // And the committed artifact parses back losslessly.
+        assert_eq!(Json::parse(golden).unwrap(), doc);
+    }
+
+    #[test]
+    fn rounding_matches_the_old_format_strings() {
+        assert_eq!(rounded(0.123456789, 6), 0.123457);
+        assert_eq!(rounded(1234.5678, 1), 1234.6);
+        assert_eq!(rounded(2.345, 2), 2.35);
+    }
+}

@@ -16,6 +16,7 @@ mod graphs;
 mod indexing;
 mod live;
 mod mvcc;
+mod obs;
 mod pool;
 mod store;
 mod wal;
@@ -28,6 +29,7 @@ pub use live::{live_throughput_sweep, run_e17, LiveSample, LIVE_BATCH_QUERIES, L
 pub use mvcc::{
     mvcc_serving_sweep, run_e20, MvccSample, MVCC_BATCH_QUERIES, MVCC_SHARDS, MVCC_WRITERS,
 };
+pub use obs::{obs_overhead_sweep, run_obs_overhead, ObsSample, OBS_BATCH_QUERIES, OBS_SHARDS};
 pub use pool::{pool_scaling_sweep, run_e19, PoolSample, POOL_BATCH_QUERIES};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};
 pub use wal::{

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod experiments;
 pub mod table;
 
@@ -41,5 +42,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e18", run_e18),
         ("e19", run_e19),
         ("e20", run_e20),
+        ("obs", run_obs_overhead),
     ]
 }

@@ -63,6 +63,7 @@ use crate::shard::{relevant_shards_for, route_shard, ShardBy, ShardedRelation};
 use pitract_core::cost::{log2_floor, Meter};
 use pitract_core::epoch::Epoch;
 use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
+use pitract_obs::{Counter, Gauge, Histogram, Recorder};
 use pitract_relation::indexed::IndexedRelation;
 use pitract_relation::{IndexedError, Relation, Schema, SelectionQuery, Value};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -431,10 +432,12 @@ impl ShardSlot {
         // threshold compare, not a set lookup.
         let mut hidden_from = usize::MAX;
         let mut restored: Vec<(usize, &Vec<Value>)> = Vec::new();
+        let mut entries = 0usize;
         for entry in self.ring.iter().rev() {
             if entry.stamp <= at.get() {
                 break;
             }
+            entries += 1;
             match &entry.op {
                 UndoOp::Insert { local } => hidden_from = hidden_from.min(*local),
                 UndoOp::Delete { local, row } => restored.push((*local, row)),
@@ -454,6 +457,7 @@ impl ShardSlot {
             hidden_from,
             restored,
             restored_locals,
+            entries,
         })
     }
 
@@ -487,6 +491,9 @@ struct Rollback {
     restored: IndexedRelation,
     /// Restored row id (in `restored`, dense) → shard-local id.
     restored_locals: Vec<usize>,
+    /// Undo-ring entries walked to build this rollback (the
+    /// `mvcc_rollback_entries` histogram sample).
+    entries: usize,
 }
 
 impl Rollback {
@@ -599,6 +606,27 @@ pub struct VersionStats {
     pub retained_slots: usize,
 }
 
+impl VersionStats {
+    /// Publish this summary into a recorder's registry (`mvcc_*`
+    /// family), so version retention shows up in the same
+    /// `MetricsSnapshot` as every live series.
+    pub fn publish(&self, recorder: &Recorder) {
+        recorder
+            .gauge("mvcc_current_epoch")
+            .set(i64::try_from(self.current_epoch.get()).unwrap_or(i64::MAX));
+        recorder
+            .gauge("mvcc_watermark")
+            .set(i64::try_from(self.watermark.get()).unwrap_or(i64::MAX));
+        recorder.gauge("mvcc_pins").set(self.pins as i64);
+        recorder
+            .gauge("mvcc_retained_versions")
+            .set(self.retained_versions as i64);
+        recorder
+            .gauge("mvcc_retained_slots")
+            .set(self.retained_slots as i64);
+    }
+}
+
 /// A concurrently servable, incrementally maintained, checkpointable
 /// relation — the live tier over [`ShardedRelation`]. See the module
 /// docs for the locking design.
@@ -629,6 +657,64 @@ pub struct LiveRelation {
     /// Optional durable write-ahead sink; staged inside the gid critical
     /// section so sink order ≡ log order ≡ gid order.
     sink: Option<Arc<dyn WalSink>>,
+    /// The observability handle ([`LiveRelation::set_recorder`]);
+    /// disabled by default, in which case every instrument below is a
+    /// single-branch no-op.
+    recorder: Recorder,
+    /// Interned `engine_*` / `mvcc_*` instrument handles.
+    instruments: LiveInstruments,
+}
+
+/// Interned instrument handles for one [`LiveRelation`]. All default to
+/// no-op handles.
+#[derive(Debug, Clone, Default)]
+struct LiveInstruments {
+    /// `engine_updates_total`: applied inserts + deletes (each is
+    /// `|ΔD| = 1`, so this is also the cumulative |ΔD|).
+    updates: Counter,
+    /// `engine_apply_batch_ops`: ops per [`LiveRelation::apply_batch`]
+    /// call — the |ΔD| distribution of batched write traffic.
+    apply_batch_ops: Histogram,
+    /// `engine_plans_total{path=…}`: access path chosen per routed
+    /// query, indexed by [`AccessPath`] label.
+    plans: [Counter; PLAN_PATHS.len()],
+    /// `mvcc_pins`: epoch pins currently registered.
+    pins: Gauge,
+    /// `mvcc_retained_versions`: undo records retained across all shard
+    /// rings right now.
+    retained: Gauge,
+    /// `mvcc_rollback_entries`: undo records rolled back per pinned
+    /// shard evaluation that needed a correction.
+    rollback_entries: Histogram,
+}
+
+/// Access-path labels in [`LiveInstruments::plans`] order (matching
+/// [`crate::planner::AccessPath::label`]).
+const PLAN_PATHS: [&str; 4] = [
+    "point-probe",
+    "range-probe",
+    "index-nested-loop",
+    "full-scan",
+];
+
+impl LiveInstruments {
+    fn new(recorder: &Recorder) -> Self {
+        LiveInstruments {
+            updates: recorder.counter("engine_updates_total"),
+            apply_batch_ops: recorder.histogram("engine_apply_batch_ops"),
+            plans: std::array::from_fn(|i| {
+                recorder.counter(&format!("engine_plans_total{{path=\"{}\"}}", PLAN_PATHS[i]))
+            }),
+            pins: recorder.gauge("mvcc_pins"),
+            retained: recorder.gauge("mvcc_retained_versions"),
+            rollback_entries: recorder.histogram("mvcc_rollback_entries"),
+        }
+    }
+
+    fn plan_counter(&self, label: &'static str) -> &Counter {
+        let idx = PLAN_PATHS.iter().position(|&l| l == label).unwrap_or(0);
+        &self.plans[idx]
+    }
 }
 
 /// The maintenance cost record for one routed update: `|ΔD| = 1` (one
@@ -690,6 +776,8 @@ impl LiveRelation {
             maintenance: Mutex::new(BoundednessReport::new()),
             version_maintenance: Mutex::new(BoundednessReport::new()),
             sink: None,
+            recorder: Recorder::default(),
+            instruments: LiveInstruments::default(),
         }
     }
 
@@ -707,6 +795,39 @@ impl LiveRelation {
     /// Is a durable write-ahead sink installed?
     pub fn has_wal_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Install an observability recorder: interns the `engine_*` write /
+    /// plan instruments and the `mvcc_*` pin / retention instruments.
+    /// Takes `&mut self` for the same reason as [`Self::set_wal_sink`] —
+    /// swapped only before the relation is shared. The default (disabled)
+    /// recorder leaves every hot-path update a single branch.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
+        self.instruments = LiveInstruments::new(recorder);
+    }
+
+    /// The installed recorder (disabled unless [`Self::set_recorder`]
+    /// was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Publish the slow-moving stats surfaces into the recorder's
+    /// registry so one `MetricsSnapshot` carries everything: the
+    /// [`VersionStats`] gauges (`mvcc_*`) and the two
+    /// [`BoundednessReport`] totals (`engine_maintenance_*` for update
+    /// maintenance, `mvcc_retention_*` for version retention). No-op
+    /// with a disabled recorder.
+    pub fn publish_metrics(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.version_stats().publish(&self.recorder);
+        self.boundedness_report()
+            .publish(&self.recorder, "engine_maintenance");
+        self.version_report()
+            .publish(&self.recorder, "mvcc_retention");
     }
 
     /// Schema of the logical relation.
@@ -816,6 +937,7 @@ impl LiveRelation {
         let mut epochs = self.lock_epochs();
         let epoch = epochs.current;
         *epochs.pins.entry(epoch).or_insert(0) += 1;
+        self.instruments.pins.inc();
         Epoch::new(epoch)
     }
 
@@ -833,6 +955,7 @@ impl LiveRelation {
             }
             epochs.watermark()
         };
+        self.instruments.pins.dec();
         // Sweep the rings only when something is retained. The watermark
         // is a safe lower bound even if pins land concurrently: a new
         // pin is at the current epoch, which no reclaimable undo
@@ -855,6 +978,7 @@ impl LiveRelation {
             }
             if dropped > 0 {
                 self.retained.fetch_sub(dropped, Ordering::AcqRel);
+                self.instruments.retained.add(-(dropped as i64));
             }
         }
     }
@@ -941,6 +1065,7 @@ impl LiveRelation {
             op,
         });
         self.retained.fetch_add(1, Ordering::AcqRel);
+        self.instruments.retained.inc();
         self.version_maintenance
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -1018,6 +1143,7 @@ impl LiveRelation {
             let dropped = guard.trim(watermark);
             if dropped > 0 {
                 self.retained.fetch_sub(dropped, Ordering::AcqRel);
+                self.instruments.retained.add(-(dropped as i64));
             }
             debug_assert_eq!(local, ids.global_ids[shard].len());
             ids.global_ids[shard].push(gid);
@@ -1026,6 +1152,7 @@ impl LiveRelation {
             self.lock_log().log.push(UpdateEntry::Insert { gid, row });
             self.lock_maintenance()
                 .push(maintenance_record(self.indexed_cols.len(), len_before));
+            self.instruments.updates.inc();
             (gid, ticket)
         };
         Ok((gid, ticket))
@@ -1087,10 +1214,12 @@ impl LiveRelation {
             let dropped = guard.trim(watermark);
             if dropped > 0 {
                 self.retained.fetch_sub(dropped, Ordering::AcqRel);
+                self.instruments.retained.add(-(dropped as i64));
             }
             self.lock_log().log.push(UpdateEntry::Delete { gid });
             self.lock_maintenance()
                 .push(maintenance_record(self.indexed_cols.len(), len_before));
+            self.instruments.updates.inc();
             (row, ticket)
         };
         Ok((Some(row), ticket))
@@ -1150,11 +1279,18 @@ impl LiveRelation {
                     // Flush the applied prefix before surfacing the
                     // error; its durability failure (if any) would
                     // otherwise be unreported.
+                    self.instruments
+                        .apply_batch_ops
+                        .record(applied.len() as u64);
                     self.commit_ticket(last_ticket)?;
                     return Err(e);
                 }
             }
         }
+        // The batch's |ΔD| (each op is one tuple changed).
+        self.instruments
+            .apply_batch_ops
+            .record(applied.len() as u64);
         self.commit_ticket(last_ticket)?;
         Ok(applied)
     }
@@ -1292,14 +1428,20 @@ impl LiveRelation {
         &self,
         queries: &[SelectionQuery],
     ) -> Result<(Vec<crate::planner::QueryPlan>, Vec<Vec<usize>>), EngineError> {
-        route_batch(
+        let (plans, routed) = route_batch(
             queries,
             &self.schema,
             &self.indexed_cols,
             self.slot_count(),
             &self.shard_by,
             self.shards.len(),
-        )
+        )?;
+        // One `engine_plans_total{path=…}` tick per routed query (a
+        // single no-op branch each when uninstrumented).
+        for plan in &plans {
+            self.instruments.plan_counter(plan.path.label()).inc();
+        }
+        Ok((plans, routed))
     }
 
     /// Translate shard-local row ids to global ids under the ids read
@@ -1330,9 +1472,12 @@ impl LiveRelation {
             None => eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
                 sh.answer_metered(q, m)
             }),
-            Some(rb) => eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
-                rb.answer(sh, q, m)
-            }),
+            Some(rb) => {
+                self.instruments.rollback_entries.record(rb.entries as u64);
+                eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
+                    rb.answer(sh, q, m)
+                })
+            }
         }
     }
 
@@ -1350,9 +1495,12 @@ impl LiveRelation {
             None => eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
                 sh.matching_ids_metered(q, m)
             }),
-            Some(rb) => eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
-                rb.matching_ids(sh, q, m)
-            }),
+            Some(rb) => {
+                self.instruments.rollback_entries.record(rb.entries as u64);
+                eval_assigned(queries, &guard.current, assigned, |sh, q, m| {
+                    rb.matching_ids(sh, q, m)
+                })
+            }
         }
     }
 

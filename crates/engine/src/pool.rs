@@ -40,6 +40,7 @@ use crate::live::LiveRelation;
 use crate::planner::QueryPlan;
 use crate::shard::ShardedRelation;
 use pitract_core::epoch::Epoch;
+use pitract_obs::{Counter, Gauge, Histogram, Recorder};
 use pitract_relation::SelectionQuery;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -111,6 +112,62 @@ pub struct PoolStats {
     pub total_admission_wait: Duration,
 }
 
+impl PoolStats {
+    /// Publish this summary into a recorder's registry so the pool's
+    /// sizing and cumulative gate accounting appear in the same
+    /// `MetricsSnapshot` as every live series (`pool_*` family).
+    /// Monotonic totals are raised, never lowered, so repeated publishes
+    /// keep the counters Prometheus-legal.
+    pub fn publish(&self, recorder: &Recorder) {
+        recorder.gauge("pool_workers").set(self.workers as i64);
+        recorder
+            .gauge("pool_max_inflight")
+            .set(self.max_inflight as i64);
+        recorder.gauge("pool_inflight").set(self.inflight as i64);
+        recorder
+            .gauge("pool_queued_jobs")
+            .set(self.queued_jobs as i64);
+        recorder
+            .counter("pool_batches_admitted_total")
+            .raise_to(self.batches_admitted);
+        recorder
+            .counter("pool_admission_waits_total")
+            .raise_to(self.admission_waits);
+        recorder
+            .counter("pool_admission_wait_micros_total")
+            .raise_to(u64::try_from(self.total_admission_wait.as_micros()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Interned `pool_*` instrument handles for one pool. All default to
+/// no-op handles (a disabled [`Recorder`]), in which case every update
+/// below is a single branch.
+#[derive(Debug, Clone, Default)]
+struct PoolInstruments {
+    /// `pool_queued_jobs`: jobs submitted and not yet dequeued.
+    queued_jobs: Gauge,
+    /// `pool_inflight`: batches currently holding an admission slot.
+    inflight: Gauge,
+    /// `pool_admission_wait_micros`: per-batch time blocked at the gate.
+    admission_wait: Histogram,
+    /// `pool_batches_admitted_total`.
+    admitted: Counter,
+    /// `pool_admission_waits_total`: admissions that found the gate full.
+    waits: Counter,
+}
+
+impl PoolInstruments {
+    fn new(recorder: &Recorder) -> Self {
+        PoolInstruments {
+            queued_jobs: recorder.gauge("pool_queued_jobs"),
+            inflight: recorder.gauge("pool_inflight"),
+            admission_wait: recorder.histogram("pool_admission_wait_micros"),
+            admitted: recorder.counter("pool_batches_admitted_total"),
+            waits: recorder.counter("pool_admission_waits_total"),
+        }
+    }
+}
+
 /// The counting gate that caps in-flight batches, plus its wait
 /// accounting.
 #[derive(Debug)]
@@ -121,6 +178,7 @@ struct Admission {
     admitted: AtomicU64,
     waits: AtomicU64,
     wait_nanos: AtomicU64,
+    instruments: PoolInstruments,
 }
 
 impl Admission {
@@ -141,14 +199,19 @@ impl Admission {
             self.waits.fetch_add(1, Ordering::Relaxed);
             self.wait_nanos
                 .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            self.instruments.waits.inc();
         }
         *inflight += 1;
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.instruments.admitted.inc();
+        self.instruments.inflight.inc();
+        self.instruments.admission_wait.record_duration(waited);
         waited
     }
 
     fn release(&self) {
         *lock(&self.inflight) -= 1;
+        self.instruments.inflight.dec();
         self.freed.notify_one();
     }
 }
@@ -177,8 +240,17 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn a pool per `config` (see [`PoolConfig`] for the defaults).
+    /// Spawn a pool per `config` (see [`PoolConfig`] for the defaults),
+    /// uninstrumented.
     pub fn new(config: PoolConfig) -> Self {
+        Self::new_observed(config, &Recorder::default())
+    }
+
+    /// Spawn a pool per `config`, publishing `pool_*` queue/admission
+    /// series into `recorder` (a disabled recorder makes this identical
+    /// to [`WorkerPool::new`]).
+    pub fn new_observed(config: PoolConfig, recorder: &Recorder) -> Self {
+        let instruments = PoolInstruments::new(recorder);
         let workers = config.resolved_workers();
         let max_inflight = config.resolved_inflight(workers);
         let (sender, receiver) = channel::<Job>();
@@ -188,9 +260,10 @@ impl WorkerPool {
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let queued = Arc::clone(&queued);
+                let queued_gauge = instruments.queued_jobs.clone();
                 std::thread::Builder::new()
                     .name(format!("pitract-pool-{i}"))
-                    .spawn(move || worker_loop(&receiver, &queued))
+                    .spawn(move || worker_loop(&receiver, &queued, &queued_gauge))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -204,6 +277,7 @@ impl WorkerPool {
                 admitted: AtomicU64::new(0),
                 waits: AtomicU64::new(0),
                 wait_nanos: AtomicU64::new(0),
+                instruments,
             }),
             queued,
         }
@@ -243,6 +317,7 @@ impl WorkerPool {
 
     fn submit(&self, job: Job) {
         self.queued.fetch_add(1, Ordering::Relaxed);
+        self.admission.instruments.queued_jobs.inc();
         self.sender
             .as_ref()
             .expect("pool sender lives until drop")
@@ -267,7 +342,7 @@ impl Drop for WorkerPool {
 /// [`PooledExecutor::run`]), but a defensive `catch_unwind` here keeps a
 /// worker alive even if a job's bookkeeping itself panicked — one
 /// poisoned batch must never shrink the pool.
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicUsize) {
+fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicUsize, queued_gauge: &Gauge) {
     loop {
         // Hold the receiver lock only for the dequeue, never while
         // running the job.
@@ -276,6 +351,7 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, queued: &AtomicUsize) {
             Err(_) => return,
         };
         queued.fetch_sub(1, Ordering::Relaxed);
+        queued_gauge.dec();
         let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
@@ -537,15 +613,53 @@ impl<R: BatchServe + ?Sized> Drop for PinGuard<'_, R> {
 pub struct PooledExecutor<R: BatchServe + 'static> {
     relation: Arc<R>,
     pool: WorkerPool,
+    instruments: ExecInstruments,
+}
+
+/// Interned executor-level instrument handles (`pool_*` latency/panics
+/// plus the `engine_*` report totals for batches served on this pool).
+#[derive(Debug, Clone, Default)]
+struct ExecInstruments {
+    /// `pool_batch_micros`: service latency from admission to merge.
+    batch_micros: Histogram,
+    /// `pool_worker_panics_total`: shard evaluations that panicked.
+    panics: Counter,
+    /// `engine_batches_total` served on this executor.
+    batches: Counter,
+    /// `engine_queries_total` answered on this executor.
+    queries: Counter,
+    /// `engine_steps_total`: metered evaluation steps across batches.
+    steps: Counter,
+}
+
+impl ExecInstruments {
+    fn new(recorder: &Recorder) -> Self {
+        ExecInstruments {
+            batch_micros: recorder.histogram("pool_batch_micros"),
+            panics: recorder.counter("pool_worker_panics_total"),
+            batches: recorder.counter("engine_batches_total"),
+            queries: recorder.counter("engine_queries_total"),
+            steps: recorder.counter("engine_steps_total"),
+        }
+    }
 }
 
 impl<R: BatchServe + 'static> PooledExecutor<R> {
     /// A serving session over `relation` with a dedicated pool sized by
-    /// `config`.
+    /// `config`, uninstrumented.
     pub fn new(relation: Arc<R>, config: PoolConfig) -> Self {
+        Self::new_observed(relation, config, &Recorder::default())
+    }
+
+    /// A serving session whose pool and per-batch accounting publish
+    /// into `recorder` (`pool_*` and `engine_*` series). With a
+    /// disabled recorder this is identical to [`PooledExecutor::new`]:
+    /// no clock reads, no atomics touched.
+    pub fn new_observed(relation: Arc<R>, config: PoolConfig, recorder: &Recorder) -> Self {
         PooledExecutor {
             relation,
-            pool: WorkerPool::new(config),
+            pool: WorkerPool::new_observed(config, recorder),
+            instruments: ExecInstruments::new(recorder),
         }
     }
 
@@ -594,6 +708,11 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
         // Admission strictly before the pin: a batch waiting at the
         // gate must not force writers to retain versions for it.
         let (_slot, waited) = self.pool.admit();
+        let served = self
+            .instruments
+            .batch_micros
+            .is_enabled()
+            .then(Instant::now);
         let pin = PinGuard::pin(self.relation.as_ref());
         let at = pin.at();
         let merged = self.run(
@@ -610,6 +729,7 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
         let mut report = report_from(plans, &routed, &merged);
         report.epoch = pin.epoch;
         report.admission_wait = Some(waited);
+        self.account(served, &report);
         Ok(BatchAnswers { answers, report })
     }
 
@@ -620,6 +740,11 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
         let queries = batch.queries_shared();
         let (plans, routed) = self.relation.route(&queries)?;
         let (_slot, waited) = self.pool.admit();
+        let served = self
+            .instruments
+            .batch_micros
+            .is_enabled()
+            .then(Instant::now);
         let pin = PinGuard::pin(self.relation.as_ref());
         let at = pin.at();
         let merged = self.run(
@@ -639,7 +764,21 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
         let mut report = report_from(plans, &routed, &merged);
         report.epoch = pin.epoch;
         report.admission_wait = Some(waited);
+        self.account(served, &report);
         Ok(BatchRows { rows, report })
+    }
+
+    /// Record one served batch's latency and report totals (single
+    /// no-op branch per handle when uninstrumented).
+    fn account(&self, served: Option<Instant>, report: &crate::batch::BatchReport) {
+        if let Some(started) = served {
+            self.instruments
+                .batch_micros
+                .record_duration(started.elapsed());
+        }
+        self.instruments.batches.inc();
+        self.instruments.queries.add(report.per_query.len() as u64);
+        self.instruments.steps.add(report.total_steps);
     }
 
     /// Submit one batch's per-shard work items and wait for the merge:
@@ -679,6 +818,7 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
             let queries = Arc::clone(queries);
             let collector = Arc::clone(&collector);
             let eval = Arc::clone(&eval);
+            let panics = self.instruments.panics.clone();
             self.pool.submit(Box::new(move || {
                 // Contain a panicking evaluation to this batch: report
                 // the shard and keep the worker thread alive.
@@ -686,6 +826,9 @@ impl<R: BatchServe + 'static> PooledExecutor<R> {
                     eval(&relation, shard, &queries, &assigned)
                 }))
                 .ok();
+                if outcome.is_none() {
+                    panics.inc();
+                }
                 collector.finish(slot, shard, outcome);
             }));
         }
@@ -787,6 +930,73 @@ mod tests {
         });
         let rows = exec.execute_rows(&batch).unwrap();
         assert!(rows.rows.iter().all(|ids| ids.len() == 1));
+    }
+
+    /// The observed constructor publishes the pool and engine series
+    /// into the recorder, and the disabled default keeps them absent.
+    #[test]
+    fn observed_executor_publishes_pool_and_engine_series() {
+        let recorder = Recorder::new();
+        let mut lr =
+            LiveRelation::build(&relation(300), ShardBy::Hash { col: 0 }, 3, &[0, 1]).unwrap();
+        lr.set_recorder(&recorder);
+        let lr = Arc::new(lr);
+        let exec = PooledExecutor::new_observed(
+            Arc::clone(&lr),
+            PoolConfig {
+                workers: 2,
+                max_inflight: 2,
+            },
+            &recorder,
+        );
+        let batch = mixed_batch(300);
+        let got = exec.execute(&batch).unwrap();
+        lr.publish_metrics();
+        let snap = recorder.snapshot();
+        let queries = got.answers.len() as u64;
+        assert_eq!(snap.counter("engine_batches_total"), Some(1));
+        assert_eq!(snap.counter("engine_queries_total"), Some(queries));
+        assert_eq!(
+            snap.counter("engine_steps_total"),
+            Some(got.report.total_steps)
+        );
+        assert_eq!(snap.counter("pool_batches_admitted_total"), Some(1));
+        assert_eq!(snap.histogram("pool_batch_micros").unwrap().count, 1);
+        assert_eq!(
+            snap.histogram("pool_admission_wait_micros").unwrap().count,
+            1
+        );
+        assert_eq!(snap.gauge("pool_inflight"), Some(0), "batch finished");
+        assert_eq!(snap.gauge("pool_workers"), None, "publish() not called");
+        exec.stats().publish(&recorder);
+        assert_eq!(recorder.snapshot().gauge("pool_workers"), Some(2));
+        // Every routed query ticked exactly one plan-path counter.
+        let plan_total: u64 = [
+            "point-probe",
+            "range-probe",
+            "index-nested-loop",
+            "full-scan",
+        ]
+        .iter()
+        .filter_map(|p| snap.counter(&format!("engine_plans_total{{path=\"{p}\"}}")))
+        .sum();
+        assert_eq!(plan_total, queries);
+        assert!(snap.gauge("mvcc_current_epoch").is_some());
+
+        // The unobserved twin records nothing.
+        let silent = PooledExecutor::new(
+            lr,
+            PoolConfig {
+                workers: 2,
+                max_inflight: 2,
+            },
+        );
+        silent.execute(&batch).unwrap();
+        assert_eq!(
+            recorder.snapshot().counter("engine_batches_total"),
+            Some(1),
+            "disabled recorder leaves the registry untouched"
+        );
     }
 
     /// A serving double whose evaluation can panic on demand and which

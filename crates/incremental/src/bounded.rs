@@ -91,6 +91,29 @@ impl BoundednessReport {
             .map(|r| r.work as f64 / (r.changed() as f64 + 1.0))
             .fold(0.0, f64::max)
     }
+
+    /// Publish this report's totals into a metrics registry under
+    /// `prefix` (e.g. `engine_maintenance`), so the |CHANGED| accounting
+    /// appears in the same `MetricsSnapshot` as every live series:
+    /// `{prefix}_updates_total`, `{prefix}_changed_total`, and
+    /// `{prefix}_work_total` as monotonic counters (raised, never
+    /// lowered, so republishing a growing report stays Prometheus-legal)
+    /// plus the `{prefix}_worst_ratio_milli` gauge (the worst per-update
+    /// `work / (|CHANGED| + 1)` ratio in thousandths).
+    pub fn publish(&self, recorder: &pitract_obs::Recorder, prefix: &str) {
+        recorder
+            .counter(&format!("{prefix}_updates_total"))
+            .raise_to(self.len() as u64);
+        recorder
+            .counter(&format!("{prefix}_changed_total"))
+            .raise_to(self.total_changed());
+        recorder
+            .counter(&format!("{prefix}_work_total"))
+            .raise_to(self.total_work());
+        recorder
+            .gauge(&format!("{prefix}_worst_ratio_milli"))
+            .set((self.worst_ratio() * 1000.0) as i64);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,299 @@
+//! Exporters: Prometheus text exposition and the snapshot ⇄ JSON mapping.
+//!
+//! Both consume the same [`MetricsSnapshot`], so a scrape endpoint, a
+//! debug dump, and a bench artifact can never disagree about the numbers.
+//! Series names may carry an inline label set
+//! (`engine_plans_total{path="full-scan"}`); the Prometheus exporter
+//! splits base name from labels so `# TYPE` metadata is emitted once per
+//! family, and histogram series get the labels merged with their `le`
+//! bucket label.
+
+use crate::json::{Json, JsonError};
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Split `name{labels}` into `(base, Some(labels))`, or `(name, None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(open), true) => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format (v0.0.4):
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le=…}` series (buckets emitted up to the highest occupied
+/// bound, then `+Inf`) plus `_sum` and `_count`. Output is deterministic:
+/// series appear in snapshot (sorted-name) order.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        if last_family != base {
+            out.push_str("# TYPE ");
+            out.push_str(base);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            last_family = base.to_string();
+        }
+    };
+
+    for (name, value) in &snapshot.counters {
+        let (base, _) = split_labels(name);
+        type_line(&mut out, base, "counter");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, value) in &snapshot.gauges {
+        let (base, _) = split_labels(name);
+        type_line(&mut out, base, "gauge");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, hist) in &snapshot.histograms {
+        let (base, labels) = split_labels(name);
+        type_line(&mut out, base, "histogram");
+        let highest = hist
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| (i + 1).min(HISTOGRAM_BUCKETS - 1));
+        let mut cumulative = 0u64;
+        for i in 0..highest {
+            cumulative += hist.buckets.get(i).copied().unwrap_or(0);
+            let bound = bucket_upper_bound(i).unwrap_or(u64::MAX);
+            push_bucket_line(&mut out, base, labels, &bound.to_string(), cumulative);
+        }
+        push_bucket_line(&mut out, base, labels, "+Inf", hist.count);
+        push_suffixed_line(&mut out, base, labels, "_sum", hist.sum);
+        push_suffixed_line(&mut out, base, labels, "_count", hist.count);
+    }
+    out
+}
+
+fn push_bucket_line(out: &mut String, base: &str, labels: Option<&str>, le: &str, value: u64) {
+    out.push_str(base);
+    out.push_str("_bucket{");
+    if let Some(labels) = labels {
+        out.push_str(labels);
+        out.push(',');
+    }
+    out.push_str("le=\"");
+    out.push_str(le);
+    out.push_str("\"} ");
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn push_suffixed_line(
+    out: &mut String,
+    base: &str,
+    labels: Option<&str>,
+    suffix: &str,
+    value: u64,
+) {
+    out.push_str(base);
+    out.push_str(suffix);
+    if let Some(labels) = labels {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+impl HistogramSnapshot {
+    /// JSON form: `{"count": …, "sum": …, "buckets": […]}` with trailing
+    /// zero buckets trimmed for compactness.
+    pub fn to_json(&self) -> Json {
+        let trimmed = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        Json::obj()
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("buckets", self.buckets[..trimmed].to_vec())
+    }
+
+    /// Inverse of [`HistogramSnapshot::to_json`]; trimmed buckets are
+    /// padded back to [`HISTOGRAM_BUCKETS`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let count = v
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JsonError::schema("histogram.count"))?;
+        let sum = v
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| JsonError::schema("histogram.sum"))?;
+        let raw = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::schema("histogram.buckets"))?;
+        if raw.len() > HISTOGRAM_BUCKETS {
+            return Err(JsonError::schema("histogram.buckets length"));
+        }
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for (i, item) in raw.iter().enumerate() {
+            buckets[i] = item
+                .as_u64()
+                .ok_or_else(|| JsonError::schema("histogram bucket value"))?;
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+impl MetricsSnapshot {
+    /// JSON form: `{"counters": {…}, "gauges": {…}, "histograms": {…}}`,
+    /// keys in snapshot (sorted) order. Lossless: see
+    /// [`MetricsSnapshot::from_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set(
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            )
+            .set(
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            )
+            .set(
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Inverse of [`MetricsSnapshot::to_json`]. Any shape mismatch yields
+    /// a typed schema error; a valid round trip is equality-exact.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let section = |key: &'static str| -> Result<&[(String, Json)], JsonError> {
+            match v.get(key) {
+                Some(Json::Obj(pairs)) => Ok(pairs.as_slice()),
+                _ => Err(JsonError::schema(key)),
+            }
+        };
+        let counters = section("counters")?
+            .iter()
+            .map(|(name, v)| {
+                v.as_u64()
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| JsonError::schema("counter value"))
+            })
+            .collect::<Result<_, _>>()?;
+        let gauges = section("gauges")?
+            .iter()
+            .map(|(name, v)| {
+                v.as_i64()
+                    .map(|v| (name.clone(), v))
+                    .ok_or_else(|| JsonError::schema("gauge value"))
+            })
+            .collect::<Result<_, _>>()?;
+        let histograms = section("histograms")?
+            .iter()
+            .map(|(name, v)| HistogramSnapshot::from_json(v).map(|h| (name.clone(), h)))
+            .collect::<Result<_, _>>()?;
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn prometheus_emits_one_type_line_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine_plans_total{path=\"full-scan\"}").add(2);
+        reg.counter("engine_plans_total{path=\"point-probe\"}")
+            .add(5);
+        let text = to_prometheus(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE engine_plans_total counter").count(), 1);
+        assert!(text.contains("engine_plans_total{path=\"full-scan\"} 2\n"));
+        assert!(text.contains("engine_plans_total{path=\"point-probe\"} 5\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_micros");
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        h.record(5);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("lat_micros_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"2\"} 3\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_micros_sum 10\n"));
+        assert!(text.contains("lat_micros_count 4\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_label() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("h{shard=\"3\"}").record(1);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("h_bucket{shard=\"3\",le=\"1\"} 1\n"));
+        assert!(text.contains("h_sum{shard=\"3\"} 1\n"));
+        assert!(text.contains("h_count{shard=\"3\"} 1\n"));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip_is_lossless() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(u64::MAX);
+        reg.gauge("g").set(-7);
+        reg.histogram("h").record(1_000_000);
+        let snap = reg.snapshot();
+        let rendered = snap.to_json().render_pretty();
+        let back = MetricsSnapshot::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shapes() {
+        for src in [
+            "{}",
+            "{\"counters\":{},\"gauges\":{}}",
+            "{\"counters\":{\"c\":-1},\"gauges\":{},\"histograms\":{}}",
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{}}}",
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":1,\"sum\":1,\"buckets\":[\"x\"]}}}",
+        ] {
+            let v = Json::parse(src).unwrap();
+            assert!(MetricsSnapshot::from_json(&v).is_err(), "src={src}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The [`Recorder`] handle threaded through instrumented constructors.
+//!
+//! A `Recorder` is either **enabled** — owning a [`MetricsRegistry`] and a
+//! [`TraceBuffer`] behind one `Arc` — or **disabled** (`Recorder::default()`),
+//! in which case every operation short-circuits on a single `Option` branch
+//! and no clock is read, no string formatted, nothing allocated. That is
+//! the contract that lets the WAL commit path, the pool dispatch loop, and
+//! the MVCC write path carry instrumentation unconditionally.
+//!
+//! [`Span`] (usually via [`span!`](crate::span!)) times a scope: on drop it
+//! records elapsed microseconds into the histogram named after the span
+//! *and* pushes a [`TraceEvent`] carrying the duration plus any caller
+//! fields into the trace ring.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use crate::trace::{TraceBuffer, TraceEvent};
+
+/// Default trace-ring capacity for [`Recorder::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct RecorderInner {
+    registry: MetricsRegistry,
+    trace: TraceBuffer,
+}
+
+/// Cheap cloneable observability handle. Disabled by default; all clones
+/// of an enabled recorder share one registry and one trace ring.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Recorder {
+    /// An enabled recorder with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled recorder whose trace ring holds `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Recorder {
+            inner: Some(Arc::new(RecorderInner {
+                registry: MetricsRegistry::new(),
+                trace: TraceBuffer::new(capacity),
+            })),
+        }
+    }
+
+    /// The disabled (no-op) recorder; same as `Recorder::default()`.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The underlying registry, if enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// The underlying trace ring, if enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.inner.as_deref().map(|i| &i.trace)
+    }
+
+    /// Counter handle for `name` (no-op handle when disabled). Intern the
+    /// handle once in a constructor rather than calling this per event.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry()
+            .map_or_else(Counter::noop, |r| r.counter(name))
+    }
+
+    /// Gauge handle for `name` (no-op handle when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry().map_or_else(Gauge::noop, |r| r.gauge(name))
+    }
+
+    /// Histogram handle for `name` (no-op handle when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry()
+            .map_or_else(Histogram::noop, |r| r.histogram(name))
+    }
+
+    /// Push a typed trace event (dropped silently when disabled).
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, u64)]) {
+        if let Some(inner) = &self.inner {
+            inner.trace.push(TraceEvent::new(name, fields));
+        }
+    }
+
+    /// Start a timing span named `name`. When the span drops it records
+    /// elapsed µs into histogram `name` and pushes a trace event. On a
+    /// disabled recorder the span is inert and reads no clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            inner: self.inner.clone(),
+            name,
+            fields: Vec::new(),
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Point-in-time copy of every registered series (empty if disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry()
+            .map_or_else(MetricsSnapshot::default, |r| r.snapshot())
+    }
+
+    /// Take all retained trace events in append order (empty if disabled).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace().map_or_else(Vec::new, |t| t.drain())
+    }
+}
+
+/// RAII timing scope returned by [`Recorder::span`]. Attach extra numeric
+/// fields with [`Span::field`]; they ride on the emitted trace event.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<Arc<RecorderInner>>,
+    name: &'static str,
+    fields: Vec<(&'static str, u64)>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Attach a numeric field to the trace event this span will emit.
+    pub fn field(&mut self, name: &'static str, value: u64) {
+        if self.inner.is_some() {
+            self.fields.push((name, value));
+        }
+    }
+
+    /// End the span now, returning elapsed microseconds (0 when inert).
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> u64 {
+        let (Some(inner), Some(start)) = (self.inner.take(), self.start.take()) else {
+            return 0;
+        };
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        inner.registry.histogram(self.name).record(micros);
+        let mut fields = std::mem::take(&mut self.fields);
+        fields.push(("micros", micros));
+        inner.trace.push(TraceEvent {
+            name: self.name,
+            fields,
+        });
+        micros
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Time a scope into a histogram and the trace ring:
+///
+/// ```
+/// use pitract_obs::{span, Recorder};
+/// let rec = Recorder::new();
+/// {
+///     let _s = span!(rec, "pool_batch_micros", "queries" => 8);
+/// }
+/// assert_eq!(rec.snapshot().histogram("pool_batch_micros").unwrap().count, 1);
+/// assert_eq!(rec.drain_trace()[0].field("queries"), Some(8));
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr) => {
+        $rec.span($name)
+    };
+    ($rec:expr, $name:expr, $($key:literal => $val:expr),+ $(,)?) => {{
+        let mut s = $rec.span($name);
+        $(s.field($key, $val);)+
+        s
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::default();
+        assert!(!rec.is_enabled());
+        rec.counter("c").inc();
+        rec.event("e", &[("x", 1)]);
+        let span = rec.span("s");
+        assert_eq!(span.finish(), 0);
+        assert!(rec.snapshot().is_empty());
+        assert!(rec.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn span_records_histogram_and_event() {
+        let rec = Recorder::new();
+        {
+            let mut s = rec.span("op_micros");
+            s.field("items", 3);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.histogram("op_micros").unwrap().count, 1);
+        let events = rec.drain_trace();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "op_micros");
+        assert_eq!(events[0].field("items"), Some(3));
+        assert!(events[0].field("micros").is_some());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.counter("shared_total").add(2);
+        assert_eq!(rec.snapshot().counter("shared_total"), Some(2));
+    }
+
+    #[test]
+    fn finish_prevents_double_record() {
+        let rec = Recorder::new();
+        let s = rec.span("once");
+        s.finish();
+        assert_eq!(rec.snapshot().histogram("once").unwrap().count, 1);
+        assert_eq!(rec.drain_trace().len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bounded drop-oldest ring of typed trace events.
+//!
+//! A [`TraceBuffer`] holds the last `capacity` [`TraceEvent`]s. Writers
+//! claim a monotonically increasing ticket with one atomic `fetch_add` and
+//! write into slot `ticket % capacity`, overwriting whatever older event
+//! lived there — so a full ring drops the *oldest* events, never blocks a
+//! writer behind a slow reader, and never panics under overflow. Draining
+//! takes every occupied slot and returns events in append (ticket) order.
+//!
+//! Events are deliberately flat — a `&'static str` name plus `u64` fields —
+//! so recording allocates only the field vector and the ring never touches
+//! the heap per push beyond that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One trace event: a static name and a small set of numeric fields,
+/// e.g. `("wal_torn_tail_truncated", [("torn_bytes", 17), ("dropped_records", 1)])`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name; static so hot-path recording never formats strings.
+    pub name: &'static str,
+    /// Named numeric payload fields.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// Build an event from a field slice.
+    pub fn new(name: &'static str, fields: &[(&'static str, u64)]) -> Self {
+        TraceEvent {
+            name,
+            fields: fields.to_vec(),
+        }
+    }
+
+    /// Look up a field value by name.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+struct Slot {
+    ticket: u64,
+    event: TraceEvent,
+}
+
+/// Bounded drop-oldest ring of [`TraceEvent`]s. Push is wait-free up to
+/// the per-slot lock (uncontended except when a writer laps a drain);
+/// drain is O(capacity) and returns events in append order.
+pub struct TraceBuffer {
+    slots: Box<[Mutex<Option<Slot>>]>,
+    next: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.next.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Append an event, overwriting the oldest one if the ring is full.
+    pub fn push(&self, event: TraceEvent) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let idx = (ticket % self.slots.len() as u64) as usize;
+        // A slot mutex is only contended when drain and a lapping writer
+        // meet; a poisoned slot (panic mid-write cannot happen here, but a
+        // poisoned drain could) just swallows the event.
+        if let Ok(mut slot) = self.slots[idx].lock() {
+            if slot.is_some() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            *slot = Some(Slot { ticket, event });
+        }
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.lock().map(|g| g.is_some()).unwrap_or(false))
+            .count()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events overwritten before anyone drained them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Take every retained event, returned in append order. Writers may
+    /// keep pushing concurrently; their events land in the next drain.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut taken: Vec<Slot> = Vec::new();
+        for slot in self.slots.iter() {
+            if let Ok(mut guard) = slot.lock() {
+                if let Some(s) = guard.take() {
+                    taken.push(s);
+                }
+            }
+        }
+        taken.sort_by_key(|s| s.ticket);
+        taken.into_iter().map(|s| s.event).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, v: u64) -> TraceEvent {
+        TraceEvent::new(name, &[("v", v)])
+    }
+
+    #[test]
+    fn drain_returns_append_order() {
+        let ring = TraceBuffer::new(8);
+        for i in 0..5 {
+            ring.push(ev("e", i));
+        }
+        let drained = ring.drain();
+        let vs: Vec<u64> = drained.iter().map(|e| e.field("v").unwrap()).collect();
+        assert_eq!(vs, [0, 1, 2, 3, 4]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let ring = TraceBuffer::new(4);
+        for i in 0..10 {
+            ring.push(ev("e", i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let vs: Vec<u64> = ring.drain().iter().map(|e| e.field("v").unwrap()).collect();
+        assert_eq!(vs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let ring = TraceBuffer::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(ev("a", 1));
+        ring.push(ev("b", 2));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].name, "b");
+    }
+}

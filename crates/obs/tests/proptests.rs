@@ -1,0 +1,153 @@
+//! Property tests for the metrics histogram and the trace ring.
+//!
+//! Three contracts the rest of the stack leans on:
+//!
+//! 1. **Bucketing**: every sample lands in exactly one log-2 bucket whose
+//!    upper bound is the smallest power of two ≥ the sample — powers of
+//!    two sit exactly on their own boundary, never one bucket up.
+//! 2. **Merge algebra**: snapshot merge is associative and commutative,
+//!    which is what lets per-thread and per-shard histograms fold into
+//!    one in any order; consequently recording concurrently from 8
+//!    threads produces bit-identical totals to recording sequentially.
+//! 3. **Trace ring**: pushing past capacity never panics, drops oldest
+//!    first, and `drain` always returns surviving events in append order.
+
+use pitract_obs::{HistogramSnapshot, MetricsRegistry, TraceBuffer, TraceEvent};
+use proptest::prelude::*;
+
+/// Fold values into a fresh snapshot sequentially — the oracle the
+/// concurrent and merge properties compare against.
+fn folded(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// One sample occupies exactly one bucket, and that bucket's upper
+    /// bound is the smallest power of two ≥ the sample (so powers of two
+    /// land exactly on their own boundary).
+    #[test]
+    fn single_sample_lands_on_the_tight_power_of_two(raw in any::<u64>(), shift in 0u32..64) {
+        // Mix raw draws with exact powers of two: boundaries are the
+        // interesting inputs and uniform u64 would almost never hit one.
+        let v = if raw % 2 == 0 { raw >> (shift % 64) } else { 1u64 << (shift % 64) };
+        let h = folded(&[v]);
+        prop_assert_eq!(h.count, 1);
+        prop_assert_eq!(h.sum, v);
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), 1);
+        let ub = h.quantile(1.0);
+        prop_assert!(ub >= v.max(1), "upper bound {ub} below sample {v}");
+        if ub != u64::MAX {
+            prop_assert!(ub.is_power_of_two(), "bound {ub} not a power of two");
+            prop_assert!(ub / 2 < v.max(1), "bound {ub} not tight for {v}");
+        }
+    }
+
+    /// Merge is associative and commutative, and totals are preserved.
+    /// (Samples drawn u32-sized — real series are micros and record
+    /// counts — so the summed oracle can't overflow in debug builds.)
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a32 in prop::collection::vec(any::<u32>(), 0..32),
+        b32 in prop::collection::vec(any::<u32>(), 0..32),
+        c32 in prop::collection::vec(any::<u32>(), 0..32),
+    ) {
+        let widen = |v: &[u32]| v.iter().map(|&x| u64::from(x)).collect::<Vec<_>>();
+        let (a, b, c) = (widen(&a32), widen(&b32), widen(&c32));
+        let (ha, hb, hc) = (folded(&a), folded(&b), folded(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+        let all = ha.merge(&hb).merge(&hc);
+        prop_assert_eq!(all.count, (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(all.sum, a.iter().chain(&b).chain(&c).sum::<u64>());
+    }
+
+    /// Eight threads hammering one registry histogram produce exactly the
+    /// sequential fold — no lost updates, no torn buckets.
+    #[test]
+    fn concurrent_recording_equals_sequential(
+        values32 in prop::collection::vec(any::<u32>(), 1..64)
+    ) {
+        let values: Vec<u64> = values32.iter().map(|&v| u64::from(v)).collect();
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(8)) {
+                let h = reg.histogram("lat_micros");
+                scope.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.histogram("lat_micros"), Some(&folded(&values)));
+    }
+
+    /// The ring accepts any number of pushes without panicking, keeps the
+    /// newest `capacity` events, counts the dropped remainder, and drains
+    /// survivors in append order.
+    #[test]
+    fn trace_ring_drops_oldest_and_drains_in_order(
+        capacity in 1usize..16,
+        pushes in 0usize..64,
+    ) {
+        let ring = TraceBuffer::new(capacity);
+        for seq in 0..pushes {
+            ring.push(TraceEvent::new("tick", &[("seq", seq as u64)]));
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.dropped(), pushes.saturating_sub(capacity) as u64);
+        let drained = ring.drain();
+        let expect_first = pushes.saturating_sub(capacity) as u64;
+        for (i, event) in drained.iter().enumerate() {
+            prop_assert_eq!(event.field("seq"), Some(expect_first + i as u64));
+        }
+        prop_assert!(ring.is_empty(), "drain leaves the ring empty");
+    }
+}
+
+/// Golden Prometheus export: the exact text for a small, fixed registry —
+/// pins series ordering, `# TYPE` lines, label quoting, bucket
+/// cumulation, and the `+Inf` terminator.
+#[test]
+fn prometheus_text_is_pinned() {
+    let reg = MetricsRegistry::new();
+    reg.counter("wal_appends_total").add(3);
+    reg.counter("engine_plans_total{path=\"point-probe\"}")
+        .add(2);
+    reg.gauge("pool_inflight").set(1);
+    let h = reg.histogram("wal_fsync_micros");
+    h.record(1);
+    h.record(2);
+    h.record(2);
+    h.record(900);
+    let text = pitract_obs::to_prometheus(&reg.snapshot());
+    assert_eq!(
+        text,
+        "# TYPE engine_plans_total counter\n\
+         engine_plans_total{path=\"point-probe\"} 2\n\
+         # TYPE wal_appends_total counter\n\
+         wal_appends_total 3\n\
+         # TYPE pool_inflight gauge\n\
+         pool_inflight 1\n\
+         # TYPE wal_fsync_micros histogram\n\
+         wal_fsync_micros_bucket{le=\"1\"} 1\n\
+         wal_fsync_micros_bucket{le=\"2\"} 3\n\
+         wal_fsync_micros_bucket{le=\"4\"} 3\n\
+         wal_fsync_micros_bucket{le=\"8\"} 3\n\
+         wal_fsync_micros_bucket{le=\"16\"} 3\n\
+         wal_fsync_micros_bucket{le=\"32\"} 3\n\
+         wal_fsync_micros_bucket{le=\"64\"} 3\n\
+         wal_fsync_micros_bucket{le=\"128\"} 3\n\
+         wal_fsync_micros_bucket{le=\"256\"} 3\n\
+         wal_fsync_micros_bucket{le=\"512\"} 3\n\
+         wal_fsync_micros_bucket{le=\"1024\"} 4\n\
+         wal_fsync_micros_bucket{le=\"+Inf\"} 4\n\
+         wal_fsync_micros_sum 905\n\
+         wal_fsync_micros_count 4\n"
+    );
+}

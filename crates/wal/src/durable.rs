@@ -38,6 +38,7 @@ use pitract_core::epoch::Epoch;
 use pitract_engine::batch::WorkerResults;
 use pitract_engine::planner::QueryPlan;
 use pitract_engine::{BatchServe, EngineError, LiveRelation, UpdateEntry, WalSink};
+use pitract_obs::Recorder;
 use pitract_relation::SelectionQuery;
 use pitract_store::{Recovered, Snapshot, SnapshotCatalog};
 use std::path::{Path, PathBuf};
@@ -115,17 +116,34 @@ impl DurableLiveRelation {
     /// just checkpointed); updates that predate the WAL would otherwise
     /// silently sit outside the durability contract.
     pub fn create(
-        mut live: LiveRelation,
+        live: LiveRelation,
         catalog: &SnapshotCatalog,
         name: &str,
         wal_dir: impl Into<PathBuf>,
         config: WalConfig,
     ) -> Result<Self, WalError> {
+        Self::create_observed(live, catalog, name, wal_dir, config, &Recorder::default())
+    }
+
+    /// [`Self::create`] with one observability handle threaded through
+    /// the whole durable stack: the WAL writer's `wal_*` series, the
+    /// engine's `engine_*`/`mvcc_*` series, and the trace buffer all
+    /// share `recorder`, so a single [`pitract_obs::MetricsSnapshot`]
+    /// covers the node end to end.
+    pub fn create_observed(
+        mut live: LiveRelation,
+        catalog: &SnapshotCatalog,
+        name: &str,
+        wal_dir: impl Into<PathBuf>,
+        config: WalConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, WalError> {
         let pending = live.pending_log().len();
         if pending > 0 {
             return Err(WalError::PendingUpdates { count: pending });
         }
-        let wal = Arc::new(WalWriter::open(wal_dir, config)?);
+        live.set_recorder(recorder);
+        let wal = Arc::new(WalWriter::open_observed(wal_dir, config, recorder)?);
         // Anything already in the directory (a reused path) is below the
         // bootstrap mark and therefore dead: the checkpoint covers it.
         let mark = wal.next_lsn();
@@ -162,16 +180,33 @@ impl DurableLiveRelation {
         wal_dir: impl Into<PathBuf>,
         config: WalConfig,
     ) -> Result<Self, WalError> {
+        Self::recover_observed(catalog, name, wal_dir, config, &Recorder::default())
+    }
+
+    /// [`Self::recover`] with metrics: the same recorder threading as
+    /// [`Self::create_observed`], plus what recovery itself found — a
+    /// torn WAL tail truncated here emits the `wal_torn_tail_truncated`
+    /// trace event and `wal_recovery_*` counters instead of vanishing
+    /// silently (see [`WalReader::from_scan_observed`]).
+    pub fn recover_observed(
+        catalog: &SnapshotCatalog,
+        name: &str,
+        wal_dir: impl Into<PathBuf>,
+        config: WalConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, WalError> {
         let wal_dir = wal_dir.into();
         let (state, mark, cut) = catalog.load(name)?.into_checkpoint()?;
         // One directory scan serves both sides: the writer truncates the
         // torn tail and takes its append position from it, the reader
         // decodes its records for replay — the log is read and
-        // checksummed once, not twice.
-        let (wal, scan) = WalWriter::open_scanned(&wal_dir, config, mark)?;
+        // checksummed once, not twice. Only the reader side reports the
+        // torn tail, so one recovery emits one truncation event.
+        let (wal, scan) = WalWriter::open_scanned_observed(&wal_dir, config, mark, recorder)?;
         let wal = Arc::new(wal);
-        let reader = WalReader::from_scan(&scan)?;
+        let reader = WalReader::from_scan_observed(&scan, recorder)?;
         let mut live = LiveRelation::from_sharded(state);
+        live.set_recorder(recorder);
         let tail = reader.tail_log(mark);
         let compacted = tail.compact();
         live.replay_compacted(&compacted)?;
@@ -565,6 +600,64 @@ mod tests {
         assert!(
             matches!(err, WalError::PendingUpdates { count: 1 }),
             "{err}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// One recorder threaded through the whole durable stack: WAL,
+    /// engine, and MVCC series all land in a single snapshot.
+    #[test]
+    fn observed_stack_publishes_wal_engine_and_mvcc_series() {
+        let root = fresh_dir("observed");
+        let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+        let wal_dir = root.join("wal");
+        let recorder = Recorder::new();
+        let node = DurableLiveRelation::create_observed(
+            live(10),
+            &catalog,
+            "node",
+            &wal_dir,
+            config(),
+            &recorder,
+        )
+        .unwrap();
+        for i in 0..8i64 {
+            let gid = node
+                .insert(vec![Value::Int(100 + i), Value::str("obs")])
+                .unwrap();
+            if i % 2 == 1 {
+                node.delete(gid).unwrap().unwrap();
+            }
+        }
+        node.answer(&SelectionQuery::point(0, 104i64));
+        node.publish_metrics();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("wal_appends_total"), Some(12));
+        assert!(snap.counter("wal_appended_bytes_total").unwrap() > 0);
+        assert!(snap.histogram("wal_fsync_micros").unwrap().count > 0);
+        assert!(snap.histogram("wal_group_commit_records").unwrap().count > 0);
+        assert_eq!(snap.counter("engine_updates_total"), Some(12));
+        assert!(snap.gauge("mvcc_current_epoch").unwrap() >= 12);
+        drop(node);
+
+        // Recovery threads the same handle; the replay's updates land in
+        // the (fresh) recorder too.
+        let recorder = Recorder::new();
+        let node =
+            DurableLiveRelation::recover_observed(&catalog, "node", &wal_dir, config(), &recorder)
+                .unwrap();
+        let replayed = node.recovery_summary().unwrap().replayed as u64;
+        let snap = recorder.snapshot();
+        assert!(replayed > 0);
+        assert_eq!(
+            snap.counter("engine_updates_total"),
+            Some(replayed),
+            "one engine update per compacted replay entry"
+        );
+        assert_eq!(
+            snap.counter("wal_recovery_truncations_total"),
+            None,
+            "clean shutdown"
         );
         std::fs::remove_dir_all(&root).unwrap();
     }

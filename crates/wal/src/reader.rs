@@ -3,6 +3,7 @@
 use crate::error::WalError;
 use crate::segment::{scan_dir, DirScan};
 use pitract_engine::{UpdateEntry, UpdateLog};
+use pitract_obs::Recorder;
 use pitract_store::codec::Reader as CodecReader;
 use std::path::Path;
 
@@ -37,10 +38,31 @@ impl WalReader {
         Self::from_scan(&scan_dir(dir.as_ref())?)
     }
 
+    /// Like [`Self::open`], reporting what recovery found into
+    /// `recorder` — see [`Self::from_scan_observed`].
+    pub fn open_observed(dir: impl AsRef<Path>, recorder: &Recorder) -> Result<Self, WalError> {
+        Self::from_scan_observed(&scan_dir(dir.as_ref())?, recorder)
+    }
+
     /// Decode an already-performed directory scan (e.g. the one
     /// [`crate::WalWriter::open_scanned`] returns), so recovery reads
     /// and checksums the log exactly once.
     pub fn from_scan(scan: &DirScan) -> Result<Self, WalError> {
+        Self::from_scan_observed(scan, &Recorder::default())
+    }
+
+    /// [`Self::from_scan`], reporting what recovery found into
+    /// `recorder`. A torn tail — the residue of a crash mid-append that
+    /// recovery truncates away — used to vanish silently; here it emits
+    /// a `wal_torn_tail_truncated` trace event carrying the truncated
+    /// byte and dropped-record counts, plus the
+    /// `wal_recovery_truncations_total` / `wal_recovery_torn_bytes_total`
+    /// / `wal_recovery_dropped_records_total` counters. (The torn region
+    /// is by construction at most one partial frame — a complete record
+    /// after it would have scanned clean — so the dropped-record count is
+    /// 0 or 1; checksum-invalid *complete* frames are corruption, a typed
+    /// error, never silent truncation.)
+    pub fn from_scan_observed(scan: &DirScan, recorder: &Recorder) -> Result<Self, WalError> {
         let mut records = Vec::new();
         for seg in &scan.segments {
             let name = seg.path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
@@ -60,6 +82,23 @@ impl WalReader {
                 }
                 records.push(WalRecord { lsn: *lsn, entry });
             }
+        }
+        if scan.torn_bytes > 0 {
+            let dropped = u64::from(scan.torn_bytes > 0);
+            recorder.event(
+                "wal_torn_tail_truncated",
+                &[
+                    ("torn_bytes", scan.torn_bytes),
+                    ("dropped_records", dropped),
+                ],
+            );
+            recorder.counter("wal_recovery_truncations_total").inc();
+            recorder
+                .counter("wal_recovery_torn_bytes_total")
+                .add(scan.torn_bytes);
+            recorder
+                .counter("wal_recovery_dropped_records_total")
+                .add(dropped);
         }
         Ok(WalReader {
             records,
@@ -186,5 +225,64 @@ mod tests {
         let reader = WalReader::open("/nonexistent/definitely/not/here").unwrap();
         assert!(reader.is_empty());
         assert_eq!(reader.next_lsn(), 0);
+    }
+
+    /// Satellite of the observability PR: a torn tail is truncated *and
+    /// reported* — typed trace event plus counters carrying the
+    /// truncated-byte and dropped-record counts — instead of vanishing
+    /// silently.
+    #[test]
+    fn torn_tail_truncation_emits_event_and_counters() {
+        use std::fs::OpenOptions;
+        let dir = fresh_dir("torn-observed");
+        let wal = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        for i in 0..5 {
+            wal.append_entry(&UpdateEntry::Insert {
+                gid: i,
+                row: vec![Value::Int(i as i64)],
+            })
+            .unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // Crash mid-append: chop bytes off the active segment.
+        let seg = crate::segment::scan_dir(&dir)
+            .unwrap()
+            .segments
+            .pop()
+            .unwrap()
+            .path;
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let recorder = pitract_obs::Recorder::new();
+        let reader = WalReader::open_observed(&dir, &recorder).unwrap();
+        assert_eq!(reader.len(), 4, "the torn record is gone");
+        let torn = reader.torn_bytes();
+        assert!(torn > 0);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("wal_recovery_truncations_total"), Some(1));
+        assert_eq!(snap.counter("wal_recovery_torn_bytes_total"), Some(torn));
+        assert_eq!(snap.counter("wal_recovery_dropped_records_total"), Some(1));
+        let events = recorder.drain_trace();
+        let ev = events
+            .iter()
+            .find(|e| e.name == "wal_torn_tail_truncated")
+            .expect("truncation event emitted");
+        assert!(ev.fields.contains(&("torn_bytes", torn)));
+        assert!(ev.fields.contains(&("dropped_records", 1)));
+        // A clean directory reports nothing.
+        let clean = pitract_obs::Recorder::new();
+        let wal = WalWriter::open(&dir, WalConfig::default()).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        WalReader::open_observed(&dir, &clean).unwrap();
+        assert_eq!(
+            clean.snapshot().counter("wal_recovery_truncations_total"),
+            None
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -5,12 +5,56 @@ use crate::segment::{
     encode_record, scan_dir, segment_file_name, segment_header, DirScan, SEGMENT_HEADER_LEN,
 };
 use pitract_engine::UpdateEntry;
+use pitract_obs::{Counter, Histogram, Recorder};
 use pitract_store::codec::Writer as CodecWriter;
 use pitract_store::fsync_dir;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Interned metric handles for the append side. Default (no-op) handles
+/// cost one branch per touch, so the uninstrumented hot path is
+/// unchanged.
+#[derive(Debug, Default)]
+struct WalInstruments {
+    /// `wal_appends_total` — records staged.
+    appends: Counter,
+    /// `wal_appended_bytes_total` — framed bytes staged (header + payload).
+    appended_bytes: Counter,
+    /// `wal_fsync_micros` — latency of every data flush (commit, sync,
+    /// and the rotation pre-seal), the number that dominates durable
+    /// write latency.
+    fsync_micros: Histogram,
+    /// `wal_group_commit_records` — records covered per flush: how well
+    /// concurrent committers share fsyncs.
+    group_commit: Histogram,
+    /// `wal_segment_rotations_total` — completed segment switches.
+    rotations: Counter,
+}
+
+impl WalInstruments {
+    fn new(recorder: &Recorder) -> Self {
+        WalInstruments {
+            appends: recorder.counter("wal_appends_total"),
+            appended_bytes: recorder.counter("wal_appended_bytes_total"),
+            fsync_micros: recorder.histogram("wal_fsync_micros"),
+            group_commit: recorder.histogram("wal_group_commit_records"),
+            rotations: recorder.counter("wal_segment_rotations_total"),
+        }
+    }
+
+    /// Time one data flush into the fsync histogram.
+    fn timed_sync(&self, file: &File) -> std::io::Result<()> {
+        let started = self.fsync_micros.is_enabled().then(Instant::now);
+        file.sync_data()?;
+        if let Some(t) = started {
+            self.fsync_micros.record_duration(t.elapsed());
+        }
+        Ok(())
+    }
+}
 
 /// When the writer flushes records to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +147,7 @@ pub struct WalWriter {
     /// deferred segment switch; acquired strictly before `state` (the
     /// one fixed order — never the other way around).
     rotation: Mutex<()>,
+    instruments: WalInstruments,
 }
 
 impl WalWriter {
@@ -137,6 +182,27 @@ impl WalWriter {
         config: WalConfig,
         floor: u64,
     ) -> Result<(Self, DirScan), WalError> {
+        Self::open_scanned_observed(dir, config, floor, &Recorder::default())
+    }
+
+    /// Like [`Self::open`], publishing `wal_*` metrics (append counts,
+    /// fsync latency, group-commit sizes, rotations) into `recorder`.
+    pub fn open_observed(
+        dir: impl Into<PathBuf>,
+        config: WalConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, WalError> {
+        Self::open_scanned_observed(dir, config, 0, recorder).map(|(writer, _)| writer)
+    }
+
+    /// [`Self::open_scanned`] with metrics: every flush, group commit,
+    /// and rotation this writer performs is recorded into `recorder`.
+    pub fn open_scanned_observed(
+        dir: impl Into<PathBuf>,
+        config: WalConfig,
+        floor: u64,
+        recorder: &Recorder,
+    ) -> Result<(Self, DirScan), WalError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let scan = scan_dir(&dir)?;
@@ -169,6 +235,7 @@ impl WalWriter {
         let active_bytes = active_len(&scan);
         let writer = WalWriter {
             rotation: Mutex::new(()),
+            instruments: WalInstruments::new(recorder),
             state: Mutex::new(WriterState {
                 file,
                 active_bytes,
@@ -247,6 +314,8 @@ impl WalWriter {
             }
             state.next_lsn += 1;
             state.active_bytes += record.len() as u64;
+            self.instruments.appends.inc();
+            self.instruments.appended_bytes.add(record.len() as u64);
             if state.active_bytes >= self.config.segment_bytes {
                 // Owe a rotation, but never pay it here: the append path
                 // runs inside callers' critical sections (for the engine
@@ -282,11 +351,15 @@ impl WalWriter {
                 if state.durable_next > lsn {
                     None
                 } else {
-                    Some((state.file.try_clone()?, state.next_lsn))
+                    // The flush's group: every record staged but not yet
+                    // durable rides this one fsync.
+                    let group = state.next_lsn - state.durable_next;
+                    Some((state.file.try_clone()?, state.next_lsn, group))
                 }
             };
-            if let Some((file, target)) = flush {
-                file.sync_data()?;
+            if let Some((file, target, group)) = flush {
+                self.instruments.timed_sync(&file)?;
+                self.instruments.group_commit.record(group);
                 let mut state = self.lock();
                 state.durable_next = state.durable_next.max(target);
             }
@@ -304,7 +377,7 @@ impl WalWriter {
             let state = self.lock();
             (state.file.try_clone()?, state.next_lsn)
         };
-        file.sync_data()?;
+        self.instruments.timed_sync(&file)?;
         let durable = {
             let mut state = self.lock();
             state.durable_next = state.durable_next.max(target);
@@ -345,7 +418,7 @@ impl WalWriter {
             }
             state.file.try_clone()?
         };
-        pre.sync_data()?;
+        self.instruments.timed_sync(&pre)?;
         // The switch: seal the sliver appended since the pre-flush and
         // install the fresh segment. If creating the segment fails the
         // flag stays set — appends continue into the old segment and the
@@ -359,6 +432,7 @@ impl WalWriter {
         state.file = create_segment(&self.dir, state.next_lsn)?;
         state.active_bytes = SEGMENT_HEADER_LEN as u64;
         state.rotation_due = false;
+        self.instruments.rotations.inc();
         Ok(())
     }
 

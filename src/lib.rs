@@ -19,6 +19,7 @@
 //! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread and pooled batch execution, live serving under concurrent updates |
 //! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts, live checkpoint/recover |
 //! | [`wal`] | durable write-ahead log: fsync'd checksummed segments, group commit, torn-tail recovery, compaction, crash-consistent durable serving |
+//! | [`obs`] | zero-dependency observability: metrics registry (counters, gauges, log-bucket histograms), timing spans, bounded event tracing, Prometheus/JSON exporters |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
@@ -265,6 +266,56 @@
 //! assert!(recovered.row(3).is_none());
 //! # std::fs::remove_dir_all(&root).unwrap();
 //! ```
+//!
+//! ## Observability
+//!
+//! The paper's promise is a cost *profile* — query work bounded by the
+//! accessed fraction, maintenance bounded by |CHANGED| — and the [`obs`]
+//! crate makes that profile measurable on a live node instead of only
+//! in offline experiments. One [`Recorder`](crate::obs::Recorder)
+//! handle threads through the whole stack
+//! ([`DurableLiveRelation::create_observed`](crate::wal::DurableLiveRelation::create_observed),
+//! [`PooledExecutor::new_observed`](crate::engine::pool::PooledExecutor::new_observed),
+//! [`LiveRelation::set_recorder`](crate::engine::live::LiveRelation::set_recorder)):
+//! the WAL publishes fsync latency and group-commit sizes (`wal_*`),
+//! the pool its queue depth and admission waits (`pool_*`), MVCC its
+//! live pins and undo-ring footprint (`mvcc_*`), and the engine the
+//! plan chosen per query and metered steps (`engine_*`). The default
+//! `Recorder` is disabled and costs the hot path one branch per touch;
+//! an enabled one snapshots to Prometheus text or JSON losslessly.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..1_000i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! // One recorder for the whole serving session.
+//! let recorder = Recorder::new();
+//! let mut live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 4, &[0]).unwrap();
+//! live.set_recorder(&recorder);
+//! let exec = PooledExecutor::new_observed(
+//!     Arc::new(live),
+//!     PoolConfig { workers: 2, max_inflight: 4 },
+//!     &recorder,
+//! );
+//!
+//! // Serve: every batch ticks plan counters, step meters, latencies.
+//! exec.relation().insert(vec![Value::Int(5_000)]).unwrap();
+//! let batch = QueryBatch::new((0..50i64).map(|k| SelectionQuery::point(0, k * 17)));
+//! exec.execute(&batch).unwrap();
+//! exec.relation().publish_metrics();
+//!
+//! // Export: Prometheus text for scrapers, JSON for artifacts — and
+//! // the JSON round-trips losslessly.
+//! let snapshot = recorder.snapshot();
+//! let text = pi_tractable::obs::to_prometheus(&snapshot);
+//! assert!(text.contains("engine_queries_total 50"));
+//! assert!(text.contains("mvcc_current_epoch"));
+//! let reparsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+//! assert_eq!(reparsed, snapshot);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -276,6 +327,7 @@ pub use pitract_graph as graph;
 pub use pitract_incremental as incremental;
 pub use pitract_index as index;
 pub use pitract_kernel as kernel;
+pub use pitract_obs as obs;
 pub use pitract_pram as pram;
 pub use pitract_reductions as reductions;
 pub use pitract_relation as relation;
@@ -308,6 +360,7 @@ pub mod prelude {
     pub use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
     pub use pitract_index::bptree::BPlusTree;
     pub use pitract_index::sorted::SortedIndex;
+    pub use pitract_obs::{MetricsRegistry, MetricsSnapshot, Recorder, Span, TraceBuffer};
     pub use pitract_relation::indexed::{IndexedError, IndexedRelation};
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};

@@ -88,6 +88,7 @@ fn every_example_file_has_a_smoke_test() {
         "live_serving",
         "log_analytics",
         "mvcc_serving",
+        "observed_serving",
         "persistent_serving",
         "pool_serving",
         "quickstart",
@@ -123,4 +124,9 @@ fn example_pool_serving_runs() {
 #[test]
 fn example_mvcc_serving_runs() {
     run_example("mvcc_serving");
+}
+
+#[test]
+fn example_observed_serving_runs() {
+    run_example("observed_serving");
 }
