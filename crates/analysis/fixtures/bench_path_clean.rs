@@ -1,0 +1,10 @@
+// Clean counterpart: repo-root artifact paths, and `target/` strings
+// that are not bench artifacts.
+
+pub fn artifact_path() -> &'static str {
+    "BENCH_engine.json"
+}
+
+pub fn other_target_output() -> &'static str {
+    "target/observed_serving.json"
+}

@@ -1,0 +1,6 @@
+// Seeded violation: a bench artifact routed under the build directory,
+// where CI's upload step will never find it (the PR 6 regression).
+
+pub fn artifact_path() -> &'static str {
+    "target/BENCH_engine.json"
+}

@@ -1,0 +1,32 @@
+// Clean counterpart: scoped fan-out is fine (scoped threads cannot
+// outlive their batch), and the pool's own spawn is the one excused
+// construction site.
+
+use std::thread;
+
+pub fn scoped_fanout(work: Vec<u32>) -> u32 {
+    thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .iter()
+            .map(|w| scope.spawn(move || w + 1))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    })
+}
+
+pub fn the_pool_itself(i: usize) -> std::io::Result<thread::JoinHandle<()>> {
+    thread::Builder::new()
+        .name(format!("pitract-pool-{i}"))
+        // lint:allow(no-bare-thread-spawn) this IS the WorkerPool spawn point
+        .spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use std::thread;
+
+    #[test]
+    fn tests_spawn_freely() {
+        thread::spawn(|| {}).join().ok();
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded violations: bare thread spawns in library code.
+
+use std::thread;
+
+pub fn bare_path_spawn() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}
+
+pub fn builder_spawn() -> std::io::Result<thread::JoinHandle<()>> {
+    thread::Builder::new().name("rogue".to_string()).spawn(|| {})
+}

@@ -1,0 +1,30 @@
+// Clean counterpart: everything here is exempt — test code, comments,
+// strings, non-panicking combinators, or an explicitly excused site.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Doc comment mentioning `.unwrap()` is commentary, not code.
+pub fn poison_absorbing(m: &Mutex<u32>) -> u32 {
+    // unwrap() in a comment is commentary too.
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn message() -> &'static str {
+    "call unwrap() and panic!() at your peril"
+}
+
+pub fn excused(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap-in-serving) construction-time configuration error, not a serving path
+    x.expect("configured at startup")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,0 +1,29 @@
+// Seeded violations: every panic path the rule must catch, in
+// non-test serving-crate library code.
+
+pub fn serve_point(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn serve_range(r: Result<u32, String>) -> u32 {
+    r.expect("range lookup failed")
+}
+
+pub fn route(shard: usize, count: usize) -> usize {
+    if shard >= count {
+        panic!("shard {shard} out of range");
+    }
+    shard
+}
+
+pub fn merge(kind: u8) -> &'static str {
+    match kind {
+        0 => "insert",
+        1 => "delete",
+        _ => unreachable!("validated at parse time"),
+    }
+}
+
+pub fn probe(x: u32) -> u32 {
+    dbg!(x)
+}

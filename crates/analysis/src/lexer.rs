@@ -1,0 +1,418 @@
+//! A hand-rolled, token-level Rust lexer — just enough Rust to lint
+//! with, in the same zero-dependency spirit as the store codec.
+//!
+//! The lexer understands exactly what a *lexical* linter needs and
+//! nothing more: identifiers, punctuation, string/char/byte literals
+//! (including raw strings, so a `"` inside `r#"…"#` cannot desync the
+//! stream), numeric literals, lifetimes, and comments. Comments are not
+//! emitted as tokens, but line comments are scanned for the
+//! `lint:allow(<rule>)` escape hatch, which is returned alongside the
+//! token stream.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `let`, `self`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct,
+    /// A string or byte-string literal; `text` holds the *contents*
+    /// (delimiters and raw-string hashes stripped, escapes left as-is).
+    Str,
+    /// A char or byte-char literal (contents, delimiters stripped).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`); `text` holds the identifier without the tick.
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The lexeme text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `lint:allow(<rule>)` directive found in a line comment. A
+/// directive suppresses findings of `rule` on its own line and on the
+/// line immediately after it (so it can sit above the statement it
+/// excuses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// 1-based line the directive appears on.
+    pub line: u32,
+}
+
+/// The result of lexing one file: the token stream plus every
+/// `lint:allow` directive seen in comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens in source order. Comments and whitespace are dropped.
+    pub tokens: Vec<Token>,
+    /// `lint:allow` directives in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lex `src` into tokens and allow-directives. The lexer never fails:
+/// unterminated literals simply run to end-of-file, which is fine for a
+/// linter that only ever sees code the compiler already accepted.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_allows(&src[start..i], line, &mut out.allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting like Rust's.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => lex_string(b, &mut i, &mut line, &mut out.tokens),
+            b'r' | b'b' if starts_raw_or_byte_literal(b, i) => {
+                lex_raw_or_byte(b, &mut i, &mut line, &mut out.tokens)
+            }
+            b'\'' => lex_tick(b, &mut i, &mut line, &mut out.tokens),
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // A float's fractional part: consume `.` only when a
+                // digit follows, so `0..n` stays three tokens.
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Record every `lint:allow(rule-a, rule-b)` in one line comment.
+fn scan_allows(comment: &str, line: u32, allows: &mut Vec<Allow>) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.push(Allow {
+                    rule: rule.to_string(),
+                    line,
+                });
+            }
+        }
+        rest = &rest[close..];
+    }
+}
+
+/// Does `b[i..]` start a raw string (`r"`, `r#`), byte string (`b"`),
+/// raw byte string (`br`), or byte char (`b'`)? (`r` or `b` followed by
+/// more ident chars is just an identifier like `rows` or `base`.)
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    match (b[i], b.get(i + 1)) {
+        (b'r', Some(&b'"')) | (b'r', Some(&b'#')) => {
+            // `r#ident` is a raw identifier, not a raw string: require
+            // the hashes to terminate in a quote.
+            let mut j = i + 1;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&b'"')
+        }
+        (b'b', Some(&b'"')) | (b'b', Some(&b'\'')) => true,
+        (b'b', Some(&b'r')) => {
+            let mut j = i + 2;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lex an ordinary `"…"` string starting at `*i`.
+fn lex_string(b: &[u8], i: &mut usize, line: &mut u32, tokens: &mut Vec<Token>) {
+    let start_line = *line;
+    *i += 1;
+    let content_start = *i;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => break,
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    let content_end = (*i).min(b.len());
+    tokens.push(Token {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&b[content_start..content_end]).into_owned(),
+        line: start_line,
+    });
+    *i += 1; // closing quote
+}
+
+/// Lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at `*i`.
+fn lex_raw_or_byte(b: &[u8], i: &mut usize, line: &mut u32, tokens: &mut Vec<Token>) {
+    if b[*i] == b'b' && b.get(*i + 1) == Some(&b'\'') {
+        *i += 1;
+        lex_tick(b, i, line, tokens);
+        return;
+    }
+    if b[*i] == b'b' && b.get(*i + 1) == Some(&b'"') {
+        *i += 1;
+        lex_string(b, i, line, tokens);
+        return;
+    }
+    // Raw (byte) string: skip `r`/`br`, count hashes, then scan for the
+    // matching `"###…` terminator — no escapes inside.
+    let start_line = *line;
+    *i += if b[*i] == b'b' { 2 } else { 1 };
+    let mut hashes = 0usize;
+    while b.get(*i) == Some(&b'#') {
+        hashes += 1;
+        *i += 1;
+    }
+    *i += 1; // opening quote
+    let content_start = *i;
+    let terminator: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while *i < b.len() {
+        if b[*i] == b'\n' {
+            *line += 1;
+            *i += 1;
+        } else if b[*i] == b'"' && b[*i..].starts_with(&terminator) {
+            break;
+        } else {
+            *i += 1;
+        }
+    }
+    let content_end = (*i).min(b.len());
+    tokens.push(Token {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&b[content_start..content_end]).into_owned(),
+        line: start_line,
+    });
+    *i = (*i + terminator.len()).min(b.len());
+}
+
+/// Lex a `'…'` char literal or a `'a` lifetime starting at `*i`.
+fn lex_tick(b: &[u8], i: &mut usize, line: &mut u32, tokens: &mut Vec<Token>) {
+    let start_line = *line;
+    let after = b.get(*i + 1).copied();
+    // A lifetime is `'` + ident-start NOT followed by a closing tick
+    // (`'a'` is a char, `'a` is a lifetime, `'_` is a lifetime).
+    if after.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic()) && b.get(*i + 2) != Some(&b'\'')
+    {
+        let start = *i + 1;
+        *i += 1;
+        while *i < b.len() && (b[*i] == b'_' || b[*i].is_ascii_alphanumeric()) {
+            *i += 1;
+        }
+        tokens.push(Token {
+            kind: TokKind::Lifetime,
+            text: String::from_utf8_lossy(&b[start..*i]).into_owned(),
+            line: start_line,
+        });
+        return;
+    }
+    // Char literal: `'x'` or `'\n'` (escapes).
+    *i += 1;
+    let content_start = *i;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'\'' => break,
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    let content_end = (*i).min(b.len());
+    tokens.push(Token {
+        kind: TokKind::Char,
+        text: String::from_utf8_lossy(&b[content_start..content_end]).into_owned(),
+        line: start_line,
+    });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = texts("let x = a.unwrap() + 0x1f;");
+        let words: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            words,
+            ["let", "x", "=", "a", ".", "unwrap", "(", ")", "+", "0x1f", ";"]
+        );
+        assert_eq!(toks[4].0, TokKind::Punct);
+        assert_eq!(toks[9].0, TokKind::Num);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots_but_floats_do() {
+        let words: Vec<(TokKind, String)> = texts("0..10; 1.5");
+        let flat: Vec<&str> = words.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(flat, ["0", ".", ".", "10", ";", "1.5"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_ident_stream() {
+        let toks = texts(r#"call("unwrap() inside a \" string")"#);
+        assert_eq!(toks[2].0, TokKind::Str);
+        assert!(toks[2].1.contains("unwrap()"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Ident).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_literals() {
+        let toks = texts(r##"x(r#"quote " inside"#, b"bytes", b'q', br#"raw"#)"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, ["quote \" inside", "bytes", "raw"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "q"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn comments_are_dropped_but_allows_are_collected() {
+        let lexed = lex(concat!(
+            "a(); // lint:allow(no-unwrap-in-serving) reason why\n",
+            "/* block .unwrap() comment\n spanning lines */\n",
+            "b(); // lint:allow(rule-a, rule-b)\n",
+        ));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let got: Vec<(String, u32)> = lexed
+            .allows
+            .iter()
+            .map(|a| (a.rule.clone(), a.line))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("no-unwrap-in-serving".to_string(), 1),
+                ("rule-a".to_string(), 4),
+                ("rule-b".to_string(), 4)
+            ]
+        );
+        // The `b()` after the block comment landed on the right line.
+        assert_eq!(lexed.tokens.last().map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"line\nline\nline\";\nafter();");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .map(|t| t.line);
+        assert_eq!(after, Some(4));
+    }
+}

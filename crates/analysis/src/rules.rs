@@ -1,0 +1,349 @@
+//! The lint rules. Rules are data over the token stream: each one
+//! implements [`Rule`], scopes itself to the crates/targets it governs,
+//! and emits [`Finding`]s; [`run_rules`] applies the `lint:allow`
+//! escape hatch and assembles the [`LintReport`].
+
+use crate::lexer::{TokKind, Token};
+use crate::report::{Finding, LintReport};
+use crate::source::{FileKind, SourceFile};
+
+/// The crates whose library code is a *serving path*: a panic there
+/// rides a pool worker or a caller's write and voids the serving SLO.
+pub const SERVING_CRATES: &[&str] = &[
+    "pitract-engine",
+    "pitract-wal",
+    "pitract-store",
+    "pitract-obs",
+];
+
+/// One token-level lint rule.
+pub trait Rule {
+    /// The rule's name — what `lint:allow(<name>)` must say to excuse a
+    /// finding.
+    fn name(&self) -> &'static str;
+    /// Scan one file, pushing findings (allows are applied later by
+    /// [`run_rules`]).
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>);
+}
+
+/// The deny-by-default rule set the `pitract-lint` binary runs.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrapInServing),
+        Box::new(NoFsyncUnderLock),
+        Box::new(NoBareThreadSpawn),
+        Box::new(BenchArtifactPath),
+    ]
+}
+
+/// Run `rules` over `files`, apply `lint:allow` suppressions, and
+/// assemble the report (findings in scan order).
+pub fn run_rules(files: &[SourceFile], rules: &[Box<dyn Rule>]) -> LintReport {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for file in files {
+        for rule in rules {
+            let mut found = Vec::new();
+            rule.check(file, &mut found);
+            for finding in found {
+                if file.allowed(finding.rule, finding.line) {
+                    report.suppressed += 1;
+                } else {
+                    report.findings.push(finding);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Is `tokens[i]` an identifier that is being *called as a method*
+/// (`.name(`)?
+fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].is_ident(name)
+        && i > 0
+        && tokens[i - 1].is_punct('.')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Is `tokens[i]` the identifier head of a macro invocation (`name!`)?
+fn is_macro_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].is_ident(name) && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+/// `no-unwrap-in-serving`: no `unwrap`/`expect`/`panic!`/`unreachable!`
+/// (or `dbg!` debris) in non-test library code of the serving crates —
+/// a panic on a serving path either aborts the process or burns a pool
+/// worker's batch; errors there must be typed.
+pub struct NoUnwrapInServing;
+
+impl Rule for NoUnwrapInServing {
+    fn name(&self) -> &'static str {
+        "no-unwrap-in-serving"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib || !SERVING_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for i in 0..file.tokens.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let what = if is_method_call(&file.tokens, i, "unwrap") {
+                Some("`.unwrap()`")
+            } else if is_method_call(&file.tokens, i, "expect") {
+                Some("`.expect(…)`")
+            } else if is_macro_call(&file.tokens, i, "panic") {
+                Some("`panic!`")
+            } else if is_macro_call(&file.tokens, i, "unreachable") {
+                Some("`unreachable!`")
+            } else if is_macro_call(&file.tokens, i, "dbg") {
+                Some("`dbg!`")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.tokens[i].line,
+                    message: format!(
+                        "{what} on a serving path in `{}` — return a typed error instead",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `no-fsync-under-lock`: no `sync_all`/`sync_data` (or the WAL's
+/// `timed_sync` wrapper) lexically inside a region holding the WAL
+/// writer-state guard. A disk flush under that mutex serializes every
+/// concurrent stager behind the disk — the exact convoy the two-phase
+/// stage/commit design exists to prevent.
+///
+/// The detection is lexical: a `let` whose initializer (at its own
+/// brace depth) contains a writer-state guard marker (`self.lock()` or
+/// `….state.lock()`) opens a guard region that closes at the end of the
+/// enclosing block or at an explicit `drop(<binding>)`; a guard marker
+/// used as a statement temporary holds only to the end of its
+/// statement. The rotation turnstile (`….rotation.lock()`) is
+/// deliberately *not* a marker — it is taken strictly before the state
+/// lock and never wraps a flush region by itself.
+pub struct NoFsyncUnderLock;
+
+/// Contiguous token-text sequences that mean "a writer-state guard was
+/// just produced".
+const GUARD_MARKERS: &[&[&str]] = &[&["self", ".", "lock", "("], &["state", ".", "lock", "("]];
+
+/// Method names that hit the disk.
+const SYNC_CALLS: &[&str] = &["sync_all", "sync_data", "timed_sync"];
+
+/// Does the marker sequence `pat` start at `tokens[i]`?
+fn marker_at(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, want)| {
+        tokens
+            .get(i + k)
+            .is_some_and(|t| t.kind != TokKind::Str && t.text == *want)
+    })
+}
+
+/// Does any guard marker start at `tokens[i]`?
+fn any_marker_at(tokens: &[Token], i: usize) -> bool {
+    GUARD_MARKERS.iter().any(|pat| marker_at(tokens, i, pat))
+}
+
+impl Rule for NoFsyncUnderLock {
+    fn name(&self) -> &'static str {
+        "no-fsync-under-lock"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib || file.crate_name != "pitract-wal" {
+            return;
+        }
+        let tokens = &file.tokens;
+        // Open guard regions: (binding name or "" for patterns, brace
+        // depth of the `let` statement).
+        let mut regions: Vec<(String, usize)> = Vec::new();
+        let mut depth = 0usize;
+        for i in 0..tokens.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let t = &tokens[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                // A region opened by a `let` at depth d dies with its
+                // enclosing block.
+                regions.retain(|&(_, d)| d <= depth);
+            } else if t.is_ident("let") {
+                if let Some(region) = guard_let(tokens, i, depth) {
+                    regions.push(region);
+                }
+            } else if t.is_ident("drop")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(arg) = tokens.get(i + 2) {
+                    if let Some(at) = regions
+                        .iter()
+                        .rposition(|(b, _)| !b.is_empty() && *b == arg.text)
+                    {
+                        regions.remove(at);
+                    }
+                }
+            } else if SYNC_CALLS.iter().any(|s| is_method_call(tokens, i, s)) {
+                let under_let_guard = !regions.is_empty();
+                let under_stmt_guard = statement_has_marker_before(tokens, i);
+                if under_let_guard || under_stmt_guard {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}` while a writer-state guard is held — flush via a cloned \
+                             handle outside the lock",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// If the `let` at `tokens[i]` binds a writer-state guard, return the
+/// region `(binding, depth)`. The initializer is scanned to its `;`,
+/// and markers only count at the initializer's own brace depth — a
+/// marker inside a nested `{ … }` block belongs to that block's scope
+/// (the flush-via-cloned-handle pattern) and must not leak out.
+fn guard_let(tokens: &[Token], i: usize, depth: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let binding = match tokens.get(j) {
+        Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+        _ => String::new(), // tuple/struct pattern: track depth only
+    };
+    let mut rel = 0usize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            rel += 1;
+        } else if t.is_punct('}') {
+            if rel == 0 {
+                return None; // ill-formed; bail
+            }
+            rel -= 1;
+        } else if t.is_punct(';') && rel == 0 {
+            return None;
+        } else if rel == 0 && any_marker_at(tokens, j) {
+            return Some((binding, depth));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does the statement containing `tokens[i]` start with a guard marker
+/// before `i` (a statement-temporary guard like
+/// `self.lock().file.sync_all()`)?
+fn statement_has_marker_before(tokens: &[Token], i: usize) -> bool {
+    let mut start = i;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    (start..i).any(|j| any_marker_at(tokens, j))
+}
+
+/// `no-bare-thread-spawn`: long-lived workers go through `WorkerPool`
+/// (named threads, admission, panic containment, drain-on-drop) — not
+/// `thread::spawn` or a raw `thread::Builder`. Scoped fan-out
+/// (`thread::scope` + `scope.spawn`) is fine: scoped threads cannot
+/// leak past their batch.
+pub struct NoBareThreadSpawn;
+
+impl Rule for NoBareThreadSpawn {
+    fn name(&self) -> &'static str {
+        "no-bare-thread-spawn"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.test_mask[i] || !tokens[i].is_ident("spawn") {
+                continue;
+            }
+            if tokens.get(i + 1).is_none_or(|t| !t.is_punct('(')) {
+                continue;
+            }
+            // `thread::spawn(…)`.
+            let path_spawn = i >= 3
+                && tokens[i - 1].is_punct(':')
+                && tokens[i - 2].is_punct(':')
+                && tokens[i - 3].is_ident("thread");
+            // `thread::Builder::new()…spawn(…)`: a builder mentioned a
+            // few tokens back in the same expression chain.
+            let builder_spawn = i >= 1
+                && tokens[i - 1].is_punct('.')
+                && tokens[i.saturating_sub(40)..i]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "Builder");
+            if path_spawn || builder_spawn {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: tokens[i].line,
+                    message: "bare thread spawn — route workers through `WorkerPool` \
+                              (or use scoped threads for per-batch fan-out)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `bench-artifact-path`: benchmark artifacts (`BENCH_*.json`) live in
+/// the repo root, where CI cats and uploads them. Writing them under
+/// `target/` hides them from CI — the PR 6 regression this rule pins.
+pub struct BenchArtifactPath;
+
+impl Rule for BenchArtifactPath {
+    fn name(&self) -> &'static str {
+        "bench-artifact-path"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        // Built from pieces so this rule never fires on its own source.
+        let needle = concat!("target", "/", "BENCH_");
+        for t in &file.tokens {
+            if t.kind == TokKind::Str && t.text.contains(needle) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "bench artifact path under `{}` — BENCH_*.json belongs in the \
+                         repo root so CI uploads it",
+                        concat!("target", "/")
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! A lexed source file plus the context rules need: which crate it
+//! belongs to, what kind of target it is, and which tokens are test
+//! code.
+
+use crate::lexer::{lex, Allow, Token};
+
+/// Which compilation target a file belongs to — rules scope themselves
+/// by kind (serving invariants apply to library code, not to `tests/`
+/// or `benches/`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library or binary source under `src/`.
+    Lib,
+    /// An integration test under `tests/`.
+    Test,
+    /// A bench target under `benches/`.
+    Bench,
+    /// An example under `examples/`.
+    Example,
+}
+
+/// One lexed workspace source file, ready for rules.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// The owning package's name (e.g. `pitract-engine`).
+    pub crate_name: String,
+    /// Workspace-relative path, for findings.
+    pub rel_path: String,
+    /// Which target tree the file sits in.
+    pub kind: FileKind,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `lint:allow` directives found in comments.
+    pub allows: Vec<Allow>,
+    /// `test_mask[i]` is true when `tokens[i]` is inside a
+    /// `#[cfg(test)]` / `#[test]`-attributed item.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex `src` and compute the test mask.
+    pub fn from_source(crate_name: &str, rel_path: &str, kind: FileKind, src: &str) -> Self {
+        let lexed = lex(src);
+        let test_mask = test_mask(&lexed.tokens);
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            kind,
+            tokens: lexed.tokens,
+            allows: lexed.allows,
+            test_mask,
+        }
+    }
+
+    /// Whether a finding of `rule` at `line` is excused by a
+    /// `lint:allow` directive on the same line or the line above.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Mark every token inside an item carrying a test attribute:
+/// `#[test]`, `#[cfg(test)]`, or any attribute mentioning `test`
+/// (covering `#[cfg(all(test, …))]` and custom test macros). The
+/// marked span runs from the attribute through the item's body — the
+/// brace-balanced block after the attribute, or up to the `;` for
+/// block-less items like `mod tests;`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Outer attribute `#[…]` (skip inner `#![…]`).
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i;
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut mentions_test = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    // `test` under a `not(…)` (as in `#[cfg(not(test))]`)
+                    // marks *non*-test code — don't mask it.
+                    let negated =
+                        j >= 2 && tokens[j - 1].is_punct('(') && tokens[j - 2].is_ident("not");
+                    if !negated {
+                        mentions_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if mentions_test {
+                let end = item_end(tokens, j);
+                for m in mask.iter_mut().take(end).skip(attr_start) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Given the index just past an item's attributes, return the index
+/// just past the item itself: through the matching `}` of its first
+/// top-level brace block, or past the first `;` if none opens first.
+fn item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip any further attributes stacked on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0usize;
+        i += 1;
+        while i < tokens.len() {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    while i < tokens.len() {
+        if tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        if tokens[i].is_punct('{') {
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                if tokens[i].is_punct('{') {
+                    depth += 1;
+                } else if tokens[i].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                i += 1;
+            }
+            return tokens.len();
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_source("pitract-engine", "src/x.rs", FileKind::Lib, src)
+    }
+
+    fn masked_idents(f: &SourceFile) -> Vec<String> {
+        f.tokens
+            .iter()
+            .zip(&f.test_mask)
+            .filter(|(t, m)| **m && t.kind == crate::lexer::TokKind::Ident)
+            .map(|(t, _)| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_to_its_closing_brace() {
+        let f = file(concat!(
+            "fn serve() { x.unwrap(); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn helper() { y.unwrap(); }\n",
+            "    #[test]\n",
+            "    fn t() { z.unwrap(); }\n",
+            "}\n",
+            "fn after() { w.unwrap(); }\n",
+        ));
+        let masked = masked_idents(&f);
+        assert!(masked.contains(&"helper".to_string()));
+        assert!(masked.contains(&"z".to_string()));
+        assert!(!masked.contains(&"serve".to_string()));
+        assert!(!masked.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes_is_masked() {
+        let f = file(concat!(
+            "#[test]\n",
+            "#[should_panic]\n",
+            "fn t() { boom.unwrap(); }\n",
+            "fn serve() {}\n",
+        ));
+        let masked = masked_idents(&f);
+        assert!(masked.contains(&"boom".to_string()));
+        assert!(!masked.contains(&"serve".to_string()));
+    }
+
+    #[test]
+    fn cfg_all_test_and_derive_attrs() {
+        let f = file(concat!(
+            "#[derive(Debug, Clone)]\n",
+            "struct S { x: u32 }\n",
+            "#[cfg(all(test, feature = \"slow\"))]\n",
+            "fn gated() { g.unwrap(); }\n",
+        ));
+        let masked = masked_idents(&f);
+        assert!(
+            !masked.contains(&"S".to_string()),
+            "derive is not a test attr"
+        );
+        assert!(masked.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn allow_applies_to_its_own_line_and_the_next() {
+        let f = file(concat!(
+            "// lint:allow(some-rule) deliberate\n",
+            "fn a() {}\n",
+            "fn b() {} // lint:allow(other-rule)\n",
+        ));
+        assert!(f.allowed("some-rule", 1));
+        assert!(f.allowed("some-rule", 2));
+        assert!(!f.allowed("some-rule", 3));
+        assert!(f.allowed("other-rule", 3));
+        assert!(!f.allowed("missing-rule", 2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Workspace source discovery: find every first-party `.rs` file,
+//! attribute it to its package, and lex it into [`SourceFile`]s.
+
+use crate::source::{FileKind, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// The package `name = "…"` from a `Cargo.toml`.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted for
+/// deterministic output).
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Walk one package rooted at `pkg_dir`, lexing every target tree.
+fn walk_package(root: &Path, pkg_dir: &Path, out: &mut Vec<SourceFile>) {
+    let Some(name) = package_name(&pkg_dir.join("Cargo.toml")) else {
+        return;
+    };
+    for (sub, kind) in [
+        ("src", FileKind::Lib),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+        ("examples", FileKind::Example),
+    ] {
+        let mut files = Vec::new();
+        rs_files(&pkg_dir.join(sub), &mut files);
+        for path in files {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            out.push(SourceFile::from_source(&name, &rel, kind, &src));
+        }
+    }
+}
+
+/// Lex every first-party source file in the workspace at `root`: the
+/// root facade package plus everything under `crates/`. Vendored shims
+/// (`vendor/`) and build output (`target/`) are not first-party and are
+/// skipped.
+pub fn walk_workspace(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    walk_package(root, root, &mut out);
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            if dir.join("Cargo.toml").is_file() {
+                walk_package(root, &dir, &mut out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_attributes_crates() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("runs inside the workspace");
+        assert!(root.join("crates").is_dir());
+        let files = walk_workspace(&root);
+        assert!(
+            files.len() > 50,
+            "the workspace has many source files, got {}",
+            files.len()
+        );
+        assert!(files
+            .iter()
+            .any(|f| f.crate_name == "pitract-engine" && f.rel_path.ends_with("live.rs")));
+        assert!(
+            files.iter().all(|f| !f.rel_path.starts_with("vendor")),
+            "vendored shims are not first-party"
+        );
+        // The facade package's root tests are attributed to it.
+        assert!(files
+            .iter()
+            .any(|f| f.crate_name == "pi-tractable" && f.kind == FileKind::Test));
+    }
+}

@@ -1,0 +1,173 @@
+//! Fixture-driven self-tests: every seeded-violation snippet must fire
+//! its rule, every clean counterpart must not. The fixtures live as
+//! real `.rs` files under `fixtures/` (outside any target tree, so the
+//! workspace walk never lints them).
+
+use pitract_analysis::rules::{default_rules, run_rules};
+use pitract_analysis::source::{FileKind, SourceFile};
+
+/// Lint one fixture as if it were library code of `crate_name`.
+fn lint(crate_name: &str, src: &str) -> pitract_analysis::LintReport {
+    let file = SourceFile::from_source(crate_name, "src/fixture.rs", FileKind::Lib, src);
+    run_rules(&[file], &default_rules())
+}
+
+fn rules_fired(report: &pitract_analysis::LintReport) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unwrap_fixture_fires_on_every_seeded_panic_path() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/unwrap_violation.rs"),
+    );
+    let fired = rules_fired(&report);
+    assert_eq!(
+        fired.len(),
+        5,
+        "unwrap, expect, panic!, unreachable!, dbg! — got {:?}",
+        report.findings
+    );
+    assert!(fired.iter().all(|r| *r == "no-unwrap-in-serving"));
+    // Findings carry real locations.
+    assert!(report.findings.iter().all(|f| f.line > 0));
+    assert!(report.findings.iter().all(|f| f.path == "src/fixture.rs"));
+}
+
+#[test]
+fn unwrap_fixture_is_silent_outside_the_serving_crates() {
+    let report = lint(
+        "pitract-bench",
+        include_str!("../fixtures/unwrap_violation.rs"),
+    );
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn unwrap_fixture_is_silent_in_test_targets() {
+    let file = SourceFile::from_source(
+        "pitract-engine",
+        "tests/fixture.rs",
+        FileKind::Test,
+        include_str!("../fixtures/unwrap_violation.rs"),
+    );
+    let report = run_rules(&[file], &default_rules());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn unwrap_clean_fixture_stays_clean_and_counts_the_allow() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/unwrap_clean.rs"),
+    );
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.suppressed, 1, "the excused expect was suppressed");
+}
+
+#[test]
+fn fsync_fixture_fires_under_every_guard_shape() {
+    let report = lint(
+        "pitract-wal",
+        include_str!("../fixtures/fsync_violation.rs"),
+    );
+    let fired = rules_fired(&report);
+    assert_eq!(
+        fired,
+        vec![
+            "no-fsync-under-lock",
+            "no-fsync-under-lock",
+            "no-fsync-under-lock"
+        ],
+        "{report}"
+    );
+}
+
+#[test]
+fn fsync_clean_fixture_passes_the_cloned_handle_pattern() {
+    let report = lint("pitract-wal", include_str!("../fixtures/fsync_clean.rs"));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn fsync_rule_is_scoped_to_the_wal_crate() {
+    let report = lint(
+        "pitract-store",
+        include_str!("../fixtures/fsync_violation.rs"),
+    );
+    assert!(
+        rules_fired(&report)
+            .iter()
+            .all(|r| *r != "no-fsync-under-lock"),
+        "{report}"
+    );
+}
+
+#[test]
+fn spawn_fixture_fires_on_path_and_builder_spawns() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/spawn_violation.rs"),
+    );
+    let fired = rules_fired(&report);
+    assert_eq!(
+        fired,
+        vec!["no-bare-thread-spawn", "no-bare-thread-spawn"],
+        "{report}"
+    );
+}
+
+#[test]
+fn spawn_clean_fixture_allows_scoped_fanout_and_the_pool() {
+    let report = lint("pitract-engine", include_str!("../fixtures/spawn_clean.rs"));
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.suppressed, 1, "the pool's spawn point was excused");
+}
+
+#[test]
+fn bench_path_fixture_fires_in_any_crate_and_any_target() {
+    for (crate_name, kind, path) in [
+        ("pitract-bench", FileKind::Bench, "benches/fixture.rs"),
+        ("pi-tractable", FileKind::Test, "tests/fixture.rs"),
+        ("pitract-engine", FileKind::Lib, "src/fixture.rs"),
+    ] {
+        let file = SourceFile::from_source(
+            crate_name,
+            path,
+            kind,
+            include_str!("../fixtures/bench_path_violation.rs"),
+        );
+        let report = run_rules(&[file], &default_rules());
+        assert_eq!(
+            rules_fired(&report),
+            vec!["bench-artifact-path"],
+            "{crate_name} {path}: {report}"
+        );
+    }
+}
+
+#[test]
+fn bench_path_clean_fixture_stays_clean() {
+    let report = lint(
+        "pitract-bench",
+        include_str!("../fixtures/bench_path_clean.rs"),
+    );
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn findings_render_machine_readably() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/unwrap_violation.rs"),
+    );
+    let json = report.to_json().render();
+    assert!(json.contains("\"rule\":\"no-unwrap-in-serving\""));
+    assert!(json.contains("\"path\":\"src/fixture.rs\""));
+    let text = report.to_string();
+    assert!(
+        text.contains("src/fixture.rs:5: [no-unwrap-in-serving]"),
+        "{text}"
+    );
+}

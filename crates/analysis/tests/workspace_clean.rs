@@ -1,0 +1,20 @@
+//! The self-gating test: the real workspace must lint clean. This is
+//! the same check CI's `lint` job runs via the `pitract-lint` binary —
+//! running it in the ordinary test suite means a violation fails
+//! `cargo test` locally before it ever reaches CI.
+
+use pitract_analysis::{lint_workspace, walk};
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = walk::find_workspace_root(here).expect("test runs inside the workspace");
+    let report = lint_workspace(&root);
+    assert!(
+        report.files_scanned > 50,
+        "walk found the workspace ({} files)",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{report}");
+}

@@ -58,6 +58,7 @@ pub mod factor;
 pub mod fit;
 pub mod hash;
 pub mod lang;
+pub mod lockdep;
 pub mod problem;
 pub mod reduce;
 pub mod scheme;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::factor::{Factorization, FnFactorization};
     pub use crate::fit::{best_fit, FitModel, Sample};
     pub use crate::lang::{FnPairLanguage, PairLanguage};
+    pub use crate::lockdep::{LockRank, OrderedMutex, OrderedRwLock};
     pub use crate::problem::{induced_pair_language, DecisionProblem, FnProblem};
     pub use crate::reduce::{FReduction, FactorReduction};
     pub use crate::scheme::Scheme;

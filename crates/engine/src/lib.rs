@@ -49,6 +49,12 @@
 //! oracle [`pitract_relation::Relation::eval_scan`] on the same data.
 
 #![warn(missing_docs)]
+// Serving-stack panic hygiene (PR 9): no panicking escape hatches in
+// non-test code. Individual invariant sites opt out locally with an
+// `#[allow]` paired with a `// lint:allow(...)` justification that the
+// `pitract-lint` pass checks.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::dbg_macro)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
@@ -61,8 +67,8 @@ pub mod shard;
 pub use batch::{BatchAnswers, BatchReport, BatchRows, QueryBatch, QueryCost};
 pub use error::EngineError;
 pub use live::{
-    Applied, EpochPin, Frozen, LiveRelation, UpdateEntry, UpdateLog, UpdateOp, VersionStats,
-    WalSink,
+    publish_lockdep, Applied, EpochPin, Frozen, LiveRelation, UpdateEntry, UpdateLog, UpdateOp,
+    VersionStats, WalSink,
 };
 pub use planner::{AccessPath, Planner, QueryPlan};
 pub use pool::{BatchServe, PoolConfig, PoolStats, PooledExecutor, WorkerPool};

@@ -7,7 +7,8 @@
 //! is the serving wrapper that removes that seam:
 //!
 //! * **Per-shard read/write locks.** Each shard is an
-//!   [`IndexedRelation`] behind its own `RwLock`. Batch fan-out takes a
+//!   [`IndexedRelation`] behind its own rank-checked
+//!   [`OrderedRwLock`](pitract_core::lockdep::OrderedRwLock). Batch fan-out takes a
 //!   *read* lock on only the shards a query routes to, so queries on
 //!   different shards — and any number of queries on the same shard —
 //!   proceed concurrently. An update takes a *write* lock on only the one
@@ -15,8 +16,10 @@
 //!   [`crate::shard::ShardedRelation::shard_of`], so lock scope never
 //!   moves); the other `S - 1` shards keep serving.
 //! * **Global ids behind their own lock.** The global-id and location
-//!   maps live in a separate `RwLock`, acquired after the shard lock
-//!   (one fixed order, so the layer cannot deadlock). Per-shard
+//!   maps live in a separate `OrderedRwLock`, acquired after the shard
+//!   lock (one fixed order — checked at runtime by
+//!   [`pitract_core::lockdep`] in debug builds — so the layer cannot
+//!   deadlock). Per-shard
 //!   local→global maps are append-only, which lets readers translate
 //!   row ids *after* releasing the shard lock.
 //! * **`|CHANGED|`-bounded maintenance accounting.** Every applied update
@@ -62,13 +65,17 @@ use crate::error::EngineError;
 use crate::shard::{relevant_shards_for, route_shard, ShardBy, ShardedRelation};
 use pitract_core::cost::{log2_floor, Meter};
 use pitract_core::epoch::Epoch;
+use pitract_core::lockdep::{
+    LockRank, OrderedMutex, OrderedMutexGuard, OrderedRwLock, OrderedRwLockReadGuard,
+    OrderedRwLockWriteGuard,
+};
 use pitract_incremental::bounded::{BoundednessReport, UpdateRecord};
 use pitract_obs::{Counter, Gauge, Histogram, Recorder};
 use pitract_relation::indexed::IndexedRelation;
 use pitract_relation::{IndexedError, Relation, Schema, SelectionQuery, Value};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A durable write-ahead sink for the update stream of a
 /// [`LiveRelation`].
@@ -449,9 +456,13 @@ impl ShardSlot {
         restored.retain(|(local, _)| *local < hidden_from);
         let restored_locals: Vec<usize> = restored.iter().map(|(local, _)| *local).collect();
         let rows: Vec<Vec<Value>> = restored.iter().map(|(_, row)| (*row).clone()).collect();
+        #[allow(clippy::expect_used)]
         let rel = Relation::from_rows(schema.clone(), rows)
+            // lint:allow(no-unwrap-in-serving): restored rows came out of this relation
             .expect("restored rows were admitted by this schema");
+        #[allow(clippy::expect_used)]
         let restored = IndexedRelation::build(&rel, indexed_cols)
+            // lint:allow(no-unwrap-in-serving): the indexed columns were validated at build
             .expect("indexed columns were validated when the relation was built");
         Some(Rollback {
             hidden_from,
@@ -635,20 +646,20 @@ pub struct LiveRelation {
     schema: Schema,
     shard_by: ShardBy,
     indexed_cols: Vec<usize>,
-    shards: Vec<RwLock<ShardSlot>>,
-    ids: RwLock<IdMaps>,
+    shards: Vec<OrderedRwLock<ShardSlot>>,
+    ids: OrderedRwLock<IdMaps>,
     /// The epoch clock and pinned-epoch registry. Writers bump it inside
     /// the gid critical section (one tick per applied update), readers
     /// pin under the same mutex — acquired after `ids`, before `log`,
     /// in the fixed lock order.
-    epochs: Mutex<EpochState>,
+    epochs: OrderedMutex<EpochState>,
     /// Retained undo records across all shard rings — a cheap gate so
     /// releasing a pin only sweeps the rings when something is actually
     /// retained.
     retained: AtomicUsize,
     /// Updates since the last checkpoint, in global-id order, with the
     /// absolute position of the oldest pending entry.
-    log: Mutex<LogState>,
+    log: OrderedMutex<LogState>,
     /// One record per applied update, in the same order as the log.
     maintenance: Mutex<BoundednessReport>,
     /// One record per retained undo record, charged in the same
@@ -763,16 +774,22 @@ impl LiveRelation {
             indexed_cols,
             shards: shards
                 .into_iter()
-                .map(|s| RwLock::new(ShardSlot::new(s)))
+                .enumerate()
+                .map(|(i, s)| {
+                    OrderedRwLock::with_sub_order(LockRank::Shard, i as u32, ShardSlot::new(s))
+                })
                 .collect(),
-            ids: RwLock::new(IdMaps {
-                global_ids,
-                locations,
-                live,
-            }),
-            epochs: Mutex::new(EpochState::default()),
+            ids: OrderedRwLock::new(
+                LockRank::Gid,
+                IdMaps {
+                    global_ids,
+                    locations,
+                    live,
+                },
+            ),
+            epochs: OrderedMutex::new(LockRank::Epoch, EpochState::default()),
             retained: AtomicUsize::new(0),
-            log: Mutex::new(LogState::default()),
+            log: OrderedMutex::new(LockRank::Log, LogState::default()),
             maintenance: Mutex::new(BoundednessReport::new()),
             version_maintenance: Mutex::new(BoundednessReport::new()),
             sink: None,
@@ -828,6 +845,7 @@ impl LiveRelation {
             .publish(&self.recorder, "engine_maintenance");
         self.version_report()
             .publish(&self.recorder, "mvcc_retention");
+        publish_lockdep(&self.recorder);
     }
 
     /// Schema of the logical relation.
@@ -871,37 +889,39 @@ impl LiveRelation {
 
     // --- lock helpers ------------------------------------------------------
     //
-    // Lock poisoning is deliberately ignored (`into_inner`): every
-    // critical section below upholds the structure invariants before any
-    // call that could panic, and a serving tier must keep answering after
-    // one worker died mid-request. The one fixed acquisition order —
-    // shard locks (ascending), then `ids`, then `epochs`, then
-    // `log`/`maintenance` — makes deadlock impossible.
+    // Lock poisoning is deliberately ignored (the ordered wrappers
+    // absorb it): every critical section below upholds the structure
+    // invariants before any call that could panic, and a serving tier
+    // must keep answering after one worker died mid-request. The one
+    // fixed acquisition order — shard locks (ascending), then `ids`,
+    // then `epochs`, then `log` — makes deadlock impossible, and the
+    // [`pitract_core::lockdep`] ranks carried by each lock turn any
+    // future violation of that order into a debug-build panic instead
+    // of a production hang. `maintenance`/`version_maintenance` stay
+    // plain leaf mutexes: nothing is ever acquired while they are held.
 
-    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, ShardSlot> {
-        read_lock(&self.shards[s])
+    fn read_shard(&self, s: usize) -> OrderedRwLockReadGuard<'_, ShardSlot> {
+        self.shards[s].read()
     }
 
-    fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, ShardSlot> {
-        self.shards[s]
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn write_shard(&self, s: usize) -> OrderedRwLockWriteGuard<'_, ShardSlot> {
+        self.shards[s].write()
     }
 
-    fn lock_epochs(&self) -> MutexGuard<'_, EpochState> {
-        self.epochs.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_epochs(&self) -> OrderedMutexGuard<'_, EpochState> {
+        self.epochs.lock()
     }
 
-    fn read_ids(&self) -> RwLockReadGuard<'_, IdMaps> {
-        self.ids.read().unwrap_or_else(PoisonError::into_inner)
+    fn read_ids(&self) -> OrderedRwLockReadGuard<'_, IdMaps> {
+        self.ids.read()
     }
 
-    fn write_ids(&self) -> RwLockWriteGuard<'_, IdMaps> {
-        self.ids.write().unwrap_or_else(PoisonError::into_inner)
+    fn write_ids(&self) -> OrderedRwLockWriteGuard<'_, IdMaps> {
+        self.ids.write()
     }
 
-    fn lock_log(&self) -> MutexGuard<'_, LogState> {
-        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_log(&self) -> OrderedMutexGuard<'_, LogState> {
+        self.log.lock()
     }
 
     fn lock_maintenance(&self) -> MutexGuard<'_, BoundednessReport> {
@@ -969,10 +989,8 @@ impl LiveRelation {
         if self.retained.load(Ordering::Acquire) > 0 {
             let mut dropped = 0;
             for slot in &self.shards {
-                let mut guard = match slot.try_write() {
-                    Ok(guard) => guard,
-                    Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
-                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                let Some(mut guard) = slot.try_write() else {
+                    continue;
                 };
                 dropped += guard.trim(watermark);
             }
@@ -1199,9 +1217,11 @@ impl LiveRelation {
             // Same epoch protocol as `insert_staged`: apply, tick the
             // clock, stamp, record the undo, trim.
             let mut epochs = self.lock_epochs();
+            #[allow(clippy::expect_used)]
             let row = guard
                 .current
                 .delete(local)
+                // lint:allow(no-unwrap-in-serving): the location map just said this row is live
                 .expect("location map and shard agree on live rows");
             epochs.current += 1;
             guard.stamp = epochs.current;
@@ -1538,7 +1558,7 @@ impl LiveRelation {
     /// is exactly the epoch of the exported state.
     pub fn freeze(&self) -> Frozen {
         let (schema, shard_by, shards, global_ids, locations, covered, epoch) = {
-            let guards: Vec<RwLockReadGuard<'_, ShardSlot>> =
+            let guards: Vec<OrderedRwLockReadGuard<'_, ShardSlot>> =
                 self.shards.iter().map(read_lock).collect();
             let ids = self.read_ids();
             let epoch = self.lock_epochs().current;
@@ -1555,7 +1575,9 @@ impl LiveRelation {
             )
             // All guards drop here: writers proceed while we validate.
         };
+        #[allow(clippy::expect_used)]
         let state = ShardedRelation::from_parts(schema, shard_by, shards, global_ids, locations)
+            // lint:allow(no-unwrap-in-serving): the live maps uphold the sharded invariants
             .expect("live state upholds the sharded invariants");
         Frozen {
             state,
@@ -1652,8 +1674,24 @@ impl LiveRelation {
     }
 }
 
-fn read_lock(lock: &RwLock<ShardSlot>) -> RwLockReadGuard<'_, ShardSlot> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
+fn read_lock(lock: &OrderedRwLock<ShardSlot>) -> OrderedRwLockReadGuard<'_, ShardSlot> {
+    lock.read()
+}
+
+/// Publish the process-wide [`pitract_core::lockdep`] totals into
+/// `recorder` as `lockdep_checks_total` / `lockdep_violations_total`.
+/// The lockdep counters are global (every ordered lock in the process
+/// feeds them), so the publish is monotonic (`raise_to`) — republishing
+/// from several relations or pools never double-counts. In release
+/// builds the checks are compiled out and both totals stay 0.
+pub fn publish_lockdep(recorder: &Recorder) {
+    let stats = pitract_core::lockdep::stats();
+    recorder
+        .counter("lockdep_checks_total")
+        .raise_to(stats.checks);
+    recorder
+        .counter("lockdep_violations_total")
+        .raise_to(stats.violations);
 }
 
 #[cfg(test)]

@@ -261,9 +261,12 @@ impl WorkerPool {
                 let receiver = Arc::clone(&receiver);
                 let queued = Arc::clone(&queued);
                 let queued_gauge = instruments.queued_jobs.clone();
+                #[allow(clippy::expect_used)]
                 std::thread::Builder::new()
                     .name(format!("pitract-pool-{i}"))
+                    // lint:allow(no-bare-thread-spawn): this IS the pool's one spawn point
                     .spawn(move || worker_loop(&receiver, &queued, &queued_gauge))
+                    // lint:allow(no-unwrap-in-serving): construction-time; a pool that cannot spawn is fatal
                     .expect("spawn pool worker")
             })
             .collect();
@@ -315,13 +318,16 @@ impl WorkerPool {
         (AdmissionSlot(&self.admission), waited)
     }
 
+    #[allow(clippy::expect_used)]
     fn submit(&self, job: Job) {
         self.queued.fetch_add(1, Ordering::Relaxed);
         self.admission.instruments.queued_jobs.inc();
         self.sender
             .as_ref()
+            // lint:allow(no-unwrap-in-serving): the sender is Some until Drop takes it
             .expect("pool sender lives until drop")
             .send(job)
+            // lint:allow(no-unwrap-in-serving): workers only exit after the channel closes
             .expect("pool workers live until drop");
     }
 }
@@ -399,6 +405,7 @@ impl<T> Collector<T> {
 
     /// Wait for every job, then yield the per-shard results (in slot =
     /// ascending-shard order) or the first panicked shard.
+    #[allow(clippy::expect_used)]
     fn wait(&self) -> Result<Vec<(usize, WorkerResults<T>)>, EngineError> {
         let mut state = lock(&self.state);
         while state.remaining > 0 {
@@ -413,6 +420,7 @@ impl<T> Collector<T> {
         Ok(state
             .slots
             .iter_mut()
+            // lint:allow(no-unwrap-in-serving): remaining == 0 and no panic ⇒ every slot was filled
             .map(|slot| slot.take().expect("every non-panicked slot was filled"))
             .collect())
     }

@@ -363,7 +363,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8, what: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -439,7 +439,7 @@ impl<'a> Parser<'a> {
             }
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "':'")?;
+            self.expect_byte(b':', "':'")?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             pairs.push((key, value));

@@ -205,6 +205,15 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Take exactly `N` bytes as an array — the fixed-width cousin of
+    /// [`Self::take`], with the same typed [`StoreError::Truncated`] on
+    /// underrun instead of a panicking slice conversion.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, StoreError> {
         Ok(self.take(1)?[0])
@@ -212,22 +221,22 @@ impl<'a> Reader<'a> {
 
     /// Read a `u16`, little-endian.
     pub fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u32`, little-endian.
     pub fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u64`, little-endian.
     pub fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `i64`, little-endian.
     pub fn i64(&mut self) -> Result<i64, StoreError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u64` and narrow it to `usize`.

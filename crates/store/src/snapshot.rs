@@ -311,7 +311,7 @@ impl Snapshot {
             });
         }
         let body = &bytes[..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let stored = Reader::new(&bytes[bytes.len() - 8..]).u64()?;
         if fnv1a64(body) != stored {
             return Err(StoreError::ChecksumMismatch);
         }
@@ -533,10 +533,13 @@ fn write_indexed_body(ir: &IndexedRelation, rows: &mut Writer, indexes: &mut Wri
     }
     // Iterate columns in sorted order so the bytes are deterministic
     // (the underlying map is a HashMap).
-    let cols = ir.indexed_columns();
+    let cols: Vec<(usize, _)> = ir
+        .indexed_columns()
+        .into_iter()
+        .filter_map(|col| ir.index_postings(col).map(|p| (col, p)))
+        .collect();
     indexes.usize(cols.len());
-    for col in cols {
-        let postings = ir.index_postings(col).expect("column is indexed");
+    for (col, postings) in cols {
         indexes.usize(col);
         indexes.usize(postings.len());
         for (key, ids) in postings {

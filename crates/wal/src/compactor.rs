@@ -188,7 +188,10 @@ impl Compactor {
                         })
                 })
                 .max();
-            let active_carrier = active_insert_watermark(scan.segments.last().expect("nonempty"))?;
+            let active_carrier = match scan.segments.last() {
+                Some(seg) => active_insert_watermark(seg)?,
+                None => None,
+            };
             let carrier = closed_carrier.max(active_carrier);
             if carrier.is_none_or(|c| c < watermark.gid) {
                 drop[watermark.insert_at.0][watermark.insert_at.1] = false;

@@ -71,6 +71,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// Serving-stack panic hygiene (PR 9): no panicking escape hatches in
+// non-test code. Individual invariant sites opt out locally with an
+// `#[allow]` paired with a `// lint:allow(...)` justification that the
+// `pitract-lint` pass checks.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::dbg_macro)]
 #![warn(rust_2018_idioms)]
 
 pub mod compactor;

@@ -67,6 +67,29 @@ pub const SEGMENT_HEADER_LEN: usize = 8 + 2 + 8;
 /// Fixed bytes per record around the payload (length + LSN + checksum).
 pub const RECORD_OVERHEAD: usize = 4 + 8 + 8;
 
+/// Decode a little-endian `u16` from an exactly-sized slice. Callers
+/// index `bytes` with offsets they have already length-checked, so this
+/// is a plain fixed-width copy, not a fallible parse.
+fn le_u16(bytes: &[u8]) -> u16 {
+    let mut raw = [0u8; 2];
+    raw.copy_from_slice(bytes);
+    u16::from_le_bytes(raw)
+}
+
+/// Decode a little-endian `u32` from an exactly-sized slice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(bytes);
+    u32::from_le_bytes(raw)
+}
+
+/// Decode a little-endian `u64` from an exactly-sized slice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(bytes);
+    u64::from_le_bytes(raw)
+}
+
 /// Encode a segment header for `base_lsn`.
 pub fn segment_header(base_lsn: u64) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN);
@@ -149,14 +172,14 @@ pub fn scan_segment(
             path: name.to_string(),
         });
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    let version = le_u16(&bytes[8..10]);
     if version != SEGMENT_VERSION {
         return Err(WalError::VersionMismatch {
             found: version,
             expected: SEGMENT_VERSION,
         });
     }
-    let base_lsn = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    let base_lsn = le_u64(&bytes[10..18]);
     if base_lsn != name_base {
         return Err(corrupt(
             10,
@@ -181,13 +204,12 @@ pub fn scan_segment(
         // (tolerated in the last segment) — truncation can cut anywhere,
         // including inside the length field itself.
         let frame_len = if remaining >= 4 {
-            let n = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let n = le_u32(&bytes[pos..pos + 4]) as usize;
             n.checked_add(RECORD_OVERHEAD)
         } else {
             None
         };
-        let complete = frame_len.is_some_and(|f| f <= remaining);
-        if !complete {
+        let Some(frame_len) = frame_len.filter(|f| *f <= remaining) else {
             if last {
                 return Ok(SegmentScan {
                     base_lsn,
@@ -197,20 +219,15 @@ pub fn scan_segment(
                 });
             }
             return Err(corrupt(pos, "closed segment ends mid-record".into()));
-        }
-        let frame_len = frame_len.expect("checked complete");
+        };
         let body = &bytes[pos..pos + frame_len - 8];
-        let stored = u64::from_le_bytes(
-            bytes[pos + frame_len - 8..pos + frame_len]
-                .try_into()
-                .unwrap(),
-        );
+        let stored = le_u64(&bytes[pos + frame_len - 8..pos + frame_len]);
         if fnv1a64(body) != stored {
             // A complete frame with a bad checksum is bit rot, not a
             // crash: truncation can only ever shorten the file.
             return Err(corrupt(pos, "record checksum mismatch".into()));
         }
-        let lsn = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let lsn = le_u64(&bytes[pos + 4..pos + 12]);
         if lsn < expected {
             return Err(corrupt(
                 pos,

@@ -4,6 +4,7 @@ use crate::error::WalError;
 use crate::segment::{
     encode_record, scan_dir, segment_file_name, segment_header, DirScan, SEGMENT_HEADER_LEN,
 };
+use pitract_core::lockdep::{LockRank, OrderedMutex, OrderedMutexGuard};
 use pitract_engine::UpdateEntry;
 use pitract_obs::{Counter, Histogram, Recorder};
 use pitract_store::codec::Writer as CodecWriter;
@@ -11,7 +12,6 @@ use pitract_store::fsync_dir;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Interned metric handles for the append side. Default (no-op) handles
@@ -142,11 +142,12 @@ struct WriterState {
 pub struct WalWriter {
     dir: PathBuf,
     config: WalConfig,
-    state: Mutex<WriterState>,
+    state: OrderedMutex<WriterState>,
     /// Serializes rotations so exactly one committer performs the
     /// deferred segment switch; acquired strictly before `state` (the
-    /// one fixed order — never the other way around).
-    rotation: Mutex<()>,
+    /// one fixed order — never the other way around, which the
+    /// [`pitract_core::lockdep`] ranks enforce in debug builds).
+    rotation: OrderedMutex<()>,
     instruments: WalInstruments,
 }
 
@@ -234,20 +235,23 @@ impl WalWriter {
         };
         let active_bytes = active_len(&scan);
         let writer = WalWriter {
-            rotation: Mutex::new(()),
+            rotation: OrderedMutex::new(LockRank::WalRotation, ()),
             instruments: WalInstruments::new(recorder),
-            state: Mutex::new(WriterState {
-                file,
-                active_bytes,
-                next_lsn,
-                // Everything that survived the scan is already on disk;
-                // whether it is *synced* is unknowable after a restart,
-                // so count only what we flush ourselves.
-                durable_next: 0,
-                poisoned: false,
-                // A recovered segment may already be over the threshold.
-                rotation_due: active_bytes >= config.segment_bytes,
-            }),
+            state: OrderedMutex::new(
+                LockRank::WalState,
+                WriterState {
+                    file,
+                    active_bytes,
+                    next_lsn,
+                    // Everything that survived the scan is already on disk;
+                    // whether it is *synced* is unknowable after a restart,
+                    // so count only what we flush ourselves.
+                    durable_next: 0,
+                    poisoned: false,
+                    // A recovered segment may already be over the threshold.
+                    rotation_due: active_bytes >= config.segment_bytes,
+                },
+            ),
             dir,
             config,
         };
@@ -407,7 +411,7 @@ impl WalWriter {
         if !self.lock().rotation_due {
             return Ok(());
         }
-        let _turn = self.rotation.lock().unwrap_or_else(PoisonError::into_inner);
+        let _turn = self.rotation.lock();
         // Pre-seal: flush the closing segment's bulk without the state
         // lock, so concurrent appends keep staging while the disk works.
         let pre = {
@@ -427,6 +431,10 @@ impl WalWriter {
         if !state.rotation_due {
             return Ok(());
         }
+        // Deliberate sync under the state lock: the bulk was flushed through a
+        // cloned handle above; only the sliver since that pre-seal is paid
+        // here, and the switch must be atomic with respect to appends.
+        // lint:allow(no-fsync-under-lock)
         state.file.sync_data()?;
         state.durable_next = state.next_lsn;
         state.file = create_segment(&self.dir, state.next_lsn)?;
@@ -436,8 +444,8 @@ impl WalWriter {
         Ok(())
     }
 
-    fn lock(&self) -> MutexGuard<'_, WriterState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> OrderedMutexGuard<'_, WriterState> {
+        self.state.lock()
     }
 }
 

@@ -24,6 +24,7 @@
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
 //! | [`incremental`] | bounded incremental computation (|CHANGED| accounting) |
 //! | [`reductions`] | concrete reductions between the case-study classes |
+//! | [`analysis`] | invariant lints for this workspace's own sources (`pitract-lint`) |
 //!
 //! ## Quickstart
 //!
@@ -316,10 +317,49 @@
 //! let reparsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
 //! assert_eq!(reparsed, snapshot);
 //! ```
+//!
+//! ## Correctness tooling
+//!
+//! Two guard rails keep the serving stack honest about its own
+//! invariants. **Runtime lock-order checking**: every lock in the
+//! serving tier ([`LiveRelation`](crate::engine::live::LiveRelation)'s
+//! shard/id/epoch/log locks, the WAL writer's rotation/state locks) is
+//! an [`OrderedRwLock`](crate::core::lockdep::OrderedRwLock) /
+//! [`OrderedMutex`](crate::core::lockdep::OrderedMutex) carrying an
+//! explicit [`LockRank`](crate::core::lockdep::LockRank); debug builds
+//! keep a thread-local stack of held ranks and panic on any acquisition
+//! that inverts the documented order, release builds compile the check
+//! out entirely. The totals surface as `lockdep_checks_total` /
+//! `lockdep_violations_total` in the metrics registry. **Static
+//! invariant lints**: the [`analysis`] crate's `pitract-lint` binary
+//! walks the workspace sources with a zero-dependency lexer and denies
+//! panicking escape hatches in serving code, fsyncs under the WAL state
+//! lock, bare thread spawns, and benchmark artifacts written under
+//! `target/` — each rule opt-out-able per site with a justified
+//! `// lint:allow(<rule>)`.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//!
+//! // Ranked locks: taking Gid then Log follows the documented order and
+//! // costs nothing beyond the std lock in release builds. Inverting the
+//! // order panics in debug builds instead of deadlocking in production.
+//! let gids = OrderedRwLock::new(LockRank::Gid, vec![0u64]);
+//! let log = OrderedMutex::new(LockRank::Log, Vec::new());
+//! let ids = gids.read();
+//! log.lock().push(ids[0]);
+//! drop(ids);
+//!
+//! // The lint pass is a library too: this workspace lints itself clean.
+//! let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+//! let report: LintReport = pi_tractable::analysis::lint_workspace(root);
+//! assert!(report.is_clean(), "{report}");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use pitract_analysis as analysis;
 pub use pitract_circuit as circuit;
 pub use pitract_core as core;
 pub use pitract_engine as engine;
@@ -336,11 +376,13 @@ pub use pitract_wal as wal;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use pitract_analysis::LintReport;
     pub use pitract_core::cost::{CostClass, Meter};
     pub use pitract_core::epoch::Epoch;
     pub use pitract_core::factor::{Factorization, FnFactorization};
     pub use pitract_core::fit::{best_fit, FitModel, Sample};
     pub use pitract_core::lang::{FnPairLanguage, PairLanguage};
+    pub use pitract_core::lockdep::{LockRank, OrderedMutex, OrderedRwLock};
     pub use pitract_core::problem::{DecisionProblem, FnProblem};
     pub use pitract_core::reduce::{FReduction, FactorReduction};
     pub use pitract_core::scheme::Scheme;
