@@ -33,6 +33,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoFsyncUnderLock),
         Box::new(NoBareThreadSpawn),
         Box::new(BenchArtifactPath),
+        Box::new(NoBlockingSyscallsOnPoolWorkers),
     ]
 }
 
@@ -313,6 +314,116 @@ impl Rule for NoBareThreadSpawn {
                               (or use scoped threads for per-batch fan-out)"
                         .to_string(),
                 });
+            }
+        }
+    }
+}
+
+/// `no-blocking-syscalls-on-pool-workers`: no blocking file I/O inside
+/// a `fn eval_*` body in the serving crates. The `eval_bool`/`eval_rows`
+/// methods are exactly what `WorkerPool` workers execute per shard per
+/// batch; one disk touch there multiplies by every shard of every
+/// admitted batch and stalls a worker the admission gate thinks is
+/// compute-bound. Durability belongs on the write path (the WAL), never
+/// on the batch-evaluation path.
+///
+/// The detection is lexical: a `fn` whose name starts with `eval_` opens
+/// a region at its body's brace; inside any such region the rule flags
+/// flush calls (`sync_all`/`sync_data`/`timed_sync`), file opens
+/// (`File::open`/`File::create`/`OpenOptions::new`), and `fs::…` path
+/// calls.
+pub struct NoBlockingSyscallsOnPoolWorkers;
+
+/// Method calls that block a pool worker on the disk.
+const BLOCKING_METHOD_CALLS: &[&str] = &["sync_all", "sync_data", "timed_sync"];
+
+/// `Type::assoc(` heads that open or hit a file.
+const BLOCKING_PATH_CALLS: &[(&str, &str)] =
+    &[("File", "open"), ("File", "create"), ("OpenOptions", "new")];
+
+/// Is `tokens[i]` the identifier `head` of a `head::assoc(` path call?
+fn is_path_call(tokens: &[Token], i: usize, head: &str, assoc: Option<&str>) -> bool {
+    tokens[i].is_ident(head)
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| match assoc {
+            Some(name) => t.is_ident(name),
+            None => t.kind == TokKind::Ident,
+        })
+        && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
+impl Rule for NoBlockingSyscallsOnPoolWorkers {
+    fn name(&self) -> &'static str {
+        "no-blocking-syscalls-on-pool-workers"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib || !SERVING_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let tokens = &file.tokens;
+        let mut depth = 0usize;
+        // Brace depths at which an `eval_*` body opened.
+        let mut regions: Vec<usize> = Vec::new();
+        // A `fn eval_*` signature was seen; the next `{` is its body
+        // (Rust signatures contain no braces), a `;` first means a
+        // bodiless trait declaration.
+        let mut pending = false;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.is_punct('{') {
+                depth += 1;
+                if pending {
+                    regions.push(depth);
+                    pending = false;
+                }
+                continue;
+            }
+            if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                regions.retain(|&d| d <= depth);
+                continue;
+            }
+            if file.test_mask[i] {
+                continue;
+            }
+            if t.is_punct(';') {
+                pending = false;
+            } else if t.is_ident("fn")
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("eval_"))
+            {
+                pending = true;
+            } else if !regions.is_empty() {
+                let what = if BLOCKING_METHOD_CALLS
+                    .iter()
+                    .any(|m| is_method_call(tokens, i, m))
+                {
+                    Some(format!("`.{}()`", t.text))
+                } else if BLOCKING_PATH_CALLS
+                    .iter()
+                    .any(|&(head, assoc)| is_path_call(tokens, i, head, Some(assoc)))
+                {
+                    Some(format!("`{}::{}`", t.text, tokens[i + 3].text))
+                } else if is_path_call(tokens, i, "fs", None) {
+                    Some(format!("`fs::{}`", tokens[i + 3].text))
+                } else {
+                    None
+                };
+                if let Some(what) = what {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "{what} inside `fn eval_…` in `{}` — pool workers must stay \
+                             syscall-free; stage I/O on the write path, not per batch",
+                            file.crate_name
+                        ),
+                    });
+                }
             }
         }
     }

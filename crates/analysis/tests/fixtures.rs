@@ -157,6 +157,60 @@ fn bench_path_clean_fixture_stays_clean() {
 }
 
 #[test]
+fn syscall_fixture_fires_on_every_eval_body_io_site() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/syscall_violation.rs"),
+    );
+    let fired = rules_fired(&report);
+    assert_eq!(
+        fired.len(),
+        4,
+        "File::open, OpenOptions::new, sync_all, fs::read — got {:?}",
+        report.findings
+    );
+    assert!(fired
+        .iter()
+        .all(|r| *r == "no-blocking-syscalls-on-pool-workers"));
+    // The `checkpoint` body (non-eval fn, same I/O) stayed out of scope.
+    assert!(report.findings.iter().all(|f| f.line < 26), "{report}");
+}
+
+#[test]
+fn syscall_fixture_is_silent_outside_the_serving_crates() {
+    let report = lint(
+        "pitract-repl",
+        include_str!("../fixtures/syscall_violation.rs"),
+    );
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn syscall_fixture_is_silent_in_test_targets() {
+    let file = SourceFile::from_source(
+        "pitract-engine",
+        "tests/fixture.rs",
+        FileKind::Test,
+        include_str!("../fixtures/syscall_violation.rs"),
+    );
+    let report = run_rules(&[file], &default_rules());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn syscall_clean_fixture_keeps_the_write_path_and_counts_the_allow() {
+    let report = lint(
+        "pitract-engine",
+        include_str!("../fixtures/syscall_clean.rs"),
+    );
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(
+        report.suppressed, 1,
+        "the excused warm-up read was suppressed"
+    );
+}
+
+#[test]
 fn findings_render_machine_readably() {
     let report = lint(
         "pitract-engine",

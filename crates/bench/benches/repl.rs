@@ -1,0 +1,80 @@
+//! Wall-clock benchmarks for WAL-shipping replication, plus the
+//! machine-readable perf artifact.
+//!
+//! Besides the criterion group, every run (including the CI `--test`
+//! smoke) serializes two curves to `BENCH_repl.json` (default
+//! `BENCH_repl.json` in the repository root, where it is committed as
+//! the perf trajectory; override with the `BENCH_REPL_JSON` env var),
+//! next to the wal/pool/mvcc artifacts:
+//!
+//! * follower catch-up throughput vs the *net* change (total churn
+//!   fixed — the compactor cancels the rest before shipping);
+//! * follower batch throughput vs the primary's under 0/1/4 racing
+//!   primary writers, with a live catch-up loop keeping the replica
+//!   fresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pitract_bench::artifact::{available_parallelism, experiment, rounded, write_artifact};
+use pitract_bench::experiments::{
+    repl_catchup_sweep, repl_serving_sweep, ReplCatchUpSample, ReplServeSample, REPL_BATCH_QUERIES,
+    REPL_SHARDS,
+};
+
+const TOTAL_OPS: usize = 3_000;
+const NETS: [usize; 3] = [250, 1_000, 3_000];
+const SERVE_ROWS: i64 = 8_000;
+const WRITERS: [usize; 3] = [0, 1, 4];
+const PER_WRITER: i64 = 200;
+
+/// Measure both sweeps once and write the JSON artifact.
+fn emit_bench_repl_json(c: &mut Criterion) {
+    let catchup = repl_catchup_sweep(TOTAL_OPS, &NETS);
+    let serving = repl_serving_sweep(SERVE_ROWS, &WRITERS, PER_WRITER, 3);
+    let path = std::env::var("BENCH_REPL_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repl.json").to_string()
+    });
+    match write_json(&path, &catchup, &serving) {
+        Ok(()) => println!("BENCH_repl.json written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    // Keep the shim's "ran at least one benchmark" accounting honest.
+    c.bench_function("e21_emit_json", |b| b.iter(|| catchup.len()));
+}
+
+fn write_json(
+    path: &str,
+    catchup: &[ReplCatchUpSample],
+    serving: &[ReplServeSample],
+) -> std::io::Result<()> {
+    let catchup: Vec<_> = catchup
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("total_ops", s.total_ops)
+                .set("net_change", s.net_change)
+                .set("shipped_records", s.shipped_records)
+                .set("seconds", rounded(s.seconds, 6))
+                .set("records_per_second", rounded(s.records_per_second, 1))
+        })
+        .collect();
+    let serving: Vec<_> = serving
+        .iter()
+        .map(|s| {
+            pitract_obs::Json::obj()
+                .set("writers", s.writers)
+                .set("primary_qps", rounded(s.primary_qps, 1))
+                .set("follower_qps", rounded(s.follower_qps, 1))
+                .set("final_lag", s.final_lag)
+        })
+        .collect();
+    let doc = experiment("replication")
+        .set("shards", REPL_SHARDS)
+        .set("batch_queries", REPL_BATCH_QUERIES)
+        .set("available_parallelism", available_parallelism())
+        .set("catchup", catchup)
+        .set("serving", serving);
+    write_artifact(path, &doc)
+}
+
+criterion_group!(benches, emit_bench_repl_json);
+criterion_main!(benches);

@@ -18,6 +18,7 @@ mod live;
 mod mvcc;
 mod obs;
 mod pool;
+mod repl;
 mod store;
 mod wal;
 
@@ -31,6 +32,10 @@ pub use mvcc::{
 };
 pub use obs::{obs_overhead_sweep, run_obs_overhead, ObsSample, OBS_BATCH_QUERIES, OBS_SHARDS};
 pub use pool::{pool_scaling_sweep, run_e19, PoolSample, POOL_BATCH_QUERIES};
+pub use repl::{
+    repl_catchup_sweep, repl_serving_sweep, run_e21, ReplCatchUpSample, ReplServeSample,
+    REPL_BATCH_QUERIES, REPL_SHARDS,
+};
 pub use store::{run_e16, store_warmstart_sweep, StoreSample, STORE_SHARDS};
 pub use wal::{
     run_e18, wal_recovery_sweep, wal_throughput_sweep, WalRecoverySample, WalThroughputSample,

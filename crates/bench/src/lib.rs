@@ -42,6 +42,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e18", run_e18),
         ("e19", run_e19),
         ("e20", run_e20),
+        ("e21", run_e21),
         ("obs", run_obs_overhead),
     ]
 }

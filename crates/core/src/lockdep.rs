@@ -32,8 +32,7 @@
 //! protected state consistent-or-reported at a higher level, and the
 //! pool's panic containment depends on later lock users not cascading.
 //!
-//! The workspace rank table (gaps left for future ranks, e.g.
-//! replication state between `Log` and `WalRotation`):
+//! The workspace rank table (gaps left for future ranks):
 //!
 //! | rank | lock |
 //! |---|---|
@@ -41,8 +40,15 @@
 //! | `Gid` (20) | `LiveRelation` global-id maps |
 //! | `Epoch` (30) | `LiveRelation` MVCC clock + pin table |
 //! | `Log` (40) | `LiveRelation` replayable update log |
+//! | `FollowerCatchup` (45) | replication bookkeeping: the publisher's subscription table (sub 0) and a follower's local segment mirror (sub 1) |
 //! | `WalRotation` (50) | `WalWriter` rotation turnstile (taken strictly before the writer state) |
 //! | `WalState` (60) | `WalWriter` append state |
+//!
+//! `FollowerCatchup` sits *between* the engine tiers and the WAL tiers
+//! deliberately: a catch-up critical section may flush WAL state (ranks
+//! 50/60) while held, but must never be held across a replay into the
+//! engine — replay re-enters the full update path (ranks 10–40), which
+//! the checker would (correctly) flag as an inversion.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -62,6 +68,11 @@ pub enum LockRank {
     Epoch = 30,
     /// The `LiveRelation` replayable update log.
     Log = 40,
+    /// Replication catch-up bookkeeping (`pitract-repl`): the
+    /// publisher's subscription/retention table and a follower's local
+    /// segment-mirror state. Held while flushing WAL state (ranks
+    /// above), never across engine replay (ranks below).
+    FollowerCatchup = 45,
     /// The WAL writer's rotation turnstile.
     WalRotation = 50,
     /// The WAL writer's append state.

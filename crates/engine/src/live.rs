@@ -1630,6 +1630,18 @@ impl LiveRelation {
         self.replay_inner(log, true)
     }
 
+    /// Replay a bare entry slice with [`Self::replay_compacted`]
+    /// semantics (forward gid gaps burn as tombstones, backward gids
+    /// fail typed). This is the follower-replication apply path: a
+    /// `pitract-repl` follower streams already-compacted WAL records
+    /// from its primary — the stream may carry gid gaps wherever the
+    /// primary's compactor cancelled an insert+delete pair — and
+    /// re-applies them here, which is what keeps a replica's answers
+    /// *and* global row ids bit-identical to the primary's prefix.
+    pub fn replay_entries(&self, entries: &[UpdateEntry]) -> Result<usize, EngineError> {
+        self.replay_compacted(&UpdateLog::from_entries(entries.to_vec()))
+    }
+
     /// Advance the global-id allocator to `next_gid` without inserting:
     /// the skipped ids are burned as permanent tombstones (they read
     /// back as deleted). No-op if the allocator is already there.

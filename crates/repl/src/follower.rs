@@ -1,0 +1,789 @@
+//! The follower side: bootstrap from a checkpoint, stream the primary's
+//! log, serve epoch-pinned replica reads.
+//!
+//! A [`Follower`] is a read replica built from exactly the pieces a
+//! crashed primary recovers from — which is why its guarantees are the
+//! recovery guarantees:
+//!
+//! * **Bootstrap** loads the primary's checkpoint snapshot
+//!   (`(state, wal_lsn, epoch)`), replays whatever its *local* segment
+//!   mirror already holds past the mark (the restart path), and fixes
+//!   the epoch ↔ LSN dictionary at the checkpoint cut:
+//!   `epoch(lsn) = cut + (lsn − mark)`. The dictionary is derived from
+//!   the checkpoint alone, so it survives follower restarts unchanged.
+//! * **Catch-up** polls the publisher for durable record frames,
+//!   validates them with the on-disk segment scanner (torn or garbled
+//!   shipments fail typed), persists them to the local mirror *first*
+//!   (durability before state, same as the primary's WAL-before-apply
+//!   order), then replays them into the live relation with compacted
+//!   semantics — gid gaps left by primary compaction burn as
+//!   tombstones, so answers *and* global row ids stay bit-identical to
+//!   the primary's prefix. LSN gaps advance the epoch clock without
+//!   replaying, keeping the dictionary exact:
+//!   `current_epoch == epoch_of_lsn(applied_lsn)` after every step.
+//! * **Serving** implements [`BatchServe`] by delegating to the inner
+//!   [`LiveRelation`], whose MVCC pin is taken at the current epoch —
+//!   i.e. **the epoch of the last LSN this follower replayed**. Every
+//!   served batch is a consistent cut that is a true prefix of the
+//!   primary, and concurrent catch-up ticks never tear a pinned read.
+//!
+//! Locking: the mirror state is a `FollowerCatchup`-ranked lock
+//! (sub-order 1, after the publisher's table) held only across local
+//! file appends and fsyncs — never across replay, which re-enters the
+//! engine's ranks 10–40. Catch-up cycles are serialized by a lock-free
+//! turnstile ([`ReplError::CatchUpInProgress`] when contended), so the
+//! replay itself runs with no replication lock held.
+
+use crate::publisher::{SegmentPublisher, Shipment, SubscriptionId};
+use crate::ReplError;
+use pitract_core::epoch::Epoch;
+use pitract_core::lockdep::{LockRank, OrderedMutex};
+use pitract_engine::batch::WorkerResults;
+use pitract_engine::planner::QueryPlan;
+use pitract_engine::{
+    BatchAnswers, BatchRows, BatchServe, EngineError, LiveRelation, QueryBatch, UpdateEntry,
+};
+use pitract_obs::{Gauge, Histogram, Recorder};
+use pitract_relation::{Schema, SelectionQuery, Value};
+use pitract_store::codec::Reader as CodecReader;
+use pitract_store::{fsync_dir, SnapshotCatalog};
+use pitract_wal::segment::{
+    scan_dir, scan_segment, segment_file_name, segment_header, SEGMENT_HEADER_LEN,
+};
+use pitract_wal::{SyncPolicy, WalConfig, WalError, WalReader};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Typed catch-up progress: where the follower stands against its
+/// primary after a catch-up cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpReport {
+    /// The LSN after the last position this follower has applied: its
+    /// served state covers exactly the primary records below it.
+    pub applied_lsn: u64,
+    /// The primary's durable frontier at the time of the report.
+    pub primary_lsn: u64,
+    /// `primary_lsn − applied_lsn`: how many log positions the
+    /// follower's consistent cut trails the primary by.
+    pub lag: u64,
+}
+
+/// The follower's local segment mirror: shipped frames are appended to
+/// segment files in the follower's own WAL directory — original
+/// primary LSNs preserved — so a follower restart recovers with the
+/// same scanner, truncation, and replay machinery as a crashed primary.
+#[derive(Debug)]
+struct Mirror {
+    dir: PathBuf,
+    /// The active local segment, append-positioned. `None` until the
+    /// first shipped frame (or when the last local segment was a
+    /// headerless husk).
+    file: Option<std::fs::File>,
+    active_bytes: u64,
+    segment_bytes: u64,
+    fsync: bool,
+}
+
+impl Mirror {
+    /// Append one already-validated record frame, rotating to a fresh
+    /// segment (based at the record's LSN) when the active one is full.
+    fn append(&mut self, lsn: u64, frame: &[u8]) -> Result<(), WalError> {
+        if self.file.is_none() || self.active_bytes >= self.segment_bytes {
+            if let Some(prev) = self.file.take() {
+                if self.fsync {
+                    // Seal the closing segment before the new one
+                    // exists: the scanner treats every non-last segment
+                    // as crash-free.
+                    prev.sync_all()?;
+                }
+            }
+            let path = self.dir.join(segment_file_name(lsn));
+            let mut file = std::fs::OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&path)?;
+            file.write_all(&segment_header(lsn))?;
+            if self.fsync {
+                file.sync_all()?;
+                fsync_dir(&self.dir)?;
+            }
+            self.active_bytes = SEGMENT_HEADER_LEN as u64;
+            self.file = Some(file);
+        }
+        if let Some(file) = self.file.as_mut() {
+            file.write_all(frame)?;
+            self.active_bytes += frame.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Flush the active segment (once per catch-up step, before apply).
+    fn sync(&mut self) -> Result<(), WalError> {
+        if self.fsync {
+            if let Some(file) = self.file.as_ref() {
+                file.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lock-free catch-up turnstile: exactly one cycle may run at a time,
+/// and replay must not happen under a replication lock — so exclusion
+/// is an atomic claim, not a mutex.
+struct Turn<'a>(&'a AtomicBool);
+
+impl<'a> Turn<'a> {
+    fn claim(flag: &'a AtomicBool) -> Result<Self, ReplError> {
+        flag.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .map_err(|_| ReplError::CatchUpInProgress)?;
+        Ok(Turn(flag))
+    }
+}
+
+impl Drop for Turn<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// A read replica: checkpoint-bootstrapped, log-shipped, serving
+/// batches pinned to the epoch of the last LSN it replayed. See the
+/// module docs for the full contract.
+#[derive(Debug)]
+pub struct Follower {
+    live: LiveRelation,
+    mirror: OrderedMutex<Mirror>,
+    /// Serializes catch-up cycles without holding a lock across replay.
+    applying: AtomicBool,
+    /// The follower's cursor in the *primary's* LSN coordinate.
+    applied: AtomicU64,
+    /// The checkpoint's WAL mark: LSN half of the epoch dictionary.
+    wal_base: u64,
+    /// The checkpoint's cut epoch: epoch half of the dictionary.
+    epoch_base: u64,
+    lag_gauge: Gauge,
+    replay_micros: Histogram,
+}
+
+impl Follower {
+    /// Bootstrap (or restart — same code path, same as the primary's
+    /// recovery) a follower: load the checkpoint saved under `name` in
+    /// `catalog`, replay whatever `mirror_dir` already holds past the
+    /// checkpoint mark, and fix the epoch ↔ LSN dictionary at the
+    /// checkpoint cut. `config.segment_bytes` sizes the local mirror
+    /// segments; `config.sync` chooses whether catch-up fsyncs shipped
+    /// frames before applying them ([`SyncPolicy::Never`] skips the
+    /// flush, trading replica rebuild-on-power-loss for speed).
+    pub fn bootstrap(
+        catalog: &SnapshotCatalog,
+        name: &str,
+        mirror_dir: impl Into<PathBuf>,
+        config: WalConfig,
+    ) -> Result<Self, ReplError> {
+        Self::bootstrap_observed(catalog, name, mirror_dir, config, &Recorder::default())
+    }
+
+    /// [`Self::bootstrap`] with metrics: the replica's `engine_*` /
+    /// `mvcc_*` series plus `replication_lag_lsn` and
+    /// `repl_replay_micros` land in `recorder`, next to whatever the
+    /// primary publishes into its own.
+    pub fn bootstrap_observed(
+        catalog: &SnapshotCatalog,
+        name: &str,
+        mirror_dir: impl Into<PathBuf>,
+        config: WalConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, ReplError> {
+        let dir = mirror_dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let (state, mark, cut) = catalog
+            .load(name)?
+            .into_checkpoint()
+            .map_err(WalError::from)?;
+
+        // Scan the local mirror exactly like primary recovery scans its
+        // WAL: truncate the torn tail a crash mid-append left behind,
+        // fail typed on closed-segment damage.
+        let scan = scan_dir(&dir)?;
+        let mut active: Option<(PathBuf, u64)> = None;
+        if let Some(seg) = scan.segments.last() {
+            if seg.clean_len >= SEGMENT_HEADER_LEN as u64 {
+                if seg.clean_len < seg.file_len {
+                    let file = std::fs::OpenOptions::new().write(true).open(&seg.path)?;
+                    file.set_len(seg.clean_len)?;
+                    file.sync_all()?;
+                }
+                active = Some((seg.path.clone(), seg.clean_len));
+            } else {
+                // Torn at birth: the header never hit the disk, nothing
+                // in it was confirmed.
+                std::fs::remove_file(&seg.path)?;
+            }
+        }
+        let reader = WalReader::from_scan_observed(&scan, recorder)?;
+
+        let mut live = LiveRelation::from_sharded(state);
+        live.set_recorder(recorder);
+        let tail = reader.tail_log(mark);
+        let compacted = tail.compact();
+        live.replay_compacted(&compacted)?;
+        if let Some(watermark) = tail.next_gid_watermark() {
+            live.burn_gids_to(watermark);
+        }
+        let applied = reader.next_lsn().max(mark);
+        // The dictionary is fixed by the checkpoint alone — mark ↔ cut —
+        // so it is identical on every restart of this follower, and LSN
+        // gaps (primary compaction) advance the clock by their span, not
+        // by the record count the replay happened to tick.
+        live.advance_epoch_to(Epoch::new(cut.get() + (applied - mark)));
+
+        let file = match &active {
+            Some((path, _)) => Some(std::fs::OpenOptions::new().append(true).open(path)?),
+            None => None,
+        };
+        let mirror = Mirror {
+            dir,
+            file,
+            active_bytes: active.map_or(0, |(_, len)| len),
+            segment_bytes: config.segment_bytes,
+            fsync: !matches!(config.sync, SyncPolicy::Never),
+        };
+        Ok(Follower {
+            live,
+            // Follower mirror = sub-order 1 of the FollowerCatchup
+            // rank, after the publisher's table (sub-order 0).
+            mirror: OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 1, mirror),
+            applying: AtomicBool::new(false),
+            applied: AtomicU64::new(applied),
+            wal_base: mark,
+            epoch_base: cut.get(),
+            lag_gauge: recorder.gauge("replication_lag_lsn"),
+            replay_micros: recorder.histogram("repl_replay_micros"),
+        })
+    }
+
+    /// The LSN after the last primary record this follower has applied.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// The epoch of the follower's current consistent cut — the epoch
+    /// of the last LSN it replayed, which is what served batches pin.
+    pub fn applied_epoch(&self) -> Epoch {
+        self.epoch_of_lsn(self.applied_lsn())
+    }
+
+    /// The follower's epoch ↔ LSN dictionary, fixed at the bootstrap
+    /// checkpoint: the epoch whose state covers exactly the primary
+    /// records below `lsn`.
+    pub fn epoch_of_lsn(&self, lsn: u64) -> Epoch {
+        Epoch::new(self.epoch_base + lsn.saturating_sub(self.wal_base))
+    }
+
+    /// Inverse of [`Self::epoch_of_lsn`]: the first primary LSN *not*
+    /// covered by `epoch`.
+    pub fn lsn_of_epoch(&self, epoch: Epoch) -> u64 {
+        self.wal_base + epoch.get().saturating_sub(self.epoch_base)
+    }
+
+    /// Register this follower in `publisher`'s retention table at its
+    /// current cursor. Until detached, the primary's compactor (routed
+    /// through the publisher) cannot drop a segment this follower has
+    /// yet to fetch.
+    pub fn attach(&self, publisher: &SegmentPublisher) -> SubscriptionId {
+        publisher.attach(self.applied_lsn())
+    }
+
+    /// Catch up to the primary's durable frontier: poll, validate,
+    /// persist, replay — repeating until a poll comes back empty. `sub`
+    /// is advanced after every applied shipment, releasing retention as
+    /// the follower progresses. Fails typed and applies nothing of a
+    /// shipment that does not validate.
+    pub fn catch_up(
+        &self,
+        publisher: &SegmentPublisher,
+        sub: SubscriptionId,
+    ) -> Result<CatchUpReport, ReplError> {
+        let turn = Turn::claim(&self.applying)?;
+        loop {
+            let advanced = self.step(publisher, sub, usize::MAX)?;
+            if !advanced {
+                drop(turn);
+                return Ok(self.report(publisher));
+            }
+        }
+    }
+
+    /// One bounded catch-up step: apply at most one shipment of roughly
+    /// `max_bytes` of frames. Returns the post-step report; compare
+    /// `applied_lsn` before and after (or check `lag`) to see whether
+    /// the step advanced. This is the granularity crash tests and
+    /// incremental pollers drive.
+    pub fn catch_up_step(
+        &self,
+        publisher: &SegmentPublisher,
+        sub: SubscriptionId,
+        max_bytes: usize,
+    ) -> Result<CatchUpReport, ReplError> {
+        let _turn = Turn::claim(&self.applying)?;
+        self.step(publisher, sub, max_bytes)?;
+        Ok(self.report(publisher))
+    }
+
+    /// Where this follower stands against `publisher` right now,
+    /// without applying anything.
+    pub fn report(&self, publisher: &SegmentPublisher) -> CatchUpReport {
+        let applied_lsn = self.applied_lsn();
+        let primary_lsn = publisher.durable_lsn().max(applied_lsn);
+        let report = CatchUpReport {
+            applied_lsn,
+            primary_lsn,
+            lag: primary_lsn - applied_lsn,
+        };
+        self.lag_gauge.set(report.lag as i64);
+        report
+    }
+
+    /// Poll + validate + persist + replay one shipment. Returns whether
+    /// the cursor advanced. Caller holds the turnstile.
+    fn step(
+        &self,
+        publisher: &SegmentPublisher,
+        sub: SubscriptionId,
+        max_bytes: usize,
+    ) -> Result<bool, ReplError> {
+        let from = self.applied_lsn();
+        let ship = publisher.poll_bytes(from, max_bytes)?;
+        if ship.is_empty() {
+            return Ok(false);
+        }
+        self.apply_locked(&ship)?;
+        publisher.advance(sub, ship.end());
+        self.report(publisher);
+        Ok(true)
+    }
+
+    /// The receive half of the transport: validate and apply one
+    /// [`Shipment`] — however it arrived — against this follower's
+    /// cursor. In-process catch-up ([`Self::catch_up`]) uses this under
+    /// the hood; a custom transport that moved the shipment over a wire
+    /// calls it directly after [`Shipment::from_parts`]. All-or-nothing:
+    /// a shipment that fails validation (torn, garbled, short a frame,
+    /// misaligned with the cursor) is a typed error and changes nothing.
+    pub fn apply_shipment(&self, ship: &Shipment) -> Result<(), ReplError> {
+        let _turn = Turn::claim(&self.applying)?;
+        if ship.is_empty() {
+            return Ok(());
+        }
+        self.apply_locked(ship)
+    }
+
+    /// Validate + persist + replay one non-empty shipment. Caller holds
+    /// the turnstile.
+    fn apply_locked(&self, ship: &Shipment) -> Result<(), ReplError> {
+        let from = self.applied_lsn();
+        if ship.base() != from {
+            return Err(ReplError::Misaligned {
+                expected: from,
+                found: ship.base(),
+            });
+        }
+
+        // Validate the transfer with the segment scanner: a shipment is
+        // a *closed* run of frames, so a tear (a frame cut short in
+        // flight) is typed corruption here, never a silent prefix.
+        let mut bytes = segment_header(ship.base());
+        bytes.extend_from_slice(ship.frames());
+        let scan = scan_segment(&bytes, ship.base(), false, "shipment")?;
+        // A truncation that lands exactly on a frame boundary scans as a
+        // valid *shorter* run — the record count in the shipment header
+        // is what catches it.
+        if scan.records.len() != ship.records() {
+            return Err(ReplError::Wal(WalError::Corrupt {
+                segment: "shipment".to_string(),
+                offset: bytes.len() as u64,
+                reason: format!(
+                    "shipment claims {} records but {} frames arrived",
+                    ship.records(),
+                    scan.records.len()
+                ),
+            }));
+        }
+        let mut entries: Vec<(u64, Vec<u8>, UpdateEntry)> = Vec::with_capacity(scan.records.len());
+        for (lsn, payload) in scan.records {
+            if lsn < from || lsn >= ship.end() {
+                return Err(ReplError::Misaligned {
+                    expected: from,
+                    found: lsn,
+                });
+            }
+            let mut r = CodecReader::new(&payload);
+            let entry = r.update_entry().map_err(|e| WalError::Corrupt {
+                segment: "shipment".to_string(),
+                offset: 0,
+                reason: format!("record {lsn} payload does not decode: {e}"),
+            })?;
+            entries.push((lsn, payload, entry));
+        }
+
+        // Persist before apply — the same WAL-before-state order the
+        // primary commits under. The mirror lock (FollowerCatchup) is
+        // held across file appends and the flush only.
+        {
+            let mut mirror = self.mirror.lock();
+            for (lsn, payload, _) in &entries {
+                let frame = pitract_wal::segment::encode_record(*lsn, payload);
+                mirror.append(*lsn, &frame)?;
+            }
+            mirror.sync()?;
+        }
+
+        // Replay with no replication lock held (replay re-enters the
+        // engine's ranked tiers). Compacted semantics: a gid gap the
+        // primary's compactor left burns as tombstones, so global row
+        // ids stay bit-identical.
+        let started = std::time::Instant::now();
+        let to_apply: Vec<UpdateEntry> = entries.into_iter().map(|(_, _, e)| e).collect();
+        self.live.replay_entries(&to_apply)?;
+        // LSN gaps advance the clock by their span: the dictionary
+        // invariant `current_epoch == epoch_of_lsn(applied)` holds
+        // after every step, whatever compaction dropped.
+        self.live.advance_epoch_to(self.epoch_of_lsn(ship.end()));
+        self.replay_micros.record_duration(started.elapsed());
+
+        self.applied.store(ship.end(), Ordering::SeqCst);
+        Ok(())
+    }
+
+    // --- read-only serving surface -----------------------------------
+
+    /// The replica's schema.
+    pub fn schema(&self) -> &Schema {
+        self.live.schema()
+    }
+
+    /// Live rows currently visible at the replica's cut.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is the replica empty at its current cut?
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Shards the replica serves from.
+    pub fn shard_count(&self) -> usize {
+        self.live.shard_count()
+    }
+
+    /// Boolean answer for one query at the replica's current cut.
+    pub fn answer(&self, q: &SelectionQuery) -> bool {
+        self.live.answer(q)
+    }
+
+    /// Matching global row ids for one query at the replica's current
+    /// cut — the primary's gids, bit-identical.
+    pub fn matching_ids(&self, q: &SelectionQuery) -> Vec<usize> {
+        self.live.matching_ids(q)
+    }
+
+    /// Read one row by its (primary) global id.
+    pub fn row(&self, gid: usize) -> Option<Vec<Value>> {
+        self.live.row(gid)
+    }
+
+    /// Execute a batch at one consistent pinned cut (the epoch of the
+    /// last LSN replayed) — the single-threaded twin of serving this
+    /// follower from a [`pitract_engine::PooledExecutor`].
+    pub fn execute(&self, batch: &QueryBatch) -> Result<BatchAnswers, EngineError> {
+        self.live.execute(batch)
+    }
+
+    /// Like [`Self::execute`], returning matching global row ids per
+    /// query.
+    pub fn execute_rows(&self, batch: &QueryBatch) -> Result<BatchRows, EngineError> {
+        self.live.execute_rows(batch)
+    }
+
+    /// The replica's current epoch (== the epoch of its applied LSN).
+    pub fn current_epoch(&self) -> Epoch {
+        self.live.current_epoch()
+    }
+}
+
+/// Serve a follower from a persistent [`pitract_engine::PooledExecutor`]
+/// exactly like any other target: the pin taken per batch is the
+/// replica's MVCC pin — the epoch of the last LSN it replayed — so
+/// every pooled batch reads one consistent prefix of the primary even
+/// while catch-up keeps applying.
+impl BatchServe for Follower {
+    fn route(
+        &self,
+        queries: &[SelectionQuery],
+    ) -> Result<(Vec<QueryPlan>, Vec<Vec<usize>>), EngineError> {
+        BatchServe::route(&self.live, queries)
+    }
+
+    fn shard_count(&self) -> usize {
+        BatchServe::shard_count(&self.live)
+    }
+
+    fn pin_epoch(&self) -> Option<Epoch> {
+        BatchServe::pin_epoch(&self.live)
+    }
+
+    fn unpin_epoch(&self, epoch: Epoch) {
+        BatchServe::unpin_epoch(&self.live, epoch);
+    }
+
+    fn eval_bool(
+        &self,
+        shard: usize,
+        at: Epoch,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> WorkerResults<bool> {
+        BatchServe::eval_bool(&self.live, shard, at, queries, assigned)
+    }
+
+    fn eval_rows(
+        &self,
+        shard: usize,
+        at: Epoch,
+        queries: &[SelectionQuery],
+        assigned: &[usize],
+    ) -> WorkerResults<Vec<usize>> {
+        BatchServe::eval_rows(&self.live, shard, at, queries, assigned)
+    }
+
+    fn global_ids(&self, shard: usize, locals: &[usize]) -> Vec<usize> {
+        BatchServe::global_ids(&self.live, shard, locals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitract_engine::ShardBy;
+    use pitract_relation::{ColType, Relation};
+    use pitract_wal::DurableLiveRelation;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pitract-replfol-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> WalConfig {
+        WalConfig {
+            segment_bytes: 160,
+            sync: SyncPolicy::GroupCommit,
+        }
+    }
+
+    fn primary(root: &Path, rows: i64) -> (Arc<DurableLiveRelation>, SnapshotCatalog) {
+        let schema = Schema::new(&[("id", ColType::Int)]);
+        let data: Vec<Vec<Value>> = (0..rows).map(|i| vec![Value::Int(i)]).collect();
+        let rel = Relation::from_rows(schema, data).unwrap();
+        let live = LiveRelation::build(&rel, ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+        let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+        let node = Arc::new(
+            DurableLiveRelation::create(live, &catalog, "node", root.join("wal"), config())
+                .unwrap(),
+        );
+        (node, catalog)
+    }
+
+    #[test]
+    fn follower_catches_up_and_matches_the_primary_bit_for_bit() {
+        let root = fresh_dir("basic");
+        let (node, catalog) = primary(&root, 5);
+        let publisher = SegmentPublisher::new(Arc::clone(&node));
+        let follower =
+            Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        let sub = follower.attach(&publisher);
+
+        let mut deleted = Vec::new();
+        for i in 0..40i64 {
+            let gid = node.insert(vec![Value::Int(1000 + i)]).unwrap();
+            if i % 3 == 0 {
+                node.delete(gid).unwrap();
+                deleted.push(gid);
+            }
+        }
+        let report = follower.catch_up(&publisher, sub).unwrap();
+        assert_eq!(report.lag, 0);
+        assert_eq!(report.applied_lsn, node.wal().durable_lsn());
+        assert_eq!(follower.len(), node.len());
+        // Answers AND global row ids, bit-identical.
+        for probe in [0i64, 3, 1000, 1001, 1003, 1039, 999_999] {
+            let q = SelectionQuery::point(0, probe);
+            assert_eq!(follower.answer(&q), node.answer(&q), "probe {probe}");
+            assert_eq!(
+                follower.matching_ids(&q),
+                node.matching_ids(&q),
+                "probe {probe}"
+            );
+        }
+        for gid in deleted {
+            assert_eq!(follower.row(gid), None);
+        }
+        // The pinned-epoch dictionary names the applied prefix.
+        assert_eq!(
+            follower.applied_epoch(),
+            follower.current_epoch(),
+            "current epoch is the applied cut"
+        );
+        assert_eq!(
+            follower.lsn_of_epoch(follower.applied_epoch()),
+            report.applied_lsn
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn follower_restart_resumes_from_its_mirror() {
+        let root = fresh_dir("restart");
+        let (node, catalog) = primary(&root, 0);
+        let publisher = SegmentPublisher::new(Arc::clone(&node));
+        for i in 0..25i64 {
+            node.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let follower =
+            Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        let sub = follower.attach(&publisher);
+        follower.catch_up(&publisher, sub).unwrap();
+        let applied = follower.applied_lsn();
+        let epoch = follower.applied_epoch();
+        drop(follower);
+
+        // More primary traffic while the follower is down.
+        for i in 25..31i64 {
+            node.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let back = Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        assert_eq!(back.applied_lsn(), applied, "mirror replayed");
+        assert_eq!(back.applied_epoch(), epoch, "dictionary is stable");
+        let sub = back.attach(&publisher);
+        let report = back.catch_up(&publisher, sub).unwrap();
+        assert_eq!(report.lag, 0);
+        assert_eq!(back.len(), node.len());
+        let q = SelectionQuery::point(0, 30);
+        assert_eq!(back.matching_ids(&q), node.matching_ids(&q));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn catch_up_bridges_compaction_gaps_with_identical_gids() {
+        let root = fresh_dir("gaps");
+        let (node, catalog) = primary(&root, 0);
+        let publisher = SegmentPublisher::new(Arc::clone(&node));
+        // Churn whose pairs cancel inside closed segments, then compact
+        // *before* the follower ever polls: the shipped stream has both
+        // LSN gaps and gid gaps.
+        let mut live_gids = Vec::new();
+        for i in 0..30i64 {
+            let gid = node.insert(vec![Value::Int(i)]).unwrap();
+            if i % 2 == 0 {
+                node.delete(gid).unwrap();
+            } else {
+                live_gids.push(gid);
+            }
+        }
+        node.wal().rotate_now().unwrap();
+        node.compact_wal().unwrap();
+
+        let follower =
+            Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        let sub = follower.attach(&publisher);
+        let report = follower.catch_up(&publisher, sub).unwrap();
+        assert_eq!(report.lag, 0);
+        assert_eq!(follower.len(), node.len());
+        for i in 0..30i64 {
+            let q = SelectionQuery::point(0, i);
+            assert_eq!(follower.answer(&q), node.answer(&q), "probe {i}");
+            assert_eq!(
+                follower.matching_ids(&q),
+                node.matching_ids(&q),
+                "probe {i}"
+            );
+        }
+        // The epoch dictionary still maps the cut to the full LSN span,
+        // not the post-compaction record count.
+        assert_eq!(follower.applied_epoch(), follower.current_epoch());
+        assert_eq!(
+            follower.lsn_of_epoch(follower.applied_epoch()),
+            report.applied_lsn
+        );
+        // New inserts on both sides keep assigning identical gids.
+        let gid = node.insert(vec![Value::Int(777)]).unwrap();
+        follower.catch_up(&publisher, sub).unwrap();
+        assert_eq!(
+            follower.matching_ids(&SelectionQuery::point(0, 777)),
+            vec![gid]
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn garbled_shipment_fails_typed_and_applies_nothing() {
+        let root = fresh_dir("garble");
+        let (node, catalog) = primary(&root, 0);
+        let publisher = SegmentPublisher::new(Arc::clone(&node));
+        for i in 0..6i64 {
+            node.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let follower =
+            Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        // Hand-garble a shipment the way a broken transport would:
+        // flip a payload byte (checksum mismatch) and cut a frame short
+        // (closed-run tear). Both must be typed, neither applied.
+        let ship = publisher.poll(0).unwrap();
+        let frames = ship.frames();
+        let mut flipped = segment_header(0);
+        flipped.extend_from_slice(frames);
+        let n = flipped.len();
+        flipped[n - 10] ^= 0xFF;
+        let err = scan_segment(&flipped, 0, false, "shipment").unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+        let mut torn = segment_header(0);
+        torn.extend_from_slice(&frames[..frames.len() - 3]);
+        let err = scan_segment(&torn, 0, false, "shipment").unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+        // The follower stays clean and can still catch up for real.
+        assert_eq!(follower.applied_lsn(), 0);
+        let sub = follower.attach(&publisher);
+        follower.catch_up(&publisher, sub).unwrap();
+        assert_eq!(follower.len(), node.len());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_catch_up_is_excluded_typed() {
+        let root = fresh_dir("turnstile");
+        let (node, catalog) = primary(&root, 3);
+        let publisher = SegmentPublisher::new(Arc::clone(&node));
+        let follower =
+            Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).unwrap();
+        let sub = follower.attach(&publisher);
+        // Claim the turnstile by hand, as a racing cycle would.
+        follower.applying.store(true, Ordering::SeqCst);
+        let err = follower.catch_up(&publisher, sub).unwrap_err();
+        assert!(matches!(err, ReplError::CatchUpInProgress), "{err}");
+        follower.applying.store(false, Ordering::SeqCst);
+        assert!(follower.catch_up(&publisher, sub).is_ok());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

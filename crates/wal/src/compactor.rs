@@ -65,6 +65,13 @@ pub struct Compactor {
     /// covered by the latest durable checkpoint. Records below it are
     /// dropped.
     mark: u64,
+    /// Optional replication retention watermark: the lowest LSN an
+    /// attached follower still needs. Closed segments holding any record
+    /// at or above it are left byte-for-byte untouched — not rewritten,
+    /// not removed — so a follower streaming `[watermark, …)` can never
+    /// observe a segment mutating under its fetch. `None` retains
+    /// nothing extra.
+    retention: Option<u64>,
 }
 
 impl Compactor {
@@ -72,12 +79,32 @@ impl Compactor {
     /// checkpoint exists yet — then only insert+delete pairs are
     /// cancelled).
     pub fn new(mark: u64) -> Self {
-        Compactor { mark }
+        Compactor {
+            mark,
+            retention: None,
+        }
     }
 
     /// The checkpoint mark this compactor honors.
     pub fn mark(&self) -> u64 {
         self.mark
+    }
+
+    /// Honor a replication retention watermark: every closed segment
+    /// containing a record with `lsn >= watermark` is excluded from the
+    /// pass entirely (its inserts still count as gid-watermark carriers,
+    /// like the active segment's). This is how the compaction/replication
+    /// race is fixed *by construction*: the publisher computes the
+    /// minimum applied LSN across attached followers and the compactor
+    /// simply cannot touch the bytes those followers have yet to fetch.
+    pub fn with_retention(mut self, watermark: Option<u64>) -> Self {
+        self.retention = watermark;
+        self
+    }
+
+    /// The retention watermark this compactor honors, if any.
+    pub fn retention(&self) -> Option<u64> {
+        self.retention
     }
 
     /// Compact every closed segment of `dir`. Closed segments must scan
@@ -89,10 +116,22 @@ impl Compactor {
         let mut report = CompactionReport::default();
         // All but the newest segment are closed. (With 0 or 1 segments
         // there is nothing to do.)
-        let closed: &[ScannedSegment] = match scan.segments.split_last() {
+        let all_closed: &[ScannedSegment] = match scan.segments.split_last() {
             Some((_active, closed)) => closed,
             None => &[],
         };
+        // The retention watermark partitions the closed set: a segment
+        // holding any record an attached follower still needs (lsn at or
+        // above the watermark) is off limits in its entirety — followers
+        // fetch segment bytes, and a rewrite under a fetch would tear
+        // the shipped stream. Protected segments behave like the active
+        // one: untouched, but their inserts still carry the gid
+        // watermark.
+        let floor = self.retention.unwrap_or(u64::MAX);
+        let (closed, protected): (Vec<&ScannedSegment>, Vec<&ScannedSegment>) =
+            all_closed.iter().partition(|seg| {
+                seg.base_lsn < floor && seg.records.last().is_none_or(|(lsn, _)| *lsn < floor)
+            });
         if closed.is_empty() {
             return Ok(report);
         }
@@ -102,7 +141,7 @@ impl Compactor {
         // pairs may cancel (a delete whose insert sits in an *earlier*
         // segment must be recognized as matched, and kept).
         let mut decoded: Vec<Vec<(u64, UpdateEntry, &[u8])>> = Vec::with_capacity(closed.len());
-        for seg in closed {
+        for seg in &closed {
             let name = seg.path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
             let mut entries = Vec::with_capacity(seg.records.len());
             for (lsn, payload) in &seg.records {
@@ -188,11 +227,14 @@ impl Compactor {
                         })
                 })
                 .max();
-            let active_carrier = match scan.segments.last() {
+            let mut untouched_carrier = match scan.segments.last() {
                 Some(seg) => active_insert_watermark(seg)?,
                 None => None,
             };
-            let carrier = closed_carrier.max(active_carrier);
+            for seg in &protected {
+                untouched_carrier = untouched_carrier.max(active_insert_watermark(seg)?);
+            }
+            let carrier = closed_carrier.max(untouched_carrier);
             if carrier.is_none_or(|c| c < watermark.gid) {
                 drop[watermark.insert_at.0][watermark.insert_at.1] = false;
                 drop[watermark.delete_at.0][watermark.delete_at.1] = false;
@@ -456,6 +498,70 @@ mod tests {
         let reader = WalReader::open(&dir).unwrap();
         assert!(reader.is_empty());
         assert_eq!(reader.next_lsn(), 20, "the active segment keeps the base");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_watermark_shields_segments_a_follower_still_needs() {
+        let dir = fresh_dir("retention");
+        let wal = tiny_wal(&dir);
+        for gid in 0..12 {
+            wal.append_entry(&insert(gid)).unwrap();
+        }
+        wal.rotate_now().unwrap();
+        // Remember every closed segment's bytes before the pass.
+        let before = crate::segment::scan_dir(&dir).unwrap();
+        let snapshot: Vec<(PathBuf, Vec<u64>, Vec<u8>)> = before
+            .segments
+            .iter()
+            .map(|s| {
+                (
+                    s.path.clone(),
+                    s.records.iter().map(|(l, _)| *l).collect(),
+                    std::fs::read(&s.path).unwrap(),
+                )
+            })
+            .collect();
+        // The checkpoint covers everything, but a follower has only
+        // applied up to lsn 5: segments holding any record >= 5 must
+        // survive the pass bit-for-bit.
+        Compactor::new(12)
+            .with_retention(Some(5))
+            .compact_dir(&dir)
+            .unwrap();
+        for (path, lsns, bytes) in &snapshot {
+            let needed = lsns.iter().any(|l| *l >= 5);
+            let closed = *path != snapshot.last().unwrap().0;
+            if needed {
+                assert_eq!(
+                    &std::fs::read(path).unwrap(),
+                    bytes,
+                    "{path:?} mutated under retention"
+                );
+            } else if closed {
+                assert!(
+                    !path.exists(),
+                    "{path:?} is fully covered and below retention"
+                );
+            }
+        }
+        // Every record at or above the follower's position is still
+        // fetchable after the pass.
+        let after = crate::segment::scan_dir(&dir).unwrap();
+        let kept: Vec<u64> = after.records().map(|(l, _)| *l).collect();
+        let owed: Vec<u64> = before
+            .records()
+            .map(|(l, _)| *l)
+            .filter(|l| *l >= 5)
+            .collect();
+        assert!(
+            owed.iter().all(|l| kept.contains(l)),
+            "owed {owed:?} vs kept {kept:?}"
+        );
+        // Once the follower catches up (retention lifts), the same mark
+        // drops the rest.
+        Compactor::new(12).compact_dir(&dir).unwrap();
+        assert!(WalReader::open(&dir).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

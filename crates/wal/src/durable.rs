@@ -317,7 +317,23 @@ impl DurableLiveRelation {
     /// ([`WalWriter::rotate_now`] or the size threshold) determines how
     /// much of the log is closed and therefore compactable.
     pub fn compact_wal(&self) -> Result<CompactionReport, WalError> {
-        Compactor::new(self.checkpoint_mark()).compact_dir(self.wal.dir())
+        self.compact_wal_retaining(None)
+    }
+
+    /// [`Self::compact_wal`] under a replication retention watermark:
+    /// closed segments holding any record at or above `retention` are
+    /// left byte-for-byte untouched, so an attached follower that has
+    /// applied up to `retention` can still fetch everything it is owed
+    /// after the pass. A `pitract-repl` `SegmentPublisher` computes the
+    /// watermark as the minimum applied LSN across attached followers
+    /// and routes compaction through here.
+    pub fn compact_wal_retaining(
+        &self,
+        retention: Option<u64>,
+    ) -> Result<CompactionReport, WalError> {
+        Compactor::new(self.checkpoint_mark())
+            .with_retention(retention)
+            .compact_dir(self.wal.dir())
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`engine`] | sharded batch serving: hash/range partitioning, cost-based planning, scoped-thread and pooled batch execution, live serving under concurrent updates |
 //! | [`store`] | persistent snapshots: versioned, checksummed serialization of preprocessed structures + a named catalog for warm starts, live checkpoint/recover |
 //! | [`wal`] | durable write-ahead log: fsync'd checksummed segments, group commit, torn-tail recovery, compaction, crash-consistent durable serving |
+//! | [`repl`] | WAL-shipping replication: primary-side segment publisher with retention watermarks, checkpoint-bootstrapped followers serving epoch-pinned consistent replica reads |
 //! | [`obs`] | zero-dependency observability: metrics registry (counters, gauges, log-bucket histograms), timing spans, bounded event tracing, Prometheus/JSON exporters |
 //! | [`circuit`] | Boolean circuits and CVP (the Theorem 9 witness) |
 //! | [`kernel`] | Vertex Cover with Buss kernelization |
@@ -268,6 +269,65 @@
 //! # std::fs::remove_dir_all(&root).unwrap();
 //! ```
 //!
+//! ## Replication
+//!
+//! The paper's preprocessing thesis makes single-node reads cheap;
+//! serving "millions of users" needs reads to scale *out* while one
+//! primary owns writes. The [`repl`] crate builds that from the pieces
+//! durability already pays for — immutable WAL segments with explicit
+//! LSNs, checkpoint cuts, and the epoch ↔ LSN dictionary. A
+//! [`SegmentPublisher`](crate::repl::SegmentPublisher) exposes the
+//! primary's log as a polled tail subscription (shipments are record
+//! frames in the on-disk wire format, validated checksum-by-checksum on
+//! arrival, capped at the durable frontier), and a
+//! [`Follower`](crate::repl::Follower) bootstraps from the primary's
+//! checkpoint, mirrors shipped frames locally (durability first, then
+//! apply), and replays them into its own recovered engine. Served
+//! batches pin **the epoch of the last LSN the follower replayed**:
+//! every replica read is a consistent cut that is a true prefix of the
+//! primary — bit-identical answers *and* global row ids. Attached
+//! followers also impose a retention watermark, so the primary's
+//! compactor never drops a segment a lagging follower still needs;
+//! progress is a typed [`CatchUpReport`](crate::repl::CatchUpReport)
+//! and a `replication_lag_lsn` gauge in the metrics registry.
+//!
+//! ```
+//! use pi_tractable::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # let schema = Schema::new(&[("id", ColType::Int)]);
+//! # let rows = (0..100i64).map(|i| vec![Value::Int(i)]).collect();
+//! # let relation = Relation::from_rows(schema, rows).unwrap();
+//! let live = LiveRelation::build(&relation, ShardBy::Hash { col: 0 }, 2, &[0]).unwrap();
+//! # let root = std::env::temp_dir().join(format!("pitract-facade-repl-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&root);
+//! let catalog = SnapshotCatalog::open(root.join("snaps")).unwrap();
+//!
+//! // A durable primary, published as a log-shipping source.
+//! let primary = Arc::new(DurableLiveRelation::create(
+//!     live, &catalog, "orders", root.join("wal"), WalConfig::default(),
+//! ).unwrap());
+//! let publisher = SegmentPublisher::new(Arc::clone(&primary));
+//!
+//! // A follower bootstraps from the primary's checkpoint and attaches.
+//! let follower = Follower::bootstrap(
+//!     &catalog, "orders", root.join("mirror"), WalConfig::default(),
+//! ).unwrap();
+//! let sub = follower.attach(&publisher);
+//!
+//! // Primary writes land; the follower streams and replays them.
+//! let gid = primary.insert(vec![Value::Int(5_000)]).unwrap();
+//! let report = follower.catch_up(&publisher, sub).unwrap();
+//! assert_eq!(report.lag, 0);
+//!
+//! // Replica reads: bit-identical answers AND global row ids, at the
+//! // epoch of the last LSN the follower replayed.
+//! let q = SelectionQuery::point(0, 5_000i64);
+//! assert_eq!(follower.matching_ids(&q), vec![gid]);
+//! assert_eq!(follower.current_epoch(), follower.applied_epoch());
+//! # std::fs::remove_dir_all(&root).unwrap();
+//! ```
+//!
 //! ## Observability
 //!
 //! The paper's promise is a cost *profile* — query work bounded by the
@@ -371,6 +431,7 @@ pub use pitract_obs as obs;
 pub use pitract_pram as pram;
 pub use pitract_reductions as reductions;
 pub use pitract_relation as relation;
+pub use pitract_repl as repl;
 pub use pitract_store as store;
 pub use pitract_wal as wal;
 
@@ -406,6 +467,7 @@ pub mod prelude {
     pub use pitract_relation::indexed::{IndexedError, IndexedRelation};
     pub use pitract_relation::views::{MaterializedView, ViewSet};
     pub use pitract_relation::{ColType, Relation, Schema, SelectionQuery, Value};
+    pub use pitract_repl::{CatchUpReport, Follower, ReplError, SegmentPublisher, Shipment};
     pub use pitract_store::{
         LiveCheckpoint, Recovered, Snapshot, SnapshotCatalog, SnapshotKind, StoreError,
     };

@@ -92,6 +92,7 @@ fn every_example_file_has_a_smoke_test() {
         "persistent_serving",
         "pool_serving",
         "quickstart",
+        "replicated_serving",
         "sharded_serving",
         "social_network",
     ];
@@ -129,4 +130,9 @@ fn example_mvcc_serving_runs() {
 #[test]
 fn example_observed_serving_runs() {
     run_example("observed_serving");
+}
+
+#[test]
+fn example_replicated_serving_runs() {
+    run_example("replicated_serving");
 }

@@ -133,6 +133,64 @@ fn inverted_acquisition_on_a_worker_is_typed_and_the_pool_survives() {
     assert_eq!(ok.answers, oracle);
 }
 
+/// The replication rank: `FollowerCatchup` (45) sits between the engine
+/// tiers and the WAL tiers, and `pitract-repl` splits it into sub-orders
+/// (publisher table = 0, follower mirror = 1). Two inversions the design
+/// forbids must be caught in debug builds: holding a catch-up lock while
+/// entering replay (replay takes Log, rank 40), and taking the mirror
+/// before the publisher's table within the rank. The legal chain —
+/// table, then mirror, then a WAL-tier flush — must stay panic-free.
+#[test]
+fn follower_catchup_rank_inversions_are_caught_and_the_legal_chain_is_not() {
+    let violations_before = lockdep::stats().violations;
+    // These closures *expect* panics; silence the default hook so the
+    // test output stays clean (restored below).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Inversion 1: catch-up bookkeeping held across a replay-tier
+    // acquisition. Replay re-enters the engine's ranks (Shard..Log), so
+    // a catch-up section reaching rank 40 while holding 45 is exactly
+    // the hold-across-replay bug the repl crate's turnstile exists to
+    // make impossible.
+    let outcome = std::panic::catch_unwind(|| {
+        let mirror = OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 1, ());
+        let log = OrderedMutex::new(LockRank::Log, ());
+        let _m = mirror.lock();
+        let _l = log.lock();
+    });
+    assert!(
+        outcome.is_err(),
+        "FollowerCatchup held across a Log-ranked acquisition must panic in debug builds"
+    );
+
+    // Inversion 2: within the rank, mirror (sub 1) before table (sub 0).
+    let outcome = std::panic::catch_unwind(|| {
+        let mirror = OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 1, ());
+        let table = OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 0, ());
+        let _m = mirror.lock();
+        let _t = table.lock();
+    });
+    assert!(
+        outcome.is_err(),
+        "descending sub-order inside FollowerCatchup must panic in debug builds"
+    );
+    std::panic::set_hook(hook);
+    assert!(
+        lockdep::stats().violations >= violations_before + 2,
+        "both inversions were counted"
+    );
+
+    // The documented legal chain: publisher table, follower mirror, then
+    // a WAL-tier lock (a catch-up section may flush mirror state).
+    let table = OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 0, ());
+    let mirror = OrderedMutex::with_sub_order(LockRank::FollowerCatchup, 1, ());
+    let wal_state = OrderedMutex::new(LockRank::WalState, ());
+    let _t = table.lock();
+    let _m = mirror.lock();
+    let _s = wal_state.lock();
+}
+
 #[test]
 fn lockdep_totals_publish_through_the_metrics_registry() {
     let n = 500i64;

@@ -1,0 +1,321 @@
+//! Replication, end to end through the public facade: a follower
+//! bootstrapped from the primary's checkpoint and fed by the segment
+//! publisher must serve batches that are **bit-identical** — answers
+//! AND global row ids — to an oracle replay of the primary's WAL
+//! prefix below the follower's applied LSN, even while primary writers
+//! race the catch-up loop. The retention watermark must keep every
+//! segment a lagging follower still needs across a primary compaction
+//! cycle, and `replication_lag_lsn` must surface in the Prometheus
+//! export.
+
+use pi_tractable::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pitract-replication-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> WalConfig {
+    // Tiny segments so every test exercises rotation and multi-segment
+    // shipments.
+    WalConfig {
+        segment_bytes: 192,
+        sync: SyncPolicy::GroupCommit,
+    }
+}
+
+fn primary(root: &Path, rows: i64) -> (Arc<DurableLiveRelation>, SnapshotCatalog) {
+    let schema = Schema::new(&[("id", ColType::Int)]);
+    let data: Vec<Vec<Value>> = (0..rows).map(|i| vec![Value::Int(i)]).collect();
+    let rel = Relation::from_rows(schema, data).expect("valid rows");
+    let live = LiveRelation::build(&rel, ShardBy::Hash { col: 0 }, 3, &[0]).expect("valid spec");
+    let catalog = SnapshotCatalog::open(root.join("snaps")).expect("catalog");
+    let node = Arc::new(
+        DurableLiveRelation::create(live, &catalog, "node", root.join("wal"), config())
+            .expect("create"),
+    );
+    (node, catalog)
+}
+
+/// The oracle: the checkpoint state plus a replay of exactly the
+/// primary's WAL records below `below_lsn` — the state a perfect
+/// replica of that prefix must hold.
+fn oracle_at(catalog: &SnapshotCatalog, root: &Path, below_lsn: u64) -> LiveRelation {
+    let (state, mark, cut) = catalog
+        .load("node")
+        .expect("checkpoint exists")
+        .into_checkpoint()
+        .expect("live checkpoint");
+    let oracle = LiveRelation::from_sharded(state);
+    let reader = WalReader::open(root.join("wal")).expect("primary wal readable");
+    let entries: Vec<UpdateEntry> = reader
+        .records()
+        .iter()
+        .filter(|r| r.lsn >= mark && r.lsn < below_lsn)
+        .map(|r| r.entry.clone())
+        .collect();
+    oracle.replay_entries(&entries).expect("oracle replay");
+    oracle.advance_epoch_to(Epoch::new(cut.get() + (below_lsn.max(mark) - mark)));
+    oracle
+}
+
+/// Compare a follower against an oracle relation, bit for bit: live row
+/// count, boolean answers, matching global ids, and raw rows by gid.
+fn assert_bit_identical(follower: &Follower, oracle: &LiveRelation, probes: i64, tag: &str) {
+    assert_eq!(follower.len(), oracle.len(), "{tag}: live row count");
+    for key in 0..probes {
+        let q = SelectionQuery::point(0, key);
+        assert_eq!(
+            follower.answer(&q),
+            oracle.answer(&q),
+            "{tag}: answer for {key}"
+        );
+        assert_eq!(
+            follower.matching_ids(&q),
+            oracle.matching_ids(&q),
+            "{tag}: gids for {key}"
+        );
+    }
+    for gid in 0..(oracle.len() + 16) {
+        assert_eq!(follower.row(gid), oracle.row(gid), "{tag}: row {gid}");
+    }
+}
+
+/// The headline contract: racing primary writers, a follower catching
+/// up live, and pooled batches served from the follower — every batch
+/// pinned at the epoch of the follower's applied LSN, and the final
+/// state bit-identical to the primary.
+#[test]
+fn follower_under_racing_writers_serves_consistent_prefixes() {
+    let root = fresh_dir("racing");
+    let (node, catalog) = primary(&root, 50);
+    let recorder = Recorder::new();
+    let publisher = SegmentPublisher::new_observed(Arc::clone(&node), &recorder);
+    let follower = Arc::new(
+        Follower::bootstrap_observed(&catalog, "node", root.join("mirror"), config(), &recorder)
+            .expect("bootstrap"),
+    );
+    let sub = follower.attach(&publisher);
+    let exec = PooledExecutor::new(
+        Arc::clone(&follower),
+        PoolConfig {
+            workers: 2,
+            max_inflight: 2,
+        },
+    );
+
+    // Two racing writer threads on the primary while the follower keeps
+    // catching up and serving pooled batches.
+    std::thread::scope(|scope| {
+        for w in 0..2i64 {
+            let node = Arc::clone(&node);
+            scope.spawn(move || {
+                for i in 0..60i64 {
+                    let key = 1_000 + w * 1_000 + i;
+                    let gid = node.insert(vec![Value::Int(key)]).expect("insert");
+                    if i % 5 == 0 {
+                        node.delete(gid).expect("delete");
+                    }
+                }
+            });
+        }
+        for _ in 0..8 {
+            let report = follower.catch_up(&publisher, sub).expect("catch up");
+            let batch =
+                QueryBatch::new((0..32i64).map(|k| SelectionQuery::point(0, 1_000 + k * 7)));
+            let result = exec.execute(&batch).expect("follower serves mid-race");
+            // The batch pinned one consistent cut: the epoch named by
+            // the follower's LSN dictionary, which the racing primary
+            // cannot tear.
+            let pinned = result.report.epoch.expect("follower batches pin");
+            assert_eq!(
+                follower.lsn_of_epoch(pinned),
+                follower.applied_lsn(),
+                "pinned epoch names the applied prefix (report: {report:?})"
+            );
+        }
+    });
+
+    // Quiesced: the follower drains the log and matches the primary bit
+    // for bit — answers, gids, rows, and the epoch dictionary.
+    node.wal().sync().expect("sync");
+    let report = follower.catch_up(&publisher, sub).expect("final catch up");
+    assert_eq!(report.lag, 0);
+    assert_eq!(report.applied_lsn, node.wal().durable_lsn());
+    let oracle = oracle_at(&catalog, &root, report.applied_lsn);
+    assert_bit_identical(&follower, &oracle, 3_200, "quiesced");
+    assert_eq!(follower.len(), node.len(), "matches the live primary too");
+    assert_eq!(
+        follower.current_epoch(),
+        follower.applied_epoch(),
+        "served cut is the applied cut"
+    );
+
+    // The lag gauge is live in the Prometheus export.
+    let text = pi_tractable::obs::to_prometheus(&recorder.snapshot());
+    assert!(
+        text.contains("replication_lag_lsn 0"),
+        "missing live replication_lag_lsn in:\n{text}"
+    );
+    assert!(text.contains("repl_segments_shipped_total"), "{text}");
+    assert!(text.contains("repl_replay_micros"), "{text}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A follower stopped mid-stream is exact, not approximately caught up:
+/// its state equals the oracle replay of precisely the records below
+/// its applied LSN.
+#[test]
+fn partial_catch_up_is_an_exact_prefix() {
+    let root = fresh_dir("prefix");
+    let (node, catalog) = primary(&root, 10);
+    let publisher = SegmentPublisher::new(Arc::clone(&node));
+    let follower =
+        Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).expect("bootstrap");
+    let sub = follower.attach(&publisher);
+
+    let mut gids = Vec::new();
+    for i in 0..80i64 {
+        let gid = node.insert(vec![Value::Int(100 + i)]).expect("insert");
+        gids.push(gid);
+        if i % 3 == 0 {
+            node.delete(gids[gids.len() / 2]).expect("delete");
+        }
+    }
+    node.wal().sync().expect("sync");
+
+    // Catch up in small byte-bounded steps; stop somewhere mid-stream.
+    let mut applied = follower.applied_lsn();
+    for _ in 0..5 {
+        let report = follower
+            .catch_up_step(&publisher, sub, 96)
+            .expect("bounded step");
+        applied = report.applied_lsn;
+    }
+    let durable = node.wal().durable_lsn();
+    assert!(applied > 0, "steps made progress");
+    assert!(
+        applied < durable,
+        "still mid-stream (applied {applied} of {durable})"
+    );
+
+    let oracle = oracle_at(&catalog, &root, applied);
+    assert_bit_identical(&follower, &oracle, 200, "mid-stream");
+    assert_eq!(follower.applied_epoch(), oracle.current_epoch());
+
+    // And draining the rest converges on the primary.
+    let report = follower.catch_up(&publisher, sub).expect("drain");
+    assert_eq!(report.lag, 0);
+    assert_eq!(follower.len(), node.len());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The retention watermark closes the compaction/replication race: a
+/// slow attached follower can still fetch every segment at or above its
+/// applied LSN after the primary checkpoints and compacts — while the
+/// compaction pass really does reclaim the segments nobody needs.
+#[test]
+fn slow_follower_survives_a_primary_compaction_cycle() {
+    let root = fresh_dir("retention");
+    let (node, catalog) = primary(&root, 0);
+    let publisher = SegmentPublisher::new(Arc::clone(&node));
+    let follower =
+        Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).expect("bootstrap");
+    let sub = follower.attach(&publisher);
+
+    for i in 0..30i64 {
+        node.insert(vec![Value::Int(i)]).expect("insert");
+    }
+    // The follower fetches a few shipments — enough to clear a couple
+    // of whole segments — then stalls mid-stream.
+    let mut stalled_at = 0;
+    for _ in 0..3 {
+        let report = follower
+            .catch_up_step(&publisher, sub, 160)
+            .expect("bounded step");
+        stalled_at = report.applied_lsn;
+    }
+    assert!(stalled_at > 0 && stalled_at < node.wal().durable_lsn());
+
+    // The primary moves on: checkpoint (mark jumps past the stall
+    // point), more traffic, rotate, compact through the publisher.
+    node.checkpoint(&catalog, "node").expect("checkpoint");
+    for i in 30..45i64 {
+        node.insert(vec![Value::Int(i)]).expect("insert");
+    }
+    node.wal().rotate_now().expect("rotate");
+    assert_eq!(publisher.retention_watermark(), Some(stalled_at));
+    let compaction = publisher.compact_primary().expect("compact");
+    assert!(
+        compaction.segments_removed > 0,
+        "the cycle reclaimed something, so retention was actually tested: {compaction:?}"
+    );
+    assert_eq!(
+        publisher.compaction_floor(),
+        stalled_at,
+        "the floor stops at the slow follower's cursor, not the checkpoint mark"
+    );
+
+    // The stalled follower still drains to the end, bit for bit.
+    let report = follower
+        .catch_up(&publisher, sub)
+        .expect("drain after compaction");
+    assert_eq!(report.lag, 0);
+    assert_eq!(follower.len(), node.len());
+    for i in 0..45i64 {
+        let q = SelectionQuery::point(0, i);
+        assert_eq!(follower.answer(&q), node.answer(&q), "answer {i}");
+        assert_eq!(follower.matching_ids(&q), node.matching_ids(&q), "gids {i}");
+    }
+
+    // Once the follower detaches, the next cycle reclaims its segments.
+    publisher.detach(sub);
+    node.checkpoint(&catalog, "node").expect("checkpoint");
+    node.wal().rotate_now().expect("rotate");
+    let after = publisher.compact_primary().expect("compact unretained");
+    assert_eq!(publisher.retention_watermark(), None);
+    assert!(after.segments_removed > 0, "{after:?}");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A fetch below the publisher's compaction floor is a typed staleness
+/// signal, not a garbled shipment: the late follower learns it must
+/// re-bootstrap.
+#[test]
+fn late_attachment_below_the_floor_is_typed_stale() {
+    let root = fresh_dir("stale");
+    let (node, catalog) = primary(&root, 0);
+    let publisher = SegmentPublisher::new(Arc::clone(&node));
+    for i in 0..20i64 {
+        node.insert(vec![Value::Int(i)]).expect("insert");
+    }
+    node.checkpoint(&catalog, "node").expect("checkpoint");
+    node.wal().rotate_now().expect("rotate");
+    publisher.compact_primary().expect("compact");
+    assert!(publisher.compaction_floor() > 0);
+
+    let err = publisher.poll(0).expect_err("below the floor");
+    assert!(matches!(err, ReplError::Stale { from: 0, .. }), "{err}");
+
+    // Re-bootstrapping from the fresh checkpoint starts above the floor
+    // and catches up cleanly.
+    let follower =
+        Follower::bootstrap(&catalog, "node", root.join("mirror"), config()).expect("re-bootstrap");
+    assert!(follower.applied_lsn() >= publisher.compaction_floor());
+    let sub = follower.attach(&publisher);
+    node.insert(vec![Value::Int(777)]).expect("insert");
+    let report = follower.catch_up(&publisher, sub).expect("catch up");
+    assert_eq!(report.lag, 0);
+    let q = SelectionQuery::point(0, 777i64);
+    assert_eq!(follower.matching_ids(&q), node.matching_ids(&q));
+    std::fs::remove_dir_all(&root).unwrap();
+}
